@@ -1,0 +1,73 @@
+//! Criterion: CBS construction cost — scaling with net size, skew bound
+//! and SALT ε (the ablation dimensions DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rand::prelude::*;
+use sllt_core::cbs::{cbs, CbsConfig};
+use sllt_geom::Point;
+use sllt_route::DelayModel;
+use sllt_timing::Technology;
+use sllt_tree::{ClockNet, Sink};
+
+fn net_of(n: usize) -> ClockNet {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    ClockNet::new(
+        Point::new(37.5, 37.5),
+        (0..n)
+            .map(|_| {
+                Sink::new(
+                    Point::new(rng.random_range(0.0..75.0), rng.random_range(0.0..75.0)),
+                    0.8,
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_cbs_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cbs_by_size");
+    for n in [10usize, 20, 40, 80] {
+        let net = net_of(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            b.iter(|| cbs(std::hint::black_box(net), &CbsConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cbs_bound(c: &mut Criterion) {
+    let tech = Technology::n28();
+    let net = net_of(30);
+    let mut g = c.benchmark_group("cbs_by_elmore_bound");
+    for bound in [80.0f64, 10.0, 5.0, 1.0] {
+        let cfg = CbsConfig {
+            skew_bound: bound,
+            model: DelayModel::Elmore(tech),
+            ..CbsConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(bound), &cfg, |b, cfg| {
+            b.iter(|| cbs(std::hint::black_box(&net), cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cbs_eps(c: &mut Criterion) {
+    let net = net_of(30);
+    let mut g = c.benchmark_group("cbs_by_eps");
+    for eps in [0.05f64, 0.2, 0.5, 2.0] {
+        let cfg = CbsConfig { eps, ..CbsConfig::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(eps), &cfg, |b, cfg| {
+            b.iter(|| cbs(std::hint::black_box(&net), cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench_cbs_size, bench_cbs_bound, bench_cbs_eps
+}
+criterion_main!(benches);

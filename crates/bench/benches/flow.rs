@@ -1,0 +1,37 @@
+//! Criterion: the full hierarchical flow end to end (one small design —
+//! the flow is seconds-scale, so samples are few).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sllt_cts::{baseline, constraints::CtsConstraints, flow::HierarchicalCts};
+use sllt_design::DesignSpec;
+
+fn bench_flow(c: &mut Criterion) {
+    let design = DesignSpec::by_name("s35932").unwrap().instantiate();
+    let mut g = c.benchmark_group("full_flow_s35932");
+    g.sample_size(10);
+    let ours = HierarchicalCts::default();
+    g.bench_function("ours_cbs", |b| b.iter(|| ours.run(std::hint::black_box(&design))));
+    let com = baseline::commercial_like();
+    g.bench_function("commercial_like", |b| {
+        b.iter(|| com.run(std::hint::black_box(&design)))
+    });
+    g.bench_function("openroad_like", |b| {
+        b.iter(|| {
+            baseline::open_road_like(
+                std::hint::black_box(&design),
+                &CtsConstraints::paper(),
+                &ours.tech,
+                &ours.lib,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(10)).warm_up_time(Duration::from_secs(2)).sample_size(10);
+    targets = bench_flow
+}
+criterion_main!(benches);

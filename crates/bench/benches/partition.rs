@@ -1,0 +1,74 @@
+//! Criterion: partitioning substrate — balanced K-means (exact MCF path
+//! and greedy large-n path), min-cost flow, and SA refinement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rand::prelude::*;
+use sllt_geom::Point;
+use sllt_partition::{balanced_kmeans, sa, MinCostFlow};
+
+fn points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.random_range(0.0..400.0), rng.random_range(0.0..400.0)))
+        .collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("balanced_kmeans");
+    g.sample_size(20);
+    for n in [200usize, 1000, 4000] {
+        let pts = points(n, 7);
+        let k = n.div_ceil(32);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| balanced_kmeans(std::hint::black_box(pts), k, 32, 1))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mcf(c: &mut Criterion) {
+    c.bench_function("mcf_assignment_100x8", |b| {
+        let pts = points(100, 9);
+        let centers = points(8, 10);
+        b.iter(|| {
+            let mut g = MinCostFlow::new(2 + 100 + 8);
+            let sink = 1 + 100 + 8;
+            for (i, p) in pts.iter().enumerate() {
+                g.add_edge(0, 1 + i, 1, 0.0);
+                for (c, ctr) in centers.iter().enumerate() {
+                    g.add_edge(1 + i, 101 + c, 1, p.dist(*ctr));
+                }
+            }
+            for c in 0..8 {
+                g.add_edge(101 + c, sink, 13, 0.0);
+            }
+            g.solve(0, sink)
+        })
+    });
+}
+
+fn bench_sa(c: &mut Criterion) {
+    let pts = points(500, 21);
+    let mut rng = StdRng::seed_from_u64(3);
+    let caps: Vec<f64> = (0..500).map(|_| rng.random_range(0.5..8.0)).collect();
+    let cons = sa::PartitionConstraints {
+        max_cap_ff: 100.0,
+        max_fanout: 32,
+        max_wl_um: 200.0,
+        unit_wire_cap: 0.16,
+    };
+    c.bench_function("sa_refine_500", |b| {
+        b.iter(|| {
+            let mut assignment: Vec<usize> = (0..500).map(|i| i % 16).collect();
+            sa::refine(&pts, &caps, &mut assignment, 16, &cons, &sa::SaConfig::default())
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench_kmeans, bench_mcf, bench_sa
+}
+criterion_main!(benches);

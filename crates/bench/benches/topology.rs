@@ -1,0 +1,44 @@
+//! Criterion: routing-topology generator throughput on paper-sized nets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use sllt_design::NetGenerator;
+use sllt_route::{bst_dme, ghtree, htree, rsmt::rsmt, salt::salt, zst_dme, TopologyScheme};
+
+fn bench_generators(c: &mut Criterion) {
+    let gen = NetGenerator::paper();
+    let net = gen.net(0);
+    let topo = TopologyScheme::GreedyDist.build(&net);
+
+    let mut g = c.benchmark_group("topology_40pin");
+    g.bench_function("rsmt", |b| b.iter(|| rsmt(std::hint::black_box(&net))));
+    g.bench_function("salt_eps0.2", |b| b.iter(|| salt(std::hint::black_box(&net), 0.2)));
+    g.bench_function("htree", |b| b.iter(|| htree(std::hint::black_box(&net), 2)));
+    g.bench_function("ghtree", |b| b.iter(|| ghtree(std::hint::black_box(&net), 2)));
+    g.bench_function("zst_dme", |b| {
+        b.iter(|| zst_dme(std::hint::black_box(&net), std::hint::black_box(&topo)))
+    });
+    g.bench_function("bst_dme_20um", |b| {
+        b.iter(|| bst_dme(std::hint::black_box(&net), std::hint::black_box(&topo), 20.0))
+    });
+    g.finish();
+}
+
+fn bench_merge_orders(c: &mut Criterion) {
+    let gen = NetGenerator::paper();
+    let net = gen.net(1);
+    let mut g = c.benchmark_group("merge_order");
+    for scheme in TopologyScheme::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, s| {
+            b.iter(|| s.build(std::hint::black_box(&net)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench_generators, bench_merge_orders
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Paper Table 1 / Fig. 1: SLLT metrics of seven routing topologies on
+//! the demonstration net.
+//!
+//! ```text
+//! cargo run -p sllt-bench --bin table1 [-- --svg <dir>]
+//! ```
+//!
+//! `--svg <dir>` additionally writes the Fig. 1 topology gallery as SVG
+//! files.
+
+use sllt_bench::{arg_value, demo_net, Table};
+use sllt_core::cbs::{cbs, CbsConfig};
+use sllt_route::{ghtree, htree, rsmt::rsmt, salt::salt, topogen::TopologyScheme, zst_dme};
+use sllt_tree::{metrics::path_length_skew, svg, ClockTree, SlltMetrics};
+
+fn main() {
+    let net = demo_net();
+    let ref_wl = sllt_route::rsmt::rsmt_wirelength(&net);
+    let topo = TopologyScheme::GreedyDist.build(&net);
+
+    // Bounds on the demo net are in path-length µm, like the paper's
+    // PL-based Table 1 discussion.
+    let rows: Vec<(&str, ClockTree, &str)> = vec![
+        ("H-tree", htree(&net, 1), "yes"),
+        ("GH-tree", ghtree(&net, 1), "yes"),
+        ("ZST", zst_dme(&net, &topo), "yes"),
+        ("BST", sllt_route::bst_dme(&net, &topo, 2.0), "yes"),
+        ("FLUTE*", rsmt(&net), "no"),
+        ("R-SALT", salt(&net, 0.1), "no"),
+        (
+            "CBS",
+            cbs(&net, &CbsConfig { skew_bound: 2.0, eps: 0.1, ..CbsConfig::default() }),
+            "yes",
+        ),
+    ];
+
+    let mut table = Table::new(vec![
+        "Algorithm", "MaxPL", "MinPL", "TotalWL", "MeanPL", "alpha", "beta", "gamma", "Mean",
+        "SkewCtl",
+    ]);
+    for (name, tree, ctl) in &rows {
+        let m = SlltMetrics::compute(tree, ref_wl);
+        table.row(vec![
+            name.to_string(),
+            format!("{:.2}", m.max_path),
+            format!("{:.2}", m.min_path),
+            format!("{:.2}", m.wirelength),
+            format!("{:.2}", m.mean_path),
+            format!("{:.2}", m.shallowness),
+            format!("{:.2}", m.lightness),
+            format!("{:.2}", m.skewness),
+            format!("{:.2}", m.mean_of_three()),
+            ctl.to_string(),
+        ]);
+    }
+    println!("Table 1 — routing topologies on the demo net (FLUTE* = RSMT substitute)");
+    println!("{}", table.render());
+    println!(
+        "skew-controlled rows honour their bound: ZST skew = {:.3} µm, BST skew = {:.3} µm, CBS skew = {:.3} µm (bound 2 µm)",
+        path_length_skew(&rows[2].1),
+        path_length_skew(&rows[3].1),
+        path_length_skew(&rows[6].1),
+    );
+
+    if let Some(dir) = arg_value("--svg") {
+        std::fs::create_dir_all(&dir).expect("create svg output dir");
+        for (name, tree, _) in &rows {
+            let path = format!("{dir}/fig1_{}.svg", name.to_lowercase().replace('*', ""));
+            std::fs::write(&path, svg::render(tree, name)).expect("write svg");
+            println!("wrote {path}");
+        }
+    }
+}

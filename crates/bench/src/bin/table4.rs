@@ -1,0 +1,29 @@
+//! Paper Table 4: design statistics, plus the synthesized-placement
+//! parameters this reproduction derives from them.
+//!
+//! ```text
+//! cargo run -p sllt-bench --bin table4
+//! ```
+
+use sllt_bench::Table;
+use sllt_design::SUITE;
+
+fn main() {
+    println!("Table 4 — design statistics (synthetic placements; see DESIGN.md)");
+    let mut table = Table::new(vec![
+        "Case", "#Insts.", "#FFs", "Util", "Die (µm)", "FF cap (fF)",
+    ]);
+    for spec in &SUITE {
+        let d = spec.instantiate();
+        table.row(vec![
+            spec.name.to_string(),
+            spec.num_instances.to_string(),
+            spec.num_ffs.to_string(),
+            format!("{:.3}", spec.utilization),
+            format!("{:.0}×{:.0}", d.die.width(), d.die.height()),
+            format!("{:.1}", d.total_sink_cap()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Constraints (Table 5): skew 80 ps, fanout 32, cap 150 fF, wirelength 300 µm");
+}

@@ -1,0 +1,17 @@
+//! Paper Table 6: full-flow comparison (ours / commercial-like /
+//! OpenROAD-like) on the six open designs.
+//!
+//! ```text
+//! cargo run --release -p sllt-bench --bin table6
+//! ```
+
+use sllt_bench::flows::comparison_table;
+use sllt_design::SUITE;
+
+fn main() {
+    let specs: Vec<_> = SUITE.iter().filter(|s| !s.internal).collect();
+    println!("Table 6 — ours (O) vs commercial-like (C) vs OpenROAD-like (R)");
+    println!("{}", comparison_table(&specs));
+    println!("(paper Avg. vs ours: latency C 1.062 / R 1.417; skew C 1.062 / R 1.708;");
+    println!(" buffers C 1.036 / R 1.310; area C 1.051 / R 1.668; cap C 1.196 / R 1.259)");
+}

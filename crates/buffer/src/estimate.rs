@@ -1,0 +1,110 @@
+//! Insertion delay lower bound estimation (paper §3.4, Eq. (7), Fig. 5).
+//!
+//! During bottom-up hierarchical CTS, a cluster's driver buffer is not
+//! sized until the next level up is built. If the cluster's delay is
+//! reported *without* any buffer contribution, the eventual insertion
+//! perturbs all sibling delays and forces expensive downstream skew
+//! repair. The paper instead charges every cluster root a *provisional*
+//! delay — the most conservative lower bound over the library:
+//!
+//! ```text
+//! D̂_buf = min_lib(ωc) · Cap_load + min_lib(ωi)
+//! ```
+//!
+//! Any real buffer at any non-negative slew is at least this slow, so the
+//! estimate narrows (never widens) the gap to the final delay.
+
+use sllt_timing::BufferLibrary;
+
+/// Provisional-delay policy for bottom-up timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayEstimator {
+    /// No provisional delay: cluster roots report wire delay only (the
+    /// "previous methods" baseline of Fig. 5).
+    None,
+    /// Charge the insertion delay lower bound of Eq. (7).
+    LowerBound,
+    /// Charge the already-chosen driver cell's delay at the nominal
+    /// source slew — available when the flow sizes drivers eagerly; the
+    /// residual is then only the slew mismatch.
+    ChosenCell,
+}
+
+impl DelayEstimator {
+    /// The provisional buffer delay, ps, for a cluster root driving
+    /// `cap_load_ff`. `chosen` is the already-sized driver (used by
+    /// [`DelayEstimator::ChosenCell`]; the other policies ignore it, and
+    /// `ChosenCell` falls back to the lower bound when no cell is known).
+    pub fn provisional_delay_for(
+        &self,
+        lib: &BufferLibrary,
+        cap_load_ff: f64,
+        chosen: Option<&sllt_timing::BufferCell>,
+        slew_ps: f64,
+    ) -> f64 {
+        match self {
+            DelayEstimator::None => 0.0,
+            DelayEstimator::LowerBound => lib.insertion_delay_lower_bound(cap_load_ff),
+            DelayEstimator::ChosenCell => chosen
+                .map(|c| c.delay(slew_ps, cap_load_ff))
+                .unwrap_or_else(|| lib.insertion_delay_lower_bound(cap_load_ff)),
+        }
+    }
+
+    /// The provisional buffer delay, ps, with no chosen cell.
+    pub fn provisional_delay(&self, lib: &BufferLibrary, cap_load_ff: f64) -> f64 {
+        self.provisional_delay_for(lib, cap_load_ff, None, 0.0)
+    }
+
+    /// Residual error of the estimate against the delay of an actual
+    /// `cell` at the given slew and load — how much the final insertion
+    /// will still perturb timing. Non-negative for any library cell when
+    /// the lower bound is used.
+    pub fn residual(
+        &self,
+        lib: &BufferLibrary,
+        cell: &sllt_timing::BufferCell,
+        slew_in_ps: f64,
+        cap_load_ff: f64,
+    ) -> f64 {
+        cell.delay(slew_in_ps, cap_load_ff) - self.provisional_delay(lib, cap_load_ff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_estimates_zero() {
+        let lib = BufferLibrary::n28();
+        assert_eq!(DelayEstimator::None.provisional_delay(&lib, 100.0), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_matches_eq7() {
+        let lib = BufferLibrary::n28();
+        let cap = 42.0;
+        let d = DelayEstimator::LowerBound.provisional_delay(&lib, cap);
+        let expect = lib.min_cap_coeff() * cap + lib.min_intrinsic();
+        assert!((d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_shrinks_the_residual_for_every_cell() {
+        // The whole point of Eq. (7): with the estimate charged up front,
+        // the remaining perturbation at insertion time is smaller than
+        // the full buffer delay, for every cell, slew, and load.
+        let lib = BufferLibrary::n28();
+        for cell in lib.cells() {
+            for slew in [5.0, 20.0, 60.0] {
+                for cap in [5.0, 50.0, 150.0] {
+                    let with = DelayEstimator::LowerBound.residual(&lib, cell, slew, cap);
+                    let without = DelayEstimator::None.residual(&lib, cell, slew, cap);
+                    assert!(with >= -1e-12, "estimate overshot for {}", cell.name);
+                    assert!(with < without, "estimate did not help for {}", cell.name);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! SLLT analysis of rectilinear Steiner trees, and Theorem 2.3.
+//!
+//! The paper's central observation is that the three classic tree
+//! qualities — latency, load and skew — map to three dimensionless ratios
+//! of routed path lengths (shallowness α, lightness β, skewness γ), and
+//! that a tree controlling all three is the right CTS target. Theorem 2.3
+//! bounds the ambition: on a *dispersed* pin set (Eq. (4)), α and γ cannot
+//! both be ≤ 1 + ε.
+
+use sllt_route::rsmt::rsmt_wirelength;
+use sllt_tree::{metrics::path_length_skew, ClockNet, ClockTree, SlltMetrics};
+
+/// Full SLLT evaluation of one tree over its net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlltReport {
+    /// The three SLLT ratios plus path statistics.
+    pub metrics: SlltMetrics,
+    /// Path-length skew (`max PL − min PL`), µm.
+    pub skew_um: f64,
+    /// The RSMT reference wirelength used as the lightness denominator.
+    pub ref_wl_um: f64,
+}
+
+/// Evaluates `tree` against `net`: computes the RSMT lightness reference
+/// and all SLLT metrics.
+///
+/// # Panics
+///
+/// Panics when the net is sinkless.
+pub fn analyze(net: &ClockNet, tree: &ClockTree) -> SlltReport {
+    assert!(!net.is_empty(), "analysis of a sinkless net");
+    let ref_wl_um = rsmt_wirelength(net);
+    let metrics = SlltMetrics::compute(tree, ref_wl_um);
+    SlltReport {
+        metrics,
+        skew_um: path_length_skew(tree),
+        ref_wl_um,
+    }
+}
+
+/// The pin-set dispersion of Eq. (4): `max MD / mean MD` over sinks.
+///
+/// When this exceeds `(1 + ε)²`, Theorem 2.3 proves no tree over the net
+/// can have both shallowness and skewness ≤ `1 + ε`.
+///
+/// # Panics
+///
+/// Panics when the net is sinkless or every sink is co-located with the
+/// source (dispersion is undefined).
+pub fn dispersion(net: &ClockNet) -> f64 {
+    assert!(!net.is_empty(), "dispersion of a sinkless net");
+    let mean = net.mean_source_dist();
+    assert!(mean > 0.0, "all sinks at the source: dispersion undefined");
+    net.max_source_dist() / mean
+}
+
+/// Theorem 2.3 feasibility test: can a tree over this net *possibly*
+/// satisfy both `α ≤ 1 + eps` and `γ ≤ 1 + eps`?
+///
+/// Returns `false` exactly when Eq. (4) holds (`dispersion > (1 + eps)²`),
+/// in which case the combination is provably impossible.
+pub fn shallow_skew_compatible(net: &ClockNet, eps: f64) -> bool {
+    dispersion(net) <= (1.0 + eps) * (1.0 + eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use sllt_geom::Point;
+    use sllt_route::salt::salt;
+    use sllt_tree::Sink;
+
+    fn random_net(seed: u64, n: usize) -> ClockNet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ClockNet::new(
+            Point::ORIGIN,
+            (0..n)
+                .map(|_| {
+                    Sink::new(
+                        Point::new(rng.random_range(1.0..75.0), rng.random_range(1.0..75.0)),
+                        1.0,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn analyze_reports_consistent_numbers() {
+        let net = random_net(1, 20);
+        let tree = salt(&net, 0.1);
+        let r = analyze(&net, &tree);
+        assert!((r.skew_um - (r.metrics.max_path - r.metrics.min_path)).abs() < 1e-9);
+        assert!((r.metrics.lightness - tree.wirelength() / r.ref_wl_um).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dispersion_of_ring_is_one() {
+        // Sinks on a Manhattan circle: max MD == mean MD.
+        let net = ClockNet::new(
+            Point::ORIGIN,
+            vec![
+                Sink::new(Point::new(10.0, 0.0), 1.0),
+                Sink::new(Point::new(0.0, 10.0), 1.0),
+                Sink::new(Point::new(-4.0, 6.0), 1.0),
+                Sink::new(Point::new(7.0, -3.0), 1.0),
+            ],
+        );
+        assert!((dispersion(&net) - 1.0).abs() < 1e-12);
+        assert!(shallow_skew_compatible(&net, 0.0));
+    }
+
+    #[test]
+    fn dispersed_pins_flag_incompatibility() {
+        // One sink right by the source, one far out: dispersion ≈ 2.
+        let net = ClockNet::new(
+            Point::ORIGIN,
+            vec![
+                Sink::new(Point::new(1.0, 0.0), 1.0),
+                Sink::new(Point::new(100.0, 0.0), 1.0),
+            ],
+        );
+        let disp = dispersion(&net);
+        assert!(disp > 1.9);
+        assert!(!shallow_skew_compatible(&net, 0.1));
+        assert!(shallow_skew_compatible(&net, 1.0), "(1+1)² = 4 > dispersion");
+    }
+
+    /// Empirical validation of Theorem 2.3: on nets where Eq. (4) holds,
+    /// any tree with α ≤ 1 + ε (SALT guarantees it) must have γ > 1 + ε.
+    #[test]
+    fn theorem_2_3_holds_on_salt_trees() {
+        let mut checked = 0;
+        for seed in 0..60 {
+            let net = random_net(seed, 12);
+            for eps in [0.0, 0.05, 0.1, 0.2] {
+                if shallow_skew_compatible(&net, eps) {
+                    continue; // theorem silent here
+                }
+                let tree = salt(&net, eps);
+                let r = analyze(&net, &tree);
+                assert!(r.metrics.shallowness <= 1.0 + eps + 1e-6);
+                assert!(
+                    r.metrics.skewness > 1.0 + eps - 1e-6,
+                    "seed {seed} eps {eps}: theorem violated, γ = {}",
+                    r.metrics.skewness
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 20, "theorem precondition rarely triggered ({checked})");
+    }
+
+    #[test]
+    #[should_panic(expected = "sinkless")]
+    fn dispersion_requires_sinks() {
+        let _ = dispersion(&ClockNet::new(Point::ORIGIN, vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dispersion undefined")]
+    fn dispersion_requires_spread() {
+        let net = ClockNet::new(Point::ORIGIN, vec![Sink::new(Point::ORIGIN, 1.0)]);
+        let _ = dispersion(&net);
+    }
+}

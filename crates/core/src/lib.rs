@@ -1,0 +1,38 @@
+//! Skew-latency-load trees (SLLT) and the CBS construction algorithm.
+//!
+//! This is the primary contribution of *"Toward Controllable Hierarchical
+//! Clock Tree Synthesis with Skew-Latency-Load Tree"* (DAC 2024):
+//!
+//! * [`analysis`] — evaluating any rectilinear Steiner tree as an
+//!   `(ᾱ, β̄, γ̄)`-SLLT (shallowness / lightness / skewness, paper §2.1)
+//!   and the Theorem 2.3 machinery showing shallowness and skewness cannot
+//!   both approach 1 on dispersed pin sets,
+//! * [`cbs`](mod@cbs) — **C**oncurrent **B**ST and **S**ALT: the five-step pipeline
+//!   of paper Fig. 2 that starts from a bounded-skew DME tree, relaxes it
+//!   with SALT to shorten long paths, re-normalizes the topology, and
+//!   re-embeds it with BST-DME so the skew bound holds while keeping
+//!   near-SALT shallowness and lightness.
+//!
+//! # Example
+//!
+//! ```
+//! use sllt_geom::Point;
+//! use sllt_tree::{ClockNet, Sink};
+//! use sllt_core::{cbs::{cbs, CbsConfig}, analysis};
+//!
+//! let net = ClockNet::new(
+//!     Point::new(0.0, 0.0),
+//!     (0..12)
+//!         .map(|i| Sink::new(Point::new((i % 4) as f64 * 20.0, (i / 3) as f64 * 15.0), 1.0))
+//!         .collect(),
+//! );
+//! let tree = cbs(&net, &CbsConfig { skew_bound: 10.0, ..CbsConfig::default() });
+//! let report = analysis::analyze(&net, &tree);
+//! assert!(report.skew_um <= 10.0 + 1e-6);
+//! ```
+
+pub mod analysis;
+pub mod cbs;
+
+pub use analysis::{analyze, SlltReport};
+pub use cbs::{cbs, CbsConfig};

@@ -1,0 +1,69 @@
+//! CTS design constraints (paper Table 5).
+
+/// The constraint set every flow must honour per clock net (paper §3.1
+/// lists the per-level form; Table 5 gives the values used throughout the
+/// evaluation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtsConstraints {
+    /// Global skew bound, ps.
+    pub skew_ps: f64,
+    /// Maximum fanout per clock net.
+    pub max_fanout: usize,
+    /// Maximum capacitance per clock net, fF.
+    pub max_cap_ff: f64,
+    /// Maximum wirelength per clock net, µm.
+    pub max_wl_um: f64,
+}
+
+impl CtsConstraints {
+    /// Paper Table 5: skew 80 ps, fanout 32, cap 150 fF, wirelength
+    /// 300 µm.
+    pub fn paper() -> Self {
+        CtsConstraints {
+            skew_ps: 80.0,
+            max_fanout: 32,
+            max_cap_ff: 150.0,
+            max_wl_um: 300.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any bound is non-positive.
+    pub fn validate(&self) {
+        assert!(self.skew_ps > 0.0, "non-positive skew bound");
+        assert!(self.max_fanout > 0, "non-positive fanout bound");
+        assert!(self.max_cap_ff > 0.0, "non-positive cap bound");
+        assert!(self.max_wl_um > 0.0, "non-positive wirelength bound");
+    }
+}
+
+impl Default for CtsConstraints {
+    fn default() -> Self {
+        CtsConstraints::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table5() {
+        let c = CtsConstraints::paper();
+        assert_eq!(c.skew_ps, 80.0);
+        assert_eq!(c.max_fanout, 32);
+        assert_eq!(c.max_cap_ff, 150.0);
+        assert_eq!(c.max_wl_um, 300.0);
+        c.validate();
+        assert_eq!(CtsConstraints::default(), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive skew")]
+    fn validation_catches_bad_bounds() {
+        CtsConstraints { skew_ps: 0.0, ..CtsConstraints::paper() }.validate();
+    }
+}

@@ -1,0 +1,46 @@
+//! Hierarchical clock tree synthesis (paper §3).
+//!
+//! The complete system: per-level partitioning (balanced K-means +
+//! min-cost flow, simulated-annealing refinement), routing topology
+//! generation (CBS by default), and buffering (driver selection by load,
+//! insertion-delay lower bound, critical-wirelength repeaters), plus the
+//! two baseline flows the paper compares against and the full metric
+//! evaluation behind Tables 6 and 7.
+//!
+//! * [`constraints`] — the design constraints of paper Table 5,
+//! * [`flow`] — the paper's flow ("Ours"): [`flow::HierarchicalCts`],
+//! * [`baseline`] — `OpenRoadLike` (TritonCTS-style structural H-tree
+//!   with per-level buffering) and `CommercialLike` (same hierarchical
+//!   engine tuned the way commercial CTS behaves: tight skew targets,
+//!   aggressive buffer sizing) — see `DESIGN.md` for the substitution
+//!   rationale,
+//! * [`eval`] — buffered-tree timing (Elmore wires + Eq. (6) buffers,
+//!   slew propagation) and every Table 6/7 metric,
+//! * [`ocv`] — Monte-Carlo on-chip-variation robustness analysis (the
+//!   paper's §1 motivation, quantified).
+//!
+//! # Example
+//!
+//! ```
+//! use sllt_cts::{flow::HierarchicalCts, constraints::CtsConstraints, eval::evaluate};
+//! use sllt_design::DesignSpec;
+//!
+//! let design = DesignSpec::by_name("s35932").unwrap().instantiate();
+//! let cts = HierarchicalCts::default();
+//! let tree = cts.run(&design);
+//! let report = evaluate(&tree, &cts.tech, &cts.lib);
+//! assert_eq!(report.num_sinks, design.num_ffs());
+//! assert!(report.skew_ps <= CtsConstraints::paper().skew_ps);
+//! ```
+
+pub mod baseline;
+pub mod constraints;
+pub mod eval;
+pub mod flow;
+pub mod ocv;
+
+pub use baseline::{commercial_like, open_road_like};
+pub use constraints::CtsConstraints;
+pub use eval::{evaluate, TreeReport};
+pub use ocv::{derate_skew, ocv_analysis, OcvModel, OcvReport};
+pub use flow::{HierarchicalCts, TopologyKind};

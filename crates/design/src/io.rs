@@ -1,0 +1,198 @@
+//! Plain-text design serialization — the entry point for running the CTS
+//! flows on real placements instead of the synthetic suite.
+//!
+//! ```text
+//! sllt-design v1
+//! name my_block
+//! die 400.0 300.0
+//! clock_root 0.0 150.0
+//! sink 12.5 40.0 0.8
+//! sink 14.0 40.0 0.8
+//! ```
+
+use crate::design::Design;
+use sllt_geom::{Point, Rect};
+use sllt_tree::Sink;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from [`read_design`].
+#[derive(Debug)]
+pub enum ParseDesignError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Syntactic or semantic problem at a 1-based line number.
+    Syntax {
+        /// Line where the problem was found.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ParseDesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDesignError::Io(e) => write!(f, "i/o error reading design: {e}"),
+            ParseDesignError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for ParseDesignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseDesignError::Io(e) => Some(e),
+            ParseDesignError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseDesignError {
+    fn from(e: std::io::Error) -> Self {
+        ParseDesignError::Io(e)
+    }
+}
+
+/// Writes the design in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_design<W: Write>(design: &Design, w: &mut W) -> std::io::Result<()> {
+    writeln!(w, "sllt-design v1")?;
+    writeln!(w, "name {}", design.name)?;
+    writeln!(w, "die {} {}", design.die.width(), design.die.height())?;
+    writeln!(w, "clock_root {} {}", design.clock_root.x, design.clock_root.y)?;
+    for s in &design.sinks {
+        writeln!(w, "sink {} {} {}", s.pos.x, s.pos.y, s.cap_ff)?;
+    }
+    Ok(())
+}
+
+/// Reads a design from the v1 text format. Missing `die` derives the
+/// bounding box of the sinks; instance count and utilization default to
+/// the sink count and 0 (they are reporting context only).
+///
+/// # Errors
+///
+/// [`ParseDesignError::Syntax`] for malformed lines, a missing header or
+/// clock root, or a design without sinks.
+pub fn read_design<R: BufRead>(r: &mut R) -> Result<Design, ParseDesignError> {
+    let syntax = |line: usize, message: String| ParseDesignError::Syntax { line, message };
+    let mut name = String::from("unnamed");
+    let mut die: Option<Rect> = None;
+    let mut clock_root: Option<Point> = None;
+    let mut sinks: Vec<Sink> = Vec::new();
+    let mut saw_header = false;
+
+    for (i, line) in r.lines().enumerate() {
+        let ln = i + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if line != "sllt-design v1" {
+                return Err(syntax(ln, format!("expected header 'sllt-design v1', got {line:?}")));
+            }
+            saw_header = true;
+            continue;
+        }
+        let p: Vec<&str> = line.split_whitespace().collect();
+        let parse_f = |s: &str| {
+            s.parse::<f64>()
+                .map_err(|_| syntax(ln, format!("not a number: {s:?}")))
+        };
+        match p[0] {
+            "name" => {
+                name = p.get(1..).unwrap_or_default().join(" ");
+            }
+            "die" if p.len() == 3 => {
+                die = Some(Rect::new(
+                    Point::ORIGIN,
+                    Point::new(parse_f(p[1])?, parse_f(p[2])?),
+                ));
+            }
+            "clock_root" if p.len() == 3 => {
+                clock_root = Some(Point::new(parse_f(p[1])?, parse_f(p[2])?));
+            }
+            "sink" if p.len() == 4 => {
+                let cap = parse_f(p[3])?;
+                if cap < 0.0 {
+                    return Err(syntax(ln, format!("negative sink cap {cap}")));
+                }
+                sinks.push(Sink::new(Point::new(parse_f(p[1])?, parse_f(p[2])?), cap));
+            }
+            other => {
+                return Err(syntax(ln, format!("unknown or malformed directive {other:?}")));
+            }
+        }
+    }
+    if !saw_header {
+        return Err(syntax(1, "empty input".into()));
+    }
+    if sinks.is_empty() {
+        return Err(syntax(0, "design has no sinks".into()));
+    }
+    let die = die.unwrap_or_else(|| {
+        Rect::bounding(&sinks.iter().map(|s| s.pos).collect::<Vec<_>>()).expect("sinks nonempty")
+    });
+    let clock_root = clock_root.ok_or_else(|| syntax(0, "missing clock_root".into()))?;
+    Ok(Design {
+        name,
+        num_instances: sinks.len(),
+        utilization: 0.0,
+        die,
+        clock_root,
+        sinks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::DesignSpec;
+
+    #[test]
+    fn round_trip_preserves_the_design() {
+        let d = DesignSpec::by_name("s35932").unwrap().instantiate();
+        let mut buf = Vec::new();
+        write_design(&d, &mut buf).unwrap();
+        let back = read_design(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.sinks.len(), d.sinks.len());
+        assert!(back.clock_root.approx_eq(d.clock_root));
+        for (a, b) in back.sinks.iter().zip(&d.sinks) {
+            assert!(a.pos.approx_eq(b.pos));
+            assert!((a.cap_ff - b.cap_ff).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minimal_design_parses_with_derived_die() {
+        let input = "sllt-design v1\nclock_root 0 5\nsink 10 0 0.8\nsink 10 10 0.8\n";
+        let d = read_design(&mut input.as_bytes()).unwrap();
+        assert_eq!(d.sinks.len(), 2);
+        assert_eq!(d.die.hpwl(), 10.0);
+        assert_eq!(d.name, "unnamed");
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let cases = [
+            ("bogus", "header"),
+            ("sllt-design v1\nsink 1 2", "malformed"),
+            ("sllt-design v1\nsink 1 2 x", "not a number"),
+            ("sllt-design v1\nsink 1 2 -3", "negative sink cap"),
+            ("sllt-design v1\nsink 1 2 3", "missing clock_root"),
+            ("sllt-design v1\nclock_root 0 0", "no sinks"),
+        ];
+        for (input, want) in cases {
+            let err = read_design(&mut input.as_bytes()).expect_err(input);
+            assert!(err.to_string().contains(want), "{input:?} → {err}");
+        }
+    }
+}

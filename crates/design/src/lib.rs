@@ -1,0 +1,25 @@
+//! Benchmark designs and workload generators for the SLLT evaluation.
+//!
+//! The paper evaluates on:
+//!
+//! * **random clock nets** (Tables 2 and 3): 75 µm boxes, 10–40 load
+//!   pins, 10,000 nets per skew level — reproduced exactly by
+//!   [`netgen::NetGenerator`],
+//! * **ten placed designs** (Tables 4, 6 and 7): ISCAS'89 / OpenCores /
+//!   OpenLane netlists placed by a commercial flow at 28 nm, plus four
+//!   internal `ysyx` designs. Those placements are not redistributable,
+//!   so [`suite`] synthesizes placements that match the published
+//!   statistics exactly (#instances, #FFs, utilization) and mimic real
+//!   FF distributions (register banks + scattered control flops) — the
+//!   CTS algorithms only ever consume sink locations and pin caps, so
+//!   matching those statistics preserves the comparisons. See DESIGN.md.
+
+pub mod design;
+pub mod io;
+pub mod netgen;
+pub mod suite;
+
+pub use design::Design;
+pub use io::{read_design, write_design};
+pub use netgen::NetGenerator;
+pub use suite::{DesignSpec, SUITE};

@@ -1,0 +1,117 @@
+//! Random clock-net generation (paper Tables 2 and 3 workloads).
+//!
+//! "All nets are generated within a box with boundary of 75um in both the
+//! x and y coordinates. And the numbers of load pins of all nets vary
+//! from 10 to 40. … For each skew level, we generate 10,000 nets."
+
+use rand::prelude::*;
+use sllt_geom::Point;
+use sllt_tree::{ClockNet, Sink};
+
+/// Deterministic generator of random clock nets.
+///
+/// # Example
+///
+/// ```
+/// use sllt_design::NetGenerator;
+/// let gen = NetGenerator::paper();
+/// let nets: Vec<_> = gen.take(100).collect();
+/// assert_eq!(nets.len(), 100);
+/// assert!(nets.iter().all(|n| (10..=40).contains(&n.len())));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetGenerator {
+    /// Box side length, µm.
+    pub box_um: f64,
+    /// Minimum load pins per net.
+    pub min_pins: usize,
+    /// Maximum load pins per net.
+    pub max_pins: usize,
+    /// Sink pin capacitance, fF.
+    pub sink_cap_ff: f64,
+    /// Base RNG seed; net `i` derives its own stream from `seed + i`.
+    pub seed: u64,
+}
+
+impl NetGenerator {
+    /// The paper's Table 2/3 configuration: 75 µm box, 10–40 pins.
+    pub fn paper() -> Self {
+        NetGenerator {
+            box_um: 75.0,
+            min_pins: 10,
+            max_pins: 40,
+            sink_cap_ff: 0.8,
+            seed: 0x5177,
+        }
+    }
+
+    /// The `index`-th net of this generator's deterministic sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_pins` is zero or exceeds `max_pins`.
+    pub fn net(&self, index: u64) -> ClockNet {
+        assert!(self.min_pins > 0 && self.min_pins <= self.max_pins, "bad pin range");
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(index));
+        let n = rng.random_range(self.min_pins..=self.max_pins);
+        let mut pt = || {
+            Point::new(
+                rng.random_range(0.0..self.box_um),
+                rng.random_range(0.0..self.box_um),
+            )
+        };
+        let source = pt();
+        let sinks = (0..n).map(|_| Sink::new(pt(), self.sink_cap_ff)).collect();
+        ClockNet::new(source, sinks)
+    }
+
+    /// Iterator over the generator's sequence (infinite; use `take`).
+    pub fn take(&self, count: usize) -> impl Iterator<Item = ClockNet> + '_ {
+        (0..count as u64).map(move |i| self.net(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nets_are_deterministic() {
+        let g = NetGenerator::paper();
+        assert_eq!(g.net(7), g.net(7));
+        assert_ne!(g.net(7), g.net(8));
+    }
+
+    #[test]
+    fn nets_respect_the_box_and_pin_range() {
+        let g = NetGenerator::paper();
+        for net in g.take(200) {
+            assert!((10..=40).contains(&net.len()));
+            let bb = net.bbox();
+            assert!(bb.lo().x >= 0.0 && bb.hi().x <= 75.0);
+            assert!(bb.lo().y >= 0.0 && bb.hi().y <= 75.0);
+        }
+    }
+
+    #[test]
+    fn pin_counts_cover_the_whole_range() {
+        let g = NetGenerator::paper();
+        let mut seen = std::collections::HashSet::new();
+        for net in g.take(2000) {
+            seen.insert(net.len());
+        }
+        assert!(seen.len() > 25, "pin-count diversity too low: {}", seen.len());
+        assert!(seen.contains(&10) && seen.contains(&40));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad pin range")]
+    fn invalid_range_rejected() {
+        let g = NetGenerator {
+            min_pins: 5,
+            max_pins: 3,
+            ..NetGenerator::paper()
+        };
+        let _ = g.net(0);
+    }
+}

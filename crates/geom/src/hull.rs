@@ -1,0 +1,178 @@
+//! Convex hulls in the placement plane.
+//!
+//! The simulated-annealing partition refinement (paper §3.2, Fig. 4) moves
+//! *boundary* instances between clusters: "finding all instances located at
+//! the boundary (convex hull) of a net". This module provides that hull.
+
+use crate::Point;
+
+/// Indices of the points on the convex hull of `points`, in
+/// counter-clockwise order starting from the lowest-leftmost point.
+///
+/// Collinear boundary points are **included** — the paper moves any
+/// instance on the net boundary, so dropping collinear sinks would hide
+/// legal moves. For fewer than three points all indices are returned.
+///
+/// # Example
+///
+/// ```
+/// use sllt_geom::{convex_hull, Point};
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 1.0), // interior
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert!(!hull.contains(&2));
+/// assert_eq!(hull.len(), 4);
+/// ```
+pub fn convex_hull(points: &[Point]) -> Vec<usize> {
+    let n = points.len();
+    if n < 3 {
+        return (0..n).collect();
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .x
+            .total_cmp(&points[b].x)
+            .then(points[a].y.total_cmp(&points[b].y))
+    });
+    idx.dedup_by(|&mut a, &mut b| points[a].approx_eq(points[b]));
+    if idx.len() < 3 {
+        return idx;
+    }
+
+    // Monotone chain keeping collinear points (strict right turns pop).
+    let turn = |a: usize, b: usize, c: usize| Point::cross(points[a], points[b], points[c]);
+    let mut lower: Vec<usize> = Vec::with_capacity(idx.len());
+    for &i in &idx {
+        while lower.len() >= 2 && turn(lower[lower.len() - 2], lower[lower.len() - 1], i) < 0.0 {
+            lower.pop();
+        }
+        lower.push(i);
+    }
+    let mut upper: Vec<usize> = Vec::with_capacity(idx.len());
+    for &i in idx.iter().rev() {
+        while upper.len() >= 2 && turn(upper[upper.len() - 2], upper[upper.len() - 1], i) < 0.0 {
+            upper.pop();
+        }
+        upper.push(i);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    lower
+}
+
+/// Whether `p` lies inside (or on the boundary of) the convex polygon with
+/// the given counter-clockwise vertices.
+pub fn hull_contains(vertices: &[Point], p: Point) -> bool {
+    let n = vertices.len();
+    if n == 0 {
+        return false;
+    }
+    if n == 1 {
+        return vertices[0].approx_eq(p);
+    }
+    for i in 0..n {
+        let a = vertices[i];
+        let b = vertices[(i + 1) % n];
+        if Point::cross(a, b, p) < -crate::EPS {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn square_hull_excludes_interior() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.contains(&4));
+        assert!(!hull.contains(&5));
+    }
+
+    #[test]
+    fn collinear_boundary_points_are_kept() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0), // collinear on the bottom edge
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert!(hull.contains(&1), "collinear edge point must stay: {hull:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]), vec![0]);
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0), Point::new(2.0, 2.0)]).len(), 2);
+        // All identical points collapse to one.
+        let same = vec![Point::new(1.0, 1.0); 5];
+        assert_eq!(convex_hull(&same).len(), 1);
+    }
+
+    #[test]
+    fn hull_contains_works() {
+        let verts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        assert!(hull_contains(&verts, Point::new(2.0, 2.0)));
+        assert!(hull_contains(&verts, Point::new(0.0, 0.0)));
+        assert!(!hull_contains(&verts, Point::new(5.0, 2.0)));
+    }
+
+    #[test]
+    fn random_points_all_inside_hull() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.random_range(0.0..75.0), rng.random_range(0.0..75.0)))
+            .collect();
+        let hull = convex_hull(&pts);
+        let verts: Vec<Point> = hull.iter().map(|&i| pts[i]).collect();
+        for &p in &pts {
+            assert!(hull_contains(&verts, p), "point {p} escaped its hull");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn hull_is_subset_and_contains_all(
+            raw in proptest::collection::vec((-50f64..50.0, -50f64..50.0), 1..40)
+        ) {
+            let pts: Vec<Point> = raw.into_iter().map(Point::from).collect();
+            let hull = convex_hull(&pts);
+            prop_assert!(!hull.is_empty());
+            prop_assert!(hull.iter().all(|&i| i < pts.len()));
+            let verts: Vec<Point> = hull.iter().map(|&i| pts[i]).collect();
+            if verts.len() >= 3 {
+                for &p in &pts {
+                    prop_assert!(hull_contains(&verts, p));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Rectilinear geometry substrate for clock tree synthesis.
+//!
+//! Clock routing lives in the Manhattan (L1) plane. This crate provides the
+//! geometric vocabulary every other crate in the workspace builds on:
+//!
+//! * [`Point`] — a location in µm with L1 helpers,
+//! * [`Rect`] — an axis-aligned bounding box,
+//! * [`rotated`] — the 45°-rotated (u, v) = (x + y, x − y) coordinate space
+//!   in which L1 distance becomes L∞ distance and *tilted rectangular
+//!   regions* (TRRs, the workhorse of deferred-merge embedding) become plain
+//!   axis-aligned rectangles,
+//! * [`hull`] — Manhattan-plane convex hulls (used by the simulated
+//!   annealing partition refinement to pick boundary instances).
+//!
+//! # Example
+//!
+//! ```
+//! use sllt_geom::{Point, rotated::RRect};
+//!
+//! let a = Point::new(0.0, 0.0);
+//! let b = Point::new(3.0, 4.0);
+//! assert_eq!(a.dist(b), 7.0);
+//!
+//! // A TRR of radius 2 around `a`, intersected with one around `b`,
+//! // is empty because the L1 balls don't touch (7 > 2 + 2).
+//! let ta = RRect::from_point(a).inflated(2.0);
+//! let tb = RRect::from_point(b).inflated(2.0);
+//! assert!(ta.intersection(&tb).is_none());
+//! ```
+
+pub mod hull;
+pub mod point;
+pub mod rect;
+pub mod rotated;
+
+pub use hull::convex_hull;
+pub use point::{centroid, Point};
+pub use rect::Rect;
+pub use rotated::{RPoint, RRect};
+
+/// Tolerance used for floating-point geometric comparisons, in µm.
+///
+/// Coordinates in this workspace are µm-scale `f64` values; anything below
+/// a tenth of a nanometre is treated as coincident.
+pub const EPS: f64 = 1e-7;
+
+/// Returns `true` when `a` and `b` differ by at most [`EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_tolerates_eps() {
+        assert!(approx_eq(1.0, 1.0 + EPS / 2.0));
+        assert!(!approx_eq(1.0, 1.0 + EPS * 10.0));
+    }
+}

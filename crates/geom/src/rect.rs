@@ -1,0 +1,205 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle in the placement plane (µm).
+///
+/// Degenerate rectangles (zero width and/or height) are valid and represent
+/// segments or points; an *empty* `Rect` cannot be constructed.
+///
+/// # Example
+///
+/// ```
+/// use sllt_geom::{Point, Rect};
+/// let r = Rect::bounding(&[Point::new(1.0, 5.0), Point::new(4.0, 2.0)]).unwrap();
+/// assert_eq!(r.width(), 3.0);
+/// assert_eq!(r.height(), 3.0);
+/// assert!(r.contains(Point::new(2.0, 3.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            lo: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The smallest rectangle containing every point, or `None` when the
+    /// slice is empty.
+    pub fn bounding(points: &[Point]) -> Option<Self> {
+        let first = *points.first()?;
+        let mut r = Rect::new(first, first);
+        for &p in &points[1..] {
+            r.expand(p);
+        }
+        Some(r)
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Horizontal extent.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Vertical extent.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area in µm².
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half-perimeter wirelength — the classic net-length lower bound.
+    #[inline]
+    pub fn hpwl(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.lo.midpoint(self.hi)
+    }
+
+    /// Grows the rectangle so it contains `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.lo = Point::new(self.lo.x.min(p.x), self.lo.y.min(p.y));
+        self.hi = Point::new(self.hi.x.max(p.x), self.hi.y.max(p.y));
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x - crate::EPS
+            && p.x <= self.hi.x + crate::EPS
+            && p.y >= self.lo.y - crate::EPS
+            && p.y <= self.hi.y + crate::EPS
+    }
+
+    /// The point inside the rectangle closest (in any Lp metric — they
+    /// agree for boxes) to `p`.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.lo.x, self.hi.x), p.y.clamp(self.lo.y, self.hi.y))
+    }
+
+    /// L1 distance from `p` to the rectangle (zero when inside).
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        p.dist(self.clamp(p))
+    }
+
+    /// Intersection with `other`, if non-empty.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let lo = Point::new(self.lo.x.max(other.lo.x), self.lo.y.max(other.lo.y));
+        let hi = Point::new(self.hi.x.min(other.hi.x), self.hi.y.min(other.hi.y));
+        if lo.x <= hi.x + crate::EPS && lo.y <= hi.y + crate::EPS {
+            Some(Rect {
+                lo,
+                hi: Point::new(hi.x.max(lo.x), hi.y.max(lo.y)),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bounding_box_of_points() {
+        let r = Rect::bounding(&[
+            Point::new(1.0, 5.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 9.0),
+        ])
+        .unwrap();
+        assert_eq!(r.lo(), Point::new(1.0, 2.0));
+        assert_eq!(r.hi(), Point::new(4.0, 9.0));
+        assert_eq!(r.hpwl(), 10.0);
+        assert!(Rect::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn clamp_and_distance() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert_eq!(r.clamp(Point::new(5.0, 1.0)), Point::new(2.0, 1.0));
+        assert_eq!(r.dist_to_point(Point::new(5.0, 1.0)), 3.0);
+        assert_eq!(r.dist_to_point(Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(r.dist_to_point(Point::new(-1.0, -1.0)), 2.0);
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        let b = Rect::new(Point::new(2.0, 2.0), Point::new(6.0, 6.0));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(Point::new(2.0, 2.0), Point::new(4.0, 4.0)));
+        // Touching edges intersect in a degenerate rect.
+        let c = Rect::new(Point::new(4.0, 0.0), Point::new(8.0, 4.0));
+        assert_eq!(a.intersection(&c).unwrap().width(), 0.0);
+        // Disjoint.
+        let d = Rect::new(Point::new(10.0, 10.0), Point::new(11.0, 11.0));
+        assert!(a.intersection(&d).is_none());
+    }
+
+    fn arb_rect() -> impl Strategy<Value = Rect> {
+        (
+            (-100f64..100.0, -100f64..100.0),
+            (-100f64..100.0, -100f64..100.0),
+        )
+            .prop_map(|((ax, ay), (bx, by))| Rect::new(Point::new(ax, ay), Point::new(bx, by)))
+    }
+
+    proptest! {
+        #[test]
+        fn clamp_is_inside_and_closest(r in arb_rect(), x in -200f64..200.0, y in -200f64..200.0) {
+            let p = Point::new(x, y);
+            let c = r.clamp(p);
+            prop_assert!(r.contains(c));
+            // No corner is closer than the clamp point.
+            for q in [r.lo(), r.hi(), Point::new(r.lo().x, r.hi().y), Point::new(r.hi().x, r.lo().y)] {
+                prop_assert!(p.dist(c) <= p.dist(q) + 1e-9);
+            }
+        }
+
+        #[test]
+        fn intersection_is_contained(a in arb_rect(), b in arb_rect()) {
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(a.contains(i.lo()) && a.contains(i.hi()));
+                prop_assert!(b.contains(i.lo()) && b.contains(i.hi()));
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! The latency/capacitance-adaptive clustering cost (paper §3.2).
+//!
+//! `Cost^k = p·σ(Cap^k) + q·σ(T^k)`: the variance of per-net capacitance
+//! blended with the variance of per-net maximum delay. Deep levels (near
+//! the sinks) accumulate most of the load capacitance, while delay keeps
+//! growing toward the root — so the weights `p, q` shift with the level.
+
+/// Population variance of a sample; 0 for fewer than two values.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// The adaptive clustering cost `p·σ(caps) + q·σ(delays)`.
+///
+/// `caps` and `delays` are per-cluster aggregates: total net capacitance
+/// (fF) and maximum driver→leaf delay (ps).
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths or a weight is negative.
+pub fn cluster_cost(caps: &[f64], delays: &[f64], p: f64, q: f64) -> f64 {
+    assert_eq!(caps.len(), delays.len(), "per-cluster slices must align");
+    assert!(p >= 0.0 && q >= 0.0, "negative weights");
+    p * variance(caps) + q * variance(delays)
+}
+
+/// Level-adaptive weights: the bottom level (0) stresses capacitance
+/// balance; higher levels shift emphasis to delay balance. Returns
+/// `(p, q)` with `p + q = 1`.
+pub fn level_weights(level: usize, num_levels: usize) -> (f64, f64) {
+    if num_levels <= 1 {
+        return (0.5, 0.5);
+    }
+    // Levels beyond the estimate saturate at the top-level weights.
+    let t = (level as f64 / (num_levels - 1) as f64).clamp(0.0, 1.0);
+    let q = 0.25 + 0.5 * t; // 0.25 at the bottom, 0.75 at the top
+    (1.0 - q, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_basics() {
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(variance(&[2.0, 2.0, 2.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_clusters_cost_less() {
+        let even = cluster_cost(&[10.0, 10.0, 10.0], &[5.0, 5.0, 5.0], 0.5, 0.5);
+        let skewed = cluster_cost(&[2.0, 10.0, 18.0], &[1.0, 5.0, 9.0], 0.5, 0.5);
+        assert!(even < skewed);
+        assert_eq!(even, 0.0);
+    }
+
+    #[test]
+    fn weights_scale_the_terms() {
+        let caps = [1.0, 3.0];
+        let delays = [10.0, 30.0];
+        let cap_only = cluster_cost(&caps, &delays, 1.0, 0.0);
+        let delay_only = cluster_cost(&caps, &delays, 0.0, 1.0);
+        assert!((cap_only - 1.0).abs() < 1e-12);
+        assert!((delay_only - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_weights_shift_toward_delay() {
+        let (p0, q0) = level_weights(0, 5);
+        let (p4, q4) = level_weights(4, 5);
+        assert!(p0 > q0, "bottom level stresses capacitance");
+        assert!(q4 > p4, "top level stresses delay");
+        assert!((p0 + q0 - 1.0).abs() < 1e-12);
+        assert!((p4 + q4 - 1.0).abs() < 1e-12);
+        assert_eq!(level_weights(0, 1), (0.5, 0.5));
+        // Past-the-end levels saturate instead of going negative.
+        let (p9, q9) = level_weights(9, 3);
+        assert_eq!((p9, q9), level_weights(2, 3));
+        assert!(p9 >= 0.0 && q9 <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_slices_rejected() {
+        let _ = cluster_cost(&[1.0], &[1.0, 2.0], 0.5, 0.5);
+    }
+}

@@ -1,0 +1,510 @@
+//! Balanced K-means clustering.
+//!
+//! Standard Lloyd iterations give geometric cluster centres; a min-cost
+//! flow assignment then maps every point to a centre subject to an exact
+//! per-cluster capacity (paper §3.2: "by combining K-means clustering
+//! with the min-cost flow, [Han–Kahng–Li] controls the maximum number of
+//! nodes in cluster").
+
+use crate::mcf::MinCostFlow;
+use rand::prelude::*;
+use sllt_geom::Point;
+
+/// Result of a balanced clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Cluster index per point.
+    pub assignment: Vec<usize>,
+    /// Cluster centres (geometric means of their members).
+    pub centers: Vec<Point>,
+}
+
+impl Partition {
+    /// Members of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Whether there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+}
+
+/// Clusters `points` into `k` groups of at most `cap` members each.
+///
+/// Lloyd iterations run unconstrained first (k-means++-style seeding from
+/// `seed`); the final assignment is a min-cost flow with distances as
+/// costs, so the capacity holds *exactly* while total point-to-centre
+/// distance is minimal for the chosen centres. Centres are re-averaged
+/// once after the flow.
+///
+/// # Panics
+///
+/// Panics when `points` is empty, `k` is zero, or `k·cap` cannot hold all
+/// points.
+pub fn balanced_kmeans(points: &[Point], k: usize, cap: usize, seed: u64) -> Partition {
+    assert!(!points.is_empty(), "clustering an empty point set");
+    assert!(k > 0, "k must be positive");
+    assert!(k * cap >= points.len(), "k*cap too small: {}*{cap} < {}", k, points.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centers: Vec<Point> = Vec::with_capacity(k);
+    centers.push(points[rng.random_range(0..points.len())]);
+    while centers.len() < k {
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centers
+                    .iter()
+                    .map(|c| p.dist_l2_sq(*c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 1e-12 {
+            // All points coincide with existing centres; duplicate one.
+            centers.push(centers[0]);
+            continue;
+        }
+        let mut pick = rng.random_range(0.0..total);
+        let mut chosen = 0;
+        for (i, w) in weights.iter().enumerate() {
+            pick -= w;
+            if pick <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centers.push(points[chosen]);
+    }
+
+    // Unconstrained Lloyd.
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..25 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| p.dist_l2_sq(centers[a]).total_cmp(&p.dist_l2_sq(centers[b])))
+                .expect("k > 0");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![Point::ORIGIN; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            sums[assignment[i]] = sums[assignment[i]] + *p;
+            counts[assignment[i]] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centers[c] = sums[c] / counts[c] as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Capacity-exact assignment. Min-cost flow is optimal but its
+    // successive-shortest-path cost grows as O(n²·k); above a size
+    // threshold we switch to the classic same-size-k-means greedy
+    // (points ranked by how much they lose if bumped off their favourite
+    // centre), which is near-optimal in practice and linearithmic.
+    const MCF_LIMIT: usize = 1500;
+    if points.len() > MCF_LIMIT {
+        assignment = greedy_capacitated(points, &centers, cap);
+    } else {
+        assignment = mcf_assign(points, &centers, cap);
+    }
+
+    // Re-average the centres over the final membership.
+    let mut sums = vec![Point::ORIGIN; k];
+    let mut counts = vec![0usize; k];
+    for (i, p) in points.iter().enumerate() {
+        sums[assignment[i]] = sums[assignment[i]] + *p;
+        counts[assignment[i]] += 1;
+    }
+    for c in 0..k {
+        if counts[c] > 0 {
+            centers[c] = sums[c] / counts[c] as f64;
+        }
+    }
+    Partition { assignment, centers }
+}
+
+/// Optimal capacitated assignment by min-cost flow:
+/// source → point (1, 0); point → centre (1, L1 distance);
+/// centre → sink (cap, 0).
+fn mcf_assign(points: &[Point], centers: &[Point], cap: usize) -> Vec<usize> {
+    let k = centers.len();
+    let n = points.len();
+    let source = 0;
+    let sink = 1 + n + k;
+    let mut g = MinCostFlow::new(2 + n + k);
+    let mut edge_of = vec![vec![0usize; k]; n];
+    for (i, p) in points.iter().enumerate() {
+        g.add_edge(source, 1 + i, 1, 0.0);
+        for (c, ctr) in centers.iter().enumerate() {
+            edge_of[i][c] = g.add_edge(1 + i, 1 + n + c, 1, p.dist(*ctr));
+        }
+    }
+    for c in 0..k {
+        g.add_edge(1 + n + c, sink, cap as i64, 0.0);
+    }
+    let (flow, _) = g.solve(source, sink);
+    assert_eq!(flow as usize, n, "flow must place every point");
+    let mut assignment = vec![0usize; n];
+    for (i, edges) in edge_of.iter().enumerate() {
+        for (c, &e) in edges.iter().enumerate() {
+            if g.flow_on(e) > 0 {
+                assignment[i] = c;
+            }
+        }
+    }
+    assignment
+}
+
+/// Greedy capacitated assignment: points claim centres in order of the
+/// regret they would suffer if denied their nearest centre; full centres
+/// fall through to the nearest with remaining room.
+fn greedy_capacitated(points: &[Point], centers: &[Point], cap: usize) -> Vec<usize> {
+    let k = centers.len();
+    let n = points.len();
+    // Rank per point: (second-nearest − nearest) distance regret.
+    let mut order: Vec<(f64, usize)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let (mut d1, mut d2) = (f64::INFINITY, f64::INFINITY);
+            for c in centers {
+                let d = p.dist(*c);
+                if d < d1 {
+                    d2 = d1;
+                    d1 = d;
+                } else if d < d2 {
+                    d2 = d;
+                }
+            }
+            (d2 - d1, i)
+        })
+        .collect();
+    order.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    let mut room = vec![cap; k];
+    let mut assignment = vec![usize::MAX; n];
+    for (_, i) in order {
+        let p = points[i];
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for (c, ctr) in centers.iter().enumerate() {
+            if room[c] > 0 {
+                let d = p.dist(*ctr);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+        }
+        assert!(best != usize::MAX, "k*cap guarantees room somewhere");
+        assignment[i] = best;
+        room[best] -= 1;
+    }
+    assignment
+}
+
+/// Capacity-exact clustering for large point sets: the die is split by
+/// recursive median bisection into cells of at most `max_cell` points,
+/// and each cell is clustered independently with [`balanced_kmeans`]
+/// (whose min-cost-flow assignment is exact). `target_k` distributes a
+/// caller-chosen total cluster count proportionally over the cells.
+///
+/// The greedy fallback inside [`balanced_kmeans`] can strand points in
+/// far-away clusters on dense placements (die-spanning clusters hundreds
+/// of µm wide); median bisection keeps every cluster local while the
+/// per-cell flow keeps the capacity exact.
+///
+/// # Panics
+///
+/// As [`balanced_kmeans`]; additionally panics when `max_cell < cap`.
+pub fn balanced_kmeans_grid(
+    points: &[Point],
+    target_k: usize,
+    cap: usize,
+    max_cell: usize,
+    seed: u64,
+) -> Partition {
+    assert!(!points.is_empty(), "clustering an empty point set");
+    assert!(max_cell >= cap, "cells must hold at least one full cluster");
+    let n = points.len();
+    let mut assignment = vec![0usize; n];
+    let mut centers: Vec<Point> = Vec::new();
+
+    // Recursive median split into cells.
+    let mut stack: Vec<Vec<usize>> = vec![(0..n).collect()];
+    while let Some(mut cell) = stack.pop() {
+        if cell.len() > max_cell {
+            // Split along the wider extent at the median.
+            let pts: Vec<Point> = cell.iter().map(|&i| points[i]).collect();
+            let bb = sllt_geom::Rect::bounding(&pts).expect("cell nonempty");
+            if bb.width() >= bb.height() {
+                cell.sort_by(|&a, &b| points[a].x.total_cmp(&points[b].x));
+            } else {
+                cell.sort_by(|&a, &b| points[a].y.total_cmp(&points[b].y));
+            }
+            let hi = cell.split_off(cell.len() / 2);
+            stack.push(cell);
+            stack.push(hi);
+            continue;
+        }
+        let pts: Vec<Point> = cell.iter().map(|&i| points[i]).collect();
+        let k_cell = cell
+            .len()
+            .div_ceil(cap)
+            .max(target_k * cell.len() / n.max(1))
+            .max(1)
+            .min(cell.len());
+        let part = balanced_kmeans_restarts(&pts, k_cell, cap, seed ^ cell[0] as u64, 2);
+        let base = centers.len();
+        centers.extend_from_slice(&part.centers);
+        for (local, &global) in cell.iter().enumerate() {
+            assignment[global] = base + part.assignment[local];
+        }
+    }
+    Partition { assignment, centers }
+}
+
+/// Runs [`balanced_kmeans`] `tries` times with derived seeds and keeps
+/// the partition with the smallest total point-to-centre L1 distance.
+/// k-means++ seeding is stochastic; on clustered (register-bank)
+/// placements an unlucky seed can fragment banks and cost >20 % of
+/// routed wirelength, so production flows restart.
+///
+/// # Panics
+///
+/// As [`balanced_kmeans`]; additionally panics when `tries` is zero.
+pub fn balanced_kmeans_restarts(
+    points: &[Point],
+    k: usize,
+    cap: usize,
+    seed: u64,
+    tries: usize,
+) -> Partition {
+    assert!(tries > 0, "at least one try");
+    (0..tries)
+        .map(|t| {
+            let part = balanced_kmeans(points, k, cap, seed.wrapping_add(t as u64 * 0x9E37));
+            let cost: f64 = points
+                .iter()
+                .zip(&part.assignment)
+                .map(|(p, &a)| p.dist(part.centers[a]))
+                .sum();
+            (cost, part)
+        })
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .map(|(_, p)| p)
+        .expect("tries > 0")
+}
+
+/// Mean silhouette score of a clustering, in `[-1, 1]` (1 = compact,
+/// well-separated clusters). Used by the paper to evaluate clustering
+/// quality before the SA refinement. Points in singleton clusters score 0
+/// by convention; returns 0 for a single cluster.
+pub fn silhouette(points: &[Point], assignment: &[usize], k: usize) -> f64 {
+    assert_eq!(points.len(), assignment.len());
+    if k < 2 || points.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        // Mean distance to own cluster (a) and nearest other cluster (b).
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for (j, q) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            sums[assignment[j]] += p.dist(*q);
+            counts[assignment[j]] += 1;
+        }
+        let own = assignment[i];
+        if counts[own] == 0 {
+            continue; // singleton: contributes 0
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize, step: f64) -> Vec<Point> {
+        (0..n * n)
+            .map(|i| Point::new((i % n) as f64 * step, (i / n) as f64 * step))
+            .collect()
+    }
+
+    #[test]
+    fn capacity_is_exact() {
+        let pts = grid(6, 5.0); // 36 points
+        for (k, cap) in [(4, 9), (6, 7), (9, 4), (36, 1)] {
+            let part = balanced_kmeans(&pts, k, cap, 1);
+            for c in 0..k {
+                let m = part.members(c).len();
+                assert!(m <= cap, "k={k} cap={cap}: cluster {c} has {m}");
+            }
+            assert_eq!(part.assignment.len(), 36);
+        }
+    }
+
+    #[test]
+    fn separated_blobs_cluster_cleanly() {
+        let mut pts = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (100.0, 0.0), (0.0, 100.0)] {
+            for i in 0..8 {
+                pts.push(Point::new(cx + (i % 3) as f64, cy + (i / 3) as f64));
+            }
+        }
+        let part = balanced_kmeans(&pts, 3, 8, 7);
+        // Each blob must be a single cluster (capacity forces exactness).
+        for blob in 0..3 {
+            let first = part.assignment[blob * 8];
+            for i in 0..8 {
+                assert_eq!(part.assignment[blob * 8 + i], first, "blob {blob} split");
+            }
+        }
+        let s = silhouette(&pts, &part.assignment, 3);
+        assert!(s > 0.8, "separated blobs should score high: {s}");
+    }
+
+    #[test]
+    fn tight_capacity_splits_a_blob() {
+        // One blob of 10, capacity 5, k = 2: flow must split 5/5.
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 0.1, 0.0)).collect();
+        let part = balanced_kmeans(&pts, 2, 5, 3);
+        assert_eq!(part.members(0).len(), 5);
+        assert_eq!(part.members(1).len(), 5);
+    }
+
+    #[test]
+    fn grid_clustering_keeps_clusters_local() {
+        // Two dense far-apart blobs with awkward counts: no cluster may
+        // span the gap.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut pts = Vec::new();
+        for cx in [0.0, 500.0] {
+            for _ in 0..900 {
+                pts.push(Point::new(
+                    cx + rng.random_range(0.0..40.0),
+                    rng.random_range(0.0..40.0),
+                ));
+            }
+        }
+        let part = balanced_kmeans_grid(&pts, 1800 / 32, 32, 600, 9);
+        let k = part.centers.len();
+        for c in 0..k {
+            let members = part.members(c);
+            if members.is_empty() {
+                continue;
+            }
+            assert!(members.len() <= 32, "capacity violated");
+            let mpts: Vec<Point> = members.iter().map(|&i| pts[i]).collect();
+            let bb = sllt_geom::Rect::bounding(&mpts).unwrap();
+            assert!(bb.hpwl() < 200.0, "cluster spans the gap: {:.0}", bb.hpwl());
+        }
+        assert!(part.assignment.iter().all(|&a| a < k));
+    }
+
+    #[test]
+    fn restarts_never_pick_a_worse_partition() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<Point> = (0..60)
+            .map(|_| Point::new(rng.random_range(0.0..75.0), rng.random_range(0.0..75.0)))
+            .collect();
+        let cost = |part: &Partition| -> f64 {
+            pts.iter()
+                .zip(&part.assignment)
+                .map(|(p, &a)| p.dist(part.centers[a]))
+                .sum()
+        };
+        let single = cost(&balanced_kmeans(&pts, 5, 15, 42));
+        let multi = cost(&balanced_kmeans_restarts(&pts, 5, 15, 42, 5));
+        assert!(multi <= single + 1e-9);
+    }
+
+    #[test]
+    fn silhouette_detects_bad_clustering() {
+        let mut pts = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (100.0, 0.0)] {
+            for i in 0..6 {
+                pts.push(Point::new(cx + i as f64, cy));
+            }
+        }
+        let good: Vec<usize> = (0..12).map(|i| i / 6).collect();
+        let bad: Vec<usize> = (0..12).map(|i| i % 2).collect();
+        assert!(silhouette(&pts, &good, 2) > silhouette(&pts, &bad, 2));
+    }
+
+    #[test]
+    fn silhouette_degenerate_cases() {
+        let pts = vec![Point::ORIGIN, Point::new(1.0, 0.0)];
+        assert_eq!(silhouette(&pts, &[0, 0], 1), 0.0);
+        assert_eq!(silhouette(&[Point::ORIGIN], &[0], 2), 0.0);
+    }
+
+    #[test]
+    fn coincident_points_do_not_crash() {
+        let pts = vec![Point::new(5.0, 5.0); 9];
+        let part = balanced_kmeans(&pts, 3, 3, 11);
+        for c in 0..3 {
+            assert_eq!(part.members(c).len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn infeasible_capacity_rejected() {
+        let pts = grid(3, 1.0);
+        let _ = balanced_kmeans(&pts, 2, 4, 1);
+    }
+
+    #[test]
+    fn proptest_every_point_assigned_within_capacity() {
+        use proptest::prelude::*;
+        proptest!(|(seed in 0u64..100, n in 1usize..40, k in 1usize..8)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.random_range(0.0..75.0), rng.random_range(0.0..75.0)))
+                .collect();
+            let cap = n.div_ceil(k) + 1;
+            let part = balanced_kmeans(&pts, k, cap, seed);
+            prop_assert_eq!(part.assignment.len(), n);
+            for c in 0..k {
+                prop_assert!(part.members(c).len() <= cap);
+            }
+            prop_assert!(part.assignment.iter().all(|&a| a < k));
+        });
+    }
+}

@@ -1,0 +1,333 @@
+//! Simulated-annealing partition refinement (paper §3.2, Fig. 4).
+//!
+//! After balanced K-means, some clusters may still violate capacitance or
+//! wirelength constraints. The SA pass repairs them with the paper's
+//! boundary-move neighbourhood:
+//!
+//! 1. pick a cluster with large cost (violations, in capacitance units),
+//! 2. collect its *convex-hull* instances — moving an interior instance
+//!    would make the cluster nets cross,
+//! 3. for each boundary instance, the nearest foreign cluster is the
+//!    move target,
+//! 4. accept or reject by the annealing criterion on the global cost
+//!    delta.
+//!
+//! Costs follow the paper's unification: every violation is expressed in
+//! fF (wirelength via the unit wire capacitance, fanout via the mean pin
+//! capacitance), so "all constraint costs have equivalent numerical
+//! ranges".
+
+use rand::prelude::*;
+use sllt_geom::{convex_hull, Point, Rect};
+
+/// Per-cluster design constraints (paper Table 5 for the defaults used in
+/// the evaluation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionConstraints {
+    /// Maximum net capacitance, fF.
+    pub max_cap_ff: f64,
+    /// Maximum sinks per cluster.
+    pub max_fanout: usize,
+    /// Maximum net wirelength, µm.
+    pub max_wl_um: f64,
+    /// Wire capacitance per µm, fF — unifies wirelength violations into
+    /// capacitance units.
+    pub unit_wire_cap: f64,
+}
+
+/// Annealing schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaConfig {
+    /// Number of proposed moves.
+    pub iterations: usize,
+    /// Initial temperature (in fF of cost).
+    pub t0: f64,
+    /// Geometric cooling factor per iteration, in `(0, 1)`.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            iterations: 400,
+            t0: 20.0,
+            cooling: 0.99,
+            seed: 0xC10C4,
+        }
+    }
+}
+
+/// Violation cost of one cluster, in fF. Zero when all constraints hold.
+///
+/// Wirelength is estimated by the cluster bounding box half-perimeter —
+/// the quick routing assessment the flow uses inside search loops.
+pub fn violation_cost(
+    points: &[Point],
+    caps: &[f64],
+    members: &[usize],
+    cons: &PartitionConstraints,
+) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    let total_cap: f64 = members.iter().map(|&i| caps[i]).sum();
+    let mean_cap = total_cap / members.len() as f64;
+    let pts: Vec<Point> = members.iter().map(|&i| points[i]).collect();
+    let wl = Rect::bounding(&pts).map_or(0.0, |r| r.hpwl());
+    let wire_cap = cons.unit_wire_cap * wl;
+
+    let cap_excess = (total_cap + wire_cap - cons.max_cap_ff).max(0.0);
+    let wl_excess = cons.unit_wire_cap * (wl - cons.max_wl_um).max(0.0);
+    let fanout_excess = members.len().saturating_sub(cons.max_fanout) as f64 * mean_cap;
+    cap_excess + wl_excess + fanout_excess
+}
+
+/// Total violation cost over all clusters, fF.
+pub fn total_cost(
+    points: &[Point],
+    caps: &[f64],
+    assignment: &[usize],
+    k: usize,
+    cons: &PartitionConstraints,
+) -> f64 {
+    (0..k)
+        .map(|c| {
+            let members: Vec<usize> = assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a == c)
+                .map(|(i, _)| i)
+                .collect();
+            violation_cost(points, caps, &members, cons)
+        })
+        .sum()
+}
+
+/// Refines `assignment` in place with boundary moves; returns the final
+/// total violation cost.
+///
+/// # Panics
+///
+/// Panics when slice lengths disagree or an assignment references a
+/// cluster `>= k`.
+pub fn refine(
+    points: &[Point],
+    caps: &[f64],
+    assignment: &mut [usize],
+    k: usize,
+    cons: &PartitionConstraints,
+    cfg: &SaConfig,
+) -> f64 {
+    assert_eq!(points.len(), caps.len());
+    assert_eq!(points.len(), assignment.len());
+    assert!(assignment.iter().all(|&a| a < k), "assignment out of range");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &a) in assignment.iter().enumerate() {
+        members[a].push(i);
+    }
+    let mut cluster_cost: Vec<f64> =
+        (0..k).map(|c| violation_cost(points, caps, &members[c], cons)).collect();
+    let mut total: f64 = cluster_cost.iter().sum();
+    let mut temp = cfg.t0;
+    // Annealing may wander uphill; remember the best state seen.
+    let mut best_total = total;
+    let mut best_assignment: Vec<usize> = assignment.to_vec();
+
+    for _ in 0..cfg.iterations {
+        if total <= 1e-12 {
+            break; // all constraints met
+        }
+        temp *= cfg.cooling;
+        // (1) pick a violating cluster, biased to the most expensive —
+        // the paper's greedy observation: net costs are independent, so
+        // fixing in descending cost order is effective.
+        let src = match pick_weighted(&cluster_cost, &mut rng) {
+            Some(c) => c,
+            None => break,
+        };
+        if members[src].len() <= 1 {
+            continue; // moving the last member just relocates the violation
+        }
+        // (2) boundary instances of the source cluster.
+        let pts: Vec<Point> = members[src].iter().map(|&i| points[i]).collect();
+        let hull = convex_hull(&pts);
+        if hull.is_empty() {
+            continue;
+        }
+        let moved_local = hull[rng.random_range(0..hull.len())];
+        let moved = members[src][moved_local];
+        // (3) nearest foreign cluster by nearest foreign instance.
+        let mut dst = usize::MAX;
+        let mut best = f64::INFINITY;
+        for (j, &a) in assignment.iter().enumerate() {
+            if a == src {
+                continue;
+            }
+            let d = points[j].dist(points[moved]);
+            if d < best {
+                best = d;
+                dst = a;
+            }
+        }
+        if dst == usize::MAX {
+            break; // single cluster: no move possible
+        }
+        // (4) evaluate the move.
+        let mut src_members = members[src].clone();
+        src_members.retain(|&i| i != moved);
+        let mut dst_members = members[dst].clone();
+        dst_members.push(moved);
+        let new_src = violation_cost(points, caps, &src_members, cons);
+        let new_dst = violation_cost(points, caps, &dst_members, cons);
+        let delta = new_src + new_dst - cluster_cost[src] - cluster_cost[dst];
+        let accept = delta < 0.0
+            || (temp > 1e-12 && rng.random::<f64>() < (-delta / temp).exp());
+        if accept {
+            assignment[moved] = dst;
+            members[src] = src_members;
+            members[dst] = dst_members;
+            total += new_src + new_dst - cluster_cost[src] - cluster_cost[dst];
+            cluster_cost[src] = new_src;
+            cluster_cost[dst] = new_dst;
+            if total < best_total {
+                best_total = total;
+                best_assignment.copy_from_slice(assignment);
+            }
+        }
+    }
+    assignment.copy_from_slice(&best_assignment);
+    best_total.max(0.0)
+}
+
+/// Samples an index with probability proportional to its (non-negative)
+/// weight; `None` when all weights are ~0.
+fn pick_weighted(weights: &[f64], rng: &mut StdRng) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if total <= 1e-12 {
+        return None;
+    }
+    let mut pick = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        pick -= w;
+        if pick <= 0.0 {
+            return Some(i);
+        }
+    }
+    Some(weights.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cons() -> PartitionConstraints {
+        PartitionConstraints {
+            max_cap_ff: 50.0,
+            max_fanout: 8,
+            max_wl_um: 100.0,
+            unit_wire_cap: 0.16,
+        }
+    }
+
+    #[test]
+    fn no_violation_costs_zero() {
+        let points: Vec<Point> = (0..4).map(|i| Point::new(i as f64, 0.0)).collect();
+        let caps = vec![1.0; 4];
+        let c = violation_cost(&points, &caps, &[0, 1, 2, 3], &cons());
+        assert_eq!(c, 0.0);
+        assert_eq!(violation_cost(&points, &caps, &[], &cons()), 0.0);
+    }
+
+    #[test]
+    fn each_violation_type_is_detected() {
+        let c = cons();
+        // Capacitance violation: 10 fat pins.
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 0.1, 0.0)).collect();
+        let fat = vec![10.0; 10];
+        let members: Vec<usize> = (0..10).collect();
+        assert!(violation_cost(&pts, &fat, &members[..5], &c) > 0.0);
+        // Fanout violation: 10 > 8 members.
+        let thin = vec![0.1; 10];
+        assert!(violation_cost(&pts, &thin, &members, &c) > 0.0);
+        // Wirelength violation: two far-apart pins.
+        let far = vec![Point::ORIGIN, Point::new(200.0, 0.0)];
+        assert!(violation_cost(&far, &[0.1, 0.1], &[0, 1], &c) > 0.0);
+    }
+
+    #[test]
+    fn refine_fixes_an_overloaded_cluster() {
+        // 12 co-located heavy pins in cluster 0, an empty-ish cluster 1
+        // nearby: SA must shed load until constraints hold.
+        let mut points: Vec<Point> = (0..12)
+            .map(|i| Point::new((i % 4) as f64, (i / 4) as f64))
+            .collect();
+        points.push(Point::new(8.0, 0.0)); // lone member of cluster 1
+        let caps = vec![6.0; 13]; // 12·6 = 72 > 50 max
+        let mut assignment = vec![0usize; 12];
+        assignment.push(1);
+        let before = total_cost(&points, &caps, &assignment, 2, &cons());
+        assert!(before > 0.0);
+        let after = refine(
+            &points,
+            &caps,
+            &mut assignment,
+            2,
+            &cons(),
+            &SaConfig { iterations: 2000, ..SaConfig::default() },
+        );
+        assert!(after < before, "SA must reduce violations: {before} -> {after}");
+        let recomputed = total_cost(&points, &caps, &assignment, 2, &cons());
+        assert!((after - recomputed).abs() < 1e-6, "incremental cost drifted");
+    }
+
+    #[test]
+    fn refine_leaves_legal_partitions_alone() {
+        let points: Vec<Point> = (0..8).map(|i| Point::new(i as f64, 0.0)).collect();
+        let caps = vec![1.0; 8];
+        let mut assignment: Vec<usize> = (0..8).map(|i| i / 4).collect();
+        let snapshot = assignment.clone();
+        let cost = refine(&points, &caps, &mut assignment, 2, &cons(), &SaConfig::default());
+        assert_eq!(cost, 0.0);
+        assert_eq!(assignment, snapshot, "zero-cost partition must not change");
+    }
+
+    #[test]
+    fn single_cluster_cannot_move() {
+        let points: Vec<Point> = (0..20).map(|i| Point::new(i as f64 * 20.0, 0.0)).collect();
+        let caps = vec![10.0; 20];
+        let mut assignment = vec![0usize; 20];
+        // k = 1: violations exist but there is nowhere to go.
+        let cost = refine(&points, &caps, &mut assignment, 1, &cons(), &SaConfig::default());
+        assert!(cost > 0.0);
+        assert!(assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn proptest_refine_never_worsens_at_zero_temperature() {
+        use proptest::prelude::*;
+        proptest!(|(seed in 0u64..50, n in 4usize..30)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let points: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.random_range(0.0..75.0), rng.random_range(0.0..75.0)))
+                .collect();
+            let caps: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..12.0)).collect();
+            let k = 3;
+            let mut assignment: Vec<usize> = (0..n).map(|i| i % k).collect();
+            let before = total_cost(&points, &caps, &assignment, k, &cons());
+            let after = refine(
+                &points,
+                &caps,
+                &mut assignment,
+                k,
+                &cons(),
+                &SaConfig { iterations: 300, t0: 0.0, seed, ..SaConfig::default() },
+            );
+            // Greedy (T = 0) acceptance only takes improving moves.
+            prop_assert!(after <= before + 1e-9);
+        });
+    }
+}

@@ -1,0 +1,727 @@
+//! Deferred-merge embedding: zero-skew and bounded-skew trees.
+//!
+//! Classic two-phase DME (Chao et al. '92 for ZST; Cong–Kahng–Koh–Tsao '98
+//! for BST), supporting both delay models the paper uses:
+//!
+//! * [`DelayModel::PathLength`] — the wirelength proxy of paper
+//!   Eq. (1)–(3); skew bounds are in µm of path length,
+//! * [`DelayModel::Elmore`] — distributed-RC Elmore delay; skew bounds are
+//!   in ps. This is the model behind the paper's ps-denominated skew
+//!   constraints (Tables 2, 3, 5), and it is *kinder* to shallow trees:
+//!   delay grows quadratically along a path, so sinks tapping a shared
+//!   trunk midway are far closer in delay than in path length.
+//!
+//! The algorithm:
+//!
+//! * **bottom-up**: every topology node gets a *merging region* — a tilted
+//!   rectangle, kept as an axis-aligned [`RRect`] in rotated space — plus a
+//!   delay interval `[lo, hi]` over its sinks and (for Elmore) its total
+//!   downstream capacitance. Each merge picks the wire split `(e_a, e_b)`
+//!   with `e_a + e_b = dist` that keeps the merged interval within the
+//!   skew bound; when no split suffices, detour (snaking) wire is added on
+//!   the fast side. Delay is monotone in the split for both models, so
+//!   splits are found by bisection.
+//! * **top-down**: the root is embedded at the region point nearest the
+//!   clock source and every child at its region's point nearest to its
+//!   parent; edges keep their assigned lengths, so detour survives as
+//!   `edge_len > manhattan distance`.
+//!
+//! Hinted topologies ([`HintedTopology`], produced by CBS step 4) bias
+//! each merge inside its skew-feasible window toward a hint position —
+//! that is what lets the CBS re-embedding stay close to the SALT geometry
+//! wherever the bound leaves slack.
+//!
+//! Simplification note: full BST-DME propagates merging regions that can
+//! be general octilinear polygons; we commit each merge to a single
+//! `(e_a, e_b)` split and keep regions closed under
+//! intersection/inflation as rotated rectangles. This forfeits a little
+//! optimality (paper Table 3 shows BST-DME behind CBS by 13–27 % — the
+//! gap we reproduce) but keeps every skew guarantee intact.
+
+use sllt_geom::{Point, RRect};
+use sllt_timing::Technology;
+use sllt_tree::{ClockNet, ClockTree, HintedTopology, NodeId, Topology};
+
+/// Delay model used for merge balancing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayModel {
+    /// Delay = routed path length; skew bounds in µm.
+    PathLength,
+    /// Distributed-RC Elmore delay; skew bounds in ps.
+    Elmore(Technology),
+}
+
+impl DelayModel {
+    /// Delay added by `e` µm of wire feeding a subtree of `cap` fF.
+    #[inline]
+    fn wire_delay(&self, e: f64, cap: f64) -> f64 {
+        match self {
+            DelayModel::PathLength => e,
+            DelayModel::Elmore(t) => t.wire_delay(e, cap),
+        }
+    }
+
+    /// Capacitance added by `e` µm of wire (0 under the proxy model —
+    /// caps are not tracked there).
+    #[inline]
+    fn wire_cap(&self, e: f64) -> f64 {
+        match self {
+            DelayModel::PathLength => 0.0,
+            DelayModel::Elmore(t) => t.wire_cap(e),
+        }
+    }
+}
+
+/// Options for a DME run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmeOptions {
+    /// Skew bound: µm for [`DelayModel::PathLength`], ps for
+    /// [`DelayModel::Elmore`].
+    pub skew_bound: f64,
+    /// Delay model for merge balancing.
+    pub model: DelayModel,
+}
+
+/// Builds a zero-skew tree over `net` using merge order `topo`, under the
+/// path-length delay model.
+///
+/// # Panics
+///
+/// Panics when the net is sinkless or `topo` references sink indices out
+/// of range.
+pub fn zst_dme(net: &ClockNet, topo: &Topology) -> ClockTree {
+    bst_dme(net, topo, 0.0)
+}
+
+/// Builds a bounded-skew tree under the path-length delay model: the
+/// spread of routed source→sink path lengths is at most `skew_bound_um`.
+///
+/// # Panics
+///
+/// Panics when the net is sinkless, `skew_bound_um` is negative, or
+/// `topo` references sink indices out of range.
+pub fn bst_dme(net: &ClockNet, topo: &Topology, skew_bound_um: f64) -> ClockTree {
+    dme(
+        net,
+        &topo.to_hinted(),
+        &DmeOptions {
+            skew_bound: skew_bound_um,
+            model: DelayModel::PathLength,
+        },
+    )
+}
+
+/// Builds a bounded-skew tree under the Elmore delay model: the spread of
+/// source→sink Elmore delays (ideal source) is at most `skew_bound_ps`.
+///
+/// # Panics
+///
+/// Panics when the net is sinkless, `skew_bound_ps` is negative, or
+/// `topo` references sink indices out of range.
+pub fn bst_dme_elmore(
+    net: &ClockNet,
+    topo: &Topology,
+    skew_bound_ps: f64,
+    tech: &Technology,
+) -> ClockTree {
+    dme(
+        net,
+        &topo.to_hinted(),
+        &DmeOptions {
+            skew_bound: skew_bound_ps,
+            model: DelayModel::Elmore(*tech),
+        },
+    )
+}
+
+/// Builds a bounded-skew tree over a [`HintedTopology`] with explicit
+/// [`DmeOptions`]. This is the full-control entry point; CBS step 5 calls
+/// it with SALT-derived hints.
+///
+/// # Panics
+///
+/// Panics when the net is sinkless, the bound is negative, or the
+/// topology references sink indices out of range.
+pub fn dme(net: &ClockNet, topo: &HintedTopology, opts: &DmeOptions) -> ClockTree {
+    dme_intervals(net, topo, opts, &vec![(0.0, 0.0); net.len()])
+}
+
+/// Like [`dme`], but each sink `i` starts at delay `offsets[i]` instead of
+/// zero. Hierarchical CTS uses this to balance lower-level subtrees: a
+/// cluster driver appears as a sink whose offset is the delay already
+/// accumulated below it, and the merge balancing equalizes *total*
+/// delays within the bound.
+///
+/// # Panics
+///
+/// Panics when `offsets.len() != net.len()`, any offset is negative, the
+/// net is sinkless, or the bound is negative.
+pub fn dme_offsets(
+    net: &ClockNet,
+    topo: &HintedTopology,
+    opts: &DmeOptions,
+    offsets: &[f64],
+) -> ClockTree {
+    let intervals: Vec<(f64, f64)> = offsets.iter().map(|&o| (o, o)).collect();
+    dme_intervals(net, topo, opts, &intervals)
+}
+
+/// Like [`dme_offsets`], but each sink carries a full delay *interval*
+/// `(fastest, slowest)` — the spread already present inside the subtree
+/// it stands for. Intervals are what make hierarchical skew bounds
+/// compose: the merged interval at the net root covers every leaf of
+/// every subtree, so bounding its width bounds true global skew instead
+/// of just the spread of subtree maxima.
+///
+/// # Panics
+///
+/// Panics when `intervals.len() != net.len()`, any interval is negative
+/// or inverted, the net is sinkless, the bound is negative, or some
+/// interval is already wider than the bound (the subtree cannot be
+/// fixed from above).
+pub fn dme_intervals(
+    net: &ClockNet,
+    topo: &HintedTopology,
+    opts: &DmeOptions,
+    intervals: &[(f64, f64)],
+) -> ClockTree {
+    assert!(!net.is_empty(), "DME over a sinkless net");
+    assert!(opts.skew_bound >= 0.0, "negative skew bound");
+    assert_eq!(intervals.len(), net.len(), "one interval per sink");
+    for &(lo, hi) in intervals {
+        assert!(lo >= 0.0 && hi >= lo, "bad sink interval ({lo}, {hi})");
+        assert!(
+            hi - lo <= opts.skew_bound + 1e-9,
+            "sink interval wider ({}) than the bound ({})",
+            hi - lo,
+            opts.skew_bound
+        );
+    }
+
+    let mut nodes: Vec<MergeNode> = Vec::new();
+    let root_idx = build_up(net, topo, opts, intervals, &mut nodes);
+
+    let mut tree = ClockTree::new(net.source);
+    let root_pt = nodes[root_idx].region.nearest_to(net.source);
+    let source_node = tree.root();
+    embed_down(net, &nodes, root_idx, &mut tree, source_node, root_pt, None);
+    tree
+}
+
+/// One bottom-up merge node.
+#[derive(Debug, Clone)]
+struct MergeNode {
+    region: RRect,
+    lo: f64,
+    hi: f64,
+    /// Downstream capacitance (fF) under the Elmore model, 0 otherwise.
+    cap: f64,
+    /// `Some((left, right, e_left, e_right))` for merges, `None` for sinks.
+    kids: Option<(usize, usize, f64, f64)>,
+    /// Sink index for leaves.
+    sink: Option<usize>,
+}
+
+fn build_up(
+    net: &ClockNet,
+    topo: &HintedTopology,
+    opts: &DmeOptions,
+    intervals: &[(f64, f64)],
+    out: &mut Vec<MergeNode>,
+) -> usize {
+    match topo {
+        HintedTopology::Sink(i) => {
+            assert!(*i < net.sinks.len(), "topology sink index {i} out of range");
+            let cap = match opts.model {
+                DelayModel::PathLength => 0.0,
+                DelayModel::Elmore(_) => net.sinks[*i].cap_ff,
+            };
+            out.push(MergeNode {
+                region: RRect::from_point(net.sinks[*i].pos),
+                lo: intervals[*i].0,
+                hi: intervals[*i].1,
+                cap,
+                kids: None,
+                sink: Some(*i),
+            });
+            out.len() - 1
+        }
+        HintedTopology::Merge(a, b, hint) => {
+            let ia = build_up(net, a, opts, intervals, out);
+            let ib = build_up(net, b, opts, intervals, out);
+            let m = merge(&out[ia], &out[ib], opts, *hint);
+            out.push(MergeNode {
+                region: m.region,
+                lo: m.lo,
+                hi: m.hi,
+                cap: m.cap,
+                kids: Some((ia, ib, m.ea, m.eb)),
+                sink: None,
+            });
+            out.len() - 1
+        }
+    }
+}
+
+struct Merged {
+    region: RRect,
+    lo: f64,
+    hi: f64,
+    cap: f64,
+    ea: f64,
+    eb: f64,
+}
+
+/// Balances one merge within the skew bound. Works for both delay models
+/// because the delay contribution of each child's wire is monotone in its
+/// length; splits and detours are located by bisection.
+fn merge(a: &MergeNode, b: &MergeNode, opts: &DmeOptions, hint: Option<Point>) -> Merged {
+    let model = &opts.model;
+    let bound = opts.skew_bound;
+    let d = a.region.dist(&b.region);
+
+    // With split `ea ∈ [0, d]` (eb = d − ea), the merged interval is
+    //   [min(a.lo + Da, b.lo + Db), max(a.hi + Da, b.hi + Db)],
+    // where Da = wire_delay(ea, a.cap) grows and Db shrinks with ea.
+    let da = |ea: f64| model.wire_delay(ea, a.cap);
+    let db = |ea: f64| model.wire_delay(d - ea, b.cap);
+    // Constraint 1 (a's slow end vs b's fast end), increasing in ea:
+    let g1 = |ea: f64| (a.hi + da(ea)) - (b.lo + db(ea)) - bound;
+    // Constraint 2 (b's slow end vs a's fast end), decreasing in ea:
+    let g2 = |ea: f64| (b.hi + db(ea)) - (a.lo + da(ea)) - bound;
+
+    let (ea, eb);
+    if g2(d) > 1e-12 {
+        // Even all-wire-on-a leaves b too slow: eb = 0 and a detours.
+        let need = b.hi - a.lo - bound; // Da(ea) must reach `need`
+        let ea_det = solve_increasing(|e| model.wire_delay(e, a.cap) - need, d);
+        ea = ea_det;
+        eb = 0.0;
+    } else if g1(0.0) > 1e-12 {
+        // Even all-wire-on-b leaves a too slow: ea = 0 and b detours.
+        let need = a.hi - b.lo - bound;
+        let eb_det = solve_increasing(|e| model.wire_delay(e, b.cap) - need, d);
+        ea = 0.0;
+        eb = eb_det;
+    } else {
+        // A feasible window exists inside [0, d].
+        let ea_lo = if g2(0.0) <= 0.0 {
+            0.0
+        } else {
+            bisect(&g2, 0.0, d, false)
+        };
+        let ea_hi = if g1(d) <= 0.0 {
+            d
+        } else {
+            bisect(&g1, 0.0, d, true)
+        };
+        let (ea_lo, ea_hi) = if ea_lo <= ea_hi {
+            (ea_lo, ea_hi)
+        } else {
+            let m = (ea_lo + ea_hi) / 2.0;
+            (m, m)
+        };
+        let pick = match hint {
+            Some(h) if ea_hi > ea_lo + 1e-12 => {
+                pick_split_toward(a, b, d, ea_lo, ea_hi, h)
+            }
+            _ => {
+                // Centre-align the child intervals (classic balanced DME):
+                // h(ea) = centre_a(ea) − centre_b(ea) is increasing.
+                let h = |ea: f64| {
+                    (a.lo + a.hi) / 2.0 + da(ea) - ((b.lo + b.hi) / 2.0 + db(ea))
+                };
+                if h(ea_lo) >= 0.0 {
+                    ea_lo
+                } else if h(ea_hi) <= 0.0 {
+                    ea_hi
+                } else {
+                    bisect(&h, ea_lo, ea_hi, true)
+                }
+            }
+        };
+        ea = pick;
+        eb = d - pick;
+    }
+
+    let da_v = model.wire_delay(ea, a.cap);
+    let db_v = model.wire_delay(eb, b.cap);
+    let region = a
+        .region
+        .inflated(ea)
+        .intersection(&b.region.inflated(eb))
+        .expect("inflated child regions must intersect: e_a + e_b >= dist");
+    Merged {
+        region,
+        lo: (a.lo + da_v).min(b.lo + db_v),
+        hi: (a.hi + da_v).max(b.hi + db_v),
+        cap: a.cap + b.cap + model.wire_cap(ea + eb),
+        ea,
+        eb,
+    }
+}
+
+/// Root of an increasing function `f` with `f(0) < 0`, searched upward
+/// from an initial bracket of `start`.
+///
+/// # Panics
+///
+/// Panics when no root is found within a generous range (detour lengths
+/// beyond ~10⁶ µm indicate corrupt inputs).
+fn solve_increasing(f: impl Fn(f64) -> f64, start: f64) -> f64 {
+    let mut hi = (start.max(1.0)) * 2.0;
+    let mut guard = 0;
+    while f(hi) < 0.0 {
+        hi *= 2.0;
+        guard += 1;
+        assert!(guard < 60, "detour search diverged");
+    }
+    bisect(&f, 0.0, hi, true)
+}
+
+/// Bisection for a monotone `f` on `[lo, hi]`. With `increasing == true`
+/// returns the root of an increasing function (largest point with
+/// `f ≤ 0`); otherwise of a decreasing one (smallest point with `f ≤ 0`).
+fn bisect(f: &impl Fn(f64) -> f64, mut lo: f64, mut hi: f64, increasing: bool) -> f64 {
+    for _ in 0..70 {
+        let mid = 0.5 * (lo + hi);
+        let v = f(mid);
+        let go_right = if increasing { v < 0.0 } else { v > 0.0 };
+        if go_right {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Samples the feasible split window and returns the split whose merge
+/// region lies closest to the hint. Distance-to-hint is piecewise linear
+/// in the split, so uniform sampling finds a near-optimal slide.
+fn pick_split_toward(
+    a: &MergeNode,
+    b: &MergeNode,
+    d: f64,
+    ea_lo: f64,
+    ea_hi: f64,
+    hint: Point,
+) -> f64 {
+    const SAMPLES: usize = 17;
+    let mut best_ea = ea_lo;
+    let mut best_d = f64::INFINITY;
+    for k in 0..SAMPLES {
+        let ea = ea_lo + (ea_hi - ea_lo) * k as f64 / (SAMPLES - 1) as f64;
+        let eb = d - ea;
+        let Some(region) = a.region.inflated(ea).intersection(&b.region.inflated(eb)) else {
+            continue;
+        };
+        let dist = region.dist_to_point(hint);
+        if dist < best_d {
+            best_d = dist;
+            best_ea = ea;
+        }
+    }
+    best_ea
+}
+
+/// Skew of a finished tree under a delay model: the spread of
+/// source→sink path lengths (µm) or Elmore delays from an ideal source
+/// (ps).
+pub fn skew_of(tree: &ClockTree, model: &DelayModel) -> f64 {
+    match model {
+        DelayModel::PathLength => sllt_tree::metrics::path_length_skew(tree),
+        DelayModel::Elmore(tech) => {
+            let sinks = tree.sinks();
+            if sinks.is_empty() {
+                return 0.0;
+            }
+            let (rc, map) = tree.to_rc_tree();
+            let delays = rc.elmore(tech, 0.0);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for s in sinks {
+                let d = delays[map[s.index()].expect("sink mapped")];
+                lo = lo.min(d);
+                hi = hi.max(d);
+            }
+            hi - lo
+        }
+    }
+}
+
+/// Embeds node `idx` at `pos` under tree node `parent`, wiring the edge
+/// with the assigned length `edge` (None for the source→root trunk, which
+/// is a plain shortest wire).
+fn embed_down(
+    net: &ClockNet,
+    nodes: &[MergeNode],
+    idx: usize,
+    tree: &mut ClockTree,
+    parent: NodeId,
+    pos: Point,
+    edge: Option<f64>,
+) -> NodeId {
+    let n = &nodes[idx];
+    let id = match n.sink {
+        Some(i) => tree.add_sink_indexed(parent, pos, net.sinks[i].cap_ff, i),
+        None => tree.add_steiner(parent, pos),
+    };
+    if let Some(e) = edge {
+        tree.set_edge_len(id, e.max(tree.node(id).edge_len()));
+    }
+    if let Some((ia, ib, ea, eb)) = n.kids {
+        let pa = nodes[ia].region.nearest_to(pos);
+        let pb = nodes[ib].region.nearest_to(pos);
+        embed_down(net, nodes, ia, tree, id, pa, Some(ea));
+        embed_down(net, nodes, ib, tree, id, pb, Some(eb));
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topogen::TopologyScheme;
+    use rand::prelude::*;
+    use sllt_tree::{metrics::path_length_skew, Sink, SlltMetrics};
+
+    fn random_net(seed: u64, n: usize) -> ClockNet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ClockNet::new(
+            Point::new(37.5, 37.5),
+            (0..n)
+                .map(|_| {
+                    Sink::new(
+                        Point::new(rng.random_range(0.0..75.0), rng.random_range(0.0..75.0)),
+                        1.0,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Elmore skew of a tree's sinks (ideal source).
+    fn elmore_skew(tree: &ClockTree, tech: &Technology) -> f64 {
+        let (rc, map) = tree.to_rc_tree();
+        let delays = rc.elmore(tech, 0.0);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in tree.sinks() {
+            let d = delays[map[s.index()].expect("sink mapped")];
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        hi - lo
+    }
+
+    #[test]
+    fn zst_has_zero_pathlength_skew() {
+        for seed in 0..10 {
+            let net = random_net(seed, 17);
+            for scheme in TopologyScheme::ALL {
+                let topo = scheme.build(&net);
+                let t = zst_dme(&net, &topo);
+                t.validate().unwrap();
+                assert_eq!(t.sinks().len(), 17);
+                let skew = path_length_skew(&t);
+                assert!(skew < 1e-6, "{scheme} seed {seed}: skew {skew}");
+            }
+        }
+    }
+
+    #[test]
+    fn bst_respects_every_bound() {
+        for seed in 0..10 {
+            let net = random_net(seed + 50, 24);
+            for bound in [0.0, 5.0, 20.0, 80.0, 400.0] {
+                let topo = TopologyScheme::GreedyDist.build(&net);
+                let t = bst_dme(&net, &topo, bound);
+                t.validate().unwrap();
+                let skew = path_length_skew(&t);
+                assert!(
+                    skew <= bound + 1e-6,
+                    "seed {seed} bound {bound}: skew {skew}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn elmore_zst_has_zero_elmore_skew() {
+        let tech = Technology::n28();
+        for seed in 0..6 {
+            let net = random_net(seed + 20, 15);
+            let topo = TopologyScheme::GreedyDist.build(&net);
+            let t = bst_dme_elmore(&net, &topo, 0.0, &tech);
+            t.validate().unwrap();
+            let skew = elmore_skew(&t, &tech);
+            assert!(skew < 1e-6, "seed {seed}: Elmore skew {skew} ps");
+        }
+    }
+
+    #[test]
+    fn elmore_bst_respects_ps_bounds() {
+        let tech = Technology::n28();
+        for seed in 0..6 {
+            let net = random_net(seed + 80, 20);
+            for bound in [1.0, 5.0, 10.0, 80.0] {
+                let topo = TopologyScheme::BiCluster.build(&net);
+                let t = bst_dme_elmore(&net, &topo, bound, &tech);
+                let skew = elmore_skew(&t, &tech);
+                assert!(
+                    skew <= bound + 1e-6,
+                    "seed {seed} bound {bound} ps: skew {skew} ps"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn looser_bounds_save_wire() {
+        let mut tighter_total = 0.0;
+        let mut looser_total = 0.0;
+        for seed in 0..20 {
+            let net = random_net(seed + 200, 20);
+            let topo = TopologyScheme::GreedyDist.build(&net);
+            tighter_total += bst_dme(&net, &topo, 2.0).wirelength();
+            looser_total += bst_dme(&net, &topo, 100.0).wirelength();
+        }
+        assert!(
+            looser_total < tighter_total,
+            "relaxing skew must reduce wire on aggregate: {looser_total} vs {tighter_total}"
+        );
+    }
+
+    #[test]
+    fn single_sink_is_direct_wire() {
+        let net = ClockNet::new(Point::ORIGIN, vec![Sink::new(Point::new(3.0, 4.0), 1.0)]);
+        let t = zst_dme(&net, &Topology::Sink(0));
+        assert_eq!(t.sinks().len(), 1);
+        assert!((t.wirelength() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_symmetric_sinks_merge_at_middle() {
+        let net = ClockNet::new(
+            Point::new(0.0, 10.0),
+            vec![
+                Sink::new(Point::new(-10.0, 0.0), 1.0),
+                Sink::new(Point::new(10.0, 0.0), 1.0),
+            ],
+        );
+        let topo = Topology::merge(Topology::Sink(0), Topology::Sink(1));
+        let t = zst_dme(&net, &topo);
+        assert!(path_length_skew(&t) < 1e-9);
+        // No detour needed for a symmetric pair.
+        let direct: f64 = 20.0; // merge wire
+        assert!(t.wirelength() <= direct + 20.0 + 1e-9, "wl {}", t.wirelength());
+    }
+
+    /// Sinks A/B merge into a subtree of delay 6; sink C sits only 4 µm
+    /// from the merge point. Balancing a delay-6 subtree against a
+    /// delay-0 sink over 4 µm of distance forces 2 µm of detour under
+    /// zero skew.
+    fn detour_net_and_topo() -> (ClockNet, Topology) {
+        let net = ClockNet::new(
+            Point::ORIGIN,
+            vec![
+                Sink::new(Point::new(0.0, 6.0), 1.0),
+                Sink::new(Point::new(0.0, -6.0), 1.0),
+                Sink::new(Point::new(4.0, 0.0), 1.0),
+            ],
+        );
+        let topo = Topology::merge(
+            Topology::merge(Topology::Sink(0), Topology::Sink(1)),
+            Topology::Sink(2),
+        );
+        (net, topo)
+    }
+
+    #[test]
+    fn detour_appears_for_imbalanced_merges() {
+        let (net, topo) = detour_net_and_topo();
+        let t = zst_dme(&net, &topo);
+        assert!(path_length_skew(&t) < 1e-6);
+        // A/B edges (6+6) + C edge carrying 6 (4 distance + 2 detour).
+        assert!((t.wirelength() - 18.0).abs() < 1e-6, "wl {}", t.wirelength());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn bst_trades_skew_for_detour_wire() {
+        let (net, topo) = detour_net_and_topo();
+        let zst = zst_dme(&net, &topo).wirelength();
+        let bst_tree = bst_dme(&net, &topo, 3.0);
+        let bst = bst_tree.wirelength();
+        assert!(bst < zst, "bound 3 should save detour: {bst} vs {zst}");
+        assert!((bst - 16.0).abs() < 1e-6, "wl {bst}");
+        assert!(path_length_skew(&bst_tree) <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn zst_metrics_match_paper_shape() {
+        // ZST: γ = 1 exactly; α and β pay for it (paper Table 1).
+        let net = random_net(7, 16);
+        let topo = TopologyScheme::GreedyDist.build(&net);
+        let t = zst_dme(&net, &topo);
+        let ref_wl = crate::rsmt::rsmt_wirelength(&net);
+        let m = SlltMetrics::compute(&t, ref_wl);
+        assert!((m.skewness - 1.0).abs() < 1e-6);
+        assert!(m.lightness >= 1.0);
+        assert!(m.shallowness >= 1.0);
+    }
+
+    #[test]
+    fn looser_elmore_bounds_save_wire() {
+        let tech = Technology::n28();
+        let (mut tight, mut loose) = (0.0, 0.0);
+        for seed in 0..10 {
+            let net = random_net(seed + 400, 18);
+            let topo = TopologyScheme::GreedyDist.build(&net);
+            tight += bst_dme_elmore(&net, &topo, 0.1, &tech).wirelength();
+            loose += bst_dme_elmore(&net, &topo, 20.0, &tech).wirelength();
+        }
+        assert!(
+            loose < tight,
+            "relaxing the ps bound must reduce wire on aggregate: {loose} vs {tight}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sinkless")]
+    fn empty_net_rejected() {
+        let net = ClockNet::new(Point::ORIGIN, vec![]);
+        let _ = zst_dme(&net, &Topology::Sink(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_topology_rejected() {
+        let net = ClockNet::new(Point::ORIGIN, vec![Sink::new(Point::new(1.0, 1.0), 1.0)]);
+        let _ = zst_dme(&net, &Topology::Sink(3));
+    }
+
+    #[test]
+    fn proptest_bst_bound_holds() {
+        use proptest::prelude::*;
+        proptest!(|(seed in 0u64..100, n in 2usize..20, bound in 0f64..60.0)| {
+            let net = random_net(seed + 1000, n);
+            let topo = TopologyScheme::BiCluster.build(&net);
+            let t = bst_dme(&net, &topo, bound);
+            prop_assert!(path_length_skew(&t) <= bound + 1e-6);
+            prop_assert!(t.validate().is_ok());
+        });
+    }
+
+    #[test]
+    fn proptest_elmore_bound_holds() {
+        use proptest::prelude::*;
+        let tech = Technology::n28();
+        proptest!(|(seed in 0u64..60, n in 2usize..15, bound in 0f64..20.0)| {
+            let net = random_net(seed + 3000, n);
+            let topo = TopologyScheme::GreedyDist.build(&net);
+            let t = bst_dme_elmore(&net, &topo, bound, &tech);
+            prop_assert!(elmore_skew(&t, &tech) <= bound + 1e-6);
+            prop_assert!(t.validate().is_ok());
+        });
+    }
+}

@@ -1,0 +1,166 @@
+//! Symmetric H-trees.
+//!
+//! The textbook symmetric topology: a tap point at the centre of the sink
+//! bounding box, recursively split into halves with taps at the half
+//! centres. Structure, not sink positions, balances the paths — which is
+//! why the H-tree controls skew well but pays heavily in wirelength and
+//! shallowness (paper Table 1: α 2.00, β 1.32, γ 1.03).
+
+use sllt_geom::{Point, Rect};
+use sllt_tree::{ClockNet, ClockTree, NodeId, Sink};
+
+/// Builds an H-tree over the net. Recursion stops when a region holds at
+/// most `leaf_size` sinks; those attach directly to the local tap.
+///
+/// # Panics
+///
+/// Panics when the net is sinkless or `leaf_size` is zero.
+pub fn htree(net: &ClockNet, leaf_size: usize) -> ClockTree {
+    assert!(!net.is_empty(), "H-tree over a sinkless net");
+    assert!(leaf_size > 0, "leaf_size must be positive");
+    let mut tree = ClockTree::new(net.source);
+    let sinks: Vec<(usize, Sink)> = net.sinks.iter().copied().enumerate().collect();
+    let region = Rect::bounding(&net.positions()).expect("nonempty");
+    let top_tap = tree.add_steiner(tree.root(), region.center());
+    subdivide(&mut tree, top_tap, &sinks, region, leaf_size, true);
+    tree
+}
+
+fn subdivide(
+    tree: &mut ClockTree,
+    tap: NodeId,
+    sinks: &[(usize, Sink)],
+    region: Rect,
+    leaf_size: usize,
+    split_x: bool,
+) {
+    if sinks.len() <= leaf_size {
+        for &(i, s) in sinks {
+            tree.add_sink_indexed(tap, s.pos, s.cap_ff, i);
+        }
+        return;
+    }
+    let c = region.center();
+    // Split the region in half along the alternating axis; child taps sit
+    // at the half centres so the trunk wiring is perfectly symmetric.
+    let (ra, rb) = if split_x {
+        (
+            Rect::new(region.lo(), Point::new(c.x, region.hi().y)),
+            Rect::new(Point::new(c.x, region.lo().y), region.hi()),
+        )
+    } else {
+        (
+            Rect::new(region.lo(), Point::new(region.hi().x, c.y)),
+            Rect::new(Point::new(region.lo().x, c.y), region.hi()),
+        )
+    };
+    let (mut la, mut lb) = (Vec::new(), Vec::new());
+    for &(i, s) in sinks {
+        let take_a = if split_x { s.pos.x <= c.x } else { s.pos.y <= c.y };
+        if take_a {
+            la.push((i, s));
+        } else {
+            lb.push((i, s));
+        }
+    }
+    for (half_sinks, half_region) in [(la, ra), (lb, rb)] {
+        if half_sinks.is_empty() {
+            continue;
+        }
+        let child = tree.add_steiner(tap, half_region.center());
+        subdivide(tree, child, &half_sinks, half_region, leaf_size, !split_x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use sllt_tree::{metrics::path_length_skew, SlltMetrics};
+
+    fn random_net(seed: u64, n: usize) -> ClockNet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ClockNet::new(
+            Point::new(37.5, 37.5),
+            (0..n)
+                .map(|_| {
+                    Sink::new(
+                        Point::new(rng.random_range(0.0..75.0), rng.random_range(0.0..75.0)),
+                        1.0,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn covers_all_sinks() {
+        let net = random_net(1, 33);
+        let t = htree(&net, 2);
+        assert_eq!(t.sinks().len(), 33);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn four_fold_symmetric_sinks_have_zero_skew() {
+        // Sinks at (±20, ±20) with the source at the centre: every
+        // quadrant is congruent, so all four paths are identical.
+        let sinks: Vec<Sink> = [(-20.0, -20.0), (-20.0, 20.0), (20.0, -20.0), (20.0, 20.0)]
+            .into_iter()
+            .map(|(x, y)| Sink::new(Point::new(x, y), 1.0))
+            .collect();
+        let net = ClockNet::new(Point::new(0.0, 0.0), sinks);
+        let t = htree(&net, 1);
+        let skew = path_length_skew(&t);
+        assert!(skew < 1e-6, "symmetric H-tree skew {skew}");
+    }
+
+    #[test]
+    fn grid_skew_is_modest_relative_to_latency() {
+        // On a regular grid the structural trunk is symmetric; only the
+        // final sink attach differs. Skew stays a small fraction of the
+        // maximum path (paper Table 1: H-tree γ = 1.03).
+        let sinks: Vec<Sink> = (0..16)
+            .map(|i| {
+                Sink::new(
+                    Point::new((i % 4) as f64 * 20.0, (i / 4) as f64 * 20.0),
+                    1.0,
+                )
+            })
+            .collect();
+        let net = ClockNet::new(Point::new(30.0, 30.0), sinks);
+        let t = htree(&net, 1);
+        let m = sllt_tree::SlltMetrics::compute(&t, crate::rsmt::rsmt_wirelength(&net));
+        assert!(m.skewness < 1.25, "grid H-tree γ = {}", m.skewness);
+    }
+
+    #[test]
+    fn htree_is_heavier_than_rsmt() {
+        // The symmetric trunk always costs more wire than a Steiner tree.
+        let net = random_net(2, 30);
+        let h = htree(&net, 2);
+        let r = crate::rsmt::rsmt(&net);
+        assert!(h.wirelength() > r.wirelength());
+        let m = SlltMetrics::compute(&h, r.wirelength());
+        assert!(m.lightness > 1.0);
+    }
+
+    #[test]
+    fn clustered_sinks_skip_empty_halves() {
+        // All sinks in one corner: recursion must not spin on empty halves.
+        let sinks: Vec<Sink> = (0..8)
+            .map(|i| Sink::new(Point::new(i as f64 * 0.5, 0.0), 1.0))
+            .collect();
+        let net = ClockNet::new(Point::ORIGIN, sinks);
+        let t = htree(&net, 1);
+        assert_eq!(t.sinks().len(), 8);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "sinkless")]
+    fn empty_net_rejected() {
+        let net = ClockNet::new(Point::ORIGIN, vec![]);
+        let _ = htree(&net, 2);
+    }
+}

@@ -1,0 +1,301 @@
+//! Scalable rectilinear MST via the octant nearest-neighbour graph.
+//!
+//! Guibas–Stolfi: the L1 minimum spanning tree is a subgraph of the graph
+//! connecting every point to its nearest neighbour in each of the eight
+//! 45° octants around it. That graph has at most `8n` edges, so Kruskal
+//! over it yields the exact RMST while the quadratic Prim scan is only
+//! needed as a reference.
+//!
+//! Octant nearest neighbours are found with a uniform grid and expanding
+//! ring search — near-linear on the placement-like distributions this
+//! workspace routes, and never incorrect: the search only stops once the
+//! ring lower bound exceeds every unresolved octant's current best.
+
+use sllt_geom::{Point, Rect};
+use sllt_tree::{ClockNet, ClockTree};
+
+/// Builds the rectilinear *spanning* tree rooted at the net source using
+/// the octant-graph construction. Produces the same total wirelength as
+/// the quadratic Prim (`crate::rsmt::rmst`) — the MST weight is unique —
+/// at near-linear cost.
+///
+/// # Panics
+///
+/// Panics when the net has no sinks... no: an empty net yields the bare
+/// source, matching [`crate::rsmt::rmst`].
+pub fn rmst_octant(net: &ClockNet) -> ClockTree {
+    let n = net.sinks.len();
+    let mut tree = ClockTree::new(net.source);
+    if n == 0 {
+        return tree;
+    }
+    let mut pts = Vec::with_capacity(n + 1);
+    pts.push(net.source);
+    pts.extend(net.sinks.iter().map(|s| s.pos));
+
+    // Candidate edges: octant nearest neighbours.
+    let mut edges = octant_edges(&pts);
+    edges.sort_by(|a, b| a.2.total_cmp(&b.2));
+
+    // Kruskal.
+    let mut dsu = Dsu::new(pts.len());
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); pts.len()];
+    let mut taken = 0;
+    for &(a, b, _) in &edges {
+        if dsu.union(a, b) {
+            adj[a].push(b);
+            adj[b].push(a);
+            taken += 1;
+            if taken == pts.len() - 1 {
+                break;
+            }
+        }
+    }
+    assert_eq!(
+        taken,
+        pts.len() - 1,
+        "octant graph must be connected (it contains the MST)"
+    );
+
+    // Root at the source and materialize.
+    let mut node_of = vec![None; pts.len()];
+    node_of[0] = Some(tree.root());
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    while let Some(v) = queue.pop_front() {
+        let parent = node_of[v].expect("visited");
+        for &u in &adj[v] {
+            if node_of[u].is_none() {
+                let sink = &net.sinks[u - 1];
+                node_of[u] = Some(tree.add_sink_indexed(parent, sink.pos, sink.cap_ff, u - 1));
+                queue.push_back(u);
+            }
+        }
+    }
+    tree
+}
+
+/// Octant index of `q` relative to `p` (0..8). Octants partition the
+/// plane by the signs of `dx ± dy` and `dx`, `dy`; any consistent
+/// partition works for the MST property.
+fn octant(p: Point, q: Point) -> usize {
+    let (dx, dy) = (q.x - p.x, q.y - p.y);
+    let right = dx >= 0.0;
+    let up = dy >= 0.0;
+    let steep = dy.abs() > dx.abs();
+    match (right, up, steep) {
+        (true, true, false) => 0,
+        (true, true, true) => 1,
+        (false, true, true) => 2,
+        (false, true, false) => 3,
+        (false, false, false) => 4,
+        (false, false, true) => 5,
+        (true, false, true) => 6,
+        (true, false, false) => 7,
+    }
+}
+
+/// For every point, its nearest neighbour in each octant (when any), as
+/// `(a, b, dist)` edges.
+fn octant_edges(pts: &[Point]) -> Vec<(usize, usize, f64)> {
+    let n = pts.len();
+    let bbox = Rect::bounding(pts).expect("nonempty");
+    let side = bbox.width().max(bbox.height()).max(1e-9);
+    let cells_per_axis = ((n as f64).sqrt().ceil() as usize).clamp(1, 1024);
+    let cell = side / cells_per_axis as f64;
+
+    let cell_of = |p: Point| -> (usize, usize) {
+        let cx = (((p.x - bbox.lo().x) / cell) as usize).min(cells_per_axis - 1);
+        let cy = (((p.y - bbox.lo().y) / cell) as usize).min(cells_per_axis - 1);
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<usize>> = vec![Vec::new(); cells_per_axis * cells_per_axis];
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        grid[cy * cells_per_axis + cx].push(i);
+    }
+
+    let mut edges = Vec::with_capacity(8 * n);
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        let mut best = [(usize::MAX, f64::INFINITY); 8];
+        let mut ring = 0usize;
+        loop {
+            // Lower bound on L1 distance to any point in ring `ring`.
+            let ring_lb = if ring == 0 { 0.0 } else { (ring - 1) as f64 * cell };
+            let unresolved = best.iter().any(|&(_, d)| ring_lb < d);
+            if !unresolved && ring > 0 {
+                break;
+            }
+            let mut any_cell = false;
+            let r = ring as isize;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    if dx.abs().max(dy.abs()) != r {
+                        continue; // ring boundary only
+                    }
+                    let (x, y) = (cx as isize + dx, cy as isize + dy);
+                    if x < 0 || y < 0 || x >= cells_per_axis as isize || y >= cells_per_axis as isize
+                    {
+                        continue;
+                    }
+                    any_cell = true;
+                    for &j in &grid[y as usize * cells_per_axis + x as usize] {
+                        if j == i {
+                            continue;
+                        }
+                        let d = p.dist(pts[j]);
+                        let o = octant(p, pts[j]);
+                        // Deterministic tie-break on index keeps runs
+                        // reproducible.
+                        if d < best[o].1 || (d == best[o].1 && j < best[o].0) {
+                            best[o] = (j, d);
+                        }
+                    }
+                }
+            }
+            if !any_cell && ring > cells_per_axis {
+                break; // searched past the whole grid
+            }
+            ring += 1;
+        }
+        for &(j, d) in &best {
+            if j != usize::MAX {
+                edges.push((i.min(j), i.max(j), d));
+            }
+        }
+    }
+    edges.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    edges
+}
+
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n).collect() }
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsmt::rmst;
+    use rand::prelude::*;
+    use sllt_tree::Sink;
+
+    fn random_net(seed: u64, n: usize, side: f64) -> ClockNet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ClockNet::new(
+            Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)),
+            (0..n)
+                .map(|_| {
+                    Sink::new(
+                        Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)),
+                        1.0,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn octant_partition_covers_the_plane() {
+        let p = Point::ORIGIN;
+        let mut seen = [false; 8];
+        for k in 0..64 {
+            let ang = k as f64 * std::f64::consts::TAU / 64.0 + 0.01;
+            let q = Point::new(ang.cos() * 10.0, ang.sin() * 10.0);
+            seen[octant(p, q)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "octants {seen:?}");
+    }
+
+    #[test]
+    fn matches_prim_weight_on_random_sets() {
+        for seed in 0..25 {
+            let net = random_net(seed, 60, 75.0);
+            let a = rmst(&net).wirelength();
+            let b = rmst_octant(&net).wirelength();
+            assert!(
+                (a - b).abs() < 1e-6,
+                "seed {seed}: prim {a} vs octant {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_prim_weight_on_clustered_sets() {
+        // Register-bank-like blobs: the grid is very non-uniform here.
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut sinks = Vec::new();
+        for _ in 0..6 {
+            let c = Point::new(rng.random_range(0.0..400.0), rng.random_range(0.0..400.0));
+            for _ in 0..40 {
+                sinks.push(Sink::new(
+                    Point::new(c.x + rng.random_range(-5.0..5.0), c.y + rng.random_range(-5.0..5.0)),
+                    1.0,
+                ));
+            }
+        }
+        let net = ClockNet::new(Point::ORIGIN, sinks);
+        let a = rmst(&net).wirelength();
+        let b = rmst_octant(&net).wirelength();
+        assert!((a - b).abs() < 1e-6, "prim {a} vs octant {b}");
+    }
+
+    #[test]
+    fn handles_duplicates_and_collinear_points() {
+        let p = Point::new(5.0, 5.0);
+        let net = ClockNet::new(
+            Point::ORIGIN,
+            vec![
+                Sink::new(p, 1.0),
+                Sink::new(p, 1.0),
+                Sink::new(Point::new(10.0, 5.0), 1.0),
+                Sink::new(Point::new(15.0, 5.0), 1.0),
+            ],
+        );
+        let t = rmst_octant(&net);
+        t.validate().unwrap();
+        assert_eq!(t.sinks().len(), 4);
+        let a = rmst(&net).wirelength();
+        assert!((t.wirelength() - a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_single_nets() {
+        let empty = ClockNet::new(Point::ORIGIN, vec![]);
+        assert!(rmst_octant(&empty).is_empty());
+        let one = ClockNet::new(Point::ORIGIN, vec![Sink::new(Point::new(3.0, 4.0), 1.0)]);
+        assert!((rmst_octant(&one).wirelength() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proptest_weight_equivalence() {
+        use proptest::prelude::*;
+        proptest!(|(seed in 0u64..60, n in 1usize..40)| {
+            let net = random_net(seed + 300, n, 100.0);
+            let a = rmst(&net).wirelength();
+            let b = rmst_octant(&net).wirelength();
+            prop_assert!((a - b).abs() < 1e-6, "prim {} vs octant {}", a, b);
+        });
+    }
+}

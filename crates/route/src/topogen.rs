@@ -1,0 +1,406 @@
+//! Candidate merge-order (topology) generation.
+//!
+//! Paper §2.3, footnote 1 — the BST step of CBS may use any of four merge
+//! orders:
+//!
+//! * **Greedy-Dist** — "the two closest subtrees are merged greedily at
+//!   each step";
+//! * **Greedy-Merge** — "selects and merges the two subtrees with the
+//!   minimum merging cost at each step" (merging cost = wire the DME merge
+//!   would add, i.e. the distance between merging regions);
+//! * **Bi-Partition** — "performs binary partitioning in each round based
+//!   on the diameter cost of the partitioned subsets";
+//! * **Bi-Cluster** — "recursively performing binary partitions in a
+//!   clustering manner" (2-means).
+
+use sllt_geom::{Point, RRect};
+use sllt_tree::{ClockNet, Topology};
+use std::fmt;
+
+/// Which merge-order scheme to use for the BST/CBS topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyScheme {
+    /// Merge the two geometrically closest subtrees first.
+    GreedyDist,
+    /// Merge the pair with the smallest DME merging cost first.
+    GreedyMerge,
+    /// Recursive median bi-partition minimizing subset diameters.
+    BiPartition,
+    /// Recursive 2-means clustering.
+    BiCluster,
+}
+
+impl TopologyScheme {
+    /// All four schemes, in the paper's order.
+    pub const ALL: [TopologyScheme; 4] = [
+        TopologyScheme::GreedyDist,
+        TopologyScheme::GreedyMerge,
+        TopologyScheme::BiPartition,
+        TopologyScheme::BiCluster,
+    ];
+
+    /// Builds the merge order for `net` under this scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the net has no sinks.
+    pub fn build(self, net: &ClockNet) -> Topology {
+        match self {
+            TopologyScheme::GreedyDist => greedy_dist(net),
+            TopologyScheme::GreedyMerge => greedy_merge(net),
+            TopologyScheme::BiPartition => bi_partition(net),
+            TopologyScheme::BiCluster => bi_cluster(net),
+        }
+    }
+}
+
+impl fmt::Display for TopologyScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TopologyScheme::GreedyDist => "GreedyDist",
+            TopologyScheme::GreedyMerge => "GreedyMerge",
+            TopologyScheme::BiPartition => "BiPartition",
+            TopologyScheme::BiCluster => "BiCluster",
+        };
+        f.write_str(s)
+    }
+}
+
+fn check_nonempty(net: &ClockNet) {
+    assert!(!net.is_empty(), "topology generation over a sinkless net");
+}
+
+/// Greedy-Dist: repeatedly merge the two subtrees whose centroids are
+/// closest in L1.
+pub fn greedy_dist(net: &ClockNet) -> Topology {
+    check_nonempty(net);
+    struct Cluster {
+        topo: Topology,
+        centroid: Point,
+        weight: f64,
+    }
+    let mut clusters: Vec<Cluster> = net
+        .sinks
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Cluster {
+            topo: Topology::sink(i),
+            centroid: s.pos,
+            weight: 1.0,
+        })
+        .collect();
+    while clusters.len() > 1 {
+        let (mut bi, mut bj, mut bd) = (0, 1, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let d = clusters[i].centroid.dist(clusters[j].centroid);
+                if d < bd {
+                    (bi, bj, bd) = (i, j, d);
+                }
+            }
+        }
+        let b = clusters.swap_remove(bj);
+        let a = clusters.swap_remove(if bi == clusters.len() { bj } else { bi });
+        let w = a.weight + b.weight;
+        clusters.push(Cluster {
+            centroid: (a.centroid * a.weight + b.centroid * b.weight) / w,
+            topo: Topology::merge(a.topo, b.topo),
+            weight: w,
+        });
+    }
+    clusters.pop().expect("nonempty").topo
+}
+
+/// Greedy-Merge: repeatedly merge the pair with the smallest DME merging
+/// cost — the wire a balanced merge would add, i.e. the L1 distance
+/// between the two merging regions (plus any detour a delay imbalance
+/// forces under the linear delay model).
+pub fn greedy_merge(net: &ClockNet) -> Topology {
+    check_nonempty(net);
+    struct Cluster {
+        topo: Topology,
+        region: RRect,
+        delay: f64, // linear-model delay (path length) at the region
+    }
+    let cost = |a: &Cluster, b: &Cluster| -> f64 {
+        let d = a.region.dist(&b.region);
+        // Balanced merge needs d of wire; a delay gap beyond d forces
+        // detour on the fast side.
+        d.max((a.delay - b.delay).abs())
+    };
+    let mut clusters: Vec<Cluster> = net
+        .sinks
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Cluster {
+            topo: Topology::sink(i),
+            region: RRect::from_point(s.pos),
+            delay: 0.0,
+        })
+        .collect();
+    while clusters.len() > 1 {
+        let (mut bi, mut bj, mut bc) = (0, 1, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let c = cost(&clusters[i], &clusters[j]);
+                if c < bc {
+                    (bi, bj, bc) = (i, j, c);
+                }
+            }
+        }
+        let b = clusters.swap_remove(bj);
+        let a = clusters.swap_remove(if bi == clusters.len() { bj } else { bi });
+        let d = a.region.dist(&b.region);
+        // Zero-skew split of the connecting wire (linear delay model).
+        let mut ea = (b.delay - a.delay + d) / 2.0;
+        let mut eb = d - ea;
+        if ea < 0.0 {
+            ea = 0.0;
+            eb = a.delay - b.delay;
+        } else if eb < 0.0 {
+            eb = 0.0;
+            ea = b.delay - a.delay;
+        }
+        let region = a
+            .region
+            .inflated(ea)
+            .intersection(&b.region.inflated(eb))
+            .unwrap_or_else(|| {
+                // Detour merges may not intersect exactly due to fp noise;
+                // fall back to the midpoint of the nearest approach.
+                RRect::from_point(a.region.nearest_to(b.region.center()))
+            });
+        clusters.push(Cluster {
+            topo: Topology::merge(a.topo, b.topo),
+            region,
+            delay: a.delay + ea,
+        });
+    }
+    clusters.pop().expect("nonempty").topo
+}
+
+/// Bi-Partition: recursively split the sink set in two along the axis
+/// that minimizes the larger subset diameter (half-perimeter).
+pub fn bi_partition(net: &ClockNet) -> Topology {
+    check_nonempty(net);
+    let idx: Vec<usize> = (0..net.sinks.len()).collect();
+    split_partition(net, idx)
+}
+
+fn diameter(net: &ClockNet, idx: &[usize]) -> f64 {
+    sllt_geom::Rect::bounding(&idx.iter().map(|&i| net.sinks[i].pos).collect::<Vec<_>>())
+        .map_or(0.0, |r| r.hpwl())
+}
+
+fn split_partition(net: &ClockNet, mut idx: Vec<usize>) -> Topology {
+    if idx.len() == 1 {
+        return Topology::sink(idx[0]);
+    }
+    let mid = idx.len() / 2;
+    // Try the median split on each axis; keep the one whose worse half has
+    // the smaller diameter.
+    let mut by_x = idx.clone();
+    by_x.sort_by(|&a, &b| net.sinks[a].pos.x.total_cmp(&net.sinks[b].pos.x));
+    idx.sort_by(|&a, &b| net.sinks[a].pos.y.total_cmp(&net.sinks[b].pos.y));
+    let by_y = idx;
+    let cost = |v: &[usize]| diameter(net, &v[..mid]).max(diameter(net, &v[mid..]));
+    let chosen = if cost(&by_x) <= cost(&by_y) { by_x } else { by_y };
+    let (lo, hi) = chosen.split_at(mid);
+    Topology::merge(
+        split_partition(net, lo.to_vec()),
+        split_partition(net, hi.to_vec()),
+    )
+}
+
+/// Bi-Cluster: recursive 2-means (Lloyd, L2 objective, deterministic
+/// farthest-pair seeding).
+pub fn bi_cluster(net: &ClockNet) -> Topology {
+    check_nonempty(net);
+    let idx: Vec<usize> = (0..net.sinks.len()).collect();
+    split_cluster(net, idx)
+}
+
+fn split_cluster(net: &ClockNet, idx: Vec<usize>) -> Topology {
+    if idx.len() == 1 {
+        return Topology::sink(idx[0]);
+    }
+    if idx.len() == 2 {
+        return Topology::merge(Topology::sink(idx[0]), Topology::sink(idx[1]));
+    }
+    let pos = |i: usize| net.sinks[i].pos;
+    // Seed with the two mutually farthest members (exact for these sizes).
+    let (mut sa, mut sb, mut far) = (idx[0], idx[1], -1.0);
+    for (k, &i) in idx.iter().enumerate() {
+        for &j in &idx[k + 1..] {
+            let d = pos(i).dist(pos(j));
+            if d > far {
+                (sa, sb, far) = (i, j, d);
+            }
+        }
+    }
+    let (mut ca, mut cb) = (pos(sa), pos(sb));
+    let mut assign = vec![false; idx.len()]; // false → a, true → b
+    for _ in 0..12 {
+        let mut changed = false;
+        for (k, &i) in idx.iter().enumerate() {
+            let to_b = pos(i).dist_l2_sq(cb) < pos(i).dist_l2_sq(ca);
+            if assign[k] != to_b {
+                assign[k] = to_b;
+                changed = true;
+            }
+        }
+        let (mut na, mut nb) = (Point::ORIGIN, Point::ORIGIN);
+        let (mut wa, mut wb) = (0usize, 0usize);
+        for (k, &i) in idx.iter().enumerate() {
+            if assign[k] {
+                nb = nb + pos(i);
+                wb += 1;
+            } else {
+                na = na + pos(i);
+                wa += 1;
+            }
+        }
+        if wa == 0 || wb == 0 {
+            break;
+        }
+        ca = na / wa as f64;
+        cb = nb / wb as f64;
+        if !changed {
+            break;
+        }
+    }
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for (k, &i) in idx.iter().enumerate() {
+        if assign[k] {
+            b.push(i);
+        } else {
+            a.push(i);
+        }
+    }
+    // Lloyd can collapse a side; fall back to a median split.
+    if a.is_empty() || b.is_empty() {
+        let mut v = idx;
+        v.sort_by(|&x, &y| pos(x).x.total_cmp(&pos(y).x));
+        let mid = v.len() / 2;
+        let (lo, hi) = v.split_at(mid);
+        return Topology::merge(
+            split_cluster(net, lo.to_vec()),
+            split_cluster(net, hi.to_vec()),
+        );
+    }
+    Topology::merge(split_cluster(net, a), split_cluster(net, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use sllt_tree::Sink;
+
+    fn random_net(seed: u64, n: usize) -> ClockNet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ClockNet::new(
+            Point::new(37.5, 37.5),
+            (0..n)
+                .map(|_| {
+                    Sink::new(
+                        Point::new(rng.random_range(0.0..75.0), rng.random_range(0.0..75.0)),
+                        1.0,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn all_schemes_cover_every_sink_exactly_once() {
+        for seed in 0..10 {
+            let net = random_net(seed, 23);
+            for scheme in TopologyScheme::ALL {
+                let topo = scheme.build(&net);
+                let mut leaves = topo.leaves();
+                leaves.sort_unstable();
+                assert_eq!(leaves, (0..23).collect::<Vec<_>>(), "{scheme} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_sink_topology() {
+        let net = random_net(1, 1);
+        for scheme in TopologyScheme::ALL {
+            assert_eq!(scheme.build(&net), Topology::Sink(0));
+        }
+    }
+
+    #[test]
+    fn greedy_dist_merges_closest_pair_first() {
+        // Two tight pairs far apart: each pair must be merged internally
+        // before the cross merge.
+        let net = ClockNet::new(
+            Point::ORIGIN,
+            vec![
+                Sink::new(Point::new(0.0, 0.0), 1.0),
+                Sink::new(Point::new(1.0, 0.0), 1.0),
+                Sink::new(Point::new(100.0, 0.0), 1.0),
+                Sink::new(Point::new(101.0, 0.0), 1.0),
+            ],
+        );
+        let topo = greedy_dist(&net);
+        match topo {
+            Topology::Merge(a, b) => {
+                let mut la = a.leaves();
+                let mut lb = b.leaves();
+                la.sort_unstable();
+                lb.sort_unstable();
+                let (la, lb) = if la[0] == 0 { (la, lb) } else { (lb, la) };
+                assert_eq!(la, vec![0, 1]);
+                assert_eq!(lb, vec![2, 3]);
+            }
+            _ => panic!("expected a merge at the root"),
+        }
+    }
+
+    #[test]
+    fn bi_partition_is_balanced() {
+        let net = random_net(2, 32);
+        let topo = bi_partition(&net);
+        assert_eq!(topo.depth(), 5, "median splits give a perfectly balanced tree");
+    }
+
+    #[test]
+    fn bi_cluster_depth_is_reasonable() {
+        let net = random_net(3, 32);
+        let topo = bi_cluster(&net);
+        // 2-means trees are near-balanced on uniform data.
+        assert!(topo.depth() <= 12, "depth {}", topo.depth());
+    }
+
+    #[test]
+    fn greedy_merge_on_collinear_points() {
+        let net = ClockNet::new(
+            Point::ORIGIN,
+            (0..6)
+                .map(|i| Sink::new(Point::new(i as f64 * 10.0, 0.0), 1.0))
+                .collect(),
+        );
+        let topo = greedy_merge(&net);
+        assert_eq!(topo.len(), 6);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(TopologyScheme::GreedyDist.to_string(), "GreedyDist");
+        assert_eq!(TopologyScheme::GreedyMerge.to_string(), "GreedyMerge");
+        assert_eq!(TopologyScheme::BiPartition.to_string(), "BiPartition");
+        assert_eq!(TopologyScheme::BiCluster.to_string(), "BiCluster");
+    }
+
+    #[test]
+    #[should_panic(expected = "sinkless")]
+    fn empty_net_rejected() {
+        let net = ClockNet::new(Point::ORIGIN, vec![]);
+        let _ = greedy_dist(&net);
+    }
+}

@@ -1,0 +1,246 @@
+//! Clock buffer cells and the first-order linear delay model.
+//!
+//! Paper Eq. (6): `D_buf(t) = ωs·Slew_in(t) + ωc·Cap_load(t) + ωi`, with
+//! coefficients characterized per library cell (after Sitik et al., ICCD'14).
+//! Eq. (7) takes library-wide minima of `ωc` and `ωi` as the *insertion
+//! delay lower bound* used during bottom-up merging.
+
+use std::fmt;
+
+/// One buffer cell of the clock library.
+///
+/// # Example
+///
+/// ```
+/// use sllt_timing::BufferLibrary;
+/// let lib = BufferLibrary::n28();
+/// let x8 = lib.cell("BUFX8").unwrap();
+/// // Larger load, larger delay — the model is linear in cap.
+/// assert!(x8.delay(20.0, 100.0) > x8.delay(20.0, 10.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferCell {
+    /// Library cell name, e.g. `BUFX4`.
+    pub name: String,
+    /// Slew coefficient `ωs` (ps of delay per ps of input slew).
+    pub slew_coeff: f64,
+    /// Capacitance coefficient `ωc` (ps per fF of load).
+    pub cap_coeff: f64,
+    /// Intrinsic delay `ωi`, ps.
+    pub intrinsic_ps: f64,
+    /// Input pin capacitance, fF.
+    pub input_cap_ff: f64,
+    /// Cell area, µm².
+    pub area_um2: f64,
+    /// Maximum load this cell may legally drive, fF.
+    pub max_cap_ff: f64,
+    /// Output slew coefficients: `slew_out = σs·slew_in + σc·cap + σi`.
+    pub out_slew_coeff: f64,
+    /// Output slew per fF of load, ps/fF.
+    pub out_slew_cap: f64,
+    /// Intrinsic output slew, ps.
+    pub out_slew_base: f64,
+}
+
+impl BufferCell {
+    /// Buffer delay per the linear model of paper Eq. (6).
+    #[inline]
+    pub fn delay(&self, slew_in_ps: f64, cap_load_ff: f64) -> f64 {
+        self.slew_coeff * slew_in_ps + self.cap_coeff * cap_load_ff + self.intrinsic_ps
+    }
+
+    /// Output slew of the buffer, same linear form as the delay model.
+    #[inline]
+    pub fn output_slew(&self, slew_in_ps: f64, cap_load_ff: f64) -> f64 {
+        self.out_slew_coeff * slew_in_ps + self.out_slew_cap * cap_load_ff + self.out_slew_base
+    }
+
+    /// Whether the cell may drive `cap_load_ff` without violating its
+    /// max-capacitance limit.
+    #[inline]
+    pub fn can_drive(&self, cap_load_ff: f64) -> bool {
+        cap_load_ff <= self.max_cap_ff
+    }
+}
+
+impl fmt::Display for BufferCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (ωs={:.2}, ωc={:.2} ps/fF, ωi={:.1} ps, cin={:.1} fF, area={:.1} µm²)",
+            self.name, self.slew_coeff, self.cap_coeff, self.intrinsic_ps, self.input_cap_ff, self.area_um2
+        )
+    }
+}
+
+/// A characterized clock buffer library, ordered by drive strength
+/// (weakest first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferLibrary {
+    cells: Vec<BufferCell>,
+}
+
+impl BufferLibrary {
+    /// Builds a library from cells; they are sorted by `cap_coeff`
+    /// descending (weakest drive first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cells` is empty — CTS cannot run bufferless.
+    pub fn new(mut cells: Vec<BufferCell>) -> Self {
+        assert!(!cells.is_empty(), "buffer library must contain at least one cell");
+        cells.sort_by(|a, b| b.cap_coeff.total_cmp(&a.cap_coeff));
+        BufferLibrary { cells }
+    }
+
+    /// The 28 nm-flavoured five-size clock buffer library used across the
+    /// reproduction (BUFX2 … BUFX16). Coefficients follow the usual
+    /// size scaling: drive (1/ωc) and input cap grow with size, intrinsic
+    /// delay creeps up slightly.
+    pub fn n28() -> Self {
+        let mk = |name: &str, ws, wc, wi, cin, area, maxc, os, oc, ob| BufferCell {
+            name: name.to_owned(),
+            slew_coeff: ws,
+            cap_coeff: wc,
+            intrinsic_ps: wi,
+            input_cap_ff: cin,
+            area_um2: area,
+            max_cap_ff: maxc,
+            out_slew_coeff: os,
+            out_slew_cap: oc,
+            out_slew_base: ob,
+        };
+        BufferLibrary::new(vec![
+            mk("BUFX2", 0.10, 0.80, 14.0, 0.9, 1.4, 40.0, 0.09, 0.45, 7.0),
+            mk("BUFX4", 0.09, 0.45, 15.0, 1.6, 2.6, 80.0, 0.08, 0.26, 7.5),
+            mk("BUFX8", 0.08, 0.25, 16.0, 2.8, 4.9, 150.0, 0.07, 0.15, 8.0),
+            mk("BUFX12", 0.075, 0.18, 17.0, 3.9, 7.1, 220.0, 0.065, 0.11, 8.5),
+            mk("BUFX16", 0.07, 0.13, 18.0, 5.0, 9.3, 300.0, 0.06, 0.08, 9.0),
+        ])
+    }
+
+    /// All cells, weakest drive first.
+    pub fn cells(&self) -> &[BufferCell] {
+        &self.cells
+    }
+
+    /// Looks a cell up by name.
+    pub fn cell(&self, name: &str) -> Option<&BufferCell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// The weakest (smallest) cell.
+    pub fn smallest(&self) -> &BufferCell {
+        &self.cells[0]
+    }
+
+    /// The strongest (largest) cell.
+    pub fn largest(&self) -> &BufferCell {
+        self.cells.last().expect("library is non-empty")
+    }
+
+    /// The cheapest cell (by area) that can drive `cap_load_ff` with delay
+    /// no worse than `max_delay_ps` at the given input slew; falls back to
+    /// the strongest cell when nothing qualifies.
+    pub fn pick(&self, slew_in_ps: f64, cap_load_ff: f64, max_delay_ps: f64) -> &BufferCell {
+        self.cells
+            .iter()
+            .filter(|c| c.can_drive(cap_load_ff) && c.delay(slew_in_ps, cap_load_ff) <= max_delay_ps)
+            .min_by(|a, b| a.area_um2.total_cmp(&b.area_um2))
+            .unwrap_or_else(|| {
+                // Nothing meets the target: take the fastest at this load.
+                self.cells
+                    .iter()
+                    .min_by(|a, b| {
+                        a.delay(slew_in_ps, cap_load_ff)
+                            .total_cmp(&b.delay(slew_in_ps, cap_load_ff))
+                    })
+                    .expect("library is non-empty")
+            })
+    }
+
+    /// `min_lib ωc` — used by the insertion-delay lower bound, Eq. (7).
+    pub fn min_cap_coeff(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(|c| c.cap_coeff)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// `min_lib ωi` — used by the insertion-delay lower bound, Eq. (7).
+    pub fn min_intrinsic(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(|c| c.intrinsic_ps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The insertion-delay lower bound of paper Eq. (7):
+    /// `D̂ = min(ωc)·cap_load + min(ωi)`.
+    pub fn insertion_delay_lower_bound(&self, cap_load_ff: f64) -> f64 {
+        self.min_cap_coeff() * cap_load_ff + self.min_intrinsic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_is_sorted_weakest_first() {
+        let lib = BufferLibrary::n28();
+        let coeffs: Vec<f64> = lib.cells().iter().map(|c| c.cap_coeff).collect();
+        assert!(coeffs.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(lib.smallest().name, "BUFX2");
+        assert_eq!(lib.largest().name, "BUFX16");
+    }
+
+    #[test]
+    fn delay_model_matches_eq6() {
+        let lib = BufferLibrary::n28();
+        let c = lib.cell("BUFX4").unwrap();
+        let d = c.delay(30.0, 50.0);
+        assert!((d - (0.09 * 30.0 + 0.45 * 50.0 + 15.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pick_prefers_small_cells_for_light_loads() {
+        let lib = BufferLibrary::n28();
+        let small = lib.pick(20.0, 5.0, 1e9);
+        assert_eq!(small.name, "BUFX2");
+        // A heavy load exceeds BUFX2's max cap.
+        let big = lib.pick(20.0, 150.0, 1e9);
+        assert!(big.max_cap_ff >= 150.0);
+    }
+
+    #[test]
+    fn pick_falls_back_to_fastest_when_target_impossible() {
+        let lib = BufferLibrary::n28();
+        // 0 ps target is impossible: fall back to the fastest at this load.
+        let c = lib.pick(20.0, 35.0, 0.0);
+        let best: f64 = lib
+            .cells()
+            .iter()
+            .map(|x| x.delay(20.0, 35.0))
+            .fold(f64::INFINITY, f64::min);
+        assert!((c.delay(20.0, 35.0) - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_lower_bound_is_a_true_lower_bound() {
+        let lib = BufferLibrary::n28();
+        for cap in [0.0, 10.0, 50.0, 200.0] {
+            let lb = lib.insertion_delay_lower_bound(cap);
+            for cell in lib.cells() {
+                // Any real buffer at any non-negative slew is slower.
+                assert!(cell.delay(0.0, cap) + 1e-12 >= lb, "{} beats the bound", cell.name);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_library_panics() {
+        let _ = BufferLibrary::new(vec![]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Interconnect technology parameters.
+
+use crate::{LN9, PS_PER_OHM_FF};
+
+/// Per-unit interconnect parameters of a process node.
+///
+/// The SLLT paper validates at a 28 nm process; [`Technology::n28`] is a
+/// 28 nm-flavoured preset calibrated so that the wire delays of Table 3
+/// (7–16 ps on ~75 µm clock nets) are reproduced in shape.
+///
+/// # Example
+///
+/// ```
+/// use sllt_timing::Technology;
+/// let tech = Technology::n28();
+/// assert!(tech.wire_delay(0.0, 100.0) == 0.0); // no wire, no delay
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Wire resistance, Ω per µm.
+    pub unit_res_ohm: f64,
+    /// Wire capacitance, fF per µm.
+    pub unit_cap_ff: f64,
+    /// Default sink (flip-flop clock pin) capacitance, fF.
+    pub sink_cap_ff: f64,
+    /// Slew at the clock source, ps.
+    pub source_slew_ps: f64,
+}
+
+impl Technology {
+    /// 28 nm-flavoured clock-layer parameters.
+    ///
+    /// * `r = 4 Ω/µm`, `c = 0.16 fF/µm` — intermediate-metal clock
+    ///   routing. Calibrated so a 75 µm-box, 10–40-pin clock net has a
+    ///   ~10–17 ps max Elmore wire delay, matching paper Table 3's
+    ///   BST-DME row (10.2–15.3 ps); that calibration is what makes the
+    ///   paper's 80/10/5 ps skew levels mean the same thing here,
+    /// * `sink cap = 0.8 fF` — a small flop clock pin.
+    pub fn n28() -> Self {
+        Technology {
+            unit_res_ohm: 4.0,
+            unit_cap_ff: 0.16,
+            sink_cap_ff: 0.8,
+            source_slew_ps: 20.0,
+        }
+    }
+
+    /// Total capacitance of `len` µm of wire, fF.
+    #[inline]
+    pub fn wire_cap(&self, len_um: f64) -> f64 {
+        self.unit_cap_ff * len_um
+    }
+
+    /// Total resistance of `len` µm of wire, Ω.
+    #[inline]
+    pub fn wire_res(&self, len_um: f64) -> f64 {
+        self.unit_res_ohm * len_um
+    }
+
+    /// Elmore delay, in ps, of a uniform wire of `len_um` µm driving
+    /// `cap_load_ff` fF: `r·L·(c·L/2 + C_load)`.
+    #[inline]
+    pub fn wire_delay(&self, len_um: f64, cap_load_ff: f64) -> f64 {
+        self.wire_res(len_um) * (self.wire_cap(len_um) / 2.0 + cap_load_ff) * PS_PER_OHM_FF
+    }
+
+    /// Slew degradation across a wire, in ps: the Bakoglu `ln 9` ramp
+    /// approximation combined quadratically with the input slew.
+    #[inline]
+    pub fn wire_output_slew(&self, slew_in_ps: f64, len_um: f64, cap_load_ff: f64) -> f64 {
+        let ramp = LN9 * self.wire_delay(len_um, cap_load_ff);
+        (slew_in_ps * slew_in_ps + ramp * ramp).sqrt()
+    }
+
+    /// Load capacitance of a clock net per the paper's simplified model:
+    /// `Σ pin caps + c · WL` (paper §2).
+    #[inline]
+    pub fn net_cap(&self, pin_caps_ff: f64, wirelength_um: f64) -> f64 {
+        pin_caps_ff + self.wire_cap(wirelength_um)
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::n28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_delay_is_quadratic_in_length() {
+        let t = Technology::n28();
+        let d1 = t.wire_delay(50.0, 0.0);
+        let d2 = t.wire_delay(100.0, 0.0);
+        assert!((d2 / d1 - 4.0).abs() < 1e-9, "unloaded Elmore scales as L²");
+    }
+
+    #[test]
+    fn n28_lands_in_paper_delay_range() {
+        // A ~75 µm source-to-sink path with a handful of downstream sinks
+        // should produce single-digit-to-low-teens ps, as in Table 3.
+        let t = Technology::n28();
+        let d = t.wire_delay(75.0, 8.0);
+        assert!(d > 4.0 && d < 25.0, "got {d} ps");
+    }
+
+    #[test]
+    fn slew_monotone_in_inputs() {
+        let t = Technology::n28();
+        let base = t.wire_output_slew(20.0, 50.0, 5.0);
+        assert!(t.wire_output_slew(30.0, 50.0, 5.0) > base);
+        assert!(t.wire_output_slew(20.0, 80.0, 5.0) > base);
+        assert!(t.wire_output_slew(20.0, 50.0, 15.0) > base);
+        assert!(base > 20.0, "wire can only degrade slew");
+    }
+
+    #[test]
+    fn net_cap_combines_pins_and_wire() {
+        let t = Technology::n28();
+        assert!((t.net_cap(10.0, 100.0) - (10.0 + 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proptest_wire_delay_monotonicity() {
+        use proptest::prelude::*;
+        proptest!(|(l in 0f64..500.0, dl in 0f64..100.0, c in 0f64..100.0)| {
+            let t = Technology::n28();
+            prop_assert!(t.wire_delay(l + dl, c) >= t.wire_delay(l, c));
+            prop_assert!(t.wire_delay(l, c + 1.0) >= t.wire_delay(l, c));
+        });
+    }
+}

@@ -1,0 +1,303 @@
+//! Plain-text clock tree serialization.
+//!
+//! A line-based format that survives hand editing and diffs:
+//!
+//! ```text
+//! sllt-tree v1
+//! source 12.5 40.0
+//! node 1 steiner 20.0 40.0 0 7.5
+//! node 2 sink 25.0 44.0 1 9.0 cap 0.8 idx 0
+//! node 3 buffer 18.0 40.0 0 5.5 cell 2
+//! ```
+//!
+//! Node ids are the writer's arena indices; parents always precede
+//! children. Routed edge lengths are stored explicitly, so detour wire
+//! round-trips exactly.
+
+use crate::{ClockTree, NodeId, NodeKind};
+use sllt_geom::Point;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from [`read_tree`].
+#[derive(Debug)]
+pub enum ParseTreeError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or syntactic problem at a 1-based line number.
+    Syntax {
+        /// Line where the problem was found.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ParseTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTreeError::Io(e) => write!(f, "i/o error reading tree: {e}"),
+            ParseTreeError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ParseTreeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTreeError::Io(e) => Some(e),
+            ParseTreeError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseTreeError {
+    fn from(e: std::io::Error) -> Self {
+        ParseTreeError::Io(e)
+    }
+}
+
+/// Writes the tree in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_tree<W: Write>(tree: &ClockTree, w: &mut W) -> std::io::Result<()> {
+    writeln!(w, "sllt-tree v1")?;
+    let src = tree.source_pos();
+    writeln!(w, "source {} {}", src.x, src.y)?;
+    // Stable compact ids in topological order.
+    let order = tree.topo_order();
+    let mut compact = vec![usize::MAX; tree.path_lengths().len()];
+    for (i, id) in order.iter().enumerate() {
+        compact[id.index()] = i;
+    }
+    for id in order.iter().skip(1) {
+        let n = tree.node(*id);
+        let parent = compact[n.parent().expect("non-root has parent").index()];
+        let me = compact[id.index()];
+        match n.kind {
+            NodeKind::Sink { cap_ff, sink_index } => writeln!(
+                w,
+                "node {} sink {} {} {} {} cap {} idx {}",
+                me, n.pos.x, n.pos.y, parent, n.edge_len(), cap_ff, sink_index
+            )?,
+            NodeKind::Steiner => writeln!(
+                w,
+                "node {} steiner {} {} {} {}",
+                me, n.pos.x, n.pos.y, parent, n.edge_len()
+            )?,
+            NodeKind::Buffer { cell } => writeln!(
+                w,
+                "node {} buffer {} {} {} {} cell {}",
+                me, n.pos.x, n.pos.y, parent, n.edge_len(), cell
+            )?,
+            NodeKind::Source => {
+                unreachable!("only the root is a source and it is skipped")
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a tree from the v1 text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTreeError::Syntax`] for malformed input (bad header,
+/// unknown node kind, forward parent references, undersized edge
+/// lengths) and [`ParseTreeError::Io`] for reader failures.
+pub fn read_tree<R: BufRead>(r: &mut R) -> Result<ClockTree, ParseTreeError> {
+    let syntax = |line: usize, message: String| ParseTreeError::Syntax { line, message };
+    let mut lines = r.lines().enumerate();
+
+    let (ln, header) = lines
+        .next()
+        .ok_or_else(|| syntax(1, "empty input".into()))
+        .and_then(|(i, l)| Ok((i + 1, l?)))?;
+    if header.trim() != "sllt-tree v1" {
+        return Err(syntax(ln, format!("expected header 'sllt-tree v1', got {header:?}")));
+    }
+
+    let (ln, source_line) = lines
+        .next()
+        .ok_or_else(|| syntax(2, "missing source line".into()))
+        .and_then(|(i, l)| Ok((i + 1, l?)))?;
+    let parts: Vec<&str> = source_line.split_whitespace().collect();
+    if parts.len() != 3 || parts[0] != "source" {
+        return Err(syntax(ln, format!("expected 'source <x> <y>', got {source_line:?}")));
+    }
+    let parse_f = |s: &str, ln: usize| {
+        s.parse::<f64>()
+            .map_err(|_| syntax(ln, format!("not a number: {s:?}")))
+    };
+    let src = Point::new(parse_f(parts[1], ln)?, parse_f(parts[2], ln)?);
+    let mut tree = ClockTree::new(src);
+    let mut ids: Vec<NodeId> = vec![tree.root()];
+
+    for (i, line) in lines {
+        let ln = i + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let p: Vec<&str> = line.split_whitespace().collect();
+        if p.len() < 6 || p[0] != "node" {
+            return Err(syntax(ln, format!("expected a node line, got {line:?}")));
+        }
+        let declared: usize = p[1]
+            .parse()
+            .map_err(|_| syntax(ln, format!("bad node id {:?}", p[1])))?;
+        if declared != ids.len() {
+            return Err(syntax(
+                ln,
+                format!("node ids must be dense and ordered: expected {}, got {declared}", ids.len()),
+            ));
+        }
+        let kind = p[2];
+        let pos = Point::new(parse_f(p[3], ln)?, parse_f(p[4], ln)?);
+        let parent: usize = p[5]
+            .parse()
+            .map_err(|_| syntax(ln, format!("bad parent id {:?}", p[5])))?;
+        if parent >= ids.len() {
+            return Err(syntax(ln, format!("parent {parent} not yet defined")));
+        }
+        let edge = parse_f(p.get(6).copied().unwrap_or("0"), ln)?;
+        let parent_id = ids[parent];
+        let id = match kind {
+            "steiner" => tree.add_steiner(parent_id, pos),
+            "sink" => {
+                if p.len() < 11 || p[7] != "cap" || p[9] != "idx" {
+                    return Err(syntax(ln, "sink needs 'cap <f> idx <n>'".into()));
+                }
+                let cap = parse_f(p[8], ln)?;
+                let idx: usize = p[10]
+                    .parse()
+                    .map_err(|_| syntax(ln, format!("bad sink index {:?}", p[10])))?;
+                tree.add_sink_indexed(parent_id, pos, cap, idx)
+            }
+            "buffer" => {
+                if p.len() < 9 || p[7] != "cell" {
+                    return Err(syntax(ln, "buffer needs 'cell <n>'".into()));
+                }
+                let cell: usize = p[8]
+                    .parse()
+                    .map_err(|_| syntax(ln, format!("bad cell index {:?}", p[8])))?;
+                tree.add_buffer(parent_id, pos, cell)
+            }
+            other => return Err(syntax(ln, format!("unknown node kind {other:?}"))),
+        };
+        let dist = tree.node(parent_id).pos.dist(pos);
+        if edge < dist - 1e-6 {
+            return Err(syntax(
+                ln,
+                format!("edge length {edge} cannot cover manhattan distance {dist}"),
+            ));
+        }
+        tree.set_edge_len(id, edge.max(dist));
+        ids.push(id);
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn sample_tree() -> ClockTree {
+        let mut t = ClockTree::new(Point::new(1.0, 2.0));
+        let b = t.add_buffer(t.root(), Point::new(5.0, 2.0), 2);
+        let s = t.add_steiner(b, Point::new(8.0, 4.0));
+        let k = t.add_sink_indexed(s, Point::new(10.0, 7.0), 0.8, 3);
+        t.add_detour(k, 2.5);
+        t.add_sink_indexed(s, Point::new(8.0, -1.0), 1.2, 0);
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample_tree();
+        let mut buf = Vec::new();
+        write_tree(&t, &mut buf).unwrap();
+        let back = read_tree(&mut buf.as_slice()).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.sinks().len(), t.sinks().len());
+        assert!((back.wirelength() - t.wirelength()).abs() < 1e-9, "detour lost");
+        // Sink identity survives.
+        let mut idx: Vec<usize> = back
+            .sinks()
+            .iter()
+            .map(|&id| match back.node(id).kind {
+                NodeKind::Sink { sink_index, .. } => sink_index,
+                _ => unreachable!(),
+            })
+            .collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 3]);
+    }
+
+    #[test]
+    fn round_trip_random_trees() {
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = ClockTree::new(Point::ORIGIN);
+            let mut nodes = vec![t.root()];
+            for i in 0..30 {
+                let parent = nodes[rng.random_range(0..nodes.len())];
+                let pos = Point::new(rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0));
+                let id = match rng.random_range(0..3) {
+                    0 => t.add_steiner(parent, pos),
+                    1 => t.add_sink_indexed(parent, pos, rng.random_range(0.1..3.0), i),
+                    _ => t.add_buffer(parent, pos, rng.random_range(0..5)),
+                };
+                if rng.random_bool(0.3) {
+                    t.add_detour(id, rng.random_range(0.0..10.0));
+                }
+                nodes.push(id);
+            }
+            let mut buf = Vec::new();
+            write_tree(&t, &mut buf).unwrap();
+            let back = read_tree(&mut buf.as_slice()).unwrap();
+            assert_eq!(back.len(), t.len());
+            assert!((back.wirelength() - t.wirelength()).abs() < 1e-9);
+            back.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("nope", 1, "header"),
+            ("sllt-tree v1\nsource a b", 2, "not a number"),
+            ("sllt-tree v1\nsource 0 0\nnode 5 steiner 0 0 0 0", 3, "dense"),
+            ("sllt-tree v1\nsource 0 0\nnode 1 gizmo 0 0 0 0", 3, "unknown node kind"),
+            ("sllt-tree v1\nsource 0 0\nnode 1 steiner 9 9 0 1", 3, "cannot cover"),
+            ("sllt-tree v1\nsource 0 0\nnode 1 sink 1 1 0 2", 3, "cap"),
+        ];
+        for (input, want_line, want_msg) in cases {
+            match read_tree(&mut input.as_bytes()) {
+                Err(ParseTreeError::Syntax { line, message }) => {
+                    assert_eq!(line, want_line, "{input:?}");
+                    assert!(
+                        message.contains(want_msg),
+                        "{input:?}: message {message:?} missing {want_msg:?}"
+                    );
+                }
+                other => panic!("{input:?}: expected syntax error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let input = "sllt-tree v1\nsource 0 0\n\n# a comment\nnode 1 steiner 1 0 0 1\n";
+        let t = read_tree(&mut input.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Clock nets: the input to every topology generator.
+
+use sllt_geom::{Point, Rect};
+
+/// A load pin of a clock net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sink {
+    /// Pin location, µm.
+    pub pos: Point,
+    /// Pin capacitance, fF.
+    pub cap_ff: f64,
+}
+
+impl Sink {
+    /// Creates a sink at `pos` with pin capacitance `cap_ff`.
+    pub fn new(pos: Point, cap_ff: f64) -> Self {
+        Sink { pos, cap_ff }
+    }
+}
+
+/// One clock net: a source driving a set of load pins.
+///
+/// # Example
+///
+/// ```
+/// use sllt_geom::Point;
+/// use sllt_tree::{ClockNet, Sink};
+///
+/// let net = ClockNet::new(
+///     Point::new(0.0, 0.0),
+///     vec![Sink::new(Point::new(10.0, 5.0), 1.0), Sink::new(Point::new(3.0, 8.0), 1.2)],
+/// );
+/// assert_eq!(net.len(), 2);
+/// assert!((net.total_pin_cap() - 2.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockNet {
+    /// Clock source (driver output pin) location.
+    pub source: Point,
+    /// Load pins.
+    pub sinks: Vec<Sink>,
+}
+
+impl ClockNet {
+    /// Creates a net from a source and its sinks.
+    pub fn new(source: Point, sinks: Vec<Sink>) -> Self {
+        ClockNet { source, sinks }
+    }
+
+    /// Number of load pins.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether the net has no load pins.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// Sink positions, in sink order.
+    pub fn positions(&self) -> Vec<Point> {
+        self.sinks.iter().map(|s| s.pos).collect()
+    }
+
+    /// Sum of sink pin capacitances, fF.
+    pub fn total_pin_cap(&self) -> f64 {
+        self.sinks.iter().map(|s| s.cap_ff).sum()
+    }
+
+    /// Bounding box of the sinks and the source.
+    pub fn bbox(&self) -> Rect {
+        let mut r = Rect::new(self.source, self.source);
+        for s in &self.sinks {
+            r.expand(s.pos);
+        }
+        r
+    }
+
+    /// Maximum Manhattan distance from the source to any sink — the
+    /// latency lower bound under the wirelength delay model.
+    pub fn max_source_dist(&self) -> f64 {
+        self.sinks
+            .iter()
+            .map(|s| self.source.dist(s.pos))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean Manhattan distance from the source over sinks (`\overline{MD}`
+    /// in the paper's Theorem 2.3); 0 for an empty net.
+    pub fn mean_source_dist(&self) -> f64 {
+        if self.sinks.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.sinks.iter().map(|s| self.source.dist(s.pos)).sum();
+        sum / self.sinks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> ClockNet {
+        ClockNet::new(
+            Point::ORIGIN,
+            vec![
+                Sink::new(Point::new(10.0, 0.0), 1.0),
+                Sink::new(Point::new(0.0, 4.0), 2.0),
+                Sink::new(Point::new(-6.0, 0.0), 3.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn aggregates() {
+        let n = net();
+        assert_eq!(n.len(), 3);
+        assert!(!n.is_empty());
+        assert_eq!(n.total_pin_cap(), 6.0);
+        assert_eq!(n.max_source_dist(), 10.0);
+        assert!((n.mean_source_dist() - 20.0 / 3.0).abs() < 1e-12);
+        assert_eq!(n.bbox().hpwl(), 16.0 + 4.0);
+    }
+
+    #[test]
+    fn empty_net_degenerates_gracefully() {
+        let n = ClockNet::new(Point::ORIGIN, vec![]);
+        assert!(n.is_empty());
+        assert_eq!(n.max_source_dist(), 0.0);
+        assert_eq!(n.mean_source_dist(), 0.0);
+        assert_eq!(n.bbox().area(), 0.0);
+    }
+}

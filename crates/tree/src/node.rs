@@ -1,0 +1,133 @@
+//! Clock tree nodes.
+
+use sllt_geom::Point;
+use std::fmt;
+
+/// Index of a node inside a [`crate::ClockTree`] arena.
+///
+/// Ids are only meaningful relative to the tree that issued them; they are
+/// stable for the lifetime of the tree (structural edits mark nodes dead
+/// rather than reindexing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a clock tree node represents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeKind {
+    /// The clock source (tree root).
+    Source,
+    /// A load pin (flip-flop clock pin or a lower-level buffer input).
+    /// Carries the pin capacitance in fF and the index of the sink in the
+    /// original net's sink list.
+    Sink {
+        /// Pin capacitance, fF.
+        cap_ff: f64,
+        /// Position in the net's sink list; lets algorithms that reorder
+        /// or rebuild trees keep referring to the caller's sinks.
+        sink_index: usize,
+    },
+    /// A Steiner (branch) point with no electrical load of its own.
+    Steiner,
+    /// An inserted clock buffer; `cell` indexes the buffer library.
+    Buffer {
+        /// Index into the [`sllt_timing::BufferLibrary`] cell list.
+        cell: usize,
+    },
+}
+
+impl NodeKind {
+    /// Whether this node is a load pin.
+    #[inline]
+    pub fn is_sink(&self) -> bool {
+        matches!(self, NodeKind::Sink { .. })
+    }
+
+    /// Whether this node is a Steiner point.
+    #[inline]
+    pub fn is_steiner(&self) -> bool {
+        matches!(self, NodeKind::Steiner)
+    }
+
+    /// Whether this node is a buffer.
+    #[inline]
+    pub fn is_buffer(&self) -> bool {
+        matches!(self, NodeKind::Buffer { .. })
+    }
+}
+
+/// One node of a [`crate::ClockTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Placement-plane location, µm.
+    pub pos: Point,
+    /// Node role.
+    pub kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+    /// Routed wire length to the parent, µm. At least the Manhattan
+    /// distance; the excess is detour (snaking) wire.
+    pub(crate) edge_len: f64,
+    pub(crate) alive: bool,
+}
+
+impl Node {
+    /// Parent id, `None` for the root.
+    #[inline]
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Child ids, in insertion order.
+    #[inline]
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// Routed wire length to the parent, µm (0 for the root).
+    #[inline]
+    pub fn edge_len(&self) -> f64 {
+        self.edge_len
+    }
+
+    /// Pin capacitance for sinks, 0 otherwise.
+    #[inline]
+    pub fn cap_ff(&self) -> f64 {
+        match self.kind {
+            NodeKind::Sink { cap_ff, .. } => cap_ff,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Sink { cap_ff: 1.0, sink_index: 0 }.is_sink());
+        assert!(NodeKind::Steiner.is_steiner());
+        assert!(NodeKind::Buffer { cell: 0 }.is_buffer());
+        assert!(!NodeKind::Source.is_sink());
+    }
+
+    #[test]
+    fn node_id_displays_compactly() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+}

@@ -1,0 +1,152 @@
+//! SVG rendering of clock trees (the Fig. 1 topology gallery).
+//!
+//! Edges are drawn as L-shapes (horizontal leg first); detour wire is not
+//! drawn geometrically but is annotated in the edge tooltip.
+
+use crate::{ClockTree, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders the tree as a standalone SVG document.
+///
+/// The viewport is fitted to the tree's bounding box with a 5 % margin.
+/// Sinks are squares, Steiner points small dots, buffers triangles, and
+/// the source a large circle.
+///
+/// # Example
+///
+/// ```
+/// use sllt_geom::Point;
+/// use sllt_tree::{ClockTree, svg};
+/// let mut t = ClockTree::new(Point::new(0.0, 0.0));
+/// t.add_sink(t.root(), Point::new(10.0, 10.0), 1.0);
+/// let doc = svg::render(&t, "demo");
+/// assert!(doc.starts_with("<svg") && doc.ends_with("</svg>\n"));
+/// ```
+pub fn render(tree: &ClockTree, title: &str) -> String {
+    let pts: Vec<sllt_geom::Point> = tree.node_ids().map(|id| tree.node(id).pos).collect();
+    let bbox = sllt_geom::Rect::bounding(&pts)
+        .unwrap_or_else(|| sllt_geom::Rect::new(tree.source_pos(), tree.source_pos()));
+    let margin = (bbox.hpwl() * 0.05).max(1.0);
+    let w = bbox.width() + 2.0 * margin;
+    let h = bbox.height() + 2.0 * margin;
+    let ox = bbox.lo().x - margin;
+    let oy = bbox.lo().y - margin;
+    // SVG y grows downward; flip vertically.
+    let tx = |x: f64| x - ox;
+    let ty = |y: f64| h - (y - oy);
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {w:.2} {h:.2}\" width=\"640\">"
+    );
+    let _ = writeln!(s, "<title>{title}</title>");
+    let _ = writeln!(
+        s,
+        "<rect x=\"0\" y=\"0\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"#fcfcf9\"/>"
+    );
+    // Edges.
+    for id in tree.node_ids() {
+        let n = tree.node(id);
+        let Some(p) = n.parent() else { continue };
+        let a = tree.node(p).pos;
+        let b = n.pos;
+        let detour = n.edge_len() - a.dist(b);
+        let _ = writeln!(
+            s,
+            "<path d=\"M {:.2} {:.2} L {:.2} {:.2} L {:.2} {:.2}\" fill=\"none\" \
+             stroke=\"#4060a8\" stroke-width=\"{:.3}\"><title>len {:.2} (detour {:.2})</title></path>",
+            tx(a.x),
+            ty(a.y),
+            tx(b.x),
+            ty(a.y),
+            tx(b.x),
+            ty(b.y),
+            (w.max(h) / 300.0).max(0.05),
+            n.edge_len(),
+            detour.max(0.0),
+        );
+    }
+    // Nodes.
+    let r = (w.max(h) / 120.0).max(0.15);
+    for id in tree.node_ids() {
+        let n = tree.node(id);
+        let (x, y) = (tx(n.pos.x), ty(n.pos.y));
+        match n.kind {
+            NodeKind::Source => {
+                let _ = writeln!(
+                    s,
+                    "<circle cx=\"{x:.2}\" cy=\"{y:.2}\" r=\"{:.2}\" fill=\"#c03028\"/>",
+                    r * 1.6
+                );
+            }
+            NodeKind::Sink { .. } => {
+                let _ = writeln!(
+                    s,
+                    "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"#2a7a2a\"/>",
+                    x - r,
+                    y - r,
+                    2.0 * r,
+                    2.0 * r
+                );
+            }
+            NodeKind::Steiner => {
+                let _ = writeln!(
+                    s,
+                    "<circle cx=\"{x:.2}\" cy=\"{y:.2}\" r=\"{:.2}\" fill=\"#888888\"/>",
+                    r * 0.6
+                );
+            }
+            NodeKind::Buffer { .. } => {
+                let _ = writeln!(
+                    s,
+                    "<path d=\"M {:.2} {:.2} L {:.2} {:.2} L {:.2} {:.2} Z\" fill=\"#d08020\"/>",
+                    x - r,
+                    y + r,
+                    x + r,
+                    y + r,
+                    x,
+                    y - r
+                );
+            }
+        }
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sllt_geom::Point;
+
+    #[test]
+    fn render_contains_all_node_shapes() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let st = t.add_steiner(t.root(), Point::new(5.0, 0.0));
+        let bf = t.add_buffer(st, Point::new(5.0, 5.0), 0);
+        t.add_sink(bf, Point::new(10.0, 5.0), 1.0);
+        let doc = render(&t, "all shapes");
+        assert!(doc.contains("<circle")); // source + steiner
+        assert!(doc.contains("<rect x=")); // sink
+        assert!(doc.contains("Z\" fill=\"#d08020\"")); // buffer triangle
+        assert!(doc.contains("<title>all shapes</title>"));
+    }
+
+    #[test]
+    fn render_survives_single_node_tree() {
+        let t = ClockTree::new(Point::new(3.0, 4.0));
+        let doc = render(&t, "bare");
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn detour_annotated_in_tooltip() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let s = t.add_sink(t.root(), Point::new(10.0, 0.0), 1.0);
+        t.add_detour(s, 7.5);
+        let doc = render(&t, "detour");
+        assert!(doc.contains("detour 7.50"));
+    }
+}

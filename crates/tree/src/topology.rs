@@ -1,0 +1,319 @@
+//! Abstract merge topologies.
+//!
+//! DME-style embeddings separate *topology* (the binary merge order over
+//! sinks) from *embedding* (where the internal nodes land). [`Topology`] is
+//! that merge order; `sllt-route` builds them with the paper's four
+//! candidate schemes (Greedy-Dist, Greedy-Merge, Bi-Partition, Bi-Cluster)
+//! and the CBS pipeline extracts them back out of intermediate trees
+//! (Fig. 2, steps 2 and 4).
+
+use crate::{ClockTree, NodeId};
+
+/// A binary merge order over a net's sinks. Leaves are indices into the
+/// caller's sink list.
+///
+/// # Example
+///
+/// ```
+/// use sllt_tree::Topology;
+/// let t = Topology::merge(
+///     Topology::sink(0),
+///     Topology::merge(Topology::sink(1), Topology::sink(2)),
+/// );
+/// assert_eq!(t.leaves(), vec![0, 1, 2]);
+/// assert_eq!(t.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// A leaf: index into the sink list.
+    Sink(usize),
+    /// An internal merge of two subtrees.
+    Merge(Box<Topology>, Box<Topology>),
+}
+
+impl Topology {
+    /// Leaf constructor.
+    pub fn sink(index: usize) -> Topology {
+        Topology::Sink(index)
+    }
+
+    /// Merge constructor.
+    pub fn merge(a: Topology, b: Topology) -> Topology {
+        Topology::Merge(Box::new(a), Box::new(b))
+    }
+
+    /// Sink indices in left-to-right order.
+    pub fn leaves(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            Topology::Sink(i) => out.push(*i),
+            Topology::Merge(a, b) => {
+                a.collect_leaves(out);
+                b.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Number of sinks below this node.
+    pub fn len(&self) -> usize {
+        match self {
+            Topology::Sink(_) => 1,
+            Topology::Merge(a, b) => a.len() + b.len(),
+        }
+    }
+
+    /// `true` only for the degenerate case of zero sinks — which cannot be
+    /// represented, so this is always `false`; provided for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Height of the merge tree (a single sink has depth 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            Topology::Sink(_) => 0,
+            Topology::Merge(a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+
+    /// A balanced merge order over sinks `0..n` in index order. Handy as a
+    /// neutral baseline and in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn balanced(n: usize) -> Topology {
+        assert!(n > 0, "topology over zero sinks");
+        fn build(lo: usize, hi: usize) -> Topology {
+            if hi - lo == 1 {
+                Topology::Sink(lo)
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                Topology::merge(build(lo, mid), build(mid, hi))
+            }
+        }
+        build(0, n)
+    }
+
+    /// Converts into a [`HintedTopology`] with no position hints.
+    pub fn to_hinted(&self) -> HintedTopology {
+        match self {
+            Topology::Sink(i) => HintedTopology::Sink(*i),
+            Topology::Merge(a, b) => {
+                HintedTopology::merge(a.to_hinted(), b.to_hinted(), None)
+            }
+        }
+    }
+
+    /// Extracts the merge order implied by a clock tree.
+    ///
+    /// The tree is interpreted structurally: sink leaves become
+    /// [`Topology::Sink`] (carrying their `sink_index`), internal fan-out
+    /// becomes left-deep merges when a node has more than two children, and
+    /// childless Steiner/buffer leaves are dropped. Internal sinks are
+    /// treated as a leaf merged with their descendants, so un-normalized
+    /// trees extract sensibly too.
+    ///
+    /// Returns `None` when the tree contains no sinks.
+    pub fn from_tree(tree: &ClockTree) -> Option<Topology> {
+        fn rec(tree: &ClockTree, id: NodeId) -> Option<Topology> {
+            let node = tree.node(id);
+            let own = match node.kind {
+                crate::NodeKind::Sink { sink_index, .. } => Some(Topology::Sink(sink_index)),
+                _ => None,
+            };
+            let mut acc: Option<Topology> = own;
+            for &c in node.children() {
+                if let Some(sub) = rec(tree, c) {
+                    acc = Some(match acc {
+                        None => sub,
+                        Some(prev) => Topology::merge(prev, sub),
+                    });
+                }
+            }
+            acc
+        }
+        rec(tree, tree.root())
+    }
+}
+
+/// A merge order whose internal nodes optionally carry a *position hint* —
+/// the location the merge point had in the tree the order was extracted
+/// from. Hinted embeddings (CBS step 5) use the hint to stay close to the
+/// source geometry whenever the skew bound leaves slack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HintedTopology {
+    /// A leaf: index into the sink list.
+    Sink(usize),
+    /// A merge, optionally hinted with the original merge-point location.
+    Merge(Box<HintedTopology>, Box<HintedTopology>, Option<sllt_geom::Point>),
+}
+
+impl HintedTopology {
+    /// Merge constructor.
+    pub fn merge(a: HintedTopology, b: HintedTopology, hint: Option<sllt_geom::Point>) -> Self {
+        HintedTopology::Merge(Box::new(a), Box::new(b), hint)
+    }
+
+    /// Number of sinks below this node.
+    pub fn len(&self) -> usize {
+        match self {
+            HintedTopology::Sink(_) => 1,
+            HintedTopology::Merge(a, b, _) => a.len() + b.len(),
+        }
+    }
+
+    /// Always `false`; provided for API symmetry with collections.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sink indices in left-to-right order.
+    pub fn leaves(&self) -> Vec<usize> {
+        match self {
+            HintedTopology::Sink(i) => vec![*i],
+            HintedTopology::Merge(a, b, _) => {
+                let mut l = a.leaves();
+                l.extend(b.leaves());
+                l
+            }
+        }
+    }
+
+    /// Extracts the hinted merge order implied by a clock tree: the same
+    /// structural interpretation as [`Topology::from_tree`], with every
+    /// merge hinted at the position of the tree node it came from.
+    ///
+    /// Returns `None` when the tree contains no sinks.
+    pub fn from_tree(tree: &ClockTree) -> Option<HintedTopology> {
+        fn rec(tree: &ClockTree, id: NodeId) -> Option<HintedTopology> {
+            let node = tree.node(id);
+            let own = match node.kind {
+                crate::NodeKind::Sink { sink_index, .. } => {
+                    Some(HintedTopology::Sink(sink_index))
+                }
+                _ => None,
+            };
+            let mut acc: Option<HintedTopology> = own;
+            for &c in node.children() {
+                if let Some(sub) = rec(tree, c) {
+                    acc = Some(match acc {
+                        None => sub,
+                        Some(prev) => HintedTopology::merge(prev, sub, Some(node.pos)),
+                    });
+                }
+            }
+            acc
+        }
+        rec(tree, tree.root())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sllt_geom::Point;
+
+    #[test]
+    fn balanced_topology_shape() {
+        let t = Topology::balanced(4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.leaves(), vec![0, 1, 2, 3]);
+        let t7 = Topology::balanced(7);
+        assert_eq!(t7.len(), 7);
+        assert_eq!(t7.depth(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero sinks")]
+    fn balanced_rejects_zero() {
+        let _ = Topology::balanced(0);
+    }
+
+    #[test]
+    fn extraction_from_binary_tree() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let a = t.add_steiner(t.root(), Point::new(1.0, 0.0));
+        t.add_sink(a, Point::new(2.0, 1.0), 1.0); // sink_index 0
+        t.add_sink(a, Point::new(2.0, -1.0), 1.0); // sink_index 1
+        t.add_sink(t.root(), Point::new(-1.0, 0.0), 1.0); // sink_index 2
+        let topo = Topology::from_tree(&t).unwrap();
+        assert_eq!(topo.len(), 3);
+        let mut leaves = topo.leaves();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn extraction_skips_barren_steiner_branches() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let a = t.add_steiner(t.root(), Point::new(1.0, 0.0));
+        t.add_steiner(a, Point::new(2.0, 0.0)); // barren
+        t.add_sink(t.root(), Point::new(-1.0, 0.0), 1.0);
+        let topo = Topology::from_tree(&t).unwrap();
+        assert_eq!(topo, Topology::Sink(0));
+    }
+
+    #[test]
+    fn extraction_handles_internal_sinks() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let s = t.add_sink(t.root(), Point::new(1.0, 0.0), 1.0); // index 0
+        t.add_sink(s, Point::new(2.0, 0.0), 1.0); // index 1
+        let topo = Topology::from_tree(&t).unwrap();
+        assert_eq!(topo.len(), 2);
+        assert_eq!(topo.leaves(), vec![0, 1]);
+    }
+
+    #[test]
+    fn extraction_of_sinkless_tree_is_none() {
+        let t = ClockTree::new(Point::ORIGIN);
+        assert!(Topology::from_tree(&t).is_none());
+    }
+
+    #[test]
+    fn hinted_extraction_carries_positions() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let a = t.add_steiner(t.root(), Point::new(3.0, 4.0));
+        t.add_sink(a, Point::new(5.0, 4.0), 1.0);
+        t.add_sink(a, Point::new(3.0, 7.0), 1.0);
+        let h = HintedTopology::from_tree(&t).unwrap();
+        match h {
+            HintedTopology::Merge(_, _, Some(p)) => assert!(p.approx_eq(Point::new(3.0, 4.0))),
+            other => panic!("expected hinted merge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn to_hinted_has_no_hints() {
+        let t = Topology::balanced(3);
+        let h = t.to_hinted();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.leaves(), t.leaves());
+        fn no_hints(h: &HintedTopology) -> bool {
+            match h {
+                HintedTopology::Sink(_) => true,
+                HintedTopology::Merge(a, b, hint) => {
+                    hint.is_none() && no_hints(a) && no_hints(b)
+                }
+            }
+        }
+        assert!(no_hints(&h));
+    }
+
+    #[test]
+    fn fat_nodes_extract_left_deep() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        for i in 0..4 {
+            t.add_sink(t.root(), Point::new(i as f64, 1.0), 1.0);
+        }
+        let topo = Topology::from_tree(&t).unwrap();
+        assert_eq!(topo.len(), 4);
+        assert_eq!(topo.depth(), 3, "left-deep merge of 4 leaves");
+    }
+}

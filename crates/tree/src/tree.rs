@@ -1,0 +1,560 @@
+//! The arena-backed clock tree.
+
+use crate::node::{Node, NodeId, NodeKind};
+use sllt_geom::{Point, EPS};
+use sllt_timing::RcTree;
+use std::error::Error;
+use std::fmt;
+
+/// A rooted rectilinear Steiner tree distributing a clock from a source to
+/// a set of sinks.
+///
+/// Nodes live in an arena; structural edits mark nodes *dead* instead of
+/// reindexing, so [`NodeId`]s stay stable. Call [`ClockTree::compact`] to
+/// drop dead nodes when the churn is done.
+///
+/// Every edge stores a routed length which must be at least the Manhattan
+/// distance between its endpoints; the excess is detour (snaking) wire,
+/// which bounded-skew embeddings use to slow fast paths down.
+///
+/// # Example
+///
+/// ```
+/// use sllt_geom::Point;
+/// use sllt_tree::ClockTree;
+///
+/// let mut t = ClockTree::new(Point::new(0.0, 0.0));
+/// let tap = t.add_steiner(t.root(), Point::new(5.0, 0.0));
+/// t.add_sink(tap, Point::new(10.0, 5.0), 1.2);
+/// t.add_sink(tap, Point::new(10.0, -5.0), 1.2);
+/// assert_eq!(t.sinks().len(), 2);
+/// assert_eq!(t.wirelength(), 5.0 + 10.0 + 10.0);
+/// t.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+/// Structural defects reported by [`ClockTree::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// An edge is shorter than the Manhattan distance it must cover.
+    EdgeTooShort {
+        /// The child endpoint of the offending edge.
+        node: NodeId,
+        /// Stored routed length.
+        len: f64,
+        /// Manhattan distance between the endpoints.
+        dist: f64,
+    },
+    /// A node is unreachable from the root (broken parent chain).
+    Unreachable(NodeId),
+    /// Parent/child links disagree.
+    LinkMismatch(NodeId),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::EdgeTooShort { node, len, dist } => write!(
+                f,
+                "edge into {node} has routed length {len:.4} shorter than manhattan distance {dist:.4}"
+            ),
+            TreeError::Unreachable(n) => write!(f, "node {n} is unreachable from the root"),
+            TreeError::LinkMismatch(n) => write!(f, "parent/child links disagree at {n}"),
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+impl ClockTree {
+    /// Creates a tree containing only the clock source at `source_pos`.
+    pub fn new(source_pos: Point) -> Self {
+        ClockTree {
+            nodes: vec![Node {
+                pos: source_pos,
+                kind: NodeKind::Source,
+                parent: None,
+                children: Vec::new(),
+                edge_len: 0.0,
+                alive: true,
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root (clock source) id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Root position.
+    #[inline]
+    pub fn source_pos(&self) -> Point {
+        self.nodes[self.root.0].pos
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or refers to a dead node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        let n = &self.nodes[id.0];
+        assert!(n.alive, "access to dead node {id}");
+        n
+    }
+
+    /// Whether `id` refers to a live node.
+    #[inline]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        id.0 < self.nodes.len() && self.nodes[id.0].alive
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Whether the tree is just the bare source.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// Ids of all live nodes.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| NodeId(i))
+    }
+
+    /// Ids of all live sinks, in arena order.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&id| self.nodes[id.0].kind.is_sink())
+            .collect()
+    }
+
+    fn attach(&mut self, parent: NodeId, pos: Point, kind: NodeKind) -> NodeId {
+        assert!(self.is_alive(parent), "attach under dead node {parent}");
+        let id = NodeId(self.nodes.len());
+        let edge_len = self.nodes[parent.0].pos.dist(pos);
+        self.nodes.push(Node {
+            pos,
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+            edge_len,
+            alive: true,
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Adds a sink with pin capacitance `cap_ff` under `parent`; the edge
+    /// length defaults to the Manhattan distance. The sink index defaults
+    /// to the running count of sinks.
+    pub fn add_sink(&mut self, parent: NodeId, pos: Point, cap_ff: f64) -> NodeId {
+        let sink_index = self.sinks().len();
+        self.add_sink_indexed(parent, pos, cap_ff, sink_index)
+    }
+
+    /// Adds a sink carrying an explicit external index (see
+    /// [`NodeKind::Sink`]).
+    pub fn add_sink_indexed(
+        &mut self,
+        parent: NodeId,
+        pos: Point,
+        cap_ff: f64,
+        sink_index: usize,
+    ) -> NodeId {
+        self.attach(parent, pos, NodeKind::Sink { cap_ff, sink_index })
+    }
+
+    /// Adds a Steiner point under `parent`.
+    pub fn add_steiner(&mut self, parent: NodeId, pos: Point) -> NodeId {
+        self.attach(parent, pos, NodeKind::Steiner)
+    }
+
+    /// Adds a buffer (library cell index `cell`) under `parent`.
+    pub fn add_buffer(&mut self, parent: NodeId, pos: Point, cell: usize) -> NodeId {
+        self.attach(parent, pos, NodeKind::Buffer { cell })
+    }
+
+    /// Overrides the routed length of the edge into `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is shorter than the Manhattan distance the edge
+    /// must cover (beyond [`EPS`]) or when called on the root.
+    pub fn set_edge_len(&mut self, node: NodeId, len: f64) {
+        let p = self.node(node).parent.expect("root has no incoming edge");
+        let dist = self.nodes[p.0].pos.dist(self.nodes[node.0].pos);
+        assert!(
+            len >= dist - EPS,
+            "edge into {node} of routed length {len} cannot cover manhattan distance {dist}"
+        );
+        self.nodes[node.0].edge_len = len.max(dist);
+    }
+
+    /// Adds `extra` µm of detour (snaking) wire to the edge into `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative `extra` or when called on the root.
+    pub fn add_detour(&mut self, node: NodeId, extra: f64) {
+        assert!(extra >= 0.0, "negative detour");
+        assert!(self.node(node).parent.is_some(), "root has no incoming edge");
+        self.nodes[node.0].edge_len += extra;
+    }
+
+    /// Moves `node` (with its subtree) under `new_parent`, resetting the
+    /// edge length to the Manhattan distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move would create a cycle (i.e. `new_parent` lies in
+    /// `node`'s subtree), if `node` is the root, or either node is dead.
+    pub fn reparent(&mut self, node: NodeId, new_parent: NodeId) {
+        assert!(self.is_alive(node) && self.is_alive(new_parent));
+        assert_ne!(node, self.root, "cannot reparent the root");
+        // Cycle check: walk up from new_parent.
+        let mut cur = Some(new_parent);
+        while let Some(c) = cur {
+            assert_ne!(c, node, "reparent would create a cycle at {node}");
+            cur = self.nodes[c.0].parent;
+        }
+        let old = self.nodes[node.0].parent.expect("non-root has a parent");
+        self.nodes[old.0].children.retain(|&c| c != node);
+        self.nodes[new_parent.0].children.push(node);
+        self.nodes[node.0].parent = Some(new_parent);
+        self.nodes[node.0].edge_len = self.nodes[new_parent.0].pos.dist(self.nodes[node.0].pos);
+    }
+
+    /// Moves a node to a new position, re-deriving the Manhattan length of
+    /// the edges touching it (detours are discarded).
+    pub fn move_node(&mut self, node: NodeId, pos: Point) {
+        assert!(self.is_alive(node));
+        self.nodes[node.0].pos = pos;
+        if let Some(p) = self.nodes[node.0].parent {
+            self.nodes[node.0].edge_len = self.nodes[p.0].pos.dist(pos);
+        }
+        let children = self.nodes[node.0].children.clone();
+        for c in children {
+            self.nodes[c.0].edge_len = pos.dist(self.nodes[c.0].pos);
+        }
+    }
+
+    /// Marks a childless non-root node dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node still has children or is the root.
+    pub(crate) fn remove_leaf(&mut self, node: NodeId) {
+        assert!(self.nodes[node.0].children.is_empty(), "remove of internal node {node}");
+        assert_ne!(node, self.root);
+        let p = self.nodes[node.0].parent.expect("non-root has a parent");
+        self.nodes[p.0].children.retain(|&c| c != node);
+        self.nodes[node.0].alive = false;
+    }
+
+    /// Splices a degree-1 internal node out of the tree: its single child
+    /// is reattached to its parent with the two edge lengths summed.
+    pub(crate) fn splice_out(&mut self, node: NodeId) {
+        assert_ne!(node, self.root, "cannot splice the root");
+        assert_eq!(self.nodes[node.0].children.len(), 1, "splice of non-degree-1 node");
+        let child = self.nodes[node.0].children[0];
+        let parent = self.nodes[node.0].parent.expect("non-root has a parent");
+        let total = self.nodes[node.0].edge_len + self.nodes[child.0].edge_len;
+        self.nodes[parent.0].children.retain(|&c| c != node);
+        self.nodes[parent.0].children.push(child);
+        self.nodes[child.0].parent = Some(parent);
+        // Keep the routed length (it is still wired through the old point)
+        // unless that is shorter than the direct distance, which cannot
+        // happen by the triangle inequality.
+        self.nodes[child.0].edge_len = total;
+        self.nodes[node.0].alive = false;
+    }
+
+    /// Parents-before-children order over live nodes.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut order = vec![self.root];
+        let mut i = 0;
+        while i < order.len() {
+            let v = order[i];
+            order.extend(self.nodes[v.0].children.iter().copied());
+            i += 1;
+        }
+        order
+    }
+
+    /// Total routed wirelength, µm.
+    pub fn wirelength(&self) -> f64 {
+        self.node_ids().map(|id| self.nodes[id.0].edge_len).sum()
+    }
+
+    /// Routed path length from the root to every live node, indexed by raw
+    /// arena index (dead slots hold 0).
+    pub fn path_lengths(&self) -> Vec<f64> {
+        let mut pl = vec![0.0; self.nodes.len()];
+        for id in self.topo_order() {
+            if let Some(p) = self.nodes[id.0].parent {
+                pl[id.0] = pl[p.0] + self.nodes[id.0].edge_len;
+            }
+        }
+        pl
+    }
+
+    /// Checks structural invariants; see [`TreeError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first defect found: undersized edges, unreachable
+    /// nodes, or parent/child link mismatches.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        let order = self.topo_order();
+        if order.len() != self.len() {
+            let reached: std::collections::HashSet<usize> =
+                order.iter().map(|id| id.0).collect();
+            let lost = self
+                .node_ids()
+                .find(|id| !reached.contains(&id.0))
+                .expect("some node must be unreached");
+            return Err(TreeError::Unreachable(lost));
+        }
+        for id in self.node_ids() {
+            let n = &self.nodes[id.0];
+            if let Some(p) = n.parent {
+                if !self.nodes[p.0].children.contains(&id) {
+                    return Err(TreeError::LinkMismatch(id));
+                }
+                let dist = self.nodes[p.0].pos.dist(n.pos);
+                if n.edge_len < dist - 1e-6 {
+                    return Err(TreeError::EdgeTooShort { node: id, len: n.edge_len, dist });
+                }
+            }
+            for &c in &n.children {
+                if self.nodes[c.0].parent != Some(id) {
+                    return Err(TreeError::LinkMismatch(c));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the arena without dead nodes. Node ids are *not* preserved;
+    /// sink identity survives via [`NodeKind::Sink::sink_index`].
+    pub fn compact(&self) -> ClockTree {
+        let mut out = ClockTree::new(self.source_pos());
+        let mut map = vec![None; self.nodes.len()];
+        map[self.root.0] = Some(out.root());
+        for id in self.topo_order() {
+            if id == self.root {
+                continue;
+            }
+            let n = &self.nodes[id.0];
+            let parent = map[n.parent.expect("non-root").0].expect("parent visited first");
+            let new_id = out.attach(parent, n.pos, n.kind);
+            out.nodes[new_id.0].edge_len = n.edge_len;
+            map[id.0] = Some(new_id);
+        }
+        out
+    }
+
+    /// Changes the role of a node. Used by the leaf-sink rule and by CTS
+    /// passes that promote Steiner points to buffer locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` refers to a dead node.
+    pub fn set_kind(&mut self, id: NodeId, kind: NodeKind) {
+        assert!(self.is_alive(id), "set_kind on dead node {id}");
+        self.nodes[id.0].kind = kind;
+    }
+
+    /// Lowers the tree into an [`RcTree`] for Elmore evaluation, using each
+    /// node's own capacitance (sink pin caps; buffers and Steiner points
+    /// are electrically transparent here — buffered evaluation belongs to
+    /// the CTS layer, which splits the tree at buffers).
+    ///
+    /// Returns the RC tree plus the raw-arena-index → RC-index map.
+    pub fn to_rc_tree(&self) -> (RcTree, Vec<Option<usize>>) {
+        self.to_rc_tree_with(|n| n.cap_ff())
+    }
+
+    /// Like [`ClockTree::to_rc_tree`] with a custom per-node capacitance.
+    pub fn to_rc_tree_with(&self, cap_of: impl Fn(&Node) -> f64) -> (RcTree, Vec<Option<usize>>) {
+        let order = self.topo_order();
+        let mut map = vec![None; self.nodes.len()];
+        for (rc_idx, id) in order.iter().enumerate() {
+            map[id.0] = Some(rc_idx);
+        }
+        let mut rc = RcTree::new(order.len());
+        for (rc_idx, id) in order.iter().enumerate() {
+            let n = &self.nodes[id.0];
+            rc.set_cap(rc_idx, cap_of(n));
+            if let Some(p) = n.parent {
+                rc.set_parent(rc_idx, map[p.0].expect("parent mapped"), n.edge_len);
+            }
+        }
+        (rc, map)
+    }
+}
+
+impl fmt::Display for ClockTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ClockTree({} nodes, {} sinks, WL {:.2} µm)",
+            self.len(),
+            self.sinks().len(),
+            self.wirelength()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClockTree {
+        let mut t = ClockTree::new(Point::new(0.0, 0.0));
+        let s = t.add_steiner(t.root(), Point::new(4.0, 0.0));
+        t.add_sink(s, Point::new(6.0, 2.0), 1.0);
+        t.add_sink(s, Point::new(6.0, -2.0), 1.0);
+        t
+    }
+
+    #[test]
+    fn construction_and_wirelength() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.wirelength(), 4.0 + 4.0 + 4.0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn path_lengths_accumulate() {
+        let t = sample();
+        let pl = t.path_lengths();
+        let sinks = t.sinks();
+        assert_eq!(pl[sinks[0].index()], 8.0);
+        assert_eq!(pl[sinks[1].index()], 8.0);
+    }
+
+    #[test]
+    fn detour_extends_edges() {
+        let mut t = sample();
+        let sinks = t.sinks();
+        t.add_detour(sinks[0], 3.0);
+        assert_eq!(t.path_lengths()[sinks[0].index()], 11.0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover manhattan distance")]
+    fn set_edge_len_rejects_short_edges() {
+        let mut t = sample();
+        let sinks = t.sinks();
+        t.set_edge_len(sinks[0], 1.0);
+    }
+
+    #[test]
+    fn reparent_moves_subtrees() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let a = t.add_steiner(t.root(), Point::new(2.0, 0.0));
+        let b = t.add_steiner(t.root(), Point::new(0.0, 2.0));
+        let s = t.add_sink(a, Point::new(3.0, 0.0), 1.0);
+        t.reparent(s, b);
+        assert_eq!(t.node(s).parent(), Some(b));
+        assert!(t.node(a).children().is_empty());
+        assert_eq!(t.node(s).edge_len(), 3.0 + 2.0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn reparent_rejects_cycles() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let a = t.add_steiner(t.root(), Point::new(1.0, 0.0));
+        let b = t.add_steiner(a, Point::new(2.0, 0.0));
+        t.reparent(a, b);
+    }
+
+    #[test]
+    fn splice_out_preserves_routed_length() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let mid = t.add_steiner(t.root(), Point::new(5.0, 0.0));
+        let s = t.add_sink(mid, Point::new(5.0, 5.0), 1.0);
+        t.splice_out(mid);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.node(s).parent(), Some(t.root()));
+        // The wire still runs through (5, 0): length 10, not direct 10.
+        assert_eq!(t.node(s).edge_len(), 10.0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn compact_drops_dead_nodes() {
+        let mut t = sample();
+        let sinks = t.sinks();
+        t.remove_leaf(sinks[1]);
+        assert_eq!(t.len(), 3);
+        let c = t.compact();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.sinks().len(), 1);
+        c.validate().unwrap();
+        assert!((c.wirelength() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn move_node_recomputes_edges() {
+        let mut t = sample();
+        let steiner = t.node(t.root()).children()[0];
+        t.move_node(steiner, Point::new(2.0, 0.0));
+        assert_eq!(t.node(steiner).edge_len(), 2.0);
+        let sinks = t.sinks();
+        assert_eq!(t.node(sinks[0]).edge_len(), 6.0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn rc_lowering_matches_structure() {
+        let t = sample();
+        let (rc, map) = t.to_rc_tree();
+        assert_eq!(rc.len(), 4);
+        assert_eq!(rc.roots().len(), 1);
+        let tech = sllt_timing::Technology::n28();
+        let d = rc.elmore(&tech, 0.0);
+        let sinks = t.sinks();
+        let i0 = map[sinks[0].index()].unwrap();
+        let i1 = map[sinks[1].index()].unwrap();
+        assert!((d[i0] - d[i1]).abs() < 1e-12, "symmetric sinks, equal delay");
+        assert!(d[i0] > 0.0);
+    }
+
+    #[test]
+    fn validate_catches_unreachable() {
+        // Build a tree, then manually break a link to simulate corruption.
+        let mut t = sample();
+        let sinks = t.sinks();
+        // Orphan sink 0 by clearing its parent's child list entry.
+        let p = t.node(sinks[0]).parent().unwrap();
+        t.nodes[p.index()].children.retain(|&c| c != sinks[0]);
+        assert!(matches!(t.validate(), Err(TreeError::Unreachable(_))));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let t = sample();
+        let s = t.to_string();
+        assert!(s.contains("4 nodes") && s.contains("2 sinks"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a skew-bounded clock tree for one net with CBS and
+//! inspect its SLLT quality.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sllt::core::cbs::{cbs, CbsConfig};
+use sllt::core::analysis::{analyze, dispersion, shallow_skew_compatible};
+use sllt::geom::Point;
+use sllt::route::DelayModel;
+use sllt::timing::Technology;
+use sllt::tree::{ClockNet, Sink};
+
+fn main() {
+    // A 20-sink clock net in a 60×60 µm window with the source at the
+    // left edge — the kind of net the CTS bottom level sees.
+    let sinks = (0..20)
+        .map(|i| {
+            let (gx, gy) = (i % 5, i / 5);
+            Sink::new(
+                Point::new(10.0 + gx as f64 * 12.0, 4.0 + gy as f64 * 14.0),
+                0.8,
+            )
+        })
+        .collect();
+    let net = ClockNet::new(Point::new(0.0, 30.0), sinks);
+
+    println!("net: {} sinks, dispersion = {:.2}", net.len(), dispersion(&net));
+    println!(
+        "Theorem 2.3: α ≤ 1.1 and γ ≤ 1.1 simultaneously possible? {}",
+        shallow_skew_compatible(&net, 0.1)
+    );
+
+    // CBS under an Elmore skew bound of 5 ps (paper's stringent level).
+    let tech = Technology::n28();
+    let cfg = CbsConfig {
+        skew_bound: 5.0,
+        model: DelayModel::Elmore(tech),
+        ..CbsConfig::default()
+    };
+    let tree = cbs(&net, &cfg);
+    let report = analyze(&net, &tree);
+
+    println!("\nCBS tree over the net:");
+    println!("  wirelength      {:.1} µm (RSMT reference {:.1} µm)", report.metrics.wirelength, report.ref_wl_um);
+    println!("  shallowness α   {:.3}", report.metrics.shallowness);
+    println!("  lightness   β   {:.3}", report.metrics.lightness);
+    println!("  skewness    γ   {:.3}", report.metrics.skewness);
+    println!("  PL skew         {:.2} µm", report.skew_um);
+    let elmore_skew = sllt::route::skew_of(&tree, &cfg.model);
+    println!("  Elmore skew     {:.2} ps (bound {} ps)", elmore_skew, cfg.skew_bound);
+    assert!(elmore_skew <= cfg.skew_bound + 1e-6);
+}

@@ -1,0 +1,57 @@
+//! Skew-bound sweep: how CBS trades wirelength for skew control, against
+//! its BST-DME and R-SALT anchors (the continuous version of paper
+//! Tables 2/3).
+//!
+//! ```text
+//! cargo run --release --example skew_sweep [-- <nets>]
+//! ```
+
+use sllt::core::cbs::{cbs, step1_initial_bst, CbsConfig};
+use sllt::design::NetGenerator;
+use sllt::route::{salt::salt, DelayModel};
+use sllt::timing::Technology;
+
+fn main() {
+    let nets: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("nets must be a number"))
+        .unwrap_or(200);
+    let tech = Technology::n28();
+    let gen = NetGenerator::paper();
+
+    let mut salt_wl = 0.0;
+    for net in gen.take(nets) {
+        salt_wl += salt(&net, 0.2).wirelength();
+    }
+    salt_wl /= nets as f64;
+    println!("R-SALT anchor (skew-uncontrolled): {salt_wl:.1} µm mean over {nets} nets\n");
+
+    println!(
+        "{:>10}  {:>10} {:>10} {:>12} {:>12}",
+        "bound(ps)", "CBS(µm)", "BST(µm)", "CBS/R-SALT", "CBS/BST"
+    );
+    for bound in [80.0, 40.0, 20.0, 10.0, 5.0, 2.0, 1.0] {
+        let cfg = CbsConfig {
+            skew_bound: bound,
+            model: DelayModel::Elmore(tech),
+            ..CbsConfig::default()
+        };
+        let (mut c, mut b) = (0.0, 0.0);
+        for net in gen.take(nets) {
+            c += cbs(&net, &cfg).wirelength();
+            b += step1_initial_bst(&net, &cfg).wirelength();
+        }
+        c /= nets as f64;
+        b /= nets as f64;
+        println!(
+            "{:>10.1}  {:>10.1} {:>10.1} {:>12.3} {:>12.3}",
+            bound,
+            c,
+            b,
+            c / salt_wl,
+            c / b
+        );
+    }
+    println!("\nshape check: CBS ≈ R-SALT when the bound is relaxed, approaches (but stays");
+    println!("below) BST-DME as it tightens — the paper's Table 2/3 crossover.");
+}

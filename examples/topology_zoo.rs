@@ -1,0 +1,72 @@
+//! Topology zoo: every routing-tree family in the workspace over the same
+//! random net, with SLLT metrics side by side and optional SVG output
+//! (a larger-scale version of paper Fig. 1 / Table 1).
+//!
+//! ```text
+//! cargo run --release --example topology_zoo [-- <out-dir>]
+//! ```
+
+use rand::prelude::*;
+use sllt::core::cbs::{cbs, CbsConfig};
+use sllt::geom::Point;
+use sllt::route::{bst_dme, ghtree, htree, rsmt::rsmt, salt::salt, zst_dme, TopologyScheme};
+use sllt::tree::{metrics::path_length_skew, svg, ClockNet, ClockTree, Sink, SlltMetrics};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let net = ClockNet::new(
+        Point::new(0.0, 37.5),
+        (0..30)
+            .map(|_| {
+                Sink::new(
+                    Point::new(rng.random_range(5.0..75.0), rng.random_range(0.0..75.0)),
+                    0.8,
+                )
+            })
+            .collect(),
+    );
+    let ref_wl = sllt::route::rsmt::rsmt_wirelength(&net);
+    let topo = TopologyScheme::GreedyDist.build(&net);
+
+    let zoo: Vec<(&str, ClockTree)> = vec![
+        ("H-tree", htree(&net, 2)),
+        ("GH-tree", ghtree(&net, 2)),
+        ("ZST-DME", zst_dme(&net, &topo)),
+        ("BST-DME(20um)", bst_dme(&net, &topo, 20.0)),
+        ("RSMT", rsmt(&net)),
+        ("R-SALT(0.2)", salt(&net, 0.2)),
+        (
+            "CBS(20um)",
+            cbs(&net, &CbsConfig { skew_bound: 20.0, ..CbsConfig::default() }),
+        ),
+    ];
+
+    println!(
+        "{:>14}  {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "topology", "WL(µm)", "α", "β", "γ", "skew(µm)"
+    );
+    for (name, tree) in &zoo {
+        let m = SlltMetrics::compute(tree, ref_wl);
+        println!(
+            "{:>14}  {:>8.1} {:>8.2} {:>8.2} {:>8.2} {:>9.2}",
+            name,
+            m.wirelength,
+            m.shallowness,
+            m.lightness,
+            m.skewness,
+            path_length_skew(tree),
+        );
+    }
+
+    if let Some(dir) = std::env::args().nth(1) {
+        std::fs::create_dir_all(&dir).expect("create output dir");
+        for (name, tree) in &zoo {
+            let file = format!(
+                "{dir}/{}.svg",
+                name.to_lowercase().replace(['(', ')', '.'], "_")
+            );
+            std::fs::write(&file, svg::render(tree, name)).expect("write svg");
+            println!("wrote {file}");
+        }
+    }
+}

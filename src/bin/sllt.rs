@@ -1,0 +1,205 @@
+//! `sllt` — command-line front end for the clock tree synthesis library.
+//!
+//! ```text
+//! sllt suite                                      list benchmark designs
+//! sllt run --design s38584 [--flow ours|commercial|openroad]
+//!          [--tree out.sllt] [--svg out.svg]      run a full CTS flow
+//! sllt net --pins 24 --seed 3 --algo cbs [--skew 10]
+//!          [--svg net.svg]                        route one random net
+//! sllt eval --tree tree.sllt                      re-evaluate a saved tree
+//! sllt ocv  --tree tree.sllt [--derate 0.08]      variation analysis
+//! ```
+
+use sllt::cts::{baseline, constraints::CtsConstraints, eval, flow::HierarchicalCts, ocv};
+use sllt::design::{DesignSpec, NetGenerator, SUITE};
+use sllt::route::{DelayModel, DmeOptions, TopologyScheme};
+use sllt::timing::{BufferLibrary, Technology};
+use sllt::tree::{io as tree_io, svg, ClockTree};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "suite" => cmd_suite(),
+        "run" => cmd_run(&args),
+        "net" => cmd_net(&args),
+        "eval" => cmd_eval(&args),
+        "ocv" => cmd_ocv(&args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sllt suite
+  sllt run  (--design <name> | --design-file <file>) [--flow ours|commercial|openroad]
+            [--tree <file>] [--svg <file>]
+  sllt net  [--pins N] [--seed N] [--algo cbs|salt|rsmt|zst|bst|htree|ghtree] [--skew PS] [--svg <file>]
+  sllt eval --tree <file>
+  sllt ocv  --tree <file> [--derate F] [--trials N]";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{name} expects a number, got {v:?}")),
+    }
+}
+
+fn cmd_suite() -> Result<(), String> {
+    println!("{:>10} {:>9} {:>7} {:>6} {:>9}", "design", "#insts", "#FFs", "util", "die (µm)");
+    for s in &SUITE {
+        println!(
+            "{:>10} {:>9} {:>7} {:>6.3} {:>9.0}",
+            s.name,
+            s.num_instances,
+            s.num_ffs,
+            s.utilization,
+            s.die_side_um()
+        );
+    }
+    Ok(())
+}
+
+fn print_report(r: &eval::TreeReport) {
+    println!("latency    {:>9.1} ps (min {:.1})", r.max_latency_ps, r.min_latency_ps);
+    println!("skew       {:>9.1} ps", r.skew_ps);
+    println!("buffers    {:>9}   (area {:.0} µm²)", r.num_buffers, r.buffer_area_um2);
+    println!("clock cap  {:>9.0} fF", r.clock_cap_ff);
+    println!("clock WL   {:>9.0} µm", r.clock_wl_um);
+    println!("max slew   {:>9.1} ps", r.max_slew_ps);
+    println!("sinks      {:>9}", r.num_sinks);
+}
+
+fn save_outputs(args: &[String], tree: &ClockTree, title: &str) -> Result<(), String> {
+    if let Some(path) = flag(args, "--tree") {
+        let mut f = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+        tree_io::write_tree(tree, &mut f).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag(args, "--svg") {
+        std::fs::write(&path, svg::render(tree, title)).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let design = if let Some(path) = flag(args, "--design-file") {
+        let f = std::fs::File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
+        sllt::design::read_design(&mut std::io::BufReader::new(f))
+            .map_err(|e| format!("{path}: {e}"))?
+    } else {
+        let name = flag(args, "--design")
+            .ok_or("run needs --design <name> or --design-file <file>")?;
+        DesignSpec::by_name(&name)
+            .ok_or_else(|| format!("unknown design {name:?} (try `sllt suite`)"))?
+            .instantiate()
+    };
+    let name = design.name.clone();
+    let flow = flag(args, "--flow").unwrap_or_else(|| "ours".into());
+    let ours = HierarchicalCts::default();
+    let tree = match flow.as_str() {
+        "ours" => ours.run(&design),
+        "commercial" => baseline::commercial_like().run(&design),
+        "openroad" => {
+            baseline::open_road_like(&design, &CtsConstraints::paper(), &ours.tech, &ours.lib)
+        }
+        other => return Err(format!("unknown flow {other:?}")),
+    };
+    println!("{} / {flow}:", design.name);
+    print_report(&eval::evaluate(&tree, &ours.tech, &ours.lib));
+    save_outputs(args, &tree, &format!("{name} {flow}"))
+}
+
+fn cmd_net(args: &[String]) -> Result<(), String> {
+    let pins: usize = flag_parse(args, "--pins", 24)?;
+    let seed: u64 = flag_parse(args, "--seed", 1)?;
+    let skew: f64 = flag_parse(args, "--skew", 10.0)?;
+    let algo = flag(args, "--algo").unwrap_or_else(|| "cbs".into());
+    let gen = NetGenerator {
+        min_pins: pins,
+        max_pins: pins,
+        seed,
+        ..NetGenerator::paper()
+    };
+    let net = gen.net(0);
+    let tech = Technology::n28();
+    let model = DelayModel::Elmore(tech);
+    let topo = TopologyScheme::GreedyDist.build(&net);
+    let tree = match algo.as_str() {
+        "cbs" => sllt::core::cbs::cbs(
+            &net,
+            &sllt::core::cbs::CbsConfig { skew_bound: skew, model, ..Default::default() },
+        ),
+        "salt" => sllt::route::salt(&net, 0.2),
+        "rsmt" => sllt::route::rsmt(&net),
+        "zst" => sllt::route::zst_dme(&net, &topo),
+        "bst" => sllt::route::dme(
+            &net,
+            &topo.to_hinted(),
+            &DmeOptions { skew_bound: skew, model },
+        ),
+        "htree" => sllt::route::htree(&net, 2),
+        "ghtree" => sllt::route::ghtree(&net, 2),
+        other => return Err(format!("unknown algo {other:?}")),
+    };
+    let report = sllt::core::analyze(&net, &tree);
+    println!("{algo} over {pins} pins (seed {seed}):");
+    println!("wirelength {:>9.1} µm (RSMT ref {:.1})", report.metrics.wirelength, report.ref_wl_um);
+    println!("alpha      {:>9.3}", report.metrics.shallowness);
+    println!("beta       {:>9.3}", report.metrics.lightness);
+    println!("gamma      {:>9.3}", report.metrics.skewness);
+    println!("Elmore skew{:>9.2} ps", sllt::route::skew_of(&tree, &model));
+    save_outputs(args, &tree, &format!("{algo} net"))
+}
+
+fn load_tree(args: &[String]) -> Result<ClockTree, String> {
+    let path = flag(args, "--tree").ok_or("needs --tree <file>")?;
+    let f = std::fs::File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
+    tree_io::read_tree(&mut std::io::BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let tree = load_tree(args)?;
+    let tech = Technology::n28();
+    let lib = BufferLibrary::n28();
+    print_report(&eval::evaluate(&tree, &tech, &lib));
+    Ok(())
+}
+
+fn cmd_ocv(args: &[String]) -> Result<(), String> {
+    let tree = load_tree(args)?;
+    let derate: f64 = flag_parse(args, "--derate", 0.08)?;
+    let trials: usize = flag_parse(args, "--trials", 200)?;
+    let tech = Technology::n28();
+    let lib = BufferLibrary::n28();
+    let nominal = ocv::derate_skew(&tree, &tech, &lib, 0.0);
+    let derated = ocv::derate_skew(&tree, &tech, &lib, derate);
+    let mc = ocv::ocv_analysis(&tree, &tech, &lib, &ocv::OcvModel::default(), trials);
+    println!("nominal skew      {nominal:>8.1} ps");
+    println!("derated ±{:>4.1}%    {derated:>8.1} ps", derate * 100.0);
+    println!("MC mean/p95/max   {:>8.1} / {:.1} / {:.1} ps ({} trials)",
+        mc.mean_skew_ps, mc.p95_skew_ps, mc.max_skew_ps, mc.trials);
+    Ok(())
+}

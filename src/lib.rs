@@ -1,0 +1,71 @@
+//! # sllt — skew-latency-load tree clock tree synthesis
+//!
+//! A from-scratch Rust reproduction of *"Toward Controllable Hierarchical
+//! Clock Tree Synthesis with Skew-Latency-Load Tree"* (DAC 2024): the
+//! SLLT metric system (shallowness α / lightness β / skewness γ), the CBS
+//! construction algorithm, and the full hierarchical CTS framework with
+//! partitioning, routing-topology generation and buffering — plus every
+//! substrate they sit on (DME embeddings, SALT, RSMT, balanced K-means
+//! with min-cost flow, Elmore/linear-buffer timing, synthetic benchmark
+//! designs).
+//!
+//! This facade crate re-exports the workspace so applications depend on
+//! one name:
+//!
+//! * [`geom`] — rectilinear geometry (L1 metric, rotated-space merging
+//!   regions, convex hulls),
+//! * [`timing`] — technology parameters, Elmore delay, the Eq. (6) buffer
+//!   model and library,
+//! * [`tree`] — the clock-tree arena, SLLT metrics, normalization edits,
+//! * [`route`] — RSMT, R-SALT, H-tree, GH-tree, ZST/BST-DME, topology
+//!   orders, skew legalization,
+//! * [`core`] — SLLT analysis, Theorem 2.3, and the CBS algorithm,
+//! * [`partition`] — balanced K-means + min-cost flow + SA refinement,
+//! * [`buffer`] — critical wirelength, repeaters, insertion-delay
+//!   estimation,
+//! * [`cts`] — the hierarchical flow, baseline flows, and evaluation,
+//! * [`design`] — synthetic benchmark designs and net generators.
+//!
+//! # Quickstart
+//!
+//! Build a bounded-skew, SALT-light clock tree over one net:
+//!
+//! ```
+//! use sllt::core::{analyze, cbs::{cbs, CbsConfig}};
+//! use sllt::geom::Point;
+//! use sllt::tree::{ClockNet, Sink};
+//!
+//! let net = ClockNet::new(
+//!     Point::new(0.0, 0.0),
+//!     (0..16)
+//!         .map(|i| Sink::new(Point::new((i % 4) as f64 * 15.0, (i / 4) as f64 * 15.0), 0.8))
+//!         .collect(),
+//! );
+//! let tree = cbs(&net, &CbsConfig { skew_bound: 12.0, ..CbsConfig::default() });
+//! let report = analyze(&net, &tree);
+//! assert!(report.skew_um <= 12.0 + 1e-6);
+//! assert!(report.metrics.lightness < 1.6);
+//! ```
+//!
+//! Run the full hierarchical flow on a benchmark design:
+//!
+//! ```
+//! use sllt::cts::{eval::evaluate, flow::HierarchicalCts};
+//! use sllt::design::DesignSpec;
+//!
+//! let design = DesignSpec::by_name("s35932").unwrap().instantiate();
+//! let flow = HierarchicalCts::default();
+//! let tree = flow.run(&design);
+//! let report = evaluate(&tree, &flow.tech, &flow.lib);
+//! assert!(report.skew_ps <= flow.constraints.skew_ps);
+//! ```
+
+pub use sllt_buffer as buffer;
+pub use sllt_core as core;
+pub use sllt_cts as cts;
+pub use sllt_design as design;
+pub use sllt_geom as geom;
+pub use sllt_partition as partition;
+pub use sllt_route as route;
+pub use sllt_timing as timing;
+pub use sllt_tree as tree;

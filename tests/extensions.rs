@@ -1,0 +1,89 @@
+//! Cross-crate integration for the extension features: useful-skew trees,
+//! OCV analysis, serialization, and slew repair on real flow output.
+
+use sllt::buffer::{fix_slew, max_slew};
+use sllt::cts::{eval::evaluate, flow::HierarchicalCts, ocv};
+use sllt::design::{DesignSpec, NetGenerator};
+use sllt::route::{ust_dme, window_violation, DelayModel, DmeOptions, TopologyScheme};
+use sllt::timing::{BufferLibrary, Technology};
+use sllt::tree::io::{read_tree, write_tree};
+
+/// A full flow tree survives a serialization round trip with identical
+/// evaluation.
+#[test]
+fn flow_tree_round_trips_through_the_text_format() {
+    let design = DesignSpec::by_name("s35932").unwrap().instantiate();
+    let cts = HierarchicalCts::default();
+    let tree = cts.run(&design);
+    let before = evaluate(&tree, &cts.tech, &cts.lib);
+
+    let mut buf = Vec::new();
+    write_tree(&tree, &mut buf).expect("write");
+    let back = read_tree(&mut buf.as_slice()).expect("read");
+    back.validate().unwrap();
+    let after = evaluate(&back, &cts.tech, &cts.lib);
+
+    assert_eq!(before.num_sinks, after.num_sinks);
+    assert_eq!(before.num_buffers, after.num_buffers);
+    assert!((before.max_latency_ps - after.max_latency_ps).abs() < 1e-6);
+    assert!((before.skew_ps - after.skew_ps).abs() < 1e-6);
+    assert!((before.clock_wl_um - after.clock_wl_um).abs() < 1e-6);
+}
+
+/// Useful-skew scheduling on a paper-sized net: staggered windows are met
+/// under the Elmore model, and relaxing the windows saves wire.
+#[test]
+fn ust_honours_windows_on_paper_nets() {
+    let tech = Technology::n28();
+    let model = DelayModel::Elmore(tech);
+    let gen = NetGenerator::paper();
+    for i in 0..5u64 {
+        let net = gen.net(i);
+        let topo = TopologyScheme::GreedyDist.build(&net);
+        let windows: Vec<(f64, f64)> = (0..net.len())
+            .map(|s| if s % 3 == 0 { (8.0, 12.0) } else { (12.0, 18.0) })
+            .collect();
+        let ust = ust_dme(&net, &topo, &windows, &DmeOptions { skew_bound: 0.0, model });
+        ust.tree.validate().unwrap();
+        let launch = (ust.launch_window.0 + ust.launch_window.1) / 2.0;
+        let v = window_violation(&ust, &windows, &model, launch);
+        assert!(v <= 1e-6, "net {i}: violation {v} ps");
+    }
+}
+
+/// OCV derate analysis ranks the three flows the way the paper's
+/// motivation predicts on a real design.
+#[test]
+fn derate_growth_ranks_flows() {
+    let design = DesignSpec::by_name("s38417").unwrap().instantiate();
+    let cts = HierarchicalCts::default();
+    let ours = cts.run(&design);
+    let or_tree = sllt::cts::baseline::open_road_like(
+        &design,
+        &sllt::cts::CtsConstraints::paper(),
+        &cts.tech,
+        &cts.lib,
+    );
+    let growth = |tree: &sllt::tree::ClockTree| {
+        ocv::derate_skew(tree, &cts.tech, &cts.lib, 0.08)
+            - ocv::derate_skew(tree, &cts.tech, &cts.lib, 0.0)
+    };
+    assert!(growth(&ours) < growth(&or_tree));
+}
+
+/// Slew repair holds on flow output without breaking skew badly.
+#[test]
+fn slew_repair_on_flow_output() {
+    let design = DesignSpec::by_name("s38584").unwrap().instantiate();
+    let cts = HierarchicalCts::default();
+    let mut tree = cts.run(&design);
+    let tech = Technology::n28();
+    let lib = BufferLibrary::n28();
+    let limit = 55.0;
+    fix_slew(&mut tree, &lib, &tech, 2, limit);
+    tree.validate().unwrap();
+    assert!(max_slew(&tree, &lib, &tech) <= limit + 1e-9);
+    let r = evaluate(&tree, &tech, &lib);
+    assert_eq!(r.num_sinks, design.num_ffs());
+    assert!(r.max_slew_ps <= limit + 1e-9);
+}

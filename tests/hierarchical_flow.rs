@@ -1,0 +1,89 @@
+//! Cross-crate integration: the full hierarchical CTS flow on benchmark
+//! designs, including the paper's headline comparisons.
+
+use sllt::cts::{baseline, constraints::CtsConstraints, eval::evaluate, flow::HierarchicalCts};
+use sllt::design::DesignSpec;
+use sllt::tree::NodeKind;
+
+/// The small open designs build, validate, stay within the Table 5 skew
+/// bound, and reach every flip-flop exactly once.
+#[test]
+fn flow_is_correct_on_small_suite() {
+    for name in ["s38584", "s38417", "s35932"] {
+        let design = DesignSpec::by_name(name).unwrap().instantiate();
+        let cts = HierarchicalCts::default();
+        let tree = cts.run(&design);
+        tree.validate().unwrap();
+
+        let mut seen = vec![false; design.num_ffs()];
+        for id in tree.sinks() {
+            if let NodeKind::Sink { sink_index, .. } = tree.node(id).kind {
+                assert!(!seen[sink_index], "{name}: duplicate sink {sink_index}");
+                seen[sink_index] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "{name}: dropped sinks");
+
+        let r = evaluate(&tree, &cts.tech, &cts.lib);
+        assert!(
+            r.skew_ps <= cts.constraints.skew_ps + 1e-6,
+            "{name}: skew {} over the bound",
+            r.skew_ps
+        );
+        assert!(r.max_latency_ps > 0.0 && r.max_latency_ps < 500.0, "{name}");
+    }
+}
+
+/// The paper's Table 6 shape: ours beats the OpenROAD-like flow on
+/// latency and buffer area, and the commercial-like flow never does
+/// meaningfully better than ours on latency.
+#[test]
+fn table6_shape_holds() {
+    let mut lat_ours = 0.0;
+    let mut lat_or = 0.0;
+    let mut lat_com = 0.0;
+    let mut area_ours = 0.0;
+    let mut area_or = 0.0;
+    for name in ["s38584", "s38417", "s35932"] {
+        let design = DesignSpec::by_name(name).unwrap().instantiate();
+        let ours = HierarchicalCts::default();
+        let r_ours = evaluate(&ours.run(&design), &ours.tech, &ours.lib);
+        let r_com = evaluate(
+            &baseline::commercial_like().run(&design),
+            &ours.tech,
+            &ours.lib,
+        );
+        let or_tree =
+            baseline::open_road_like(&design, &CtsConstraints::paper(), &ours.tech, &ours.lib);
+        let r_or = evaluate(&or_tree, &ours.tech, &ours.lib);
+        lat_ours += r_ours.max_latency_ps;
+        lat_com += r_com.max_latency_ps;
+        lat_or += r_or.max_latency_ps;
+        area_ours += r_ours.buffer_area_um2;
+        area_or += r_or.buffer_area_um2;
+    }
+    assert!(
+        lat_ours < lat_or * 0.85,
+        "ours {lat_ours:.0} should clearly beat OpenROAD-like {lat_or:.0} on latency"
+    );
+    assert!(
+        lat_ours <= lat_com * 1.02,
+        "commercial-like {lat_com:.0} should not beat ours {lat_ours:.0}"
+    );
+    assert!(area_ours < area_or, "structural flow must burn more buffer area");
+}
+
+/// Repeaters appear when a design's trunks exceed the critical
+/// wirelength; all flows still validate.
+#[test]
+fn baselines_validate_on_a_mid_design() {
+    let design = DesignSpec::by_name("salsa20").unwrap().instantiate();
+    let ours = HierarchicalCts::default();
+    let or_tree =
+        baseline::open_road_like(&design, &CtsConstraints::paper(), &ours.tech, &ours.lib);
+    or_tree.validate().unwrap();
+    assert_eq!(or_tree.sinks().len(), design.num_ffs());
+    let com_tree = baseline::commercial_like().run(&design);
+    com_tree.validate().unwrap();
+    assert_eq!(com_tree.sinks().len(), design.num_ffs());
+}

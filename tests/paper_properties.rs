@@ -1,0 +1,92 @@
+//! Property-level checks of the paper's mathematical claims, across
+//! crates and at scale.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use sllt::core::analysis::{dispersion, shallow_skew_compatible};
+use sllt::core::cbs::{cbs, CbsConfig};
+use sllt::geom::Point;
+use sllt::route::{rsmt, salt::salt, skew_of, zst_dme, DelayModel, TopologyScheme};
+use sllt::tree::{metrics::path_length_skew, ClockNet, Sink, SlltMetrics};
+
+fn random_net(seed: u64, n: usize) -> ClockNet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ClockNet::new(
+        Point::new(rng.random_range(0.0..75.0), rng.random_range(0.0..75.0)),
+        (0..n)
+            .map(|_| {
+                Sink::new(
+                    Point::new(rng.random_range(0.0..75.0), rng.random_range(0.0..75.0)),
+                    0.8,
+                )
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Eq. (1)–(3): any zero-skew tree is at least as heavy as the RSMT
+    /// and at least as deep as the shortest path — β ≥ 1, α ≥ 1, γ = 1.
+    #[test]
+    fn zst_pays_for_zero_skew(seed in 0u64..300, n in 2usize..20) {
+        let net = random_net(seed, n);
+        let topo = TopologyScheme::GreedyDist.build(&net);
+        let t = zst_dme(&net, &topo);
+        let ref_wl = rsmt(&net).wirelength();
+        let m = SlltMetrics::compute(&t, ref_wl);
+        prop_assert!(m.lightness >= 1.0 - 1e-9);
+        prop_assert!(m.shallowness >= 1.0 - 1e-9);
+        prop_assert!((m.skewness - 1.0).abs() < 1e-6);
+    }
+
+    /// Theorem 2.3 as a decision procedure: whenever the compatibility
+    /// test says "impossible", no SALT tree (α ≤ 1+ε by construction)
+    /// achieves γ ≤ 1+ε.
+    #[test]
+    fn theorem_2_3_never_lies(seed in 0u64..300, n in 3usize..16, eps in 0.0f64..0.3) {
+        let net = random_net(seed + 10_000, n);
+        if net.mean_source_dist() < 1e-9 {
+            return Ok(());
+        }
+        if !shallow_skew_compatible(&net, eps) {
+            prop_assert!(dispersion(&net) > (1.0 + eps) * (1.0 + eps));
+            let t = salt(&net, eps);
+            let m = SlltMetrics::compute(&t, rsmt(&net).wirelength());
+            prop_assert!(m.shallowness <= 1.0 + eps + 1e-6);
+            prop_assert!(m.skewness > 1.0 + eps - 1e-6,
+                "theorem violated: γ = {} with ε = {}", m.skewness, eps);
+        }
+    }
+
+    /// Monotonicity of the CBS frontier: loosening the skew bound never
+    /// costs wire (within the pipeline's small heuristic noise).
+    #[test]
+    fn cbs_frontier_is_monotone(seed in 0u64..120, n in 4usize..18) {
+        let net = random_net(seed + 20_000, n);
+        let mk = |bound: f64| {
+            cbs(&net, &CbsConfig {
+                skew_bound: bound,
+                model: DelayModel::Elmore(sllt::timing::Technology::n28()),
+                ..CbsConfig::default()
+            })
+        };
+        let tight = mk(1.0);
+        let loose = mk(50.0);
+        prop_assert!(loose.wirelength() <= tight.wirelength() * 1.02 + 1.0,
+            "loose {} vs tight {}", loose.wirelength(), tight.wirelength());
+        prop_assert!(skew_of(&tight, &DelayModel::Elmore(sllt::timing::Technology::n28())) <= 1.0 + 1e-6);
+    }
+
+    /// Path-length skew of any CBS output never exceeds the bound under
+    /// the path-length model (the construction guarantee, end to end).
+    #[test]
+    fn cbs_guarantee_endtoend(seed in 0u64..200, n in 2usize..22, bound in 0.5f64..80.0) {
+        let net = random_net(seed + 30_000, n);
+        let t = cbs(&net, &CbsConfig { skew_bound: bound, ..CbsConfig::default() });
+        prop_assert!(t.validate().is_ok());
+        prop_assert!(path_length_skew(&t) <= bound + 1e-6);
+        prop_assert_eq!(t.sinks().len(), n);
+    }
+}
