@@ -2,13 +2,13 @@
 //! and SALT ε (the ablation dimensions DESIGN.md calls out).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-use rand::prelude::*;
 use sllt_core::cbs::{cbs, CbsConfig};
 use sllt_geom::Point;
+use sllt_rng::prelude::*;
 use sllt_route::DelayModel;
 use sllt_timing::Technology;
 use sllt_tree::{ClockNet, Sink};
+use std::time::Duration;
 
 fn net_of(n: usize) -> ClockNet {
     let mut rng = StdRng::seed_from_u64(n as u64);
@@ -57,7 +57,10 @@ fn bench_cbs_eps(c: &mut Criterion) {
     let net = net_of(30);
     let mut g = c.benchmark_group("cbs_by_eps");
     for eps in [0.05f64, 0.2, 0.5, 2.0] {
-        let cfg = CbsConfig { eps, ..CbsConfig::default() };
+        let cfg = CbsConfig {
+            eps,
+            ..CbsConfig::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(eps), &cfg, |b, cfg| {
             b.iter(|| cbs(std::hint::black_box(&net), cfg))
         });
@@ -65,7 +68,7 @@ fn bench_cbs_eps(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
     targets = bench_cbs_size, bench_cbs_bound, bench_cbs_eps

@@ -2,16 +2,18 @@
 //! the flow is seconds-scale, so samples are few).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use sllt_cts::{baseline, constraints::CtsConstraints, flow::HierarchicalCts};
 use sllt_design::DesignSpec;
+use std::time::Duration;
 
 fn bench_flow(c: &mut Criterion) {
     let design = DesignSpec::by_name("s35932").unwrap().instantiate();
     let mut g = c.benchmark_group("full_flow_s35932");
     g.sample_size(10);
     let ours = HierarchicalCts::default();
-    g.bench_function("ours_cbs", |b| b.iter(|| ours.run(std::hint::black_box(&design))));
+    g.bench_function("ours_cbs", |b| {
+        b.iter(|| ours.run(std::hint::black_box(&design)))
+    });
     let com = baseline::commercial_like();
     g.bench_function("commercial_like", |b| {
         b.iter(|| com.run(std::hint::black_box(&design)))
@@ -29,7 +31,7 @@ fn bench_flow(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(Duration::from_secs(10)).warm_up_time(Duration::from_secs(2)).sample_size(10);
     targets = bench_flow

@@ -2,10 +2,10 @@
 //! and greedy large-n path), min-cost flow, and SA refinement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-use rand::prelude::*;
 use sllt_geom::Point;
 use sllt_partition::{balanced_kmeans, sa, MinCostFlow};
+use sllt_rng::prelude::*;
+use std::time::Duration;
 
 fn points(n: usize, seed: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -61,12 +61,19 @@ fn bench_sa(c: &mut Criterion) {
     c.bench_function("sa_refine_500", |b| {
         b.iter(|| {
             let mut assignment: Vec<usize> = (0..500).map(|i| i % 16).collect();
-            sa::refine(&pts, &caps, &mut assignment, 16, &cons, &sa::SaConfig::default())
+            sa::refine(
+                &pts,
+                &caps,
+                &mut assignment,
+                16,
+                &cons,
+                &sa::SaConfig::default(),
+            )
         })
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
     targets = bench_kmeans, bench_mcf, bench_sa

@@ -1,9 +1,9 @@
 //! Criterion: routing-topology generator throughput on paper-sized nets.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use sllt_design::NetGenerator;
 use sllt_route::{bst_dme, ghtree, htree, rsmt::rsmt, salt::salt, zst_dme, TopologyScheme};
+use std::time::Duration;
 
 fn bench_generators(c: &mut Criterion) {
     let gen = NetGenerator::paper();
@@ -12,14 +12,24 @@ fn bench_generators(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("topology_40pin");
     g.bench_function("rsmt", |b| b.iter(|| rsmt(std::hint::black_box(&net))));
-    g.bench_function("salt_eps0.2", |b| b.iter(|| salt(std::hint::black_box(&net), 0.2)));
+    g.bench_function("salt_eps0.2", |b| {
+        b.iter(|| salt(std::hint::black_box(&net), 0.2))
+    });
     g.bench_function("htree", |b| b.iter(|| htree(std::hint::black_box(&net), 2)));
-    g.bench_function("ghtree", |b| b.iter(|| ghtree(std::hint::black_box(&net), 2)));
+    g.bench_function("ghtree", |b| {
+        b.iter(|| ghtree(std::hint::black_box(&net), 2))
+    });
     g.bench_function("zst_dme", |b| {
         b.iter(|| zst_dme(std::hint::black_box(&net), std::hint::black_box(&topo)))
     });
     g.bench_function("bst_dme_20um", |b| {
-        b.iter(|| bst_dme(std::hint::black_box(&net), std::hint::black_box(&topo), 20.0))
+        b.iter(|| {
+            bst_dme(
+                std::hint::black_box(&net),
+                std::hint::black_box(&topo),
+                20.0,
+            )
+        })
     });
     g.finish();
 }
@@ -36,7 +46,7 @@ fn bench_merge_orders(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
     targets = bench_generators, bench_merge_orders

@@ -1,0 +1,68 @@
+//! The staged engine, level by level: per-level cluster counts, routed
+//! wirelength, and stage wall times, plus a route-stage scaling sweep
+//! across worker counts (the numbers behind EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p sllt-bench --bin engine_levels [-- <design-name>]
+//! ```
+
+use sllt_bench::Table;
+use sllt_cts::flow::HierarchicalCts;
+use sllt_cts::CollectingObserver;
+use sllt_design::DesignSpec;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "s38584".to_string());
+    let spec = DesignSpec::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown design {name:?}; see `table4` for the suite"));
+    let design = spec.instantiate();
+    println!("{}: {} FFs", design.name, design.num_ffs());
+
+    let cts = HierarchicalCts::default();
+    let mut obs = CollectingObserver::new();
+    cts.run_with_observer(&design, &mut obs)
+        .expect("flow failed");
+    println!("\nper-level engine report:\n{}", obs.render());
+
+    // Route-stage scaling: identical trees, different worker counts.
+    // Swept to at least 4 so the determinism/overhead picture is visible
+    // even on single-core machines (where no speedup is possible).
+    let max_workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .max(4);
+    let mut table = Table::new(vec!["workers", "route (ms)", "speedup", "total (ms)"]);
+    let mut serial_route_ms = 0.0;
+    let mut workers = 1usize;
+    while workers <= max_workers {
+        let cts = HierarchicalCts {
+            workers,
+            ..HierarchicalCts::default()
+        };
+        let mut obs = CollectingObserver::new();
+        cts.run_with_observer(&design, &mut obs)
+            .expect("flow failed");
+        let route_ms = obs.route_time().as_secs_f64() * 1e3;
+        let total_ms = obs
+            .levels
+            .iter()
+            .map(|l| l.timings.total().as_secs_f64() * 1e3)
+            .sum::<f64>();
+        if workers == 1 {
+            serial_route_ms = route_ms;
+        }
+        table.row(vec![
+            workers.to_string(),
+            format!("{route_ms:.1}"),
+            format!("{:.2}x", serial_route_ms / route_ms.max(1e-9)),
+            format!("{total_ms:.1}"),
+        ]);
+        workers *= 2;
+    }
+    println!(
+        "route-stage scaling on {}:\n{}",
+        design.name,
+        table.render()
+    );
+}

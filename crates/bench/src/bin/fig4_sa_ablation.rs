@@ -10,10 +10,10 @@
 //! cargo run --release -p sllt-bench --bin fig4_sa_ablation
 //! ```
 
-use rand::prelude::*;
 use sllt_bench::Table;
 use sllt_geom::Point;
 use sllt_partition::{balanced_kmeans_restarts, sa};
+use sllt_rng::prelude::*;
 
 fn stress_case(seed: u64, n: usize) -> (Vec<Point>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -41,9 +41,18 @@ fn main() {
         unit_wire_cap: 0.16,
     };
     let mut table = Table::new(vec![
-        "Case", "n", "k", "cost before (fF)", "cost after (fF)", "reduction",
+        "Case",
+        "n",
+        "k",
+        "cost before (fF)",
+        "cost after (fF)",
+        "reduction",
     ]);
-    for (name, seed, n) in [("stress-a", 11u64, 240usize), ("stress-b", 23, 360), ("stress-c", 37, 480)] {
+    for (name, seed, n) in [
+        ("stress-a", 11u64, 240usize),
+        ("stress-b", 23, 360),
+        ("stress-c", 37, 480),
+    ] {
         let (points, caps) = stress_case(seed, n);
         let k = n.div_ceil(cons.max_fanout);
         let part = balanced_kmeans_restarts(&points, k, cons.max_fanout, seed, 4);
@@ -55,7 +64,11 @@ fn main() {
             &mut assignment,
             k,
             &cons,
-            &sa::SaConfig { iterations: 3000, seed, ..Default::default() },
+            &sa::SaConfig {
+                iterations: 3000,
+                seed,
+                ..Default::default()
+            },
         );
         table.row(vec![
             name.to_string(),

@@ -16,12 +16,12 @@
 //! cargo run --release -p sllt-bench --bin fig5_buffering_ablation
 //! ```
 
-use rand::prelude::*;
 use sllt_bench::Table;
 use sllt_buffer::DelayEstimator;
 use sllt_cts::{eval::evaluate, flow::HierarchicalCts};
 use sllt_design::Design;
 use sllt_geom::{Point, Rect};
+use sllt_rng::prelude::*;
 use sllt_tree::Sink;
 
 /// A design whose register banks differ wildly in size, so sibling
@@ -59,7 +59,12 @@ fn mixed_bank_design(seed: u64) -> Design {
 
 fn main() {
     let mut table = Table::new(vec![
-        "Case", "Estimator", "Latency (ps)", "Skew (ps)", "Clk WL (µm)", "Clk Cap (fF)",
+        "Case",
+        "Estimator",
+        "Latency (ps)",
+        "Skew (ps)",
+        "Clk WL (µm)",
+        "Clk Cap (fF)",
     ]);
     for seed in [3u64, 17, 40] {
         let design = mixed_bank_design(seed);
@@ -81,7 +86,7 @@ fn main() {
                 level_skew_fraction: 0.12,
                 ..HierarchicalCts::default()
             };
-            let r = evaluate(&cts.run(&design), &cts.tech, &cts.lib);
+            let r = evaluate(&cts.run(&design).expect("flow failed"), &cts.tech, &cts.lib);
             table.row(vec![
                 design.name.clone(),
                 label.to_string(),

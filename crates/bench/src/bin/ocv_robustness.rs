@@ -16,14 +16,24 @@ use sllt_design::SUITE;
 
 fn main() {
     let mut table = Table::new(vec![
-        "Case", "Flow", "nominal (ps)", "derate ±8% (ps)", "MC p95 (ps)", "MC max (ps)",
+        "Case",
+        "Flow",
+        "nominal (ps)",
+        "derate ±8% (ps)",
+        "MC p95 (ps)",
+        "MC max (ps)",
     ]);
     for spec in SUITE.iter().filter(|s| !s.internal).take(3) {
         let design = spec.instantiate();
         let ours = HierarchicalCts::default();
         let flows: Vec<(&str, sllt_tree::ClockTree)> = vec![
-            ("ours", ours.run(&design)),
-            ("commercial-like", baseline::commercial_like().run(&design)),
+            ("ours", ours.run(&design).expect("flow failed")),
+            (
+                "commercial-like",
+                baseline::commercial_like()
+                    .run(&design)
+                    .expect("flow failed"),
+            ),
             (
                 "openroad-like",
                 baseline::open_road_like(&design, &CtsConstraints::paper(), &ours.tech, &ours.lib),

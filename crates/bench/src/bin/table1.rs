@@ -29,13 +29,28 @@ fn main() {
         ("R-SALT", salt(&net, 0.1), "no"),
         (
             "CBS",
-            cbs(&net, &CbsConfig { skew_bound: 2.0, eps: 0.1, ..CbsConfig::default() }),
+            cbs(
+                &net,
+                &CbsConfig {
+                    skew_bound: 2.0,
+                    eps: 0.1,
+                    ..CbsConfig::default()
+                },
+            ),
             "yes",
         ),
     ];
 
     let mut table = Table::new(vec![
-        "Algorithm", "MaxPL", "MinPL", "TotalWL", "MeanPL", "alpha", "beta", "gamma", "Mean",
+        "Algorithm",
+        "MaxPL",
+        "MinPL",
+        "TotalWL",
+        "MeanPL",
+        "alpha",
+        "beta",
+        "gamma",
+        "Mean",
         "SkewCtl",
     ]);
     for (name, tree, ctl) in &rows {

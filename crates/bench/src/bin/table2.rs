@@ -54,8 +54,8 @@ fn main() {
 
     println!("Table 2 — wirelength (µm) R-SALT vs CBS, {nets} nets per cell");
     let mut table = Table::new(vec![
-        "", "GD 80ps", "GD 10ps", "GD 5ps", "GM 80ps", "GM 10ps", "GM 5ps", "BP 80ps",
-        "BP 10ps", "BP 5ps",
+        "", "GD 80ps", "GD 10ps", "GD 5ps", "GM 80ps", "GM 10ps", "GM 5ps", "BP 80ps", "BP 10ps",
+        "BP 5ps",
     ]);
     let mut salt_row = vec!["R-SALT".to_string()];
     let mut cbs_row = vec!["CBS".to_string()];

@@ -57,8 +57,16 @@ fn main() {
 
     println!("Table 3 — BST-DME vs CBS, {nets} nets per skew level");
     let mut table = Table::new(vec![
-        "", "WL 80ps", "WL 10ps", "WL 5ps", "Cap 80ps", "Cap 10ps", "Cap 5ps", "Delay 80ps",
-        "Delay 10ps", "Delay 5ps",
+        "",
+        "WL 80ps",
+        "WL 10ps",
+        "WL 5ps",
+        "Cap 80ps",
+        "Cap 10ps",
+        "Cap 5ps",
+        "Delay 80ps",
+        "Delay 10ps",
+        "Delay 5ps",
     ]);
     let units = ["µm", "fF", "ps"];
     let _ = units;
@@ -81,7 +89,10 @@ fn main() {
         let mut r = vec!["Reduce".to_string()];
         for m in 0..3 {
             for k in 0..3 {
-                r.push(format!("{:+.1}%", (bst[m][k] - cbs_m[m][k]) / bst[m][k] * 100.0));
+                r.push(format!(
+                    "{:+.1}%",
+                    (bst[m][k] - cbs_m[m][k]) / bst[m][k] * 100.0
+                ));
             }
         }
         r

@@ -11,7 +11,12 @@ use sllt_design::SUITE;
 fn main() {
     println!("Table 4 — design statistics (synthetic placements; see DESIGN.md)");
     let mut table = Table::new(vec![
-        "Case", "#Insts.", "#FFs", "Util", "Die (µm)", "FF cap (fF)",
+        "Case",
+        "#Insts.",
+        "#FFs",
+        "Util",
+        "Die (µm)",
+        "FF cap (fF)",
     ]);
     for spec in &SUITE {
         let d = spec.instantiate();

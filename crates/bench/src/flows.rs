@@ -2,7 +2,9 @@
 //! render the paper's comparison columns.
 
 use crate::Table;
-use sllt_cts::{baseline, constraints::CtsConstraints, eval::evaluate, eval::TreeReport, flow::HierarchicalCts};
+use sllt_cts::{
+    baseline, constraints::CtsConstraints, eval::evaluate, eval::TreeReport, flow::HierarchicalCts,
+};
 use sllt_design::DesignSpec;
 use std::time::Instant;
 
@@ -22,14 +24,14 @@ pub fn run_three(spec: &DesignSpec) -> [FlowResult; 3] {
     let com = baseline::commercial_like();
 
     let t0 = Instant::now();
-    let tree = ours.run(&design);
+    let tree = ours.run(&design).expect("hierarchical flow failed");
     let ours_res = FlowResult {
         report: evaluate(&tree, &ours.tech, &ours.lib),
         runtime_s: t0.elapsed().as_secs_f64(),
     };
 
     let t0 = Instant::now();
-    let tree = com.run(&design);
+    let tree = com.run(&design).expect("commercial-like flow failed");
     let com_res = FlowResult {
         report: evaluate(&tree, &com.tech, &com.lib),
         runtime_s: t0.elapsed().as_secs_f64(),
@@ -48,8 +50,14 @@ pub fn run_three(spec: &DesignSpec) -> [FlowResult; 3] {
 /// Renders the Table 6/7 layout for a set of designs and returns it.
 pub fn comparison_table(specs: &[&DesignSpec]) -> String {
     let mut table = Table::new(vec![
-        "Case", "Lat O/C/R (ps)", "Skew O/C/R (ps)", "#Buf O/C/R", "Area O/C/R (µm²)",
-        "Cap O/C/R (fF)", "WL O/C/R (µm)", "Time O/C/R (s)",
+        "Case",
+        "Lat O/C/R (ps)",
+        "Skew O/C/R (ps)",
+        "#Buf O/C/R",
+        "Area O/C/R (µm²)",
+        "Cap O/C/R (fF)",
+        "WL O/C/R (µm)",
+        "Time O/C/R (s)",
     ]);
     // Ratio accumulators: [metric][flow], normalized to "ours".
     let mut ratios = [[0.0f64; 3]; 7];

@@ -28,7 +28,8 @@ use sllt_timing::{BufferCell, Technology, LN9, PS_PER_OHM_FF};
 pub fn critical_wirelength(cell: &BufferCell, tech: &Technology, cap_load_ff: f64) -> f64 {
     assert!(cap_load_ff >= 0.0, "negative load");
     let numer = cell.cap_coeff * cap_load_ff + cell.intrinsic_ps;
-    let denom = tech.unit_res_ohm * tech.unit_cap_ff * PS_PER_OHM_FF * (LN9 * cell.slew_coeff + 1.0);
+    let denom =
+        tech.unit_res_ohm * tech.unit_cap_ff * PS_PER_OHM_FF * (LN9 * cell.slew_coeff + 1.0);
     2.0 * (numer / denom).sqrt()
 }
 
@@ -74,7 +75,7 @@ mod tests {
         let expect = 2.0
             * ((c.cap_coeff * cap + c.intrinsic_ps)
                 / (tech.unit_res_ohm * tech.unit_cap_ff * 1e-3 * (LN9 * c.slew_coeff + 1.0)))
-            .sqrt();
+                .sqrt();
         assert!((critical_wirelength(c, &tech, cap) - expect).abs() < 1e-9);
     }
 

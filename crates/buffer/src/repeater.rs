@@ -57,7 +57,9 @@ pub fn insert_repeaters(
     let mut inserted = 0;
     let ids: Vec<NodeId> = tree.topo_order();
     for v in ids {
-        let Some(p) = tree.node(v).parent() else { continue };
+        let Some(p) = tree.node(v).parent() else {
+            continue;
+        };
         let len = tree.node(v).edge_len();
         let lmax = policy
             .max_segment_um
@@ -150,7 +152,10 @@ mod tests {
             &mut t,
             &lib,
             &tech,
-            &RepeaterPolicy { cell: 0, max_segment_um: Some(120.0) },
+            &RepeaterPolicy {
+                cell: 0,
+                max_segment_um: Some(120.0),
+            },
         );
         assert_eq!(n, 4, "500 µm at 120 µm segments needs 4 repeaters");
         assert!((t.wirelength() - before).abs() < 1e-9);
@@ -172,7 +177,10 @@ mod tests {
             &mut t,
             &lib,
             &tech,
-            &RepeaterPolicy { cell: 0, max_segment_um: Some(50.0) },
+            &RepeaterPolicy {
+                cell: 0,
+                max_segment_um: Some(50.0),
+            },
         );
         assert!((t.wirelength() - before).abs() < 1e-9, "detour lost");
         t.validate().unwrap();
@@ -199,7 +207,10 @@ mod tests {
         // not the 5 fF sink behind the shield.
         let root_cap = caps[t.root().index()];
         let expect = tech.wire_cap(10.0) + lib.cells()[0].input_cap_ff;
-        assert!((root_cap - expect).abs() < 1e-9, "got {root_cap}, want {expect}");
+        assert!(
+            (root_cap - expect).abs() < 1e-9,
+            "got {root_cap}, want {expect}"
+        );
         // The buffer itself sees its subtree.
         assert!((caps[b.index()] - (tech.wire_cap(10.0) + 5.0)).abs() < 1e-9);
         // Without a library, buffers are zero-cap boundaries.

@@ -38,7 +38,9 @@ pub fn fix_slew(
         match first_violation(tree, lib, tech, max_slew_ps) {
             None => break,
             Some(v) => {
-                let Some(p) = tree.node(v).parent() else { break };
+                let Some(p) = tree.node(v).parent() else {
+                    break;
+                };
                 let len = tree.node(v).edge_len();
                 if len < 1.0 {
                     break; // wire is not the culprit; give up gracefully

@@ -66,8 +66,8 @@ pub fn shallow_skew_compatible(net: &ClockNet, eps: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
     use sllt_geom::Point;
+    use sllt_rng::prelude::*;
     use sllt_route::salt::salt;
     use sllt_tree::Sink;
 
@@ -124,7 +124,10 @@ mod tests {
         let disp = dispersion(&net);
         assert!(disp > 1.9);
         assert!(!shallow_skew_compatible(&net, 0.1));
-        assert!(shallow_skew_compatible(&net, 1.0), "(1+1)² = 4 > dispersion");
+        assert!(
+            shallow_skew_compatible(&net, 1.0),
+            "(1+1)² = 4 > dispersion"
+        );
     }
 
     /// Empirical validation of Theorem 2.3: on nets where Eq. (4) holds,
@@ -149,7 +152,10 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked > 20, "theorem precondition rarely triggered ({checked})");
+        assert!(
+            checked > 20,
+            "theorem precondition rarely triggered ({checked})"
+        );
     }
 
     #[test]

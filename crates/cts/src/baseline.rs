@@ -57,16 +57,17 @@ pub fn open_road_like(
     _tech: &Technology,
     lib: &BufferLibrary,
 ) -> ClockTree {
-    assert!(!design.sinks.is_empty(), "CTS over a design without flip-flops");
+    assert!(
+        !design.sinks.is_empty(),
+        "CTS over a design without flip-flops"
+    );
     let mut tree = ClockTree::new(design.clock_root);
     // Mid-strength trunk cells, one size down at the leaves.
     let trunk_cell = lib.cells().len() / 2;
     let leaf_cell = (lib.cells().len() / 2).saturating_sub(1);
     let sinks: Vec<(usize, Sink)> = design.sinks.iter().copied().enumerate().collect();
-    let region = Rect::bounding(
-        &sinks.iter().map(|(_, s)| s.pos).collect::<Vec<_>>(),
-    )
-    .expect("nonempty");
+    let region =
+        Rect::bounding(&sinks.iter().map(|(_, s)| s.pos).collect::<Vec<_>>()).expect("nonempty");
     let root = tree.root();
     let top = tree.add_buffer(root, region.center(), trunk_cell);
     halve(
@@ -98,12 +99,16 @@ fn halve(
         // tree over the cluster (TritonCTS routes leaf nets, it does not
         // star them).
         let leaf = tree.add_buffer(tap, region.center(), leaf_cell);
-        let net = sllt_tree::ClockNet::new(
-            region.center(),
-            sinks.iter().map(|&(_, s)| s).collect(),
-        );
+        let net =
+            sllt_tree::ClockNet::new(region.center(), sinks.iter().map(|&(_, s)| s).collect());
         let routed = sllt_route::rsmt::rsmt(&net);
-        graft(tree, leaf, &routed, routed.root(), &sinks.iter().map(|&(i, _)| i).collect::<Vec<_>>());
+        graft(
+            tree,
+            leaf,
+            &routed,
+            routed.root(),
+            &sinks.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+        );
         return;
     }
     let c = region.center();
@@ -120,7 +125,11 @@ fn halve(
     };
     let (mut la, mut lb) = (Vec::new(), Vec::new());
     for &(i, s) in sinks {
-        let in_a = if split_x { s.pos.x <= c.x } else { s.pos.y <= c.y };
+        let in_a = if split_x {
+            s.pos.x <= c.x
+        } else {
+            s.pos.y <= c.y
+        };
         if in_a {
             la.push((i, s));
         } else {
@@ -138,7 +147,9 @@ fn halve(
         } else {
             tree.add_steiner(tap, r.center())
         };
-        halve(tree, child, &half, r, max_fanout, trunk_cell, leaf_cell, !split_x);
+        halve(
+            tree, child, &half, r, max_fanout, trunk_cell, leaf_cell, !split_x,
+        );
     }
 }
 
@@ -214,8 +225,8 @@ mod tests {
         let com = commercial_like();
         let tech = ours.tech;
         let lib = ours.lib.clone();
-        let r_ours = evaluate(&ours.run(&design), &tech, &lib);
-        let r_com = evaluate(&com.run(&design), &tech, &lib);
+        let r_ours = evaluate(&ours.run(&design).unwrap(), &tech, &lib);
+        let r_com = evaluate(&com.run(&design).unwrap(), &tech, &lib);
         assert!(
             r_com.skew_ps <= r_ours.skew_ps + 1.0,
             "commercial-like skew {} vs ours {}",

@@ -64,6 +64,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-positive skew")]
     fn validation_catches_bad_bounds() {
-        CtsConstraints { skew_ps: 0.0, ..CtsConstraints::paper() }.validate();
+        CtsConstraints {
+            skew_ps: 0.0,
+            ..CtsConstraints::paper()
+        }
+        .validate();
     }
 }

@@ -1,0 +1,98 @@
+//! Typed failure modes of the hierarchical flow.
+//!
+//! [`HierarchicalCts::run`](crate::flow::HierarchicalCts::run) returns
+//! these instead of panicking: a caller driving many designs (benchmark
+//! sweeps, OCV Monte-Carlo) gets a value it can log and skip rather than
+//! an abort.
+
+use std::fmt;
+
+/// Why a hierarchical CTS run could not produce a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CtsError {
+    /// The design has no flip-flops: there is nothing to build a clock
+    /// tree over.
+    NoSinks,
+    /// The buffer library has no cells, so no cluster driver, delay pad,
+    /// or repeater can ever be chosen.
+    EmptyBufferLibrary,
+    /// The flow was configured with zero K-means restarts
+    /// ([`partition_restarts`](crate::flow::HierarchicalCts::partition_restarts)
+    /// = 0), leaving no candidate partition to pick from.
+    NoPartitionRestarts,
+    /// A routed cluster tree lost the RC-tree mapping for one of its
+    /// sinks — the timing aggregation cannot price that member's delay.
+    UnmappedSink {
+        /// Level at which the cluster was routed.
+        level: usize,
+        /// Index of the unmapped sink within the cluster net.
+        sink_index: usize,
+    },
+    /// Partitioning stopped reducing the node count: the level loop would
+    /// never converge to a single top node.
+    LevelRunaway {
+        /// Level at which the runaway was detected.
+        level: usize,
+        /// Node count still pending at that level.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for CtsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtsError::NoSinks => write!(f, "CTS over a design without flip-flops"),
+            CtsError::EmptyBufferLibrary => {
+                write!(f, "buffer library is empty: no driver can be sized")
+            }
+            CtsError::NoPartitionRestarts => {
+                write!(
+                    f,
+                    "partition_restarts is 0: no candidate partition to choose"
+                )
+            }
+            CtsError::UnmappedSink { level, sink_index } => write!(
+                f,
+                "cluster sink {sink_index} at level {level} has no RC-tree node"
+            ),
+            CtsError::LevelRunaway { level, nodes } => write!(
+                f,
+                "level runaway at level {level}: partitioning is not reducing \
+                 ({nodes} nodes remain)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CtsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(CtsError::EmptyBufferLibrary.to_string().contains("library"));
+        assert!(CtsError::NoPartitionRestarts
+            .to_string()
+            .contains("restarts"));
+        assert!(CtsError::NoSinks.to_string().contains("flip-flops"));
+        let e = CtsError::UnmappedSink {
+            level: 3,
+            sink_index: 7,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('7'));
+        let e = CtsError::LevelRunaway {
+            level: 40,
+            nodes: 9,
+        };
+        assert!(e.to_string().contains("40") && e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_trait_is_wired() {
+        let e: Box<dyn std::error::Error> = Box::new(CtsError::NoSinks);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -179,7 +179,11 @@ mod tests {
         let s1 = tech.wire_output_slew(tech.source_slew_ps, 60.0, cell.input_cap_ff);
         let load2 = tech.wire_cap(60.0) + 5.0;
         let d2 = cell.delay(s1, load2) + tech.wire_delay(60.0, 5.0);
-        assert!((r.max_latency_ps - (d1 + d2)).abs() < 1e-9, "latency {}", r.max_latency_ps);
+        assert!(
+            (r.max_latency_ps - (d1 + d2)).abs() < 1e-9,
+            "latency {}",
+            r.max_latency_ps
+        );
     }
 
     #[test]
@@ -188,7 +192,10 @@ mod tests {
         let mut t = ClockTree::new(Point::ORIGIN);
         t.add_sink(t.root(), Point::new(300.0, 0.0), 2.0);
         let r = evaluate(&t, &tech, &lib);
-        assert!(r.max_slew_ps > tech.source_slew_ps, "long wire must degrade slew");
+        assert!(
+            r.max_slew_ps > tech.source_slew_ps,
+            "long wire must degrade slew"
+        );
     }
 
     #[test]

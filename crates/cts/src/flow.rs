@@ -2,31 +2,40 @@
 //!
 //! Level by level, bottom-up:
 //!
-//! 1. **partition** the current clock nodes with balanced K-means +
-//!    min-cost flow (fanout-exact), then repair capacitance/wirelength
-//!    violations with the SA boundary moves,
-//! 2. **route** each cluster with the configured topology generator (CBS
-//!    by default), carrying each node's *delay offset* — the Elmore+buffer
-//!    delay already accumulated below it — into the bounded-skew merge so
-//!    sibling subtrees equalize,
-//! 3. **buffer** each cluster: the cheapest library cell that can drive
-//!    the net load becomes the cluster driver at the net source (tap),
-//!    and the node reported to the next level carries the driver's input
-//!    capacitance and the cluster's delay plus the insertion-delay
-//!    estimate (paper Eq. (7)).
+//! 1. **partition** ([`crate::partition`]) the current clock nodes with
+//!    balanced K-means + min-cost flow (fanout-exact), then repair
+//!    capacitance/wirelength violations with the SA boundary moves,
+//! 2. **route** ([`crate::route`]) each cluster with the configured
+//!    topology generator (CBS by default), carrying each node's *delay
+//!    offset* — the Elmore+buffer delay already accumulated below it —
+//!    into the bounded-skew merge so sibling subtrees equalize. Clusters
+//!    are independent, so this stage fans out across worker threads,
+//! 3. **size** ([`crate::sizing`]) each cluster's driver jointly: the
+//!    cheapest library cell that can drive the net load becomes the
+//!    cluster driver at the net source (tap), and the node reported to
+//!    the next level carries the driver's input capacitance and the
+//!    cluster's delay plus the insertion-delay estimate (paper Eq. (7)).
 //!
-//! When one node remains, the tree is assembled under the design's clock
-//! root and long wires get critical-wirelength repeaters.
+//! When one node remains, the tree is assembled ([`crate::assemble`])
+//! under the design's clock root and long wires get critical-wirelength
+//! repeaters. Each level emits a [`LevelReport`] through the
+//! [`FlowObserver`] the caller passes to
+//! [`HierarchicalCts::run_with_observer`].
 
+use crate::assemble::{assemble, BuiltCluster};
 use crate::constraints::CtsConstraints;
-use sllt_buffer::{insert_repeaters, DelayEstimator, RepeaterPolicy};
-use sllt_core::cbs::{cbs_intervals, CbsConfig};
+use crate::error::CtsError;
+use crate::partition::partition_level;
+use crate::report::{FlowObserver, LevelReport, NullObserver, StageTimings};
+use crate::route::{route_clusters, LevelNode, NodeSource};
+use crate::sizing::size_drivers;
+use sllt_buffer::DelayEstimator;
 use sllt_design::Design;
-use sllt_geom::{centroid, Point};
-use sllt_partition::sa;
-use sllt_route::{dme_intervals, ghtree, htree, rsmt, salt, DelayModel, DmeOptions, TopologyScheme};
+use sllt_geom::Point;
+use sllt_route::TopologyScheme;
 use sllt_timing::{BufferLibrary, Technology};
-use sllt_tree::{ClockNet, ClockTree, NodeId, NodeKind, Sink};
+use sllt_tree::ClockTree;
+use std::time::Instant;
 
 /// Which routing topology generator a flow uses per cluster net.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,7 +102,14 @@ pub struct HierarchicalCts {
     /// skew bound: 0 forces exact equalization; larger values let fast
     /// clusters stay fast and lean on the next level's merge.
     pub sizing_window_fraction: f64,
-    /// RNG seed for partitioning.
+    /// K-means restarts per level in the small-level partition search.
+    /// Must be at least 1 ([`CtsError::NoPartitionRestarts`]).
+    pub partition_restarts: usize,
+    /// Worker threads for the per-cluster route stage: 0 picks the
+    /// machine's available parallelism, 1 routes serially. Any value
+    /// yields bit-identical trees.
+    pub workers: usize,
+    /// RNG seed for partitioning and the per-cluster route streams.
     pub seed: u64,
 }
 
@@ -116,596 +132,158 @@ impl Default for HierarchicalCts {
             equalize_sizing: true,
             sizing_window_fraction: 0.0,
             sizing_slack: 1.3,
+            partition_restarts: 4,
+            workers: 0,
             seed: 0x05117C75,
         }
     }
 }
 
-/// One clock node at the current level: a design FF or a built cluster's
-/// driver input.
-#[derive(Debug, Clone, Copy)]
-struct LevelNode {
-    pos: Point,
-    cap_ff: f64,
-    /// Delay interval (fastest, slowest) already accumulated below this
-    /// node, ps.
-    interval_ps: (f64, f64),
-    source: NodeSource,
+/// Per-run state threaded through the stages: the built-cluster arena,
+/// the current level's nodes, and the level counter.
+struct FlowContext {
+    clusters: Vec<BuiltCluster>,
+    nodes: Vec<LevelNode>,
+    level: usize,
 }
 
-#[derive(Debug, Clone, Copy)]
-enum NodeSource {
-    /// Index into the design's sink list.
-    DesignSink(usize),
-    /// Index into the flow's built-cluster arena.
-    Cluster(usize),
+impl FlowContext {
+    /// Level 0: one node per design flip-flop, zero accumulated delay.
+    fn seed(design: &Design) -> Self {
+        FlowContext {
+            clusters: Vec::new(),
+            nodes: design
+                .sinks
+                .iter()
+                .enumerate()
+                .map(|(i, s)| LevelNode {
+                    pos: s.pos,
+                    cap_ff: s.cap_ff,
+                    interval_ps: (0.0, 0.0),
+                    source: NodeSource::DesignSink(i),
+                })
+                .collect(),
+            level: 0,
+        }
+    }
 }
 
-/// A routed, buffered cluster awaiting assembly.
-#[derive(Debug)]
-struct BuiltCluster {
-    /// Tree rooted at the cluster tap; sink indices refer to `members`.
-    tree: ClockTree,
-    /// Members, in the order the cluster net's sinks were listed.
-    members: Vec<LevelNode>,
-    /// Chosen driver cell (library index).
-    cell: usize,
-    /// Delay-padding buffers (smallest cell) chained above the driver —
-    /// inserted when sizing alone cannot slow a fast cluster to the
-    /// level's equalization target. Closing that gap with buffers costs
-    /// a few µm² of area; closing it with detour wire at the next level
-    /// costs hundreds of µm of snaking per cluster.
-    pads: usize,
-    /// Driver location (the net tap).
-    driver_pos: Point,
-}
+/// Levels past this are a divergence, not a deep design: each level must
+/// at least halve the node count.
+const MAX_LEVELS: usize = 40;
 
 impl HierarchicalCts {
     /// Runs the flow on a design and returns the assembled, buffered
     /// clock tree. Sink nodes carry the design's sink indices.
     ///
+    /// # Errors
+    ///
+    /// [`CtsError::NoSinks`] for a design without flip-flops,
+    /// [`CtsError::EmptyBufferLibrary`] when no driver can be sized,
+    /// [`CtsError::NoPartitionRestarts`] when the partition search has
+    /// no candidates, and [`CtsError::LevelRunaway`] when partitioning
+    /// stops reducing the node count.
+    ///
     /// # Panics
     ///
-    /// Panics when the design has no flip-flops or the constraints are
-    /// inconsistent.
-    pub fn run(&self, design: &Design) -> ClockTree {
+    /// Panics when the constraints are inconsistent (see
+    /// [`CtsConstraints::validate`]).
+    pub fn run(&self, design: &Design) -> Result<ClockTree, CtsError> {
+        self.run_with_observer(design, &mut NullObserver)
+    }
+
+    /// [`run`](Self::run), reporting each level and the final assembly
+    /// to `observer` as the flow progresses.
+    pub fn run_with_observer(
+        &self,
+        design: &Design,
+        observer: &mut dyn FlowObserver,
+    ) -> Result<ClockTree, CtsError> {
         self.constraints.validate();
-        assert!(!design.sinks.is_empty(), "CTS over a design without flip-flops");
+        if design.sinks.is_empty() {
+            return Err(CtsError::NoSinks);
+        }
+        if self.lib.cells().is_empty() {
+            return Err(CtsError::EmptyBufferLibrary);
+        }
+        if self.partition_restarts == 0 {
+            return Err(CtsError::NoPartitionRestarts);
+        }
+        observer.on_flow_start(design.sinks.len(), self.effective_workers(usize::MAX));
 
-        let mut clusters: Vec<BuiltCluster> = Vec::new();
-        let mut nodes: Vec<LevelNode> = design
-            .sinks
-            .iter()
-            .enumerate()
-            .map(|(i, s)| LevelNode {
-                pos: s.pos,
-                cap_ff: s.cap_ff,
-                interval_ps: (0.0, 0.0),
-                source: NodeSource::DesignSink(i),
-            })
-            .collect();
-
-        let mut level = 0usize;
-        while nodes.len() > 1 {
-            assert!(level < 40, "level runaway: partitioning is not reducing");
-            nodes = self.build_level(&mut clusters, nodes, level);
-            level += 1;
+        let mut cx = FlowContext::seed(design);
+        while cx.nodes.len() > 1 {
+            if cx.level >= MAX_LEVELS {
+                return Err(CtsError::LevelRunaway {
+                    level: cx.level,
+                    nodes: cx.nodes.len(),
+                });
+            }
+            let report = self.build_level(&mut cx)?;
+            observer.on_level(&report);
+            cx.level += 1;
         }
 
-        let mut tree = ClockTree::new(design.clock_root);
-        let root = tree.root();
-        self.attach(&clusters, &mut tree, root, &nodes[0], None);
-        // Long common wires (typically the source trunk) get repeaters at
-        // the library's critical wirelength.
-        insert_repeaters(
-            &mut tree,
-            &self.lib,
-            &self.tech,
-            &RepeaterPolicy { cell: self.lib.cells().len() / 2, max_segment_um: None },
-        );
-        tree
+        let (tree, assemble_report) = assemble(self, design, &cx.clusters, &cx.nodes[0]);
+        observer.on_assemble(&assemble_report);
+        Ok(tree)
     }
 
-    /// Partitions and routes one level; returns the next level's nodes.
-    fn build_level(
-        &self,
-        clusters: &mut Vec<BuiltCluster>,
-        nodes: Vec<LevelNode>,
-        level: usize,
-    ) -> Vec<LevelNode> {
-        let cons = &self.constraints;
-        let positions: Vec<Point> = nodes.iter().map(|n| n.pos).collect();
-        let caps: Vec<f64> = nodes.iter().map(|n| n.cap_ff).collect();
+    /// Partitions, routes, and sizes one level, advancing `cx.nodes` to
+    /// the next level's nodes.
+    fn build_level(&self, cx: &mut FlowContext) -> Result<LevelReport, CtsError> {
+        let num_nodes = cx.nodes.len();
+        let positions: Vec<Point> = cx.nodes.iter().map(|n| n.pos).collect();
+        let caps: Vec<f64> = cx.nodes.iter().map(|n| n.cap_ff).collect();
 
-        // Cluster count: fanout-driven, bumped when capacitance or
-        // wirelength binds. Wire is estimated with the classic Steiner
-        // scaling WL ≈ 0.8·√(n·A); splitting into k clusters divides it
-        // (and the pin cap) by roughly k.
-        let n = nodes.len();
-        let by_fanout = n.div_ceil(cons.max_fanout);
-        let total_pin_cap: f64 = caps.iter().sum();
-        let area = sllt_geom::Rect::bounding(&positions)
-            .map_or(0.0, |r| r.area());
-        let est_wl_total = 0.8 * (n as f64 * area).sqrt();
-        let by_cap = ((total_pin_cap + self.tech.wire_cap(est_wl_total)) * 1.2
-            / cons.max_cap_ff)
-            .ceil() as usize;
-        let by_wl = (est_wl_total * 1.2 / cons.max_wl_um).ceil() as usize;
-        // Each level must shrink the node count (a singleton cluster just
-        // wraps a node in another buffer): cap k at n/2. The top trunk
-        // nets this creates may exceed the per-net wirelength budget on
-        // large dies — unavoidable for any tree that has to cross the
-        // die — and the critical-wirelength repeater pass restores their
-        // electrical health.
-        let k = by_fanout.max(by_cap).max(by_wl).max(1).min((n / 2).max(1));
+        let t0 = Instant::now();
+        let part = partition_level(self, &positions, &caps, cx.level)?;
+        let t1 = Instant::now();
+        let routed = route_clusters(self, &cx.nodes, &part.assignment, part.k, cx.level)?;
+        let t2 = Instant::now();
 
-        // Large levels use median-bisection cells with per-cell exact
-        // (min-cost-flow) assignment; smaller ones pick among K-means
-        // restarts with the paper's latency/capacitance-adaptive cost
-        // `p·σ(Cap) + q·σ(T)` (§3.2), whose weights shift from
-        // capacitance balance at the bottom toward delay balance at the
-        // top. The realized cluster count may exceed the estimate.
-        let part = if n > 1500 {
-            sllt_partition::balanced_kmeans_grid(
-                &positions,
-                k,
-                cons.max_fanout,
-                1200,
-                self.seed ^ level as u64,
-            )
+        let wirelength_um: f64 = routed.iter().map(|r| r.tree.wirelength()).sum();
+        let load_cap_ff: f64 = routed.iter().map(|r| r.load).sum();
+        let workers = self.effective_workers(routed.len());
+
+        let (next, stats) = size_drivers(self, routed, &mut cx.clusters)?;
+        let t3 = Instant::now();
+
+        let (lo, hi) = next
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, n| {
+                (acc.0.min(n.interval_ps.0), acc.1.max(n.interval_ps.1))
+            });
+        let report = LevelReport {
+            level: cx.level,
+            num_nodes,
+            num_clusters: next.len(),
+            workers,
+            timings: StageTimings {
+                partition: t1 - t0,
+                route: t2 - t1,
+                sizing: t3 - t2,
+            },
+            wirelength_um,
+            load_cap_ff,
+            driver_input_cap_ff: stats.driver_input_cap_ff,
+            driver_area_um2: stats.driver_area_um2,
+            pads: stats.pads,
+            delay_spread_ps: if next.is_empty() { 0.0 } else { hi - lo },
+        };
+        cx.nodes = next;
+        Ok(report)
+    }
+
+    /// Worker threads the route stage will actually use for `jobs`
+    /// clusters: the configured [`workers`](Self::workers) (0 = the
+    /// machine's available parallelism), never more than the job count.
+    pub fn effective_workers(&self, jobs: usize) -> usize {
+        let configured = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
-            // Rough level count for the weight schedule.
-            let est_levels = ((n as f64).ln() / (cons.max_fanout as f64).ln()).ceil() as usize + 1;
-            let (p, q) = sllt_partition::cost::level_weights(level, est_levels.max(2));
-            (0..4u64)
-                .map(|t| {
-                    let cand = sllt_partition::balanced_kmeans(
-                        &positions,
-                        k,
-                        cons.max_fanout,
-                        (self.seed ^ level as u64).wrapping_add(t * 0x9E37),
-                    );
-                    let score = self.adaptive_cluster_cost(&positions, &caps, &cand, p, q);
-                    (score, cand)
-                })
-                .min_by(|a, b| a.0.total_cmp(&b.0))
-                .map(|(_, cand)| cand)
-                .expect("at least one restart")
+            self.workers
         };
-        let k = part.centers.len();
-        let mut assignment = part.assignment;
-        if self.use_sa && k > 1 {
-            let pc = sa::PartitionConstraints {
-                max_cap_ff: cons.max_cap_ff,
-                max_fanout: cons.max_fanout,
-                max_wl_um: cons.max_wl_um,
-                unit_wire_cap: self.tech.unit_cap_ff,
-            };
-            sa::refine(
-                &positions,
-                &caps,
-                &mut assignment,
-                k,
-                &pc,
-                &sa::SaConfig { seed: self.seed ^ (level as u64) << 8, ..Default::default() },
-            );
-        }
-
-        // Route all clusters first; drivers are sized jointly afterwards
-        // so buffer drive strength — not detour wire — absorbs the
-        // cluster-to-cluster delay spread ("adjustments in downstream
-        // buffer sizes", §3.4).
-        let mut routed = Vec::new();
-        for c in 0..k {
-            let members: Vec<LevelNode> = nodes
-                .iter()
-                .zip(&assignment)
-                .filter(|(_, &a)| a == c)
-                .map(|(m, _)| *m)
-                .collect();
-            if members.is_empty() {
-                continue;
-            }
-            routed.push(self.route_cluster(members));
-        }
-
-        // Joint sizing: every cluster total (subtree + driver delay)
-        // should land near a common target — the slowest cluster at its
-        // fastest legal cell.
-        let slew = self.tech.source_slew_ps;
-        let target = routed
-            .iter()
-            .map(|r| {
-                r.subtree_hi
-                    + self
-                        .lib
-                        .cells()
-                        .iter()
-                        .filter(|c| c.can_drive(r.load))
-                        .map(|c| c.delay(slew, r.load))
-                        .fold(self.lib.largest().delay(slew, r.load), f64::min)
-            })
-            .fold(0.0f64, f64::max);
-
-        let mut next = Vec::new();
-        for r in routed {
-            let usable = || {
-                self.lib
-                    .cells()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| c.can_drive(r.load) || c.name == self.lib.largest().name)
-            };
-            let cell = if self.equalize_sizing {
-                // Equalize toward the slowest cluster, but never slow a
-                // cluster below what the next level's bounded-skew merge
-                // can absorb without detour: totals inside
-                // [target − 0.8·bound, target] are all fine, so take the
-                // *fastest* cell landing in that window (or the closest
-                // to it).
-                let bound = self.constraints.skew_ps * self.level_skew_fraction;
-                let window_lo = target - self.sizing_window_fraction * bound;
-                let in_window: Option<usize> = usable()
-                    .filter(|(_, c)| {
-                        let total = r.subtree_hi + c.delay(slew, r.load);
-                        total >= window_lo && total <= target + 1e-9
-                    })
-                    .min_by(|(_, a), (_, b)| {
-                        a.delay(slew, r.load).total_cmp(&b.delay(slew, r.load))
-                    })
-                    .map(|(i, _)| i);
-                in_window.unwrap_or_else(|| {
-                    usable()
-                        .min_by(|(_, a), (_, b)| {
-                            let da = (r.subtree_hi + a.delay(slew, r.load) - target).abs();
-                            let db = (r.subtree_hi + b.delay(slew, r.load) - target).abs();
-                            da.total_cmp(&db)
-                        })
-                        .map(|(i, _)| i)
-                        .expect("library is non-empty")
-                })
-            } else {
-                // Cheapest (by area) cell within `sizing_slack` of the
-                // fastest at this load.
-                let fastest = usable()
-                    .map(|(_, c)| c.delay(slew, r.load))
-                    .fold(f64::INFINITY, f64::min);
-                usable()
-                    .filter(|(_, c)| c.delay(slew, r.load) <= fastest * self.sizing_slack)
-                    .min_by(|(_, a), (_, b)| a.area_um2.total_cmp(&b.area_um2))
-                    .map(|(i, _)| i)
-                    .expect("the fastest cell always qualifies")
-            };
-            // Delay padding: when even the slowest usable cell leaves the
-            // cluster far ahead of the target, chain small buffers above
-            // the driver to make up the rest.
-            let pad_cell = &self.lib.cells()[0];
-            let pad_delay = pad_cell.delay(slew, self.lib.cells()[cell].input_cap_ff);
-            let pads = if self.equalize_sizing && pad_delay > 1e-9 {
-                let total = r.subtree_hi + self.lib.cells()[cell].delay(slew, r.load);
-                (((target - total) / pad_delay).floor().max(0.0) as usize).min(8)
-            } else {
-                0
-            };
-            let drv = self.estimator.provisional_delay_for(
-                &self.lib,
-                r.load,
-                Some(&self.lib.cells()[cell]),
-                slew,
-            ) + pads as f64 * pad_delay;
-            let input_cap = if pads > 0 {
-                pad_cell.input_cap_ff
-            } else {
-                self.lib.cells()[cell].input_cap_ff
-            };
-            let idx = clusters.len();
-            next.push(LevelNode {
-                pos: r.tap,
-                cap_ff: input_cap,
-                interval_ps: (r.subtree_lo + drv, r.subtree_hi + drv),
-                source: NodeSource::Cluster(idx),
-            });
-            clusters.push(BuiltCluster {
-                tree: r.tree,
-                members: r.members,
-                cell,
-                pads,
-                driver_pos: r.tap,
-            });
-        }
-        next
-    }
-
-    /// The paper's adaptive clustering cost `p·σ(Cap) + q·σ(T)` over a
-    /// candidate partition, with per-cluster net capacitance (pins + HPWL
-    /// wire) and a bounding-box delay proxy.
-    fn adaptive_cluster_cost(
-        &self,
-        positions: &[Point],
-        caps: &[f64],
-        part: &sllt_partition::Partition,
-        p: f64,
-        q: f64,
-    ) -> f64 {
-        let k = part.centers.len();
-        let mut cluster_caps = Vec::with_capacity(k);
-        let mut cluster_delays = Vec::with_capacity(k);
-        for c in 0..k {
-            let members = part.members(c);
-            if members.is_empty() {
-                continue;
-            }
-            let pts: Vec<Point> = members.iter().map(|&i| positions[i]).collect();
-            let pin_cap: f64 = members.iter().map(|&i| caps[i]).sum();
-            let hpwl = sllt_geom::Rect::bounding(&pts).map_or(0.0, |r| r.hpwl());
-            let net_cap = pin_cap + self.tech.wire_cap(hpwl);
-            cluster_caps.push(net_cap);
-            // Delay proxy: Elmore over half the cluster span at its load.
-            cluster_delays.push(self.tech.wire_delay(hpwl / 2.0, net_cap));
-        }
-        sllt_partition::cluster_cost(&cluster_caps, &cluster_delays, p, q)
-    }
-
-    /// Routes one cluster and computes its timing aggregates.
-    fn route_cluster(&self, members: Vec<LevelNode>) -> RoutedCluster {
-        let tap = centroid(&members.iter().map(|m| m.pos).collect::<Vec<_>>())
-            .expect("cluster is non-empty");
-        let net = ClockNet::new(
-            tap,
-            members.iter().map(|m| Sink::new(m.pos, m.cap_ff)).collect(),
-        );
-        let intervals: Vec<(f64, f64)> = members.iter().map(|m| m.interval_ps).collect();
-        let bound = self.constraints.skew_ps * self.level_skew_fraction;
-        let model = DelayModel::Elmore(self.tech);
-
-        // Adaptive shallowness: allow whatever path depth costs at most
-        // `cluster_latency_slack_ps` of Elmore delay, so compact clusters
-        // keep Steiner-light routing while long-haul nets stay shallow.
-        let adaptive_eps = |eps: f64| -> f64 {
-            let max_md = net.max_source_dist();
-            if max_md <= 1e-9 {
-                return eps;
-            }
-            let slack_len = (2.0 * self.cluster_latency_slack_ps
-                / (self.tech.unit_res_ohm * self.tech.unit_cap_ff * 1e-3))
-                .sqrt();
-            eps.max(slack_len / max_md - 1.0).min(10.0)
-        };
-
-        let tree = match self.topology {
-            TopologyKind::Cbs { scheme, eps } => cbs_intervals(
-                &net,
-                &CbsConfig { scheme, eps: adaptive_eps(eps), skew_bound: bound, model },
-                &intervals,
-            ),
-            TopologyKind::Bst { scheme } => {
-                let topo = scheme.build(&net);
-                dme_intervals(
-                    &net,
-                    &topo.to_hinted(),
-                    &DmeOptions { skew_bound: bound, model },
-                    &intervals,
-                )
-            }
-            TopologyKind::Salt { eps } => salt(&net, adaptive_eps(eps)),
-            TopologyKind::Rsmt => rsmt::rsmt(&net),
-            TopologyKind::HTree => htree(&net, 2),
-            TopologyKind::GhTree => ghtree(&net, 2),
-        };
-
-        // Cluster timing: Elmore from the tap plus each member's offset.
-        let caps = sllt_buffer::repeater::downstream_caps(&tree, &self.tech, Some(&self.lib));
-        let (rc, map) = tree.to_rc_tree();
-        let delays = rc.elmore(&self.tech, 0.0);
-        let mut subtree_hi = 0.0f64;
-        let mut subtree_lo = f64::INFINITY;
-        for id in tree.sinks() {
-            if let NodeKind::Sink { sink_index, .. } = tree.node(id).kind {
-                let d = delays[map[id.index()].expect("sink mapped")];
-                subtree_hi = subtree_hi.max(d + intervals[sink_index].1);
-                subtree_lo = subtree_lo.min(d + intervals[sink_index].0);
-            }
-        }
-        let load = caps[tree.root().index()];
-        RoutedCluster { tree, members, tap, load, subtree_lo, subtree_hi }
-    }
-
-    /// Recursively copies a level node (and everything below it) into the
-    /// global tree under `parent`. `edge_len` overrides the edge's routed
-    /// length (detour from the upper net); `None` wires the plain
-    /// Manhattan distance.
-    fn attach(
-        &self,
-        clusters: &[BuiltCluster],
-        tree: &mut ClockTree,
-        parent: NodeId,
-        node: &LevelNode,
-        edge_len: Option<f64>,
-    ) -> NodeId {
-        match node.source {
-            NodeSource::DesignSink(i) => {
-                let id = tree.add_sink_indexed(parent, node.pos, node.cap_ff, i);
-                if let Some(e) = edge_len {
-                    tree.set_edge_len(id, e.max(tree.node(id).edge_len()));
-                }
-                id
-            }
-            NodeSource::Cluster(ci) => {
-                let bc = &clusters[ci];
-                // Pad chain (if any) sits above the driver, co-located.
-                let mut upper = parent;
-                let mut first = None;
-                for _ in 0..bc.pads {
-                    let pad = tree.add_buffer(upper, bc.driver_pos, 0);
-                    if first.is_none() {
-                        first = Some(pad);
-                        if let Some(e) = edge_len {
-                            tree.set_edge_len(pad, e.max(tree.node(pad).edge_len()));
-                        }
-                    }
-                    upper = pad;
-                }
-                let buf = tree.add_buffer(upper, bc.driver_pos, bc.cell);
-                if first.is_none() {
-                    if let Some(e) = edge_len {
-                        tree.set_edge_len(buf, e.max(tree.node(buf).edge_len()));
-                    }
-                }
-                self.copy_subtree(clusters, tree, buf, &bc.tree, bc.tree.root(), &bc.members);
-                first.unwrap_or(buf)
-            }
-        }
-    }
-
-    /// Copies the children of `src_node` (in a cluster tree) under
-    /// `dst_parent` in the global tree, resolving cluster-tree sinks into
-    /// their level nodes.
-    fn copy_subtree(
-        &self,
-        clusters: &[BuiltCluster],
-        tree: &mut ClockTree,
-        dst_parent: NodeId,
-        src: &ClockTree,
-        src_node: NodeId,
-        members: &[LevelNode],
-    ) {
-        let children: Vec<NodeId> = src.node(src_node).children().to_vec();
-        for child in children {
-            let (kind, pos, edge) = {
-                let cn = src.node(child);
-                (cn.kind, cn.pos, cn.edge_len())
-            };
-            let id = match kind {
-                // Internal sinks (RSMT/SALT cluster trees route through
-                // pins) keep their subtree below the attached node.
-                NodeKind::Sink { sink_index, .. } => {
-                    self.attach(clusters, tree, dst_parent, &members[sink_index], Some(edge))
-                }
-                _ => {
-                    let id = tree.add_steiner(dst_parent, pos);
-                    tree.set_edge_len(id, edge.max(tree.node(id).edge_len()));
-                    id
-                }
-            };
-            self.copy_subtree(clusters, tree, id, src, child, members);
-        }
-    }
-}
-
-/// A routed cluster awaiting joint driver sizing.
-struct RoutedCluster {
-    tree: ClockTree,
-    members: Vec<LevelNode>,
-    tap: Point,
-    load: f64,
-    subtree_lo: f64,
-    subtree_hi: f64,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::eval::evaluate;
-    use sllt_design::DesignSpec;
-
-    #[test]
-    fn flow_covers_every_sink_exactly_once() {
-        let design = DesignSpec::by_name("s35932").unwrap().instantiate();
-        let cts = HierarchicalCts::default();
-        let tree = cts.run(&design);
-        tree.validate().unwrap();
-        let mut seen = vec![false; design.num_ffs()];
-        for id in tree.sinks() {
-            if let NodeKind::Sink { sink_index, .. } = tree.node(id).kind {
-                assert!(!seen[sink_index], "sink {sink_index} duplicated");
-                seen[sink_index] = true;
-            }
-        }
-        assert!(seen.iter().all(|&s| s), "some sinks were dropped");
-    }
-
-    #[test]
-    fn flow_meets_the_paper_constraints() {
-        let design = DesignSpec::by_name("s38584").unwrap().instantiate();
-        let cts = HierarchicalCts::default();
-        let tree = cts.run(&design);
-        let r = evaluate(&tree, &cts.tech, &cts.lib);
-        assert!(r.skew_ps <= cts.constraints.skew_ps + 1e-6, "skew {}", r.skew_ps);
-        assert!(r.num_buffers > 0);
-        assert!(r.max_latency_ps > 0.0 && r.max_latency_ps < 1000.0);
-    }
-
-    #[test]
-    fn sink_positions_survive_assembly() {
-        let design = DesignSpec::by_name("s38417").unwrap().instantiate();
-        let cts = HierarchicalCts::default();
-        let tree = cts.run(&design);
-        for id in tree.sinks() {
-            if let NodeKind::Sink { sink_index, .. } = tree.node(id).kind {
-                assert!(
-                    tree.node(id).pos.approx_eq(design.sinks[sink_index].pos),
-                    "sink {sink_index} moved"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn single_ff_design_is_a_wire() {
-        let design = Design {
-            name: "one".into(),
-            num_instances: 1,
-            utilization: 0.5,
-            die: sllt_geom::Rect::new(Point::ORIGIN, Point::new(100.0, 100.0)),
-            clock_root: Point::ORIGIN,
-            sinks: vec![Sink::new(Point::new(50.0, 50.0), 1.0)],
-        };
-        let tree = HierarchicalCts::default().run(&design);
-        assert_eq!(tree.sinks().len(), 1);
-        tree.validate().unwrap();
-    }
-
-    #[test]
-    fn sizing_policies_all_meet_the_bound() {
-        let design = DesignSpec::by_name("s35932").unwrap().instantiate();
-        for (equalize, window) in [(true, 0.0), (true, 0.5), (false, 0.0)] {
-            let cts = HierarchicalCts {
-                equalize_sizing: equalize,
-                sizing_window_fraction: window,
-                ..HierarchicalCts::default()
-            };
-            let tree = cts.run(&design);
-            let r = evaluate(&tree, &cts.tech, &cts.lib);
-            assert!(
-                r.skew_ps <= cts.constraints.skew_ps + 1e-6,
-                "equalize={equalize} window={window}: skew {}",
-                r.skew_ps
-            );
-        }
-    }
-
-    #[test]
-    fn estimator_policies_all_complete() {
-        let design = DesignSpec::by_name("s38417").unwrap().instantiate();
-        for est in [
-            sllt_buffer::DelayEstimator::None,
-            sllt_buffer::DelayEstimator::LowerBound,
-            sllt_buffer::DelayEstimator::ChosenCell,
-        ] {
-            let cts = HierarchicalCts { estimator: est, ..HierarchicalCts::default() };
-            let tree = cts.run(&design);
-            tree.validate().unwrap();
-            assert_eq!(tree.sinks().len(), design.num_ffs());
-        }
-    }
-
-    #[test]
-    fn topology_kind_changes_the_result() {
-        let design = DesignSpec::by_name("s35932").unwrap().instantiate();
-        let mut cts = HierarchicalCts::default();
-        let ours = evaluate(&cts.run(&design), &cts.tech, &cts.lib);
-        cts.topology = TopologyKind::HTree;
-        let htree = evaluate(&cts.run(&design), &cts.tech, &cts.lib);
-        assert_ne!(ours.clock_wl_um, htree.clock_wl_um);
+        configured.min(jobs).max(1)
     }
 }

@@ -9,6 +9,9 @@
 //!
 //! * [`constraints`] — the design constraints of paper Table 5,
 //! * [`flow`] — the paper's flow ("Ours"): [`flow::HierarchicalCts`],
+//!   a staged engine coordinating [`partition`] → [`route`] (parallel
+//!   across clusters) → [`sizing`] per level, then [`assemble`]; typed
+//!   failures in [`error`], per-level observability in [`report`],
 //! * [`baseline`] — `OpenRoadLike` (TritonCTS-style structural H-tree
 //!   with per-level buffering) and `CommercialLike` (same hierarchical
 //!   engine tuned the way commercial CTS behaves: tight skew targets,
@@ -27,20 +30,30 @@
 //!
 //! let design = DesignSpec::by_name("s35932").unwrap().instantiate();
 //! let cts = HierarchicalCts::default();
-//! let tree = cts.run(&design);
+//! let tree = cts.run(&design).expect("well-formed design");
 //! let report = evaluate(&tree, &cts.tech, &cts.lib);
 //! assert_eq!(report.num_sinks, design.num_ffs());
 //! assert!(report.skew_ps <= CtsConstraints::paper().skew_ps);
 //! ```
 
+mod assemble;
 pub mod baseline;
 pub mod constraints;
+pub mod error;
 pub mod eval;
 pub mod flow;
 pub mod ocv;
+mod partition;
+pub mod report;
+mod route;
+mod sizing;
 
 pub use baseline::{commercial_like, open_road_like};
 pub use constraints::CtsConstraints;
+pub use error::CtsError;
 pub use eval::{evaluate, TreeReport};
-pub use ocv::{derate_skew, ocv_analysis, OcvModel, OcvReport};
 pub use flow::{HierarchicalCts, TopologyKind};
+pub use ocv::{derate_skew, ocv_analysis, OcvModel, OcvReport};
+pub use report::{
+    AssembleReport, CollectingObserver, FlowObserver, LevelReport, NullObserver, StageTimings,
+};

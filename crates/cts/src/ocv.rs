@@ -13,8 +13,8 @@
 //! and per buffer instance (delay), re-propagates latencies, and records
 //! the skew. [`ocv_analysis`] summarizes the distribution.
 
-use rand::prelude::*;
 use sllt_buffer::repeater::downstream_caps;
+use sllt_rng::prelude::*;
 use sllt_timing::{BufferLibrary, Technology};
 use sllt_tree::{ClockTree, NodeKind};
 
@@ -82,7 +82,14 @@ pub fn ocv_analysis(
     let mut skews = Vec::with_capacity(trials);
     let mut latency_sum = 0.0;
     for _ in 0..trials {
-        let t = trial_with_rng(tree, tech, lib, &mut rng, model.wire_sigma, model.buffer_sigma);
+        let t = trial_with_rng(
+            tree,
+            tech,
+            lib,
+            &mut rng,
+            model.wire_sigma,
+            model.buffer_sigma,
+        );
         skews.push(t.0 - t.1);
         latency_sum += t.0;
     }
@@ -117,12 +124,7 @@ pub fn ocv_analysis(
 /// # Panics
 ///
 /// Panics when the tree has no sinks or `derate` is negative.
-pub fn derate_skew(
-    tree: &ClockTree,
-    tech: &Technology,
-    lib: &BufferLibrary,
-    derate: f64,
-) -> f64 {
+pub fn derate_skew(tree: &ClockTree, tech: &Technology, lib: &BufferLibrary, derate: f64) -> f64 {
     assert!(derate >= 0.0, "negative derate");
     let sinks = tree.sinks();
     assert!(!sinks.is_empty(), "OCV analysis of a sinkless tree");
@@ -148,12 +150,10 @@ pub fn derate_skew(
         let mut best_early = early[v.index()];
         for &c in node.children() {
             if late[c.index()] > f64::NEG_INFINITY && best_early < f64::INFINITY {
-                worst = worst
-                    .max(late[c.index()] - best_early - 2.0 * derate * delay[v.index()]);
+                worst = worst.max(late[c.index()] - best_early - 2.0 * derate * delay[v.index()]);
             }
             if early[c.index()] < f64::INFINITY && best_late > f64::NEG_INFINITY {
-                worst = worst
-                    .max(best_late - early[c.index()] - 2.0 * derate * delay[v.index()]);
+                worst = worst.max(best_late - early[c.index()] - 2.0 * derate * delay[v.index()]);
             }
             best_late = best_late.max(late[c.index()]);
             best_early = best_early.min(early[c.index()]);
@@ -262,12 +262,16 @@ mod tests {
     fn zero_sigma_matches_nominal() {
         let design = DesignSpec::by_name("s35932").unwrap().instantiate();
         let cts = HierarchicalCts::default();
-        let tree = cts.run(&design);
+        let tree = cts.run(&design).unwrap();
         let r = ocv_analysis(
             &tree,
             &cts.tech,
             &cts.lib,
-            &OcvModel { wire_sigma: 0.0, buffer_sigma: 0.0, seed: 1 },
+            &OcvModel {
+                wire_sigma: 0.0,
+                buffer_sigma: 0.0,
+                seed: 1,
+            },
             5,
         );
         assert!((r.mean_skew_ps - r.nominal_skew_ps).abs() < 1e-9);
@@ -278,7 +282,7 @@ mod tests {
     fn variation_widens_skew() {
         let design = DesignSpec::by_name("s35932").unwrap().instantiate();
         let cts = HierarchicalCts::default();
-        let tree = cts.run(&design);
+        let tree = cts.run(&design).unwrap();
         let r = ocv_analysis(&tree, &cts.tech, &cts.lib, &OcvModel::default(), 50);
         assert!(r.mean_skew_ps > 0.0);
         assert!(r.p95_skew_ps >= r.mean_skew_ps);
@@ -289,7 +293,7 @@ mod tests {
     fn derate_skew_zero_matches_nominal_skew() {
         let design = DesignSpec::by_name("s35932").unwrap().instantiate();
         let cts = HierarchicalCts::default();
-        let tree = cts.run(&design);
+        let tree = cts.run(&design).unwrap();
         let nominal = crate::eval::evaluate(&tree, &cts.tech, &cts.lib).skew_ps;
         let d0 = derate_skew(&tree, &cts.tech, &cts.lib, 0.0);
         assert!((d0 - nominal).abs() < 1e-6, "{d0} vs {nominal}");
@@ -307,13 +311,9 @@ mod tests {
         // relative to the deeply structural baseline.
         let design = DesignSpec::by_name("s38584").unwrap().instantiate();
         let cts = HierarchicalCts::default();
-        let ours = cts.run(&design);
-        let or_tree = baseline::open_road_like(
-            &design,
-            &CtsConstraints::paper(),
-            &cts.tech,
-            &cts.lib,
-        );
+        let ours = cts.run(&design).unwrap();
+        let or_tree =
+            baseline::open_road_like(&design, &CtsConstraints::paper(), &cts.tech, &cts.lib);
         let derate = 0.08;
         let growth_ours = derate_skew(&ours, &cts.tech, &cts.lib, derate)
             - derate_skew(&ours, &cts.tech, &cts.lib, 0.0);
@@ -330,7 +330,7 @@ mod tests {
     fn zero_trials_rejected() {
         let design = DesignSpec::by_name("s35932").unwrap().instantiate();
         let cts = HierarchicalCts::default();
-        let tree = cts.run(&design);
+        let tree = cts.run(&design).unwrap();
         let _ = ocv_analysis(&tree, &cts.tech, &cts.lib, &OcvModel::default(), 0);
     }
 }

@@ -1,0 +1,238 @@
+//! Per-level flow observability.
+//!
+//! The engine reports one [`LevelReport`] per bottom-up level and one
+//! [`AssembleReport`] for the final assembly through a [`FlowObserver`].
+//! Observers see the flow as it runs — benchmark tables, progress
+//! displays, and the tie-out tests all hang off this trait instead of
+//! re-instrumenting the engine.
+
+use std::time::Duration;
+
+/// Wall time spent in each stage of one level.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Balanced K-means (+ min-cost flow) and SA refinement.
+    pub partition: Duration,
+    /// Per-cluster topology generation and timing aggregation — the
+    /// parallel stage.
+    pub route: Duration,
+    /// Joint driver sizing and delay padding.
+    pub sizing: Duration,
+}
+
+impl StageTimings {
+    /// Total wall time across the three stages.
+    pub fn total(&self) -> Duration {
+        self.partition + self.route + self.sizing
+    }
+}
+
+/// What one bottom-up level did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelReport {
+    /// Level index (0 = the design flip-flops).
+    pub level: usize,
+    /// Clock nodes entering the level.
+    pub num_nodes: usize,
+    /// Clusters built (= nodes leaving the level).
+    pub num_clusters: usize,
+    /// Worker threads the route stage ran on.
+    pub workers: usize,
+    /// Per-stage wall time.
+    pub timings: StageTimings,
+    /// Total routed wirelength of this level's cluster trees, µm.
+    pub wirelength_um: f64,
+    /// Total load each cluster driver sees (pins + wire), fF.
+    pub load_cap_ff: f64,
+    /// Input capacitance this level presents to the next one — every
+    /// driver and delay-padding buffer inserted here, fF.
+    pub driver_input_cap_ff: f64,
+    /// Area of the drivers and pads inserted at this level, µm².
+    pub driver_area_um2: f64,
+    /// Delay-padding buffers inserted across all clusters.
+    pub pads: usize,
+    /// Spread of the accumulated delay intervals handed upward, ps:
+    /// max slowest − min fastest over the level's output nodes.
+    pub delay_spread_ps: f64,
+}
+
+/// What the final assembly did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssembleReport {
+    /// Wire from the clock root to the top cluster's driver, µm.
+    pub trunk_wl_um: f64,
+    /// Critical-wirelength repeaters inserted on long common wires.
+    pub repeaters: usize,
+    /// Input capacitance of those repeaters, fF.
+    pub repeater_input_cap_ff: f64,
+    /// Wall time of assembly + repeater insertion.
+    pub elapsed: Duration,
+}
+
+/// Receives engine progress. All methods default to no-ops, so an
+/// observer implements only what it cares about.
+pub trait FlowObserver {
+    /// The flow is starting over `num_sinks` flip-flops with the route
+    /// stage configured for `workers` threads.
+    fn on_flow_start(&mut self, num_sinks: usize, workers: usize) {
+        let _ = (num_sinks, workers);
+    }
+
+    /// One level finished.
+    fn on_level(&mut self, report: &LevelReport) {
+        let _ = report;
+    }
+
+    /// The tree is assembled and buffered.
+    fn on_assemble(&mut self, report: &AssembleReport) {
+        let _ = report;
+    }
+}
+
+/// Discards everything — what [`run`](crate::flow::HierarchicalCts::run)
+/// uses internally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl FlowObserver for NullObserver {}
+
+/// Keeps every report for post-run inspection and rendering.
+#[derive(Debug, Clone, Default)]
+pub struct CollectingObserver {
+    /// One entry per level, bottom-up.
+    pub levels: Vec<LevelReport>,
+    /// The assembly report, once the flow finishes.
+    pub assemble: Option<AssembleReport>,
+}
+
+impl CollectingObserver {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total routed wirelength across all levels plus the root trunk, µm.
+    /// Matches the assembled tree's wirelength (see the tie-out test).
+    pub fn total_wirelength_um(&self) -> f64 {
+        self.levels.iter().map(|l| l.wirelength_um).sum::<f64>()
+            + self.assemble.as_ref().map_or(0.0, |a| a.trunk_wl_um)
+    }
+
+    /// Input capacitance of every buffer the flow inserted (drivers,
+    /// pads, repeaters), fF.
+    pub fn total_buffer_input_cap_ff(&self) -> f64 {
+        self.levels
+            .iter()
+            .map(|l| l.driver_input_cap_ff)
+            .sum::<f64>()
+            + self
+                .assemble
+                .as_ref()
+                .map_or(0.0, |a| a.repeater_input_cap_ff)
+    }
+
+    /// Wall time of the route stage summed over levels.
+    pub fn route_time(&self) -> Duration {
+        self.levels.iter().map(|l| l.timings.route).sum()
+    }
+
+    /// A fixed-width per-level table (levels bottom-up, then assembly).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>5} {:>7} {:>9} {:>8} {:>11} {:>10} {:>6} {:>11} {:>10} {:>10} {:>10}\n",
+            "level",
+            "nodes",
+            "clusters",
+            "workers",
+            "WL (um)",
+            "load (fF)",
+            "pads",
+            "spread(ps)",
+            "part (ms)",
+            "route (ms)",
+            "size (ms)",
+        ));
+        for l in &self.levels {
+            out.push_str(&format!(
+                "{:>5} {:>7} {:>9} {:>8} {:>11.1} {:>10.1} {:>6} {:>11.2} {:>10.2} {:>10.2} {:>10.2}\n",
+                l.level,
+                l.num_nodes,
+                l.num_clusters,
+                l.workers,
+                l.wirelength_um,
+                l.load_cap_ff,
+                l.pads,
+                l.delay_spread_ps,
+                l.timings.partition.as_secs_f64() * 1e3,
+                l.timings.route.as_secs_f64() * 1e3,
+                l.timings.sizing.as_secs_f64() * 1e3,
+            ));
+        }
+        if let Some(a) = &self.assemble {
+            out.push_str(&format!(
+                "assemble: trunk {:.1} um, {} repeaters, {:.2} ms\n",
+                a.trunk_wl_um,
+                a.repeaters,
+                a.elapsed.as_secs_f64() * 1e3,
+            ));
+        }
+        out
+    }
+}
+
+impl FlowObserver for CollectingObserver {
+    fn on_level(&mut self, report: &LevelReport) {
+        self.levels.push(report.clone());
+    }
+
+    fn on_assemble(&mut self, report: &AssembleReport) {
+        self.assemble = Some(report.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(l: usize, wl: f64) -> LevelReport {
+        LevelReport {
+            level: l,
+            num_nodes: 10,
+            num_clusters: 2,
+            workers: 1,
+            timings: StageTimings::default(),
+            wirelength_um: wl,
+            load_cap_ff: 5.0,
+            driver_input_cap_ff: 1.5,
+            driver_area_um2: 2.0,
+            pads: 0,
+            delay_spread_ps: 0.5,
+        }
+    }
+
+    #[test]
+    fn collector_accumulates_in_order() {
+        let mut obs = CollectingObserver::new();
+        obs.on_level(&level(0, 100.0));
+        obs.on_level(&level(1, 40.0));
+        obs.on_assemble(&AssembleReport {
+            trunk_wl_um: 10.0,
+            repeaters: 3,
+            repeater_input_cap_ff: 4.5,
+            elapsed: Duration::ZERO,
+        });
+        assert_eq!(obs.levels.len(), 2);
+        assert!((obs.total_wirelength_um() - 150.0).abs() < 1e-12);
+        assert!((obs.total_buffer_input_cap_ff() - 7.5).abs() < 1e-12);
+        let table = obs.render();
+        assert!(table.contains("level") && table.contains("repeaters"));
+    }
+
+    #[test]
+    fn null_observer_is_a_no_op() {
+        let mut obs = NullObserver;
+        obs.on_flow_start(5, 1);
+        obs.on_level(&level(0, 1.0));
+    }
+}

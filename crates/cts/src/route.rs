@@ -1,0 +1,242 @@
+//! Per-cluster routing — the parallel stage of each level.
+//!
+//! Every cluster routes independently (`route_cluster` needs only
+//! `&HierarchicalCts` and the cluster's members), so the stage fans out
+//! across a `std::thread::scope`: workers pull cluster indices from a
+//! shared atomic counter and write results into per-index slots.
+//! Collection is by cluster index, and each cluster's RNG stream is
+//! derived up front from the flow seed with SplitMix64 — the output is
+//! bit-identical no matter how many workers run or how they interleave.
+
+use crate::error::CtsError;
+use crate::flow::{HierarchicalCts, TopologyKind};
+use sllt_core::cbs::{cbs_intervals, CbsConfig};
+use sllt_geom::{centroid, Point};
+use sllt_rng::SplitMix64;
+use sllt_route::{dme_intervals, ghtree, htree, rsmt, salt, DelayModel, DmeOptions};
+use sllt_tree::{ClockNet, ClockTree, NodeKind, Sink};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One clock node at the current level: a design FF or a built cluster's
+/// driver input.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LevelNode {
+    pub pos: Point,
+    pub cap_ff: f64,
+    /// Delay interval (fastest, slowest) already accumulated below this
+    /// node, ps.
+    pub interval_ps: (f64, f64),
+    pub source: NodeSource,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum NodeSource {
+    /// Index into the design's sink list.
+    DesignSink(usize),
+    /// Index into the flow's built-cluster arena.
+    Cluster(usize),
+}
+
+/// A routed cluster awaiting joint driver sizing.
+pub(crate) struct RoutedCluster {
+    pub tree: ClockTree,
+    pub members: Vec<LevelNode>,
+    pub tap: Point,
+    pub load: f64,
+    pub subtree_lo: f64,
+    pub subtree_hi: f64,
+}
+
+/// One unit of route work: a cluster's members plus its private RNG
+/// stream seed. Today's topology generators are deterministic and ignore
+/// the seed; it is split off the flow seed *serially, in cluster order*
+/// so a future stochastic generator stays reproducible under any worker
+/// count.
+struct ClusterJob {
+    members: Vec<LevelNode>,
+    seed: u64,
+}
+
+/// Groups `nodes` by `assignment` and routes every non-empty cluster.
+/// Results are returned in cluster-index order; on error the failure of
+/// the lowest-indexed failing cluster is reported (also independent of
+/// worker interleaving).
+pub(crate) fn route_clusters(
+    cts: &HierarchicalCts,
+    nodes: &[LevelNode],
+    assignment: &[usize],
+    k: usize,
+    level: usize,
+) -> Result<Vec<RoutedCluster>, CtsError> {
+    let mut seeds = SplitMix64::new(cts.seed ^ (level as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let jobs: Vec<ClusterJob> = (0..k)
+        .filter_map(|c| {
+            let members: Vec<LevelNode> = nodes
+                .iter()
+                .zip(assignment)
+                .filter(|(_, &a)| a == c)
+                .map(|(m, _)| *m)
+                .collect();
+            // Every cluster index draws its seed, occupied or not, so the
+            // streams do not shift when a cluster comes up empty.
+            let seed = seeds.next_u64();
+            (!members.is_empty()).then_some(ClusterJob { members, seed })
+        })
+        .collect();
+
+    let workers = cts.effective_workers(jobs.len());
+    if workers <= 1 {
+        return jobs
+            .iter()
+            .map(|job| route_cluster(cts, job, level))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<RoutedCluster, CtsError>>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let result = route_cluster(cts, &jobs[i], level);
+                slots.lock().expect("no panics hold the slot lock")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every cluster routed"))
+        .collect()
+}
+
+/// Routes one cluster and computes its timing aggregates.
+fn route_cluster(
+    cts: &HierarchicalCts,
+    job: &ClusterJob,
+    level: usize,
+) -> Result<RoutedCluster, CtsError> {
+    let members = &job.members;
+    let _rng_stream = job.seed; // reserved for stochastic topology generators
+    let tap =
+        centroid(&members.iter().map(|m| m.pos).collect::<Vec<_>>()).expect("cluster is non-empty");
+    let net = ClockNet::new(
+        tap,
+        members.iter().map(|m| Sink::new(m.pos, m.cap_ff)).collect(),
+    );
+    let intervals: Vec<(f64, f64)> = members.iter().map(|m| m.interval_ps).collect();
+    let bound = cts.constraints.skew_ps * cts.level_skew_fraction;
+    let model = DelayModel::Elmore(cts.tech);
+
+    // Adaptive shallowness: allow whatever path depth costs at most
+    // `cluster_latency_slack_ps` of Elmore delay, so compact clusters
+    // keep Steiner-light routing while long-haul nets stay shallow.
+    let adaptive_eps = |eps: f64| -> f64 {
+        let max_md = net.max_source_dist();
+        if max_md <= 1e-9 {
+            return eps;
+        }
+        let slack_len = (2.0 * cts.cluster_latency_slack_ps
+            / (cts.tech.unit_res_ohm * cts.tech.unit_cap_ff * 1e-3))
+            .sqrt();
+        eps.max(slack_len / max_md - 1.0).min(10.0)
+    };
+
+    let tree = match cts.topology {
+        TopologyKind::Cbs { scheme, eps } => cbs_intervals(
+            &net,
+            &CbsConfig {
+                scheme,
+                eps: adaptive_eps(eps),
+                skew_bound: bound,
+                model,
+            },
+            &intervals,
+        ),
+        TopologyKind::Bst { scheme } => {
+            let topo = scheme.build(&net);
+            dme_intervals(
+                &net,
+                &topo.to_hinted(),
+                &DmeOptions {
+                    skew_bound: bound,
+                    model,
+                },
+                &intervals,
+            )
+        }
+        TopologyKind::Salt { eps } => salt(&net, adaptive_eps(eps)),
+        TopologyKind::Rsmt => rsmt::rsmt(&net),
+        TopologyKind::HTree => htree(&net, 2),
+        TopologyKind::GhTree => ghtree(&net, 2),
+    };
+
+    // Cluster timing: Elmore from the tap plus each member's offset.
+    let caps = sllt_buffer::repeater::downstream_caps(&tree, &cts.tech, Some(&cts.lib));
+    let (rc, map) = tree.to_rc_tree();
+    let delays = rc.elmore(&cts.tech, 0.0);
+    let mut subtree_hi = 0.0f64;
+    let mut subtree_lo = f64::INFINITY;
+    for id in tree.sinks() {
+        if let NodeKind::Sink { sink_index, .. } = tree.node(id).kind {
+            let d = delays[map[id.index()].ok_or(CtsError::UnmappedSink { level, sink_index })?];
+            subtree_hi = subtree_hi.max(d + intervals[sink_index].1);
+            subtree_lo = subtree_lo.min(d + intervals[sink_index].0);
+        }
+    }
+    let load = caps[tree.root().index()];
+    Ok(RoutedCluster {
+        tree,
+        members: members.clone(),
+        tap,
+        load,
+        subtree_lo,
+        subtree_hi,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sllt_route::TopologyScheme;
+    use sllt_timing::{BufferLibrary, Technology};
+
+    /// Everything a route worker captures must cross threads.
+    #[test]
+    fn shared_flow_state_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HierarchicalCts>();
+        assert_send_sync::<TopologyScheme>();
+        assert_send_sync::<DelayModel>();
+        assert_send_sync::<Technology>();
+        assert_send_sync::<BufferLibrary>();
+        assert_send_sync::<ClockNet>();
+        assert_send_sync::<ClockTree>();
+        assert_send_sync::<LevelNode>();
+        assert_send_sync::<RoutedCluster>();
+    }
+
+    /// Cluster seed streams depend only on cluster index, not occupancy
+    /// or worker count: the same flow seed always yields the same stream.
+    #[test]
+    fn cluster_seeds_are_stable() {
+        let mut a = SplitMix64::new(0x05117C75 ^ 3u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut b = SplitMix64::new(0x05117C75 ^ 3u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn empty_assignment_routes_nothing() {
+        let cts = HierarchicalCts::default();
+        let routed = route_clusters(&cts, &[], &[], 4, 0).unwrap();
+        assert!(routed.is_empty());
+    }
+}

@@ -64,7 +64,11 @@ pub fn write_design<W: Write>(design: &Design, w: &mut W) -> std::io::Result<()>
     writeln!(w, "sllt-design v1")?;
     writeln!(w, "name {}", design.name)?;
     writeln!(w, "die {} {}", design.die.width(), design.die.height())?;
-    writeln!(w, "clock_root {} {}", design.clock_root.x, design.clock_root.y)?;
+    writeln!(
+        w,
+        "clock_root {} {}",
+        design.clock_root.x, design.clock_root.y
+    )?;
     for s in &design.sinks {
         writeln!(w, "sink {} {} {}", s.pos.x, s.pos.y, s.cap_ff)?;
     }
@@ -96,7 +100,10 @@ pub fn read_design<R: BufRead>(r: &mut R) -> Result<Design, ParseDesignError> {
         }
         if !saw_header {
             if line != "sllt-design v1" {
-                return Err(syntax(ln, format!("expected header 'sllt-design v1', got {line:?}")));
+                return Err(syntax(
+                    ln,
+                    format!("expected header 'sllt-design v1', got {line:?}"),
+                ));
             }
             saw_header = true;
             continue;
@@ -127,7 +134,10 @@ pub fn read_design<R: BufRead>(r: &mut R) -> Result<Design, ParseDesignError> {
                 sinks.push(Sink::new(Point::new(parse_f(p[1])?, parse_f(p[2])?), cap));
             }
             other => {
-                return Err(syntax(ln, format!("unknown or malformed directive {other:?}")));
+                return Err(syntax(
+                    ln,
+                    format!("unknown or malformed directive {other:?}"),
+                ));
             }
         }
     }

@@ -4,8 +4,8 @@
 //! x and y coordinates. And the numbers of load pins of all nets vary
 //! from 10 to 40. … For each skew level, we generate 10,000 nets."
 
-use rand::prelude::*;
 use sllt_geom::Point;
+use sllt_rng::prelude::*;
 use sllt_tree::{ClockNet, Sink};
 
 /// Deterministic generator of random clock nets.
@@ -51,7 +51,10 @@ impl NetGenerator {
     ///
     /// Panics when `min_pins` is zero or exceeds `max_pins`.
     pub fn net(&self, index: u64) -> ClockNet {
-        assert!(self.min_pins > 0 && self.min_pins <= self.max_pins, "bad pin range");
+        assert!(
+            self.min_pins > 0 && self.min_pins <= self.max_pins,
+            "bad pin range"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(index));
         let n = rng.random_range(self.min_pins..=self.max_pins);
         let mut pt = || {
@@ -100,7 +103,11 @@ mod tests {
         for net in g.take(2000) {
             seen.insert(net.len());
         }
-        assert!(seen.len() > 25, "pin-count diversity too low: {}", seen.len());
+        assert!(
+            seen.len() > 25,
+            "pin-count diversity too low: {}",
+            seen.len()
+        );
         assert!(seen.contains(&10) && seen.contains(&40));
     }
 

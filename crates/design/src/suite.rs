@@ -13,8 +13,8 @@
 //! wirelength, and `ysyx_0` lands in the ~40–50 k µm range of Table 7.
 
 use crate::design::Design;
-use rand::prelude::*;
 use sllt_geom::{Point, Rect};
+use sllt_rng::prelude::*;
 use sllt_tree::Sink;
 
 /// Mean standard-cell area at 28 nm, µm² — converts instance counts into
@@ -41,16 +41,76 @@ pub struct DesignSpec {
 
 /// Paper Table 4, verbatim.
 pub const SUITE: [DesignSpec; 10] = [
-    DesignSpec { name: "s38584", num_instances: 7510, num_ffs: 1248, utilization: 0.60, internal: false },
-    DesignSpec { name: "s38417", num_instances: 6428, num_ffs: 1564, utilization: 0.61, internal: false },
-    DesignSpec { name: "s35932", num_instances: 6113, num_ffs: 1728, utilization: 0.58, internal: false },
-    DesignSpec { name: "salsa20", num_instances: 13706, num_ffs: 2375, utilization: 0.68, internal: false },
-    DesignSpec { name: "ethernet", num_instances: 39945, num_ffs: 10015, utilization: 0.61, internal: false },
-    DesignSpec { name: "vga_lcd", num_instances: 60541, num_ffs: 16902, utilization: 0.55, internal: false },
-    DesignSpec { name: "ysyx_0", num_instances: 86933, num_ffs: 18487, utilization: 0.93, internal: true },
-    DesignSpec { name: "ysyx_1", num_instances: 93907, num_ffs: 19090, utilization: 0.868, internal: true },
-    DesignSpec { name: "ysyx_2", num_instances: 139178, num_ffs: 27078, utilization: 0.814, internal: true },
-    DesignSpec { name: "ysyx_3", num_instances: 139956, num_ffs: 22810, utilization: 0.722, internal: true },
+    DesignSpec {
+        name: "s38584",
+        num_instances: 7510,
+        num_ffs: 1248,
+        utilization: 0.60,
+        internal: false,
+    },
+    DesignSpec {
+        name: "s38417",
+        num_instances: 6428,
+        num_ffs: 1564,
+        utilization: 0.61,
+        internal: false,
+    },
+    DesignSpec {
+        name: "s35932",
+        num_instances: 6113,
+        num_ffs: 1728,
+        utilization: 0.58,
+        internal: false,
+    },
+    DesignSpec {
+        name: "salsa20",
+        num_instances: 13706,
+        num_ffs: 2375,
+        utilization: 0.68,
+        internal: false,
+    },
+    DesignSpec {
+        name: "ethernet",
+        num_instances: 39945,
+        num_ffs: 10015,
+        utilization: 0.61,
+        internal: false,
+    },
+    DesignSpec {
+        name: "vga_lcd",
+        num_instances: 60541,
+        num_ffs: 16902,
+        utilization: 0.55,
+        internal: false,
+    },
+    DesignSpec {
+        name: "ysyx_0",
+        num_instances: 86933,
+        num_ffs: 18487,
+        utilization: 0.93,
+        internal: true,
+    },
+    DesignSpec {
+        name: "ysyx_1",
+        num_instances: 93907,
+        num_ffs: 19090,
+        utilization: 0.868,
+        internal: true,
+    },
+    DesignSpec {
+        name: "ysyx_2",
+        num_instances: 139178,
+        num_ffs: 27078,
+        utilization: 0.814,
+        internal: true,
+    },
+    DesignSpec {
+        name: "ysyx_3",
+        num_instances: 139956,
+        num_ffs: 22810,
+        utilization: 0.722,
+        internal: true,
+    },
 ];
 
 impl DesignSpec {
@@ -68,10 +128,9 @@ impl DesignSpec {
     /// derived from the design name), so every harness sees the same
     /// design.
     pub fn instantiate(&self) -> Design {
-        let seed = self
-            .name
-            .bytes()
-            .fold(0xD5_16u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        let seed = self.name.bytes().fold(0xD5_16u64, |h, b| {
+            h.wrapping_mul(131).wrapping_add(b as u64)
+        });
         let mut rng = StdRng::seed_from_u64(seed);
         let side = self.die_side_um();
         let die = Rect::new(Point::ORIGIN, Point::new(side, side));
@@ -178,8 +237,7 @@ mod tests {
             counts[gy * g + gx] += 1.0;
         }
         let mean = d.sinks.len() as f64 / (g * g) as f64;
-        let var: f64 =
-            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (g * g) as f64;
+        let var: f64 = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (g * g) as f64;
         // Poisson (uniform) variance ≈ mean; banks push it far higher.
         assert!(var > 2.0 * mean, "variance {var:.1} vs mean {mean:.1}");
     }

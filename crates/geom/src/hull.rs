@@ -90,8 +90,7 @@ pub fn hull_contains(vertices: &[Point], p: Point) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::prelude::*;
+    use sllt_rng::prelude::*;
 
     #[test]
     fn square_hull_excludes_interior() {
@@ -119,14 +118,20 @@ mod tests {
             Point::new(0.0, 4.0),
         ];
         let hull = convex_hull(&pts);
-        assert!(hull.contains(&1), "collinear edge point must stay: {hull:?}");
+        assert!(
+            hull.contains(&1),
+            "collinear edge point must stay: {hull:?}"
+        );
     }
 
     #[test]
     fn degenerate_inputs() {
         assert!(convex_hull(&[]).is_empty());
         assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]), vec![0]);
-        assert_eq!(convex_hull(&[Point::new(1.0, 1.0), Point::new(2.0, 2.0)]).len(), 2);
+        assert_eq!(
+            convex_hull(&[Point::new(1.0, 1.0), Point::new(2.0, 2.0)]).len(),
+            2
+        );
         // All identical points collapse to one.
         let same = vec![Point::new(1.0, 1.0); 5];
         assert_eq!(convex_hull(&same).len(), 1);
@@ -158,19 +163,25 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn hull_is_subset_and_contains_all(
-            raw in proptest::collection::vec((-50f64..50.0, -50f64..50.0), 1..40)
-        ) {
-            let pts: Vec<Point> = raw.into_iter().map(Point::from).collect();
-            let hull = convex_hull(&pts);
-            prop_assert!(!hull.is_empty());
-            prop_assert!(hull.iter().all(|&i| i < pts.len()));
-            let verts: Vec<Point> = hull.iter().map(|&i| pts[i]).collect();
-            if verts.len() >= 3 {
-                for &p in &pts {
-                    prop_assert!(hull_contains(&verts, p));
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn hull_is_subset_and_contains_all(
+                raw in proptest::collection::vec((-50f64..50.0, -50f64..50.0), 1..40)
+            ) {
+                let pts: Vec<Point> = raw.into_iter().map(Point::from).collect();
+                let hull = convex_hull(&pts);
+                prop_assert!(!hull.is_empty());
+                prop_assert!(hull.iter().all(|&i| i < pts.len()));
+                let verts: Vec<Point> = hull.iter().map(|&i| pts[i]).collect();
+                if verts.len() >= 3 {
+                    for &p in &pts {
+                        prop_assert!(hull_contains(&verts, p));
+                    }
                 }
             }
         }

@@ -154,16 +154,13 @@ pub fn centroid(points: &[Point]) -> Option<Point> {
     if points.is_empty() {
         return None;
     }
-    let sum = points
-        .iter()
-        .fold(Point::ORIGIN, |acc, &p| acc + p);
+    let sum = points.iter().fold(Point::ORIGIN, |acc, &p| acc + p);
     Some(sum / points.len() as f64)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn manhattan_distance_is_symmetric_and_zero_on_self() {
@@ -224,30 +221,36 @@ mod tests {
         assert_eq!(Point::cross(a, b, Point::new(2.0, 0.0)), 0.0);
     }
 
-    fn arb_point() -> impl Strategy<Value = Point> {
-        (-1e4f64..1e4, -1e4f64..1e4).prop_map(|(x, y)| Point::new(x, y))
-    }
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
-            prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-6);
+        fn arb_point() -> impl Strategy<Value = Point> {
+            (-1e4f64..1e4, -1e4f64..1e4).prop_map(|(x, y)| Point::new(x, y))
         }
 
-        #[test]
-        fn l1_dominates_linf(a in arb_point(), b in arb_point()) {
-            prop_assert!(a.dist(b) + 1e-9 >= a.dist_linf(b));
-            prop_assert!(a.dist(b) <= 2.0 * a.dist_linf(b) + 1e-9);
-        }
+        proptest! {
+            #[test]
+            fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+                prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-6);
+            }
 
-        #[test]
-        fn walk_towards_walks_exact_length(a in arb_point(), b in arb_point(), t in 0.0f64..1.0) {
-            let len = a.dist(b) * t;
-            let w = a.walk_towards(b, len);
-            // The walked point lies on a monotone staircase: the distance
-            // from `a` is exactly `len` and the remainder to `b` is the rest.
-            prop_assert!((a.dist(w) - len).abs() < 1e-6);
-            prop_assert!((w.dist(b) - (a.dist(b) - len)).abs() < 1e-6);
+            #[test]
+            fn l1_dominates_linf(a in arb_point(), b in arb_point()) {
+                prop_assert!(a.dist(b) + 1e-9 >= a.dist_linf(b));
+                prop_assert!(a.dist(b) <= 2.0 * a.dist_linf(b) + 1e-9);
+            }
+
+            #[test]
+            fn walk_towards_walks_exact_length(a in arb_point(), b in arb_point(), t in 0.0f64..1.0) {
+                let len = a.dist(b) * t;
+                let w = a.walk_towards(b, len);
+                // The walked point lies on a monotone staircase: the distance
+                // from `a` is exactly `len` and the remainder to `b` is the rest.
+                prop_assert!((a.dist(w) - len).abs() < 1e-6);
+                prop_assert!((w.dist(b) - (a.dist(b) - len)).abs() < 1e-6);
+            }
         }
     }
 }

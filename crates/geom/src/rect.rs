@@ -103,7 +103,10 @@ impl Rect {
     /// The point inside the rectangle closest (in any Lp metric — they
     /// agree for boxes) to `p`.
     pub fn clamp(&self, p: Point) -> Point {
-        Point::new(p.x.clamp(self.lo.x, self.hi.x), p.y.clamp(self.lo.y, self.hi.y))
+        Point::new(
+            p.x.clamp(self.lo.x, self.hi.x),
+            p.y.clamp(self.lo.y, self.hi.y),
+        )
     }
 
     /// L1 distance from `p` to the rectangle (zero when inside).
@@ -135,7 +138,6 @@ impl fmt::Display for Rect {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn bounding_box_of_points() {
@@ -174,31 +176,37 @@ mod tests {
         assert!(a.intersection(&d).is_none());
     }
 
-    fn arb_rect() -> impl Strategy<Value = Rect> {
-        (
-            (-100f64..100.0, -100f64..100.0),
-            (-100f64..100.0, -100f64..100.0),
-        )
-            .prop_map(|((ax, ay), (bx, by))| Rect::new(Point::new(ax, ay), Point::new(bx, by)))
-    }
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn clamp_is_inside_and_closest(r in arb_rect(), x in -200f64..200.0, y in -200f64..200.0) {
-            let p = Point::new(x, y);
-            let c = r.clamp(p);
-            prop_assert!(r.contains(c));
-            // No corner is closer than the clamp point.
-            for q in [r.lo(), r.hi(), Point::new(r.lo().x, r.hi().y), Point::new(r.hi().x, r.lo().y)] {
-                prop_assert!(p.dist(c) <= p.dist(q) + 1e-9);
-            }
+        fn arb_rect() -> impl Strategy<Value = Rect> {
+            (
+                (-100f64..100.0, -100f64..100.0),
+                (-100f64..100.0, -100f64..100.0),
+            )
+                .prop_map(|((ax, ay), (bx, by))| Rect::new(Point::new(ax, ay), Point::new(bx, by)))
         }
 
-        #[test]
-        fn intersection_is_contained(a in arb_rect(), b in arb_rect()) {
-            if let Some(i) = a.intersection(&b) {
-                prop_assert!(a.contains(i.lo()) && a.contains(i.hi()));
-                prop_assert!(b.contains(i.lo()) && b.contains(i.hi()));
+        proptest! {
+            #[test]
+            fn clamp_is_inside_and_closest(r in arb_rect(), x in -200f64..200.0, y in -200f64..200.0) {
+                let p = Point::new(x, y);
+                let c = r.clamp(p);
+                prop_assert!(r.contains(c));
+                // No corner is closer than the clamp point.
+                for q in [r.lo(), r.hi(), Point::new(r.lo().x, r.hi().y), Point::new(r.hi().x, r.lo().y)] {
+                    prop_assert!(p.dist(c) <= p.dist(q) + 1e-9);
+                }
+            }
+
+            #[test]
+            fn intersection_is_contained(a in arb_rect(), b in arb_rect()) {
+                if let Some(i) = a.intersection(&b) {
+                    prop_assert!(a.contains(i.lo()) && a.contains(i.hi()));
+                    prop_assert!(b.contains(i.lo()) && b.contains(i.hi()));
+                }
             }
         }
     }

@@ -188,7 +188,10 @@ impl RRect {
     /// Whether the placement-plane point lies in the region.
     pub fn contains_xy(&self, p: Point) -> bool {
         let r = RPoint::from_xy(p);
-        r.u >= self.ulo - EPS && r.u <= self.uhi + EPS && r.v >= self.vlo - EPS && r.v <= self.vhi + EPS
+        r.u >= self.ulo - EPS
+            && r.u <= self.uhi + EPS
+            && r.v >= self.vlo - EPS
+            && r.v <= self.vhi + EPS
     }
 
     /// Whether the region is a single point (both extents ≈ 0).
@@ -210,7 +213,6 @@ impl fmt::Display for RRect {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn rotation_roundtrip() {
@@ -275,47 +277,53 @@ mod tests {
         assert!(RRect::arc(Point::new(0.0, 0.0), Point::new(3.0, 1.0)).is_none());
     }
 
-    fn arb_point() -> impl Strategy<Value = Point> {
-        (-100f64..100.0, -100f64..100.0).prop_map(|(x, y)| Point::new(x, y))
-    }
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn trr_contains_exactly_the_l1_ball(c in arb_point(), p in arb_point(), r in 0f64..50.0) {
-            let trr = RRect::from_point(c).inflated(r);
-            prop_assert_eq!(trr.contains_xy(p), c.dist(p) <= r + 1e-6);
+        fn arb_point() -> impl Strategy<Value = Point> {
+            (-100f64..100.0, -100f64..100.0).prop_map(|(x, y)| Point::new(x, y))
         }
 
-        #[test]
-        fn balanced_trrs_always_intersect(a in arb_point(), b in arb_point()) {
-            // Radii summing to the separation distance must touch: this is
-            // the fundamental DME merge step.
-            let d = a.dist(b);
-            let ta = RRect::from_point(a).inflated(d / 2.0);
-            let tb = RRect::from_point(b).inflated(d / 2.0);
-            let m = ta.intersection(&tb);
-            prop_assert!(m.is_some());
-            // Any point of the merge region is equidistant-ish: within d/2
-            // of both children.
-            let p = m.unwrap().center();
-            prop_assert!(a.dist(p) <= d / 2.0 + 1e-6);
-            prop_assert!(b.dist(p) <= d / 2.0 + 1e-6);
-        }
+        proptest! {
+            #[test]
+            fn trr_contains_exactly_the_l1_ball(c in arb_point(), p in arb_point(), r in 0f64..50.0) {
+                let trr = RRect::from_point(c).inflated(r);
+                prop_assert_eq!(trr.contains_xy(p), c.dist(p) <= r + 1e-6);
+            }
 
-        #[test]
-        fn dist_is_achieved_by_nearest(c in arb_point(), r in 0f64..20.0, p in arb_point()) {
-            let region = RRect::from_point(c).inflated(r);
-            let n = region.nearest_to(p);
-            prop_assert!(region.contains_xy(n));
-            prop_assert!((p.dist(n) - region.dist_to_point(p)).abs() < 1e-6);
-        }
+            #[test]
+            fn balanced_trrs_always_intersect(a in arb_point(), b in arb_point()) {
+                // Radii summing to the separation distance must touch: this is
+                // the fundamental DME merge step.
+                let d = a.dist(b);
+                let ta = RRect::from_point(a).inflated(d / 2.0);
+                let tb = RRect::from_point(b).inflated(d / 2.0);
+                let m = ta.intersection(&tb);
+                prop_assert!(m.is_some());
+                // Any point of the merge region is equidistant-ish: within d/2
+                // of both children.
+                let p = m.unwrap().center();
+                prop_assert!(a.dist(p) <= d / 2.0 + 1e-6);
+                prop_assert!(b.dist(p) <= d / 2.0 + 1e-6);
+            }
 
-        #[test]
-        fn inflation_triangle(a in arb_point(), b in arb_point(), ra in 0f64..30.0, rb in 0f64..30.0) {
-            let ta = RRect::from_point(a).inflated(ra);
-            let tb = RRect::from_point(b).inflated(rb);
-            let expect = (a.dist(b) - ra - rb).max(0.0);
-            prop_assert!((ta.dist(&tb) - expect).abs() < 1e-6);
+            #[test]
+            fn dist_is_achieved_by_nearest(c in arb_point(), r in 0f64..20.0, p in arb_point()) {
+                let region = RRect::from_point(c).inflated(r);
+                let n = region.nearest_to(p);
+                prop_assert!(region.contains_xy(n));
+                prop_assert!((p.dist(n) - region.dist_to_point(p)).abs() < 1e-6);
+            }
+
+            #[test]
+            fn inflation_triangle(a in arb_point(), b in arb_point(), ra in 0f64..30.0, rb in 0f64..30.0) {
+                let ta = RRect::from_point(a).inflated(ra);
+                let tb = RRect::from_point(b).inflated(rb);
+                let expect = (a.dist(b) - ra - rb).max(0.0);
+                prop_assert!((ta.dist(&tb) - expect).abs() < 1e-6);
+            }
         }
     }
 }

@@ -7,8 +7,8 @@
 //! nodes in cluster").
 
 use crate::mcf::MinCostFlow;
-use rand::prelude::*;
 use sllt_geom::Point;
+use sllt_rng::prelude::*;
 
 /// Result of a balanced clustering.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,7 +56,12 @@ impl Partition {
 pub fn balanced_kmeans(points: &[Point], k: usize, cap: usize, seed: u64) -> Partition {
     assert!(!points.is_empty(), "clustering an empty point set");
     assert!(k > 0, "k must be positive");
-    assert!(k * cap >= points.len(), "k*cap too small: {}*{cap} < {}", k, points.len());
+    assert!(
+        k * cap >= points.len(),
+        "k*cap too small: {}*{cap} < {}",
+        k,
+        points.len()
+    );
     let mut rng = StdRng::seed_from_u64(seed);
 
     // k-means++ seeding.
@@ -96,7 +101,10 @@ pub fn balanced_kmeans(points: &[Point], k: usize, cap: usize, seed: u64) -> Par
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
             let best = (0..k)
-                .min_by(|&a, &b| p.dist_l2_sq(centers[a]).total_cmp(&p.dist_l2_sq(centers[b])))
+                .min_by(|&a, &b| {
+                    p.dist_l2_sq(centers[a])
+                        .total_cmp(&p.dist_l2_sq(centers[b]))
+                })
                 .expect("k > 0");
             if assignment[i] != best {
                 assignment[i] = best;
@@ -143,7 +151,10 @@ pub fn balanced_kmeans(points: &[Point], k: usize, cap: usize, seed: u64) -> Par
             centers[c] = sums[c] / counts[c] as f64;
         }
     }
-    Partition { assignment, centers }
+    Partition {
+        assignment,
+        centers,
+    }
 }
 
 /// Optimal capacitated assignment by min-cost flow:
@@ -284,7 +295,10 @@ pub fn balanced_kmeans_grid(
             assignment[global] = base + part.assignment[local];
         }
     }
-    Partition { assignment, centers }
+    Partition {
+        assignment,
+        centers,
+    }
 }
 
 /// Runs [`balanced_kmeans`] `tries` times with derived seeds and keeps
@@ -491,6 +505,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "proptest")]
     fn proptest_every_point_assigned_within_capacity() {
         use proptest::prelude::*;
         proptest!(|(seed in 0u64..100, n in 1usize..40, k in 1usize..8)| {

@@ -37,6 +37,8 @@ pub mod mcf;
 pub mod sa;
 
 pub use cost::{cluster_cost, variance};
-pub use kmeans::{balanced_kmeans, balanced_kmeans_grid, balanced_kmeans_restarts, silhouette, Partition};
+pub use kmeans::{
+    balanced_kmeans, balanced_kmeans_grid, balanced_kmeans_restarts, silhouette, Partition,
+};
 pub use mcf::MinCostFlow;
 pub use sa::{refine, PartitionConstraints, SaConfig};

@@ -79,7 +79,10 @@ impl MinCostFlow {
     ///
     /// Panics on out-of-range endpoints or negative cost/capacity.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: f64) -> usize {
-        assert!(from < self.len() && to < self.len(), "edge endpoint out of range");
+        assert!(
+            from < self.len() && to < self.len(),
+            "edge endpoint out of range"
+        );
         assert!(cap >= 0, "negative capacity");
         assert!(cost >= 0.0, "negative cost not supported");
         let id = self.to.len();
@@ -247,12 +250,13 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "proptest")]
     fn proptest_flow_conservation() {
         use proptest::prelude::*;
         proptest!(|(seed in 0u64..200)| {
             // Random small bipartite assignment instances: flow equals
             // min(supply, demand) and per-edge flows are within capacity.
-            use rand::prelude::*;
+            use sllt_rng::prelude::*;
             let mut rng = StdRng::seed_from_u64(seed);
             let (nw, nj) = (rng.random_range(1..6), rng.random_range(1..6));
             let mut g = MinCostFlow::new(2 + nw + nj);

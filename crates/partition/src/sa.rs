@@ -17,8 +17,8 @@
 //! capacitance), so "all constraint costs have equivalent numerical
 //! ranges".
 
-use rand::prelude::*;
 use sllt_geom::{convex_hull, Point, Rect};
+use sllt_rng::prelude::*;
 
 /// Per-cluster design constraints (paper Table 5 for the defaults used in
 /// the evaluation).
@@ -129,8 +129,9 @@ pub fn refine(
     for (i, &a) in assignment.iter().enumerate() {
         members[a].push(i);
     }
-    let mut cluster_cost: Vec<f64> =
-        (0..k).map(|c| violation_cost(points, caps, &members[c], cons)).collect();
+    let mut cluster_cost: Vec<f64> = (0..k)
+        .map(|c| violation_cost(points, caps, &members[c], cons))
+        .collect();
     let mut total: f64 = cluster_cost.iter().sum();
     let mut temp = cfg.t0;
     // Annealing may wander uphill; remember the best state seen.
@@ -184,8 +185,7 @@ pub fn refine(
         let new_src = violation_cost(points, caps, &src_members, cons);
         let new_dst = violation_cost(points, caps, &dst_members, cons);
         let delta = new_src + new_dst - cluster_cost[src] - cluster_cost[dst];
-        let accept = delta < 0.0
-            || (temp > 1e-12 && rng.random::<f64>() < (-delta / temp).exp());
+        let accept = delta < 0.0 || (temp > 1e-12 && rng.random::<f64>() < (-delta / temp).exp());
         if accept {
             assignment[moved] = dst;
             members[src] = src_members;
@@ -277,11 +277,20 @@ mod tests {
             &mut assignment,
             2,
             &cons(),
-            &SaConfig { iterations: 2000, ..SaConfig::default() },
+            &SaConfig {
+                iterations: 2000,
+                ..SaConfig::default()
+            },
         );
-        assert!(after < before, "SA must reduce violations: {before} -> {after}");
+        assert!(
+            after < before,
+            "SA must reduce violations: {before} -> {after}"
+        );
         let recomputed = total_cost(&points, &caps, &assignment, 2, &cons());
-        assert!((after - recomputed).abs() < 1e-6, "incremental cost drifted");
+        assert!(
+            (after - recomputed).abs() < 1e-6,
+            "incremental cost drifted"
+        );
     }
 
     #[test]
@@ -290,7 +299,14 @@ mod tests {
         let caps = vec![1.0; 8];
         let mut assignment: Vec<usize> = (0..8).map(|i| i / 4).collect();
         let snapshot = assignment.clone();
-        let cost = refine(&points, &caps, &mut assignment, 2, &cons(), &SaConfig::default());
+        let cost = refine(
+            &points,
+            &caps,
+            &mut assignment,
+            2,
+            &cons(),
+            &SaConfig::default(),
+        );
         assert_eq!(cost, 0.0);
         assert_eq!(assignment, snapshot, "zero-cost partition must not change");
     }
@@ -301,12 +317,20 @@ mod tests {
         let caps = vec![10.0; 20];
         let mut assignment = vec![0usize; 20];
         // k = 1: violations exist but there is nowhere to go.
-        let cost = refine(&points, &caps, &mut assignment, 1, &cons(), &SaConfig::default());
+        let cost = refine(
+            &points,
+            &caps,
+            &mut assignment,
+            1,
+            &cons(),
+            &SaConfig::default(),
+        );
         assert!(cost > 0.0);
         assert!(assignment.iter().all(|&a| a == 0));
     }
 
     #[test]
+    #[cfg(feature = "proptest")]
     fn proptest_refine_never_worsens_at_zero_temperature() {
         use proptest::prelude::*;
         proptest!(|(seed in 0u64..50, n in 4usize..30)| {

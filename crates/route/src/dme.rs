@@ -322,15 +322,11 @@ fn merge(a: &MergeNode, b: &MergeNode, opts: &DmeOptions, hint: Option<Point>) -
             (m, m)
         };
         let pick = match hint {
-            Some(h) if ea_hi > ea_lo + 1e-12 => {
-                pick_split_toward(a, b, d, ea_lo, ea_hi, h)
-            }
+            Some(h) if ea_hi > ea_lo + 1e-12 => pick_split_toward(a, b, d, ea_lo, ea_hi, h),
             _ => {
                 // Centre-align the child intervals (classic balanced DME):
                 // h(ea) = centre_a(ea) − centre_b(ea) is increasing.
-                let h = |ea: f64| {
-                    (a.lo + a.hi) / 2.0 + da(ea) - ((b.lo + b.hi) / 2.0 + db(ea))
-                };
+                let h = |ea: f64| (a.lo + a.hi) / 2.0 + da(ea) - ((b.lo + b.hi) / 2.0 + db(ea));
                 if h(ea_lo) >= 0.0 {
                     ea_lo
                 } else if h(ea_hi) <= 0.0 {
@@ -482,7 +478,7 @@ fn embed_down(
 mod tests {
     use super::*;
     use crate::topogen::TopologyScheme;
-    use rand::prelude::*;
+    use sllt_rng::prelude::*;
     use sllt_tree::{metrics::path_length_skew, Sink, SlltMetrics};
 
     fn random_net(seed: u64, n: usize) -> ClockNet {
@@ -613,7 +609,11 @@ mod tests {
         assert!(path_length_skew(&t) < 1e-9);
         // No detour needed for a symmetric pair.
         let direct: f64 = 20.0; // merge wire
-        assert!(t.wirelength() <= direct + 20.0 + 1e-9, "wl {}", t.wirelength());
+        assert!(
+            t.wirelength() <= direct + 20.0 + 1e-9,
+            "wl {}",
+            t.wirelength()
+        );
     }
 
     /// Sinks A/B merge into a subtree of delay 6; sink C sits only 4 µm
@@ -642,7 +642,11 @@ mod tests {
         let t = zst_dme(&net, &topo);
         assert!(path_length_skew(&t) < 1e-6);
         // A/B edges (6+6) + C edge carrying 6 (4 distance + 2 detour).
-        assert!((t.wirelength() - 18.0).abs() < 1e-6, "wl {}", t.wirelength());
+        assert!(
+            (t.wirelength() - 18.0).abs() < 1e-6,
+            "wl {}",
+            t.wirelength()
+        );
         t.validate().unwrap();
     }
 
@@ -701,6 +705,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "proptest")]
     fn proptest_bst_bound_holds() {
         use proptest::prelude::*;
         proptest!(|(seed in 0u64..100, n in 2usize..20, bound in 0f64..60.0)| {
@@ -713,6 +718,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "proptest")]
     fn proptest_elmore_bound_holds() {
         use proptest::prelude::*;
         let tech = Technology::n28();

@@ -94,7 +94,11 @@ fn kmeans(sinks: &[(usize, Sink)], k: usize) -> Vec<Vec<(usize, Sink)>> {
         let mut changed = false;
         for (si, &(_, s)) in sinks.iter().enumerate() {
             let j = (0..k)
-                .min_by(|&a, &b| s.pos.dist_l2_sq(centers[a]).total_cmp(&s.pos.dist_l2_sq(centers[b])))
+                .min_by(|&a, &b| {
+                    s.pos
+                        .dist_l2_sq(centers[a])
+                        .total_cmp(&s.pos.dist_l2_sq(centers[b]))
+                })
                 .expect("k > 0");
             if assign[si] != j {
                 assign[si] = j;
@@ -127,7 +131,7 @@ fn kmeans(sinks: &[(usize, Sink)], k: usize) -> Vec<Vec<(usize, Sink)>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use sllt_rng::prelude::*;
     use sllt_tree::SlltMetrics;
 
     fn random_net(seed: u64, n: usize) -> ClockNet {

@@ -56,7 +56,11 @@ fn subdivide(
     };
     let (mut la, mut lb) = (Vec::new(), Vec::new());
     for &(i, s) in sinks {
-        let take_a = if split_x { s.pos.x <= c.x } else { s.pos.y <= c.y };
+        let take_a = if split_x {
+            s.pos.x <= c.x
+        } else {
+            s.pos.y <= c.y
+        };
         if take_a {
             la.push((i, s));
         } else {
@@ -75,7 +79,7 @@ fn subdivide(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use sllt_rng::prelude::*;
     use sllt_tree::{metrics::path_length_skew, SlltMetrics};
 
     fn random_net(seed: u64, n: usize) -> ClockNet {

@@ -143,7 +143,10 @@ fn has_sink_below(tree: &ClockTree, v: NodeId) -> bool {
     if tree.node(v).kind.is_sink() {
         return true;
     }
-    tree.node(v).children().iter().any(|&c| has_sink_below(tree, c))
+    tree.node(v)
+        .children()
+        .iter()
+        .any(|&c| has_sink_below(tree, c))
 }
 
 fn wire_delay(model: &DelayModel, e: f64, cap: f64) -> f64 {
@@ -187,8 +190,8 @@ mod tests {
     use super::*;
     use crate::dme::skew_of;
     use crate::salt::salt;
-    use rand::prelude::*;
     use sllt_geom::Point;
+    use sllt_rng::prelude::*;
     use sllt_timing::Technology;
     use sllt_tree::{ClockNet, Sink};
 
@@ -218,7 +221,10 @@ mod tests {
                 assert!(added >= 0.0);
                 t.validate().unwrap();
                 let skew = skew_of(&t, &DelayModel::PathLength);
-                assert!(skew <= bound + 1e-6, "seed {seed} bound {bound}: skew {skew}");
+                assert!(
+                    skew <= bound + 1e-6,
+                    "seed {seed} bound {bound}: skew {skew}"
+                );
             }
         }
     }
@@ -234,7 +240,10 @@ mod tests {
                 skew_legalize(&mut t, &model, bound);
                 t.validate().unwrap();
                 let skew = skew_of(&t, &model);
-                assert!(skew <= bound + 1e-6, "seed {seed} bound {bound}: skew {skew}");
+                assert!(
+                    skew <= bound + 1e-6,
+                    "seed {seed} bound {bound}: skew {skew}"
+                );
             }
         }
     }

@@ -45,8 +45,8 @@
 
 pub mod dme;
 pub mod ghtree;
-pub mod legalize;
 pub mod htree;
+pub mod legalize;
 pub mod rmst_fast;
 pub mod rsmt;
 pub mod salt;
@@ -55,7 +55,10 @@ pub mod ust;
 
 pub use sllt_tree::{ClockNet, Sink};
 
-pub use dme::{bst_dme, bst_dme_elmore, dme, dme_intervals, dme_offsets, skew_of, zst_dme, DelayModel, DmeOptions};
+pub use dme::{
+    bst_dme, bst_dme_elmore, dme, dme_intervals, dme_offsets, skew_of, zst_dme, DelayModel,
+    DmeOptions,
+};
 pub use ghtree::ghtree;
 pub use htree::htree;
 pub use legalize::{skew_legalize, skew_legalize_intervals, skew_legalize_offsets};

@@ -121,7 +121,11 @@ fn octant_edges(pts: &[Point]) -> Vec<(usize, usize, f64)> {
         let mut ring = 0usize;
         loop {
             // Lower bound on L1 distance to any point in ring `ring`.
-            let ring_lb = if ring == 0 { 0.0 } else { (ring - 1) as f64 * cell };
+            let ring_lb = if ring == 0 {
+                0.0
+            } else {
+                (ring - 1) as f64 * cell
+            };
             let unresolved = best.iter().any(|&(_, d)| ring_lb < d);
             if !unresolved && ring > 0 {
                 break;
@@ -134,7 +138,10 @@ fn octant_edges(pts: &[Point]) -> Vec<(usize, usize, f64)> {
                         continue; // ring boundary only
                     }
                     let (x, y) = (cx as isize + dx, cy as isize + dy);
-                    if x < 0 || y < 0 || x >= cells_per_axis as isize || y >= cells_per_axis as isize
+                    if x < 0
+                        || y < 0
+                        || x >= cells_per_axis as isize
+                        || y >= cells_per_axis as isize
                     {
                         continue;
                     }
@@ -175,7 +182,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n).collect() }
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
     fn find(&mut self, mut x: usize) -> usize {
         while self.parent[x] != x {
@@ -198,7 +207,7 @@ impl Dsu {
 mod tests {
     use super::*;
     use crate::rsmt::rmst;
-    use rand::prelude::*;
+    use sllt_rng::prelude::*;
     use sllt_tree::Sink;
 
     fn random_net(seed: u64, n: usize, side: f64) -> ClockNet {
@@ -234,10 +243,7 @@ mod tests {
             let net = random_net(seed, 60, 75.0);
             let a = rmst(&net).wirelength();
             let b = rmst_octant(&net).wirelength();
-            assert!(
-                (a - b).abs() < 1e-6,
-                "seed {seed}: prim {a} vs octant {b}"
-            );
+            assert!((a - b).abs() < 1e-6, "seed {seed}: prim {a} vs octant {b}");
         }
     }
 
@@ -250,7 +256,10 @@ mod tests {
             let c = Point::new(rng.random_range(0.0..400.0), rng.random_range(0.0..400.0));
             for _ in 0..40 {
                 sinks.push(Sink::new(
-                    Point::new(c.x + rng.random_range(-5.0..5.0), c.y + rng.random_range(-5.0..5.0)),
+                    Point::new(
+                        c.x + rng.random_range(-5.0..5.0),
+                        c.y + rng.random_range(-5.0..5.0),
+                    ),
                     1.0,
                 ));
             }
@@ -289,6 +298,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "proptest")]
     fn proptest_weight_equivalence() {
         use proptest::prelude::*;
         proptest!(|(seed in 0u64..60, n in 1usize..40)| {

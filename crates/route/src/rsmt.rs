@@ -253,7 +253,7 @@ fn apply_median_move(tree: &mut ClockTree, v: NodeId, a: NodeId, b: NodeId, m: P
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use sllt_rng::prelude::*;
     use sllt_tree::Sink;
 
     fn random_net(seed: u64, n: usize, side: f64) -> ClockNet {
@@ -314,7 +314,11 @@ mod tests {
         let mst_wl = rmst(&net).wirelength();
         let t = rsmt(&net);
         assert!((mst_wl - 20.0).abs() < 1e-9);
-        assert!((t.wirelength() - 16.0).abs() < 1e-9, "got {}", t.wirelength());
+        assert!(
+            (t.wirelength() - 16.0).abs() < 1e-9,
+            "got {}",
+            t.wirelength()
+        );
         t.validate().unwrap();
     }
 
@@ -379,7 +383,11 @@ mod tests {
             total_gain += (mst - st) / mst;
         }
         // Median-point Steinerization typically recovers ~5-10 % of MST WL.
-        assert!(total_gain / 30.0 > 0.02, "mean gain {:.4}", total_gain / 30.0);
+        assert!(
+            total_gain / 30.0 > 0.02,
+            "mean gain {:.4}",
+            total_gain / 30.0
+        );
     }
 
     #[test]

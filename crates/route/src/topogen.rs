@@ -204,7 +204,11 @@ fn split_partition(net: &ClockNet, mut idx: Vec<usize>) -> Topology {
     idx.sort_by(|&a, &b| net.sinks[a].pos.y.total_cmp(&net.sinks[b].pos.y));
     let by_y = idx;
     let cost = |v: &[usize]| diameter(net, &v[..mid]).max(diameter(net, &v[mid..]));
-    let chosen = if cost(&by_x) <= cost(&by_y) { by_x } else { by_y };
+    let chosen = if cost(&by_x) <= cost(&by_y) {
+        by_x
+    } else {
+        by_y
+    };
     let (lo, hi) = chosen.split_at(mid);
     Topology::merge(
         split_partition(net, lo.to_vec()),
@@ -295,7 +299,7 @@ fn split_cluster(net: &ClockNet, idx: Vec<usize>) -> Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use sllt_rng::prelude::*;
     use sllt_tree::Sink;
 
     fn random_net(seed: u64, n: usize) -> ClockNet {
@@ -366,7 +370,11 @@ mod tests {
     fn bi_partition_is_balanced() {
         let net = random_net(2, 32);
         let topo = bi_partition(&net);
-        assert_eq!(topo.depth(), 5, "median splits give a perfectly balanced tree");
+        assert_eq!(
+            topo.depth(),
+            5,
+            "median splits give a perfectly balanced tree"
+        );
     }
 
     #[test]

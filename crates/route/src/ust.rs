@@ -169,8 +169,7 @@ fn merge_windows(a: &UstNode, b: &UstNode, model: &DelayModel) -> MergedWindow {
         // Some split in [0, d] overlaps. Choose the one maximizing the
         // merged window (equivalently centring the two windows), found by
         // bisection on the difference of window centres.
-        let centre_gap =
-            |ea: f64| (a.lo + a.hi) / 2.0 - da(ea) - ((b.lo + b.hi) / 2.0 - db(ea));
+        let centre_gap = |ea: f64| (a.lo + a.hi) / 2.0 - da(ea) - ((b.lo + b.hi) / 2.0 - db(ea));
         // centre_gap is decreasing in ea.
         let pick = if centre_gap(0.0) <= 0.0 {
             0.0
@@ -343,7 +342,7 @@ pub fn window_violation(
 mod tests {
     use super::*;
     use crate::topogen::TopologyScheme;
-    use rand::prelude::*;
+    use sllt_rng::prelude::*;
     use sllt_tree::Sink;
 
     fn random_net(seed: u64, n: usize) -> ClockNet {
@@ -362,7 +361,10 @@ mod tests {
     }
 
     fn opts_pl() -> DmeOptions {
-        DmeOptions { skew_bound: 0.0, model: DelayModel::PathLength }
+        DmeOptions {
+            skew_bound: 0.0,
+            model: DelayModel::PathLength,
+        }
     }
 
     #[test]
@@ -401,7 +403,11 @@ mod tests {
         let wide = vec![(0.0, 1e6); net.len()];
         let ust = ust_dme(&net, &topo, &wide, &opts_pl());
         let zst = crate::dme::zst_dme(&net, &topo);
-        assert!((zst.wirelength() - 18.0).abs() < 1e-6, "zst {}", zst.wirelength());
+        assert!(
+            (zst.wirelength() - 18.0).abs() < 1e-6,
+            "zst {}",
+            zst.wirelength()
+        );
         assert!(
             ust.tree.wirelength() <= 16.0 + 1e-6,
             "wide windows must skip the detour: {}",
@@ -428,7 +434,13 @@ mod tests {
         let net = random_net(3, 10);
         let topo = TopologyScheme::BiCluster.build(&net);
         let windows: Vec<(f64, f64)> = (0..net.len())
-            .map(|i| if i % 2 == 0 { (100.0, 130.0) } else { (160.0, 190.0) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    (100.0, 130.0)
+                } else {
+                    (160.0, 190.0)
+                }
+            })
             .collect();
         let ust = ust_dme(&net, &topo, &windows, &opts_pl());
         ust.tree.validate().unwrap();
@@ -452,7 +464,10 @@ mod tests {
             &net,
             &topo,
             &windows,
-            &DmeOptions { skew_bound: 0.0, model },
+            &DmeOptions {
+                skew_bound: 0.0,
+                model,
+            },
         );
         ust.tree.validate().unwrap();
         let launch = (ust.launch_window.0 + ust.launch_window.1) / 2.0;
@@ -461,6 +476,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "proptest")]
     fn proptest_ust_always_feasible() {
         use proptest::prelude::*;
         proptest!(|(seed in 0u64..60, n in 2usize..14)| {

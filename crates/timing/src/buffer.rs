@@ -68,7 +68,12 @@ impl fmt::Display for BufferCell {
         write!(
             f,
             "{} (ωs={:.2}, ωc={:.2} ps/fF, ωi={:.1} ps, cin={:.1} fF, area={:.1} µm²)",
-            self.name, self.slew_coeff, self.cap_coeff, self.intrinsic_ps, self.input_cap_ff, self.area_um2
+            self.name,
+            self.slew_coeff,
+            self.cap_coeff,
+            self.intrinsic_ps,
+            self.input_cap_ff,
+            self.area_um2
         )
     }
 }
@@ -87,8 +92,18 @@ impl BufferLibrary {
     /// # Panics
     ///
     /// Panics when `cells` is empty — CTS cannot run bufferless.
-    pub fn new(mut cells: Vec<BufferCell>) -> Self {
-        assert!(!cells.is_empty(), "buffer library must contain at least one cell");
+    pub fn new(cells: Vec<BufferCell>) -> Self {
+        assert!(
+            !cells.is_empty(),
+            "buffer library must contain at least one cell"
+        );
+        Self::from_cells(cells)
+    }
+
+    /// As [`new`](Self::new), but allows an empty library: flows that
+    /// can cope surface emptiness as a typed error (e.g.
+    /// `CtsError::EmptyBufferLibrary`) instead of a constructor panic.
+    pub fn from_cells(mut cells: Vec<BufferCell>) -> Self {
         cells.sort_by(|a, b| b.cap_coeff.total_cmp(&a.cap_coeff));
         BufferLibrary { cells }
     }
@@ -114,7 +129,9 @@ impl BufferLibrary {
             mk("BUFX2", 0.10, 0.80, 14.0, 0.9, 1.4, 40.0, 0.09, 0.45, 7.0),
             mk("BUFX4", 0.09, 0.45, 15.0, 1.6, 2.6, 80.0, 0.08, 0.26, 7.5),
             mk("BUFX8", 0.08, 0.25, 16.0, 2.8, 4.9, 150.0, 0.07, 0.15, 8.0),
-            mk("BUFX12", 0.075, 0.18, 17.0, 3.9, 7.1, 220.0, 0.065, 0.11, 8.5),
+            mk(
+                "BUFX12", 0.075, 0.18, 17.0, 3.9, 7.1, 220.0, 0.065, 0.11, 8.5,
+            ),
             mk("BUFX16", 0.07, 0.13, 18.0, 5.0, 9.3, 300.0, 0.06, 0.08, 9.0),
         ])
     }
@@ -145,7 +162,9 @@ impl BufferLibrary {
     pub fn pick(&self, slew_in_ps: f64, cap_load_ff: f64, max_delay_ps: f64) -> &BufferCell {
         self.cells
             .iter()
-            .filter(|c| c.can_drive(cap_load_ff) && c.delay(slew_in_ps, cap_load_ff) <= max_delay_ps)
+            .filter(|c| {
+                c.can_drive(cap_load_ff) && c.delay(slew_in_ps, cap_load_ff) <= max_delay_ps
+            })
             .min_by(|a, b| a.area_um2.total_cmp(&b.area_um2))
             .unwrap_or_else(|| {
                 // Nothing meets the target: take the fastest at this load.
@@ -233,7 +252,11 @@ mod tests {
             let lb = lib.insertion_delay_lower_bound(cap);
             for cell in lib.cells() {
                 // Any real buffer at any non-negative slew is slower.
-                assert!(cell.delay(0.0, cap) + 1e-12 >= lb, "{} beats the bound", cell.name);
+                assert!(
+                    cell.delay(0.0, cap) + 1e-12 >= lb,
+                    "{} beats the bound",
+                    cell.name
+                );
             }
         }
     }

@@ -57,7 +57,10 @@ impl RcTree {
     ///
     /// Panics on out-of-range indices, a self-loop, or negative length.
     pub fn set_parent(&mut self, node: usize, parent: usize, len_um: f64) {
-        assert!(node < self.len() && parent < self.len(), "node out of range");
+        assert!(
+            node < self.len() && parent < self.len(),
+            "node out of range"
+        );
         assert_ne!(node, parent, "self-loop in RC tree");
         assert!(len_um >= 0.0, "negative wire length");
         self.parent[node] = Some(parent);
@@ -72,7 +75,9 @@ impl RcTree {
 
     /// Root nodes (no parent). A well-formed clock net has exactly one.
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&v| self.parent[v].is_none()).collect()
+        (0..self.len())
+            .filter(|&v| self.parent[v].is_none())
+            .collect()
     }
 
     /// Children-major topological order (parents before children).
@@ -130,9 +135,8 @@ impl RcTree {
                 }
                 Some(p) => {
                     let len = self.wire_len[v];
-                    let edge = tech.wire_res(len)
-                        * (tech.wire_cap(len) / 2.0 + cap[v])
-                        * PS_PER_OHM_FF;
+                    let edge =
+                        tech.wire_res(len) * (tech.wire_cap(len) / 2.0 + cap[v]) * PS_PER_OHM_FF;
                     delay[v] = delay[p] + edge;
                 }
             }
@@ -253,6 +257,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "proptest")]
     fn proptest_elmore_monotone_along_paths() {
         use proptest::prelude::*;
         // Random caterpillar trees: delay never decreases towards leaves.

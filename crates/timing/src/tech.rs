@@ -124,6 +124,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "proptest")]
     fn proptest_wire_delay_monotonicity() {
         use proptest::prelude::*;
         proptest!(|(l in 0f64..500.0, dl in 0f64..100.0, c in 0f64..100.0)| {

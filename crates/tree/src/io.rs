@@ -83,17 +83,32 @@ pub fn write_tree<W: Write>(tree: &ClockTree, w: &mut W) -> std::io::Result<()> 
             NodeKind::Sink { cap_ff, sink_index } => writeln!(
                 w,
                 "node {} sink {} {} {} {} cap {} idx {}",
-                me, n.pos.x, n.pos.y, parent, n.edge_len(), cap_ff, sink_index
+                me,
+                n.pos.x,
+                n.pos.y,
+                parent,
+                n.edge_len(),
+                cap_ff,
+                sink_index
             )?,
             NodeKind::Steiner => writeln!(
                 w,
                 "node {} steiner {} {} {} {}",
-                me, n.pos.x, n.pos.y, parent, n.edge_len()
+                me,
+                n.pos.x,
+                n.pos.y,
+                parent,
+                n.edge_len()
             )?,
             NodeKind::Buffer { cell } => writeln!(
                 w,
                 "node {} buffer {} {} {} {} cell {}",
-                me, n.pos.x, n.pos.y, parent, n.edge_len(), cell
+                me,
+                n.pos.x,
+                n.pos.y,
+                parent,
+                n.edge_len(),
+                cell
             )?,
             NodeKind::Source => {
                 unreachable!("only the root is a source and it is skipped")
@@ -119,7 +134,10 @@ pub fn read_tree<R: BufRead>(r: &mut R) -> Result<ClockTree, ParseTreeError> {
         .ok_or_else(|| syntax(1, "empty input".into()))
         .and_then(|(i, l)| Ok((i + 1, l?)))?;
     if header.trim() != "sllt-tree v1" {
-        return Err(syntax(ln, format!("expected header 'sllt-tree v1', got {header:?}")));
+        return Err(syntax(
+            ln,
+            format!("expected header 'sllt-tree v1', got {header:?}"),
+        ));
     }
 
     let (ln, source_line) = lines
@@ -128,7 +146,10 @@ pub fn read_tree<R: BufRead>(r: &mut R) -> Result<ClockTree, ParseTreeError> {
         .and_then(|(i, l)| Ok((i + 1, l?)))?;
     let parts: Vec<&str> = source_line.split_whitespace().collect();
     if parts.len() != 3 || parts[0] != "source" {
-        return Err(syntax(ln, format!("expected 'source <x> <y>', got {source_line:?}")));
+        return Err(syntax(
+            ln,
+            format!("expected 'source <x> <y>', got {source_line:?}"),
+        ));
     }
     let parse_f = |s: &str, ln: usize| {
         s.parse::<f64>()
@@ -155,7 +176,10 @@ pub fn read_tree<R: BufRead>(r: &mut R) -> Result<ClockTree, ParseTreeError> {
         if declared != ids.len() {
             return Err(syntax(
                 ln,
-                format!("node ids must be dense and ordered: expected {}, got {declared}", ids.len()),
+                format!(
+                    "node ids must be dense and ordered: expected {}, got {declared}",
+                    ids.len()
+                ),
             ));
         }
         let kind = p[2];
@@ -207,7 +231,7 @@ pub fn read_tree<R: BufRead>(r: &mut R) -> Result<ClockTree, ParseTreeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use sllt_rng::prelude::*;
 
     fn sample_tree() -> ClockTree {
         let mut t = ClockTree::new(Point::new(1.0, 2.0));
@@ -228,7 +252,10 @@ mod tests {
         back.validate().unwrap();
         assert_eq!(back.len(), t.len());
         assert_eq!(back.sinks().len(), t.sinks().len());
-        assert!((back.wirelength() - t.wirelength()).abs() < 1e-9, "detour lost");
+        assert!(
+            (back.wirelength() - t.wirelength()).abs() < 1e-9,
+            "detour lost"
+        );
         // Sink identity survives.
         let mut idx: Vec<usize> = back
             .sinks()
@@ -275,9 +302,21 @@ mod tests {
         let cases = [
             ("nope", 1, "header"),
             ("sllt-tree v1\nsource a b", 2, "not a number"),
-            ("sllt-tree v1\nsource 0 0\nnode 5 steiner 0 0 0 0", 3, "dense"),
-            ("sllt-tree v1\nsource 0 0\nnode 1 gizmo 0 0 0 0", 3, "unknown node kind"),
-            ("sllt-tree v1\nsource 0 0\nnode 1 steiner 9 9 0 1", 3, "cannot cover"),
+            (
+                "sllt-tree v1\nsource 0 0\nnode 5 steiner 0 0 0 0",
+                3,
+                "dense",
+            ),
+            (
+                "sllt-tree v1\nsource 0 0\nnode 1 gizmo 0 0 0 0",
+                3,
+                "unknown node kind",
+            ),
+            (
+                "sllt-tree v1\nsource 0 0\nnode 1 steiner 9 9 0 1",
+                3,
+                "cannot cover",
+            ),
             ("sllt-tree v1\nsource 0 0\nnode 1 sink 1 1 0 2", 3, "cap"),
         ];
         for (input, want_line, want_msg) in cases {

@@ -119,7 +119,11 @@ mod tests {
 
     #[test]
     fn kind_predicates() {
-        assert!(NodeKind::Sink { cap_ff: 1.0, sink_index: 0 }.is_sink());
+        assert!(NodeKind::Sink {
+            cap_ff: 1.0,
+            sink_index: 0
+        }
+        .is_sink());
         assert!(NodeKind::Steiner.is_steiner());
         assert!(NodeKind::Buffer { cell: 0 }.is_buffer());
         assert!(!NodeKind::Source.is_sink());

@@ -104,9 +104,7 @@ impl Topology {
     pub fn to_hinted(&self) -> HintedTopology {
         match self {
             Topology::Sink(i) => HintedTopology::Sink(*i),
-            Topology::Merge(a, b) => {
-                HintedTopology::merge(a.to_hinted(), b.to_hinted(), None)
-            }
+            Topology::Merge(a, b) => HintedTopology::merge(a.to_hinted(), b.to_hinted(), None),
         }
     }
 
@@ -151,7 +149,11 @@ pub enum HintedTopology {
     /// A leaf: index into the sink list.
     Sink(usize),
     /// A merge, optionally hinted with the original merge-point location.
-    Merge(Box<HintedTopology>, Box<HintedTopology>, Option<sllt_geom::Point>),
+    Merge(
+        Box<HintedTopology>,
+        Box<HintedTopology>,
+        Option<sllt_geom::Point>,
+    ),
 }
 
 impl HintedTopology {
@@ -194,9 +196,7 @@ impl HintedTopology {
         fn rec(tree: &ClockTree, id: NodeId) -> Option<HintedTopology> {
             let node = tree.node(id);
             let own = match node.kind {
-                crate::NodeKind::Sink { sink_index, .. } => {
-                    Some(HintedTopology::Sink(sink_index))
-                }
+                crate::NodeKind::Sink { sink_index, .. } => Some(HintedTopology::Sink(sink_index)),
                 _ => None,
             };
             let mut acc: Option<HintedTopology> = own;
@@ -298,9 +298,7 @@ mod tests {
         fn no_hints(h: &HintedTopology) -> bool {
             match h {
                 HintedTopology::Sink(_) => true,
-                HintedTopology::Merge(a, b, hint) => {
-                    hint.is_none() && no_hints(a) && no_hints(b)
-                }
+                HintedTopology::Merge(a, b, hint) => hint.is_none() && no_hints(a) && no_hints(b),
             }
         }
         assert!(no_hints(&h));

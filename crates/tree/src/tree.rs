@@ -211,7 +211,10 @@ impl ClockTree {
     /// Panics on negative `extra` or when called on the root.
     pub fn add_detour(&mut self, node: NodeId, extra: f64) {
         assert!(extra >= 0.0, "negative detour");
-        assert!(self.node(node).parent.is_some(), "root has no incoming edge");
+        assert!(
+            self.node(node).parent.is_some(),
+            "root has no incoming edge"
+        );
         self.nodes[node.0].edge_len += extra;
     }
 
@@ -258,7 +261,10 @@ impl ClockTree {
     ///
     /// Panics when the node still has children or is the root.
     pub(crate) fn remove_leaf(&mut self, node: NodeId) {
-        assert!(self.nodes[node.0].children.is_empty(), "remove of internal node {node}");
+        assert!(
+            self.nodes[node.0].children.is_empty(),
+            "remove of internal node {node}"
+        );
         assert_ne!(node, self.root);
         let p = self.nodes[node.0].parent.expect("non-root has a parent");
         self.nodes[p.0].children.retain(|&c| c != node);
@@ -269,7 +275,11 @@ impl ClockTree {
     /// is reattached to its parent with the two edge lengths summed.
     pub(crate) fn splice_out(&mut self, node: NodeId) {
         assert_ne!(node, self.root, "cannot splice the root");
-        assert_eq!(self.nodes[node.0].children.len(), 1, "splice of non-degree-1 node");
+        assert_eq!(
+            self.nodes[node.0].children.len(),
+            1,
+            "splice of non-degree-1 node"
+        );
         let child = self.nodes[node.0].children[0];
         let parent = self.nodes[node.0].parent.expect("non-root has a parent");
         let total = self.nodes[node.0].edge_len + self.nodes[child.0].edge_len;
@@ -321,8 +331,7 @@ impl ClockTree {
     pub fn validate(&self) -> Result<(), TreeError> {
         let order = self.topo_order();
         if order.len() != self.len() {
-            let reached: std::collections::HashSet<usize> =
-                order.iter().map(|id| id.0).collect();
+            let reached: std::collections::HashSet<usize> = order.iter().map(|id| id.0).collect();
             let lost = self
                 .node_ids()
                 .find(|id| !reached.contains(&id.0))
@@ -337,7 +346,11 @@ impl ClockTree {
                 }
                 let dist = self.nodes[p.0].pos.dist(n.pos);
                 if n.edge_len < dist - 1e-6 {
-                    return Err(TreeError::EdgeTooShort { node: id, len: n.edge_len, dist });
+                    return Err(TreeError::EdgeTooShort {
+                        node: id,
+                        len: n.edge_len,
+                        dist,
+                    });
                 }
             }
             for &c in &n.children {
@@ -536,7 +549,10 @@ mod tests {
         let sinks = t.sinks();
         let i0 = map[sinks[0].index()].unwrap();
         let i1 = map[sinks[1].index()].unwrap();
-        assert!((d[i0] - d[i1]).abs() < 1e-12, "symmetric sinks, equal delay");
+        assert!(
+            (d[i0] - d[i1]).abs() < 1e-12,
+            "symmetric sinks, equal delay"
+        );
         assert!(d[i0] > 0.0);
     }
 

@@ -5,11 +5,16 @@
 //! cargo run --release --example hierarchical_flow [-- <design-name>]
 //! ```
 
-use sllt::cts::{baseline, constraints::CtsConstraints, eval::evaluate, flow::HierarchicalCts};
+use sllt::cts::{
+    baseline, constraints::CtsConstraints, eval::evaluate, flow::HierarchicalCts,
+    CollectingObserver,
+};
 use sllt::design::DesignSpec;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "s38584".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "s38584".to_string());
     let spec = DesignSpec::by_name(&name)
         .unwrap_or_else(|| panic!("unknown design {name:?}; see `table4` for the suite"));
     let design = spec.instantiate();
@@ -25,9 +30,16 @@ fn main() {
     let ours = HierarchicalCts::default();
     let com = baseline::commercial_like();
 
+    // Watch the hierarchical engine level by level while it runs.
+    let mut obs = CollectingObserver::new();
+    let ours_tree = ours
+        .run_with_observer(&design, &mut obs)
+        .expect("flow failed");
+    println!("\nper-level engine report (ours):\n{}", obs.render());
+
     let flows: Vec<(&str, sllt::tree::ClockTree)> = vec![
-        ("ours (CBS)", ours.run(&design)),
-        ("commercial-like", com.run(&design)),
+        ("ours (CBS)", ours_tree),
+        ("commercial-like", com.run(&design).expect("flow failed")),
         (
             "openroad-like",
             baseline::open_road_like(&design, &CtsConstraints::paper(), &ours.tech, &ours.lib),

@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use sllt::core::cbs::{cbs, CbsConfig};
 use sllt::core::analysis::{analyze, dispersion, shallow_skew_compatible};
+use sllt::core::cbs::{cbs, CbsConfig};
 use sllt::geom::Point;
 use sllt::route::DelayModel;
 use sllt::timing::Technology;
@@ -26,7 +26,11 @@ fn main() {
         .collect();
     let net = ClockNet::new(Point::new(0.0, 30.0), sinks);
 
-    println!("net: {} sinks, dispersion = {:.2}", net.len(), dispersion(&net));
+    println!(
+        "net: {} sinks, dispersion = {:.2}",
+        net.len(),
+        dispersion(&net)
+    );
     println!(
         "Theorem 2.3: α ≤ 1.1 and γ ≤ 1.1 simultaneously possible? {}",
         shallow_skew_compatible(&net, 0.1)
@@ -43,12 +47,18 @@ fn main() {
     let report = analyze(&net, &tree);
 
     println!("\nCBS tree over the net:");
-    println!("  wirelength      {:.1} µm (RSMT reference {:.1} µm)", report.metrics.wirelength, report.ref_wl_um);
+    println!(
+        "  wirelength      {:.1} µm (RSMT reference {:.1} µm)",
+        report.metrics.wirelength, report.ref_wl_um
+    );
     println!("  shallowness α   {:.3}", report.metrics.shallowness);
     println!("  lightness   β   {:.3}", report.metrics.lightness);
     println!("  skewness    γ   {:.3}", report.metrics.skewness);
     println!("  PL skew         {:.2} µm", report.skew_um);
     let elmore_skew = sllt::route::skew_of(&tree, &cfg.model);
-    println!("  Elmore skew     {:.2} ps (bound {} ps)", elmore_skew, cfg.skew_bound);
+    println!(
+        "  Elmore skew     {:.2} ps (bound {} ps)",
+        elmore_skew, cfg.skew_bound
+    );
     assert!(elmore_skew <= cfg.skew_bound + 1e-6);
 }

@@ -6,11 +6,11 @@
 //! cargo run --release --example topology_zoo [-- <out-dir>]
 //! ```
 
-use rand::prelude::*;
 use sllt::core::cbs::{cbs, CbsConfig};
 use sllt::geom::Point;
 use sllt::route::{bst_dme, ghtree, htree, rsmt::rsmt, salt::salt, zst_dme, TopologyScheme};
 use sllt::tree::{metrics::path_length_skew, svg, ClockNet, ClockTree, Sink, SlltMetrics};
+use sllt_rng::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2024);
@@ -37,7 +37,13 @@ fn main() {
         ("R-SALT(0.2)", salt(&net, 0.2)),
         (
             "CBS(20um)",
-            cbs(&net, &CbsConfig { skew_bound: 20.0, ..CbsConfig::default() }),
+            cbs(
+                &net,
+                &CbsConfig {
+                    skew_bound: 20.0,
+                    ..CbsConfig::default()
+                },
+            ),
         ),
     ];
 

@@ -20,21 +20,41 @@ fn main() {
     // it wants the clock *early* (8–11 ps); the rest may arrive late
     // (11–18 ps).
     let windows: Vec<(f64, f64)> = (0..net.len())
-        .map(|i| if i % 3 == 0 { (8.0, 11.0) } else { (11.0, 18.0) })
+        .map(|i| {
+            if i % 3 == 0 {
+                (8.0, 11.0)
+            } else {
+                (11.0, 18.0)
+            }
+        })
         .collect();
 
-    let ust = ust_dme(&net, &topo, &windows, &DmeOptions { skew_bound: 0.0, model });
+    let ust = ust_dme(
+        &net,
+        &topo,
+        &windows,
+        &DmeOptions {
+            skew_bound: 0.0,
+            model,
+        },
+    );
     let zst = zst_dme(&net, &topo);
 
     println!("{}-pin net:", net.len());
     println!("  zero-skew tree      {:>7.1} µm of wire", zst.wirelength());
-    println!("  useful-skew tree    {:>7.1} µm of wire", ust.tree.wirelength());
+    println!(
+        "  useful-skew tree    {:>7.1} µm of wire",
+        ust.tree.wirelength()
+    );
     println!(
         "  launch window       [{:.2}, {:.2}] ps at the tree root (trunk {:.2} ps)",
         ust.launch_window.0, ust.launch_window.1, ust.trunk_delay
     );
     let launch = (ust.launch_window.0 + ust.launch_window.1) / 2.0;
     let v = window_violation(&ust, &windows, &model, launch);
-    println!("  worst window slack  {:>7.2} ps (≤ 0 means all windows met)", v);
+    println!(
+        "  worst window slack  {:>7.2} ps (≤ 0 means all windows met)",
+        v
+    );
     assert!(v <= 1e-6);
 }

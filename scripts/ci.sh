@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, lint, build, tier-1 + workspace tests.
+# Everything here must pass with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + root test suite"
+cargo build --release
+cargo test -q
+
+echo "== workspace tests"
+cargo test -q --workspace
+
+echo "CI green"

@@ -62,12 +62,17 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match flag(args, name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("{name} expects a number, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name} expects a number, got {v:?}")),
     }
 }
 
 fn cmd_suite() -> Result<(), String> {
-    println!("{:>10} {:>9} {:>7} {:>6} {:>9}", "design", "#insts", "#FFs", "util", "die (µm)");
+    println!(
+        "{:>10} {:>9} {:>7} {:>6} {:>9}",
+        "design", "#insts", "#FFs", "util", "die (µm)"
+    );
     for s in &SUITE {
         println!(
             "{:>10} {:>9} {:>7} {:>6.3} {:>9.0}",
@@ -82,9 +87,15 @@ fn cmd_suite() -> Result<(), String> {
 }
 
 fn print_report(r: &eval::TreeReport) {
-    println!("latency    {:>9.1} ps (min {:.1})", r.max_latency_ps, r.min_latency_ps);
+    println!(
+        "latency    {:>9.1} ps (min {:.1})",
+        r.max_latency_ps, r.min_latency_ps
+    );
     println!("skew       {:>9.1} ps", r.skew_ps);
-    println!("buffers    {:>9}   (area {:.0} µm²)", r.num_buffers, r.buffer_area_um2);
+    println!(
+        "buffers    {:>9}   (area {:.0} µm²)",
+        r.num_buffers, r.buffer_area_um2
+    );
     println!("clock cap  {:>9.0} fF", r.clock_cap_ff);
     println!("clock WL   {:>9.0} µm", r.clock_wl_um);
     println!("max slew   {:>9.1} ps", r.max_slew_ps);
@@ -98,7 +109,8 @@ fn save_outputs(args: &[String], tree: &ClockTree, title: &str) -> Result<(), St
         println!("wrote {path}");
     }
     if let Some(path) = flag(args, "--svg") {
-        std::fs::write(&path, svg::render(tree, title)).map_err(|e| format!("write {path}: {e}"))?;
+        std::fs::write(&path, svg::render(tree, title))
+            .map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
     }
     Ok(())
@@ -110,8 +122,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         sllt::design::read_design(&mut std::io::BufReader::new(f))
             .map_err(|e| format!("{path}: {e}"))?
     } else {
-        let name = flag(args, "--design")
-            .ok_or("run needs --design <name> or --design-file <file>")?;
+        let name =
+            flag(args, "--design").ok_or("run needs --design <name> or --design-file <file>")?;
         DesignSpec::by_name(&name)
             .ok_or_else(|| format!("unknown design {name:?} (try `sllt suite`)"))?
             .instantiate()
@@ -120,8 +132,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let flow = flag(args, "--flow").unwrap_or_else(|| "ours".into());
     let ours = HierarchicalCts::default();
     let tree = match flow.as_str() {
-        "ours" => ours.run(&design),
-        "commercial" => baseline::commercial_like().run(&design),
+        "ours" => ours.run(&design).expect("CTS flow failed"),
+        "commercial" => baseline::commercial_like()
+            .run(&design)
+            .expect("CTS flow failed"),
         "openroad" => {
             baseline::open_road_like(&design, &CtsConstraints::paper(), &ours.tech, &ours.lib)
         }
@@ -150,7 +164,11 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
     let tree = match algo.as_str() {
         "cbs" => sllt::core::cbs::cbs(
             &net,
-            &sllt::core::cbs::CbsConfig { skew_bound: skew, model, ..Default::default() },
+            &sllt::core::cbs::CbsConfig {
+                skew_bound: skew,
+                model,
+                ..Default::default()
+            },
         ),
         "salt" => sllt::route::salt(&net, 0.2),
         "rsmt" => sllt::route::rsmt(&net),
@@ -158,7 +176,10 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
         "bst" => sllt::route::dme(
             &net,
             &topo.to_hinted(),
-            &DmeOptions { skew_bound: skew, model },
+            &DmeOptions {
+                skew_bound: skew,
+                model,
+            },
         ),
         "htree" => sllt::route::htree(&net, 2),
         "ghtree" => sllt::route::ghtree(&net, 2),
@@ -166,7 +187,10 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
     };
     let report = sllt::core::analyze(&net, &tree);
     println!("{algo} over {pins} pins (seed {seed}):");
-    println!("wirelength {:>9.1} µm (RSMT ref {:.1})", report.metrics.wirelength, report.ref_wl_um);
+    println!(
+        "wirelength {:>9.1} µm (RSMT ref {:.1})",
+        report.metrics.wirelength, report.ref_wl_um
+    );
     println!("alpha      {:>9.3}", report.metrics.shallowness);
     println!("beta       {:>9.3}", report.metrics.lightness);
     println!("gamma      {:>9.3}", report.metrics.skewness);
@@ -199,7 +223,9 @@ fn cmd_ocv(args: &[String]) -> Result<(), String> {
     let mc = ocv::ocv_analysis(&tree, &tech, &lib, &ocv::OcvModel::default(), trials);
     println!("nominal skew      {nominal:>8.1} ps");
     println!("derated ±{:>4.1}%    {derated:>8.1} ps", derate * 100.0);
-    println!("MC mean/p95/max   {:>8.1} / {:.1} / {:.1} ps ({} trials)",
-        mc.mean_skew_ps, mc.p95_skew_ps, mc.max_skew_ps, mc.trials);
+    println!(
+        "MC mean/p95/max   {:>8.1} / {:.1} / {:.1} ps ({} trials)",
+        mc.mean_skew_ps, mc.p95_skew_ps, mc.max_skew_ps, mc.trials
+    );
     Ok(())
 }

@@ -55,7 +55,7 @@
 //!
 //! let design = DesignSpec::by_name("s35932").unwrap().instantiate();
 //! let flow = HierarchicalCts::default();
-//! let tree = flow.run(&design);
+//! let tree = flow.run(&design).expect("well-formed design");
 //! let report = evaluate(&tree, &flow.tech, &flow.lib);
 //! assert!(report.skew_ps <= flow.constraints.skew_ps);
 //! ```

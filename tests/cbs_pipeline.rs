@@ -1,13 +1,13 @@
 //! Cross-crate integration: the CBS pipeline against every anchor
 //! algorithm, end to end.
 
-use rand::prelude::*;
 use sllt::core::analysis::analyze;
 use sllt::core::cbs::{cbs, step1_initial_bst, CbsConfig};
 use sllt::geom::Point;
 use sllt::route::{salt::salt, skew_of, DelayModel, TopologyScheme};
 use sllt::timing::Technology;
 use sllt::tree::{ClockNet, Sink};
+use sllt_rng::prelude::*;
 
 fn random_net(seed: u64, n: usize) -> ClockNet {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -89,7 +89,8 @@ fn cbs_bounds_hold_across_the_matrix() {
                 model,
             };
             let tree = cbs(&net, &cfg);
-            tree.validate().expect("CBS output must be structurally sound");
+            tree.validate()
+                .expect("CBS output must be structurally sound");
             assert_eq!(tree.sinks().len(), 20);
             let skew = skew_of(&tree, &model);
             assert!(skew <= bound + 1e-6, "{scheme}: skew {skew} > {bound}");

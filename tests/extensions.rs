@@ -14,7 +14,7 @@ use sllt::tree::io::{read_tree, write_tree};
 fn flow_tree_round_trips_through_the_text_format() {
     let design = DesignSpec::by_name("s35932").unwrap().instantiate();
     let cts = HierarchicalCts::default();
-    let tree = cts.run(&design);
+    let tree = cts.run(&design).unwrap();
     let before = evaluate(&tree, &cts.tech, &cts.lib);
 
     let mut buf = Vec::new();
@@ -41,9 +41,23 @@ fn ust_honours_windows_on_paper_nets() {
         let net = gen.net(i);
         let topo = TopologyScheme::GreedyDist.build(&net);
         let windows: Vec<(f64, f64)> = (0..net.len())
-            .map(|s| if s % 3 == 0 { (8.0, 12.0) } else { (12.0, 18.0) })
+            .map(|s| {
+                if s % 3 == 0 {
+                    (8.0, 12.0)
+                } else {
+                    (12.0, 18.0)
+                }
+            })
             .collect();
-        let ust = ust_dme(&net, &topo, &windows, &DmeOptions { skew_bound: 0.0, model });
+        let ust = ust_dme(
+            &net,
+            &topo,
+            &windows,
+            &DmeOptions {
+                skew_bound: 0.0,
+                model,
+            },
+        );
         ust.tree.validate().unwrap();
         let launch = (ust.launch_window.0 + ust.launch_window.1) / 2.0;
         let v = window_violation(&ust, &windows, &model, launch);
@@ -57,7 +71,7 @@ fn ust_honours_windows_on_paper_nets() {
 fn derate_growth_ranks_flows() {
     let design = DesignSpec::by_name("s38417").unwrap().instantiate();
     let cts = HierarchicalCts::default();
-    let ours = cts.run(&design);
+    let ours = cts.run(&design).unwrap();
     let or_tree = sllt::cts::baseline::open_road_like(
         &design,
         &sllt::cts::CtsConstraints::paper(),
@@ -76,7 +90,7 @@ fn derate_growth_ranks_flows() {
 fn slew_repair_on_flow_output() {
     let design = DesignSpec::by_name("s38584").unwrap().instantiate();
     let cts = HierarchicalCts::default();
-    let mut tree = cts.run(&design);
+    let mut tree = cts.run(&design).unwrap();
     let tech = Technology::n28();
     let lib = BufferLibrary::n28();
     let limit = 55.0;

@@ -12,7 +12,7 @@ fn flow_is_correct_on_small_suite() {
     for name in ["s38584", "s38417", "s35932"] {
         let design = DesignSpec::by_name(name).unwrap().instantiate();
         let cts = HierarchicalCts::default();
-        let tree = cts.run(&design);
+        let tree = cts.run(&design).unwrap();
         tree.validate().unwrap();
 
         let mut seen = vec![false; design.num_ffs()];
@@ -47,9 +47,9 @@ fn table6_shape_holds() {
     for name in ["s38584", "s38417", "s35932"] {
         let design = DesignSpec::by_name(name).unwrap().instantiate();
         let ours = HierarchicalCts::default();
-        let r_ours = evaluate(&ours.run(&design), &ours.tech, &ours.lib);
+        let r_ours = evaluate(&ours.run(&design).unwrap(), &ours.tech, &ours.lib);
         let r_com = evaluate(
-            &baseline::commercial_like().run(&design),
+            &baseline::commercial_like().run(&design).unwrap(),
             &ours.tech,
             &ours.lib,
         );
@@ -70,7 +70,10 @@ fn table6_shape_holds() {
         lat_ours <= lat_com * 1.02,
         "commercial-like {lat_com:.0} should not beat ours {lat_ours:.0}"
     );
-    assert!(area_ours < area_or, "structural flow must burn more buffer area");
+    assert!(
+        area_ours < area_or,
+        "structural flow must burn more buffer area"
+    );
 }
 
 /// Repeaters appear when a design's trunks exceed the critical
@@ -83,7 +86,7 @@ fn baselines_validate_on_a_mid_design() {
         baseline::open_road_like(&design, &CtsConstraints::paper(), &ours.tech, &ours.lib);
     or_tree.validate().unwrap();
     assert_eq!(or_tree.sinks().len(), design.num_ffs());
-    let com_tree = baseline::commercial_like().run(&design);
+    let com_tree = baseline::commercial_like().run(&design).unwrap();
     com_tree.validate().unwrap();
     assert_eq!(com_tree.sinks().len(), design.num_ffs());
 }

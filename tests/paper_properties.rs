@@ -1,13 +1,17 @@
 //! Property-level checks of the paper's mathematical claims, across
 //! crates and at scale.
+//!
+//! Gated behind `--features proptest` (the in-repo property-testing
+//! shim) so the tier-1 suite stays lean and fully offline.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
-use rand::prelude::*;
 use sllt::core::analysis::{dispersion, shallow_skew_compatible};
 use sllt::core::cbs::{cbs, CbsConfig};
 use sllt::geom::Point;
 use sllt::route::{rsmt, salt::salt, skew_of, zst_dme, DelayModel, TopologyScheme};
 use sllt::tree::{metrics::path_length_skew, ClockNet, Sink, SlltMetrics};
+use sllt_rng::prelude::*;
 
 fn random_net(seed: u64, n: usize) -> ClockNet {
     let mut rng = StdRng::seed_from_u64(seed);
