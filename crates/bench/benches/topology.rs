@@ -2,7 +2,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sllt_design::NetGenerator;
-use sllt_route::{bst_dme, ghtree, htree, rsmt::rsmt, salt::salt, zst_dme, TopologyScheme};
+use sllt_geom::Point;
+use sllt_rng::prelude::*;
+use sllt_route::{
+    bst_dme, ghtree, greedy_dist, greedy_dist_naive, greedy_merge, greedy_merge_naive, htree,
+    rsmt::rsmt, salt::salt, zst_dme, TopologyScheme,
+};
+use sllt_tree::{ClockNet, Sink};
 use std::time::Duration;
 
 fn bench_generators(c: &mut Criterion) {
@@ -46,9 +52,51 @@ fn bench_merge_orders(c: &mut Criterion) {
     g.finish();
 }
 
+fn random_net(seed: u64, n: usize) -> ClockNet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = 75.0 * (n as f64 / 40.0).sqrt(); // constant sink density
+    ClockNet::new(
+        Point::new(span / 2.0, span / 2.0),
+        (0..n)
+            .map(|_| {
+                Sink::new(
+                    Point::new(rng.random_range(0.0..span), rng.random_range(0.0..span)),
+                    1.0,
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Engine-backed greedy schemes vs the brute-force oracles across sink
+/// counts (see EXPERIMENTS.md for the recorded scaling table; the
+/// `topo_scaling` bin covers 1k–100k where the O(n³) oracle is hopeless).
+fn bench_greedy_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy_scaling");
+    g.sample_size(10);
+    for n in [500usize, 2_000, 8_000] {
+        let net = random_net(7, n);
+        g.bench_with_input(BenchmarkId::new("greedy_dist", n), &net, |b, net| {
+            b.iter(|| greedy_dist(std::hint::black_box(net)))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_merge", n), &net, |b, net| {
+            b.iter(|| greedy_merge(std::hint::black_box(net)))
+        });
+        if n <= 2_000 {
+            g.bench_with_input(BenchmarkId::new("greedy_dist_naive", n), &net, |b, net| {
+                b.iter(|| greedy_dist_naive(std::hint::black_box(net)))
+            });
+            g.bench_with_input(BenchmarkId::new("greedy_merge_naive", n), &net, |b, net| {
+                b.iter(|| greedy_merge_naive(std::hint::black_box(net)))
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
-    targets = bench_generators, bench_merge_orders
+    targets = bench_generators, bench_merge_orders, bench_greedy_scaling
 }
 criterion_main!(benches);

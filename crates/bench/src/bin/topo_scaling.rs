@@ -1,0 +1,94 @@
+//! Greedy merge-order scaling sweep: engine-backed Greedy-Dist and
+//! Greedy-Merge from 1k to 100k sinks, with the brute-force oracles at
+//! the sizes where O(n³) is still affordable (the numbers behind the
+//! EXPERIMENTS.md scaling table).
+//!
+//! ```text
+//! cargo run --release -p sllt-bench --bin topo_scaling
+//! ```
+
+use sllt_bench::Table;
+use sllt_geom::Point;
+use sllt_rng::prelude::*;
+use sllt_route::{greedy_dist, greedy_dist_naive, greedy_merge, greedy_merge_naive};
+use sllt_tree::{ClockNet, Sink};
+use std::time::Instant;
+
+fn random_net(seed: u64, n: usize) -> ClockNet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = 75.0 * (n as f64 / 40.0).sqrt(); // constant sink density
+    ClockNet::new(
+        Point::new(span / 2.0, span / 2.0),
+        (0..n)
+            .map(|_| {
+                Sink::new(
+                    Point::new(rng.random_range(0.0..span), rng.random_range(0.0..span)),
+                    1.0,
+                )
+            })
+            .collect(),
+    )
+}
+
+fn time_ms(f: impl FnOnce() -> sllt_tree::Topology) -> (f64, usize) {
+    let t0 = Instant::now();
+    let topo = f();
+    (t0.elapsed().as_secs_f64() * 1e3, topo.depth())
+}
+
+fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else {
+        format!("{ms:.1}")
+    }
+}
+
+fn main() {
+    // Above this the O(n³) oracles are skipped (minutes of runtime).
+    const NAIVE_MAX: usize = 4_000;
+    let mut table = Table::new(vec![
+        "sinks",
+        "dist (ms)",
+        "dist naive (ms)",
+        "merge (ms)",
+        "merge naive (ms)",
+    ]);
+    for n in [1_000usize, 2_000, 4_000, 10_000, 20_000, 50_000, 100_000] {
+        let net = random_net(42, n);
+        let (dist_ms, _) = time_ms(|| greedy_dist(&net));
+        let (merge_ms, _) = time_ms(|| greedy_merge(&net));
+        let (dist_naive, merge_naive) = if n <= NAIVE_MAX {
+            let (dn, _) = time_ms(|| greedy_dist_naive(&net));
+            let (mn, _) = time_ms(|| greedy_merge_naive(&net));
+            (fmt_ms(dn), fmt_ms(mn))
+        } else {
+            ("—".to_string(), "—".to_string())
+        };
+        table.row(vec![
+            n.to_string(),
+            fmt_ms(dist_ms),
+            dist_naive,
+            fmt_ms(merge_ms),
+            merge_naive,
+        ]);
+    }
+    println!("greedy merge-order scaling (random nets, constant density):");
+    println!("{}", table.render());
+
+    // Degenerate shape: collinear sinks (worst case for the grid).
+    let mut degen = Table::new(vec!["sinks (collinear)", "dist (ms)", "merge (ms)"]);
+    for n in [10_000usize, 50_000, 200_000] {
+        let net = ClockNet::new(
+            Point::ORIGIN,
+            (0..n)
+                .map(|i| Sink::new(Point::new(i as f64 * 0.5, 0.0), 1.0))
+                .collect(),
+        );
+        let (dist_ms, _) = time_ms(|| greedy_dist(&net));
+        let (merge_ms, _) = time_ms(|| greedy_merge(&net));
+        degen.row(vec![n.to_string(), fmt_ms(dist_ms), fmt_ms(merge_ms)]);
+    }
+    println!("\ncollinear degenerate case:");
+    println!("{}", degen.render());
+}

@@ -28,7 +28,9 @@ use sllt_tree::{edits, ClockNet, ClockTree, HintedTopology};
 /// Parameters of the CBS construction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CbsConfig {
-    /// Merge order used by the BST steps (1 and 5).
+    /// Merge order used by the BST steps (1 and 5). The greedy schemes
+    /// run on `sllt-route`'s nearest-pair engine (~O(n log n)), so any
+    /// scheme here is usable at production sink counts.
     pub scheme: TopologyScheme,
     /// Bounded-skew target: µm of path length under
     /// [`DelayModel::PathLength`], ps under [`DelayModel::Elmore`].
@@ -104,6 +106,12 @@ pub fn cbs_intervals(net: &ClockNet, cfg: &CbsConfig, intervals: &[(f64, f64)]) 
 
 /// Step 1: the initial bounded-skew tree (iSLLT) over the configured
 /// merge order.
+///
+/// Scales to production nets: topology generation is nearest-pair
+/// accelerated and DME's build/embed passes are explicit-stack
+/// iterative, so even the degenerate deep-chain merge orders greedy
+/// schemes produce on collinear sinks run within the default thread
+/// stack.
 pub fn step1_initial_bst(net: &ClockNet, cfg: &CbsConfig) -> ClockTree {
     step1_initial_bst_intervals(net, cfg, &vec![(0.0, 0.0); net.len()])
 }

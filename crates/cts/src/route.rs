@@ -148,6 +148,9 @@ fn route_cluster(
         eps.max(slack_len / max_md - 1.0).min(10.0)
     };
 
+    // Merge-order generation inside `scheme.build` is nearest-pair
+    // accelerated (sllt-route::nnpair), so cluster sizes are not limited
+    // by topology generation even when partitioning is configured coarse.
     let tree = match cts.topology {
         TopologyKind::Cbs { scheme, eps } => cbs_intervals(
             &net,

@@ -267,10 +267,18 @@ pub fn balanced_kmeans_grid(
     // Recursive median split into cells.
     let mut stack: Vec<Vec<usize>> = vec![(0..n).collect()];
     while let Some(mut cell) = stack.pop() {
+        if cell.is_empty() {
+            // Median splits of nonempty cells keep both halves nonempty,
+            // but an empty cell must be skipped, not crash the flow: it
+            // simply contributes no clusters.
+            continue;
+        }
         if cell.len() > max_cell {
             // Split along the wider extent at the median.
             let pts: Vec<Point> = cell.iter().map(|&i| points[i]).collect();
-            let bb = sllt_geom::Rect::bounding(&pts).expect("cell nonempty");
+            let Some(bb) = sllt_geom::Rect::bounding(&pts) else {
+                continue;
+            };
             if bb.width() >= bb.height() {
                 cell.sort_by(|&a, &b| points[a].x.total_cmp(&points[b].x));
             } else {
@@ -495,6 +503,26 @@ mod tests {
         for c in 0..3 {
             assert_eq!(part.members(c).len(), 3);
         }
+    }
+
+    /// The grid splitter must survive degenerate point sets without
+    /// panicking on an empty cell: fully coincident points force every
+    /// median split to cut identical coordinates, the worst case for the
+    /// bounding-box path that previously `expect`ed cells nonempty.
+    #[test]
+    fn grid_clustering_survives_degenerate_cells() {
+        let pts = vec![Point::new(5.0, 5.0); 64];
+        let part = balanced_kmeans_grid(&pts, 8, 8, 16, 3);
+        assert_eq!(part.assignment.len(), 64);
+        let k = part.centers.len();
+        assert!(part.assignment.iter().all(|&a| a < k));
+        for c in 0..k {
+            assert!(part.members(c).len() <= 8, "cluster {c} over capacity");
+        }
+        // A two-point degenerate set exercises the minimal-cell path.
+        let two = vec![Point::ORIGIN; 2];
+        let part = balanced_kmeans_grid(&two, 1, 2, 2, 1);
+        assert_eq!(part.assignment.len(), 2);
     }
 
     #[test]

@@ -222,6 +222,13 @@ struct MergeNode {
     sink: Option<usize>,
 }
 
+/// Bottom-up merging-region construction (DME phase 1), as an explicit
+/// postorder stack machine: greedy merge orders degenerate to n-deep
+/// chains on collinear or clustered sinks, which the recursive
+/// formulation cannot traverse on an 8 MiB thread stack at production
+/// sink counts. The arena (`out`) fills in exactly the order the
+/// recursion used — left subtree, right subtree, merge node — so node
+/// indices and all downstream arithmetic are unchanged.
 fn build_up(
     net: &ClockNet,
     topo: &HintedTopology,
@@ -229,38 +236,54 @@ fn build_up(
     intervals: &[(f64, f64)],
     out: &mut Vec<MergeNode>,
 ) -> usize {
-    match topo {
-        HintedTopology::Sink(i) => {
-            assert!(*i < net.sinks.len(), "topology sink index {i} out of range");
-            let cap = match opts.model {
-                DelayModel::PathLength => 0.0,
-                DelayModel::Elmore(_) => net.sinks[*i].cap_ff,
-            };
-            out.push(MergeNode {
-                region: RRect::from_point(net.sinks[*i].pos),
-                lo: intervals[*i].0,
-                hi: intervals[*i].1,
-                cap,
-                kids: None,
-                sink: Some(*i),
-            });
-            out.len() - 1
-        }
-        HintedTopology::Merge(a, b, hint) => {
-            let ia = build_up(net, a, opts, intervals, out);
-            let ib = build_up(net, b, opts, intervals, out);
-            let m = merge(&out[ia], &out[ib], opts, *hint);
-            out.push(MergeNode {
-                region: m.region,
-                lo: m.lo,
-                hi: m.hi,
-                cap: m.cap,
-                kids: Some((ia, ib, m.ea, m.eb)),
-                sink: None,
-            });
-            out.len() - 1
+    enum W<'t> {
+        Visit(&'t HintedTopology),
+        Build(Option<Point>),
+    }
+    let mut work = vec![W::Visit(topo)];
+    // Arena indices of completed subtrees, consumed two at a time by Build.
+    let mut done: Vec<usize> = Vec::new();
+    while let Some(w) = work.pop() {
+        match w {
+            W::Visit(HintedTopology::Sink(i)) => {
+                let i = *i;
+                assert!(i < net.sinks.len(), "topology sink index {i} out of range");
+                let cap = match opts.model {
+                    DelayModel::PathLength => 0.0,
+                    DelayModel::Elmore(_) => net.sinks[i].cap_ff,
+                };
+                out.push(MergeNode {
+                    region: RRect::from_point(net.sinks[i].pos),
+                    lo: intervals[i].0,
+                    hi: intervals[i].1,
+                    cap,
+                    kids: None,
+                    sink: Some(i),
+                });
+                done.push(out.len() - 1);
+            }
+            W::Visit(HintedTopology::Merge(a, b, hint)) => {
+                work.push(W::Build(*hint));
+                work.push(W::Visit(b));
+                work.push(W::Visit(a));
+            }
+            W::Build(hint) => {
+                let ib = done.pop().expect("build follows two subtrees");
+                let ia = done.pop().expect("build follows two subtrees");
+                let m = merge(&out[ia], &out[ib], opts, hint);
+                out.push(MergeNode {
+                    region: m.region,
+                    lo: m.lo,
+                    hi: m.hi,
+                    cap: m.cap,
+                    kids: Some((ia, ib, m.ea, m.eb)),
+                    sink: None,
+                });
+                done.push(out.len() - 1);
+            }
         }
     }
+    done.pop().expect("nonempty topology")
 }
 
 struct Merged {
@@ -445,33 +468,41 @@ pub fn skew_of(tree: &ClockTree, model: &DelayModel) -> f64 {
     }
 }
 
-/// Embeds node `idx` at `pos` under tree node `parent`, wiring the edge
-/// with the assigned length `edge` (None for the source→root trunk, which
-/// is a plain shortest wire).
+/// Embeds node `root_idx` at `root_pos` under tree node `root_parent`,
+/// wiring each edge with its assigned length (None for the source→root
+/// trunk, which is a plain shortest wire).
+///
+/// Explicit preorder stack (left child pushed last, so embedded first):
+/// tree node ids are allocated in exactly the order the recursive
+/// formulation allocated them, and chain-deep topologies embed without
+/// touching the thread stack.
 fn embed_down(
     net: &ClockNet,
     nodes: &[MergeNode],
-    idx: usize,
+    root_idx: usize,
     tree: &mut ClockTree,
-    parent: NodeId,
-    pos: Point,
-    edge: Option<f64>,
-) -> NodeId {
-    let n = &nodes[idx];
-    let id = match n.sink {
-        Some(i) => tree.add_sink_indexed(parent, pos, net.sinks[i].cap_ff, i),
-        None => tree.add_steiner(parent, pos),
-    };
-    if let Some(e) = edge {
-        tree.set_edge_len(id, e.max(tree.node(id).edge_len()));
+    root_parent: NodeId,
+    root_pos: Point,
+    root_edge: Option<f64>,
+) {
+    let mut stack: Vec<(usize, NodeId, Point, Option<f64>)> =
+        vec![(root_idx, root_parent, root_pos, root_edge)];
+    while let Some((idx, parent, pos, edge)) = stack.pop() {
+        let n = &nodes[idx];
+        let id = match n.sink {
+            Some(i) => tree.add_sink_indexed(parent, pos, net.sinks[i].cap_ff, i),
+            None => tree.add_steiner(parent, pos),
+        };
+        if let Some(e) = edge {
+            tree.set_edge_len(id, e.max(tree.node(id).edge_len()));
+        }
+        if let Some((ia, ib, ea, eb)) = n.kids {
+            let pa = nodes[ia].region.nearest_to(pos);
+            let pb = nodes[ib].region.nearest_to(pos);
+            stack.push((ib, id, pb, Some(eb)));
+            stack.push((ia, id, pa, Some(ea)));
+        }
     }
-    if let Some((ia, ib, ea, eb)) = n.kids {
-        let pa = nodes[ia].region.nearest_to(pos);
-        let pb = nodes[ib].region.nearest_to(pos);
-        embed_down(net, nodes, ia, tree, id, pa, Some(ea));
-        embed_down(net, nodes, ib, tree, id, pb, Some(eb));
-    }
-    id
 }
 
 #[cfg(test)]

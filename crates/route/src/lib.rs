@@ -47,6 +47,7 @@ pub mod dme;
 pub mod ghtree;
 pub mod htree;
 pub mod legalize;
+pub mod nnpair;
 pub mod rmst_fast;
 pub mod rsmt;
 pub mod salt;
@@ -65,5 +66,8 @@ pub use legalize::{skew_legalize, skew_legalize_intervals, skew_legalize_offsets
 pub use rmst_fast::rmst_octant;
 pub use rsmt::{rmst, rsmt};
 pub use salt::{salt, salt_from_tree};
-pub use topogen::{bi_cluster, bi_partition, greedy_dist, greedy_merge, TopologyScheme};
+pub use topogen::{
+    bi_cluster, bi_partition, greedy_dist, greedy_dist_naive, greedy_merge, greedy_merge_naive,
+    TopologyScheme,
+};
 pub use ust::{ust_dme, window_violation, UstTree};

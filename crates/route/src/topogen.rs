@@ -13,7 +13,8 @@
 //! * **Bi-Cluster** — "recursively performing binary partitions in a
 //!   clustering manner" (2-means).
 
-use sllt_geom::{Point, RRect};
+use crate::nnpair::{self, key_less, PairMetric};
+use sllt_geom::{Point, RPoint, RRect};
 use sllt_tree::{ClockNet, Topology};
 use std::fmt;
 
@@ -70,111 +71,234 @@ fn check_nonempty(net: &ClockNet) {
     assert!(!net.is_empty(), "topology generation over a sinkless net");
 }
 
-/// Greedy-Dist: repeatedly merge the two subtrees whose centroids are
-/// closest in L1.
-pub fn greedy_dist(net: &ClockNet) -> Topology {
-    check_nonempty(net);
-    struct Cluster {
-        topo: Topology,
-        centroid: Point,
-        weight: f64,
+/// Below this sink count the brute-force scan wins on constant factor
+/// (no grid or heap setup); above it the nearest-pair engine takes over.
+/// Results are bit-identical either way, so the cutoff is pure tuning.
+const NAIVE_CUTOFF: usize = 32;
+
+/// Greedy-Dist cluster state: weighted centroid of the merged sinks.
+struct DistState {
+    centroid: Point,
+    weight: f64,
+}
+
+/// The exact Greedy-Dist cost — L1 centroid distance. Shared verbatim by
+/// the engine-backed and brute-force paths (bit-identity depends on it).
+fn dist_cost(a: &DistState, b: &DistState) -> f64 {
+    a.centroid.dist(b.centroid)
+}
+
+/// The exact Greedy-Dist merge; `a` is the older (smaller-id) cluster, so
+/// the accumulation order of the weighted mean is deterministic.
+fn dist_merge(a: &DistState, b: &DistState) -> DistState {
+    let w = a.weight + b.weight;
+    DistState {
+        centroid: (a.centroid * a.weight + b.centroid * b.weight) / w,
+        weight: w,
     }
-    let mut clusters: Vec<Cluster> = net
-        .sinks
+}
+
+struct DistMetric;
+
+impl PairMetric for DistMetric {
+    type State = DistState;
+    fn position(s: &DistState) -> RPoint {
+        RPoint::from_xy(s.centroid)
+    }
+    fn half_extent(_: &DistState) -> f64 {
+        0.0 // centroids are points
+    }
+    fn cost(a: &DistState, b: &DistState) -> f64 {
+        dist_cost(a, b)
+    }
+    fn merge(a: &DistState, b: &DistState) -> DistState {
+        dist_merge(a, b)
+    }
+}
+
+fn dist_states(net: &ClockNet) -> Vec<DistState> {
+    net.sinks
         .iter()
-        .enumerate()
-        .map(|(i, s)| Cluster {
-            topo: Topology::sink(i),
+        .map(|s| DistState {
             centroid: s.pos,
             weight: 1.0,
         })
-        .collect();
-    while clusters.len() > 1 {
-        let (mut bi, mut bj, mut bd) = (0, 1, f64::INFINITY);
-        for i in 0..clusters.len() {
-            for j in (i + 1)..clusters.len() {
-                let d = clusters[i].centroid.dist(clusters[j].centroid);
-                if d < bd {
-                    (bi, bj, bd) = (i, j, d);
-                }
-            }
-        }
-        let b = clusters.swap_remove(bj);
-        let a = clusters.swap_remove(if bi == clusters.len() { bj } else { bi });
-        let w = a.weight + b.weight;
-        clusters.push(Cluster {
-            centroid: (a.centroid * a.weight + b.centroid * b.weight) / w,
-            topo: Topology::merge(a.topo, b.topo),
-            weight: w,
-        });
-    }
-    clusters.pop().expect("nonempty").topo
+        .collect()
 }
 
-/// Greedy-Merge: repeatedly merge the pair with the smallest DME merging
-/// cost — the wire a balanced merge would add, i.e. the L1 distance
-/// between the two merging regions (plus any detour a delay imbalance
-/// forces under the linear delay model).
-pub fn greedy_merge(net: &ClockNet) -> Topology {
+/// Greedy-Dist: repeatedly merge the two subtrees whose centroids are
+/// closest in L1; ties break toward the oldest pair (creation-order ids).
+///
+/// Runs on the nearest-pair engine ([`crate::nnpair`]) in ~O(n log n);
+/// bit-identical to [`greedy_dist_naive`].
+pub fn greedy_dist(net: &ClockNet) -> Topology {
     check_nonempty(net);
-    struct Cluster {
-        topo: Topology,
-        region: RRect,
-        delay: f64, // linear-model delay (path length) at the region
+    if net.sinks.len() <= NAIVE_CUTOFF {
+        return greedy_dist_naive(net);
     }
-    let cost = |a: &Cluster, b: &Cluster| -> f64 {
-        let d = a.region.dist(&b.region);
-        // Balanced merge needs d of wire; a delay gap beyond d forces
-        // detour on the fast side.
-        d.max((a.delay - b.delay).abs())
-    };
-    let mut clusters: Vec<Cluster> = net
-        .sinks
+    nnpair::agglomerate::<DistMetric>(dist_states(net))
+}
+
+/// Brute-force Greedy-Dist: full pairwise rescan per merge, O(n³)
+/// overall. Retained as the oracle the accelerated path is cross-checked
+/// against, and as the small-n fast path.
+pub fn greedy_dist_naive(net: &ClockNet) -> Topology {
+    check_nonempty(net);
+    agglomerate_naive(dist_states(net), dist_cost, dist_merge)
+}
+
+/// Greedy-Merge cluster state: DME merging region plus linear-model delay
+/// (path length) at that region.
+struct MergeState {
+    region: RRect,
+    delay: f64,
+}
+
+/// The exact Greedy-Merge cost — the wire a balanced merge would add: the
+/// L1 distance between merging regions, or the delay gap when the gap
+/// exceeds it (the fast side must detour that much under the linear
+/// model). Shared verbatim by both paths.
+fn merge_cost(a: &MergeState, b: &MergeState) -> f64 {
+    let d = a.region.dist(&b.region);
+    d.max((a.delay - b.delay).abs())
+}
+
+/// The exact Greedy-Merge merge: zero-skew split of the connecting wire
+/// under the linear delay model. `a` is the older (smaller-id) cluster,
+/// fixing the orientation of the split.
+fn merge_merge(a: &MergeState, b: &MergeState) -> MergeState {
+    let d = a.region.dist(&b.region);
+    let mut ea = (b.delay - a.delay + d) / 2.0;
+    let mut eb = d - ea;
+    if ea < 0.0 {
+        ea = 0.0;
+        eb = a.delay - b.delay;
+    } else if eb < 0.0 {
+        eb = 0.0;
+        ea = b.delay - a.delay;
+    }
+    let region = a
+        .region
+        .inflated(ea)
+        .intersection(&b.region.inflated(eb))
+        .unwrap_or_else(|| {
+            // Detour merges may not intersect exactly due to fp noise;
+            // fall back to the midpoint of the nearest approach.
+            RRect::from_point(a.region.nearest_to(b.region.center()))
+        });
+    MergeState {
+        region,
+        delay: a.delay + ea,
+    }
+}
+
+struct MergeMetric;
+
+impl PairMetric for MergeMetric {
+    type State = MergeState;
+    fn position(s: &MergeState) -> RPoint {
+        let (ulo, uhi, vlo, vhi) = s.region.bounds();
+        RPoint::new((ulo + uhi) / 2.0, (vlo + vhi) / 2.0)
+    }
+    fn half_extent(s: &MergeState) -> f64 {
+        let (ulo, uhi, vlo, vhi) = s.region.bounds();
+        ((uhi - ulo).max(vhi - vlo)) / 2.0
+    }
+    fn cost(a: &MergeState, b: &MergeState) -> f64 {
+        merge_cost(a, b)
+    }
+    fn merge(a: &MergeState, b: &MergeState) -> MergeState {
+        merge_merge(a, b)
+    }
+}
+
+fn merge_states(net: &ClockNet) -> Vec<MergeState> {
+    net.sinks
         .iter()
-        .enumerate()
-        .map(|(i, s)| Cluster {
-            topo: Topology::sink(i),
+        .map(|s| MergeState {
             region: RRect::from_point(s.pos),
             delay: 0.0,
         })
+        .collect()
+}
+
+/// Greedy-Merge: repeatedly merge the pair with the smallest DME merging
+/// cost; ties break toward the oldest pair (creation-order ids).
+///
+/// Runs on the nearest-pair engine ([`crate::nnpair`]) in ~O(n log n);
+/// bit-identical to [`greedy_merge_naive`]. The region half-extent feeds
+/// the engine's prune slack, since the merging-region distance can be up
+/// to a full region extent smaller than the center distance.
+pub fn greedy_merge(net: &ClockNet) -> Topology {
+    check_nonempty(net);
+    if net.sinks.len() <= NAIVE_CUTOFF {
+        return greedy_merge_naive(net);
+    }
+    nnpair::agglomerate::<MergeMetric>(merge_states(net))
+}
+
+/// Brute-force Greedy-Merge: full pairwise rescan per merge, O(n³)
+/// overall. Retained as the oracle the accelerated path is cross-checked
+/// against, and as the small-n fast path.
+pub fn greedy_merge_naive(net: &ClockNet) -> Topology {
+    check_nonempty(net);
+    agglomerate_naive(merge_states(net), merge_cost, merge_merge)
+}
+
+/// The brute-force agglomeration shared by both `*_naive` schemes: scan
+/// every live pair, select the minimum `(cost, lower id, higher id)` —
+/// the same selection key the engine uses — merge, repeat.
+fn agglomerate_naive<S>(
+    initial: Vec<S>,
+    cost: impl Fn(&S, &S) -> f64,
+    merge: impl Fn(&S, &S) -> S,
+) -> Topology {
+    struct Cluster<S> {
+        id: u32,
+        topo: Topology,
+        state: S,
+    }
+    let mut next_id = initial.len() as u32;
+    let mut clusters: Vec<Cluster<S>> = initial
+        .into_iter()
+        .enumerate()
+        .map(|(i, state)| Cluster {
+            id: i as u32,
+            topo: Topology::sink(i),
+            state,
+        })
         .collect();
     while clusters.len() > 1 {
-        let (mut bi, mut bj, mut bc) = (0, 1, f64::INFINITY);
+        let (mut bi, mut bj) = (0, 1);
+        let mut bk = (f64::INFINITY, u32::MAX, u32::MAX);
         for i in 0..clusters.len() {
             for j in (i + 1)..clusters.len() {
-                let c = cost(&clusters[i], &clusters[j]);
-                if c < bc {
-                    (bi, bj, bc) = (i, j, c);
+                let c = cost(&clusters[i].state, &clusters[j].state);
+                let (lo, hi) = if clusters[i].id < clusters[j].id {
+                    (clusters[i].id, clusters[j].id)
+                } else {
+                    (clusters[j].id, clusters[i].id)
+                };
+                if key_less((c, lo, hi), bk) {
+                    (bi, bj, bk) = (i, j, (c, lo, hi));
                 }
             }
         }
+        // Invariant: bi < bj (the scan only visits i < j), so removing bj
+        // first cannot move slot bi — `swap_remove(bj)` relocates only the
+        // final element, whose slot index is ≥ bj > bi. No index fixup is
+        // needed for the second removal.
         let b = clusters.swap_remove(bj);
-        let a = clusters.swap_remove(if bi == clusters.len() { bj } else { bi });
-        let d = a.region.dist(&b.region);
-        // Zero-skew split of the connecting wire (linear delay model).
-        let mut ea = (b.delay - a.delay + d) / 2.0;
-        let mut eb = d - ea;
-        if ea < 0.0 {
-            ea = 0.0;
-            eb = a.delay - b.delay;
-        } else if eb < 0.0 {
-            eb = 0.0;
-            ea = b.delay - a.delay;
-        }
-        let region = a
-            .region
-            .inflated(ea)
-            .intersection(&b.region.inflated(eb))
-            .unwrap_or_else(|| {
-                // Detour merges may not intersect exactly due to fp noise;
-                // fall back to the midpoint of the nearest approach.
-                RRect::from_point(a.region.nearest_to(b.region.center()))
-            });
+        let a = clusters.swap_remove(bi);
+        // Orient by creation id, as the engine does: the older cluster is
+        // the left/`a` side of asymmetric merge formulas.
+        let (a, b) = if a.id < b.id { (a, b) } else { (b, a) };
         clusters.push(Cluster {
+            id: next_id,
+            state: merge(&a.state, &b.state),
             topo: Topology::merge(a.topo, b.topo),
-            region,
-            delay: a.delay + ea,
         });
+        next_id += 1;
     }
     clusters.pop().expect("nonempty").topo
 }
@@ -352,7 +476,7 @@ mod tests {
             ],
         );
         let topo = greedy_dist(&net);
-        match topo {
+        match &topo {
             Topology::Merge(a, b) => {
                 let mut la = a.leaves();
                 let mut lb = b.leaves();
@@ -410,5 +534,137 @@ mod tests {
     fn empty_net_rejected() {
         let net = ClockNet::new(Point::ORIGIN, vec![]);
         let _ = greedy_dist(&net);
+    }
+
+    /// The best pair sits in the last vector slot: the case the removed
+    /// index-fixup branch claimed to handle. Since the scan guarantees
+    /// `bi < bj`, `swap_remove(bj)` never relocates slot `bi` and the
+    /// merge comes out right without any fixup.
+    #[test]
+    fn last_element_merge_is_handled_without_index_fixup() {
+        let net = ClockNet::new(
+            Point::ORIGIN,
+            vec![
+                Sink::new(Point::new(0.0, 0.0), 1.0),
+                Sink::new(Point::new(100.0, 0.0), 1.0),
+                Sink::new(Point::new(101.0, 0.0), 1.0), // best pair = slots (1, 2)
+            ],
+        );
+        let expect = Topology::merge(
+            Topology::sink(0),
+            Topology::merge(Topology::sink(1), Topology::sink(2)),
+        );
+        assert_eq!(greedy_dist_naive(&net), expect);
+        assert_eq!(greedy_merge_naive(&net), expect);
+        assert_eq!(greedy_dist(&net), expect);
+        assert_eq!(greedy_merge(&net), expect);
+    }
+
+    fn collinear_net(n: usize) -> ClockNet {
+        ClockNet::new(
+            Point::ORIGIN,
+            (0..n)
+                .map(|i| Sink::new(Point::new(i as f64 * 2.0, 0.0), 1.0))
+                .collect(),
+        )
+    }
+
+    fn coincident_net(n: usize) -> ClockNet {
+        ClockNet::new(
+            Point::ORIGIN,
+            (0..n)
+                .map(|_| Sink::new(Point::new(5.0, -3.0), 1.0))
+                .collect(),
+        )
+    }
+
+    /// Clustered-then-collinear: tight pairs along a line, the shape that
+    /// drives greedy merge orders toward deep chains.
+    fn paired_line_net(n: usize) -> ClockNet {
+        ClockNet::new(
+            Point::ORIGIN,
+            (0..n)
+                .map(|i| {
+                    let base = (i / 2) as f64 * 50.0;
+                    Sink::new(Point::new(base + (i % 2) as f64, 0.0), 1.0)
+                })
+                .collect(),
+        )
+    }
+
+    /// Equivalence suite: the engine-backed schemes must be *bit-identical*
+    /// to the brute-force oracle — same topology structure, which (since
+    /// both share the exact cost/merge code and selection key) implies the
+    /// same merge sequence and the same floating-point states throughout.
+    ///
+    /// The brute-force oracle is O(n³), so debug runs use reduced sizes;
+    /// release runs cover n up to 2000 (`cargo test --release -p
+    /// sllt-route`).
+    #[test]
+    fn accelerated_greedy_matches_naive_bit_for_bit() {
+        let sizes: &[usize] = if cfg!(debug_assertions) {
+            &[1, 2, 3, 33, 64, 150]
+        } else {
+            &[1, 2, 3, 33, 150, 500, 2000]
+        };
+        for &n in sizes {
+            for seed in 0..3 {
+                let net = random_net(seed, n);
+                assert_eq!(
+                    greedy_dist(&net),
+                    greedy_dist_naive(&net),
+                    "greedy_dist random n {n} seed {seed}"
+                );
+                assert_eq!(
+                    greedy_merge(&net),
+                    greedy_merge_naive(&net),
+                    "greedy_merge random n {n} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accelerated_greedy_matches_naive_on_degenerate_inputs() {
+        let n = if cfg!(debug_assertions) { 120 } else { 600 };
+        for net in [collinear_net(n), coincident_net(n), paired_line_net(n)] {
+            assert_eq!(greedy_dist(&net), greedy_dist_naive(&net));
+            assert_eq!(greedy_merge(&net), greedy_merge_naive(&net));
+        }
+        // Single sink short-circuits every path identically.
+        let one = collinear_net(1);
+        assert_eq!(greedy_dist(&one), Topology::Sink(0));
+        assert_eq!(greedy_merge(&one), Topology::Sink(0));
+    }
+
+    /// Acceptance: 50k-sink random nets complete in well under 10 s per
+    /// scheme in release mode. Debug builds only check a smaller size (the
+    /// engine itself is identical); timings are recorded in EXPERIMENTS.md.
+    #[test]
+    fn greedy_schemes_scale_to_50k_sinks() {
+        let n = if cfg!(debug_assertions) {
+            5_000
+        } else {
+            50_000
+        };
+        let net = random_net(99, n);
+        let t0 = std::time::Instant::now();
+        let td = greedy_dist(&net);
+        let dist_elapsed = t0.elapsed();
+        assert_eq!(td.len(), n);
+        let t1 = std::time::Instant::now();
+        let tm = greedy_merge(&net);
+        let merge_elapsed = t1.elapsed();
+        assert_eq!(tm.len(), n);
+        if !cfg!(debug_assertions) {
+            assert!(
+                dist_elapsed.as_secs_f64() < 10.0,
+                "greedy_dist 50k took {dist_elapsed:?}"
+            );
+            assert!(
+                merge_elapsed.as_secs_f64() < 10.0,
+                "greedy_merge 50k took {merge_elapsed:?}"
+            );
+        }
     }
 }

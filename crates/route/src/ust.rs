@@ -84,6 +84,10 @@ struct UstNode {
     sink: Option<usize>,
 }
 
+/// Bottom-up window-merge construction as an explicit postorder stack
+/// machine (same shape as `dme::build_up`): greedy merge orders can be
+/// n-deep chains, which recursion cannot traverse at production sink
+/// counts. Arena order matches the recursive formulation exactly.
 fn build(
     net: &ClockNet,
     topo: &HintedTopology,
@@ -91,38 +95,53 @@ fn build(
     model: &DelayModel,
     out: &mut Vec<UstNode>,
 ) -> usize {
-    match topo {
-        HintedTopology::Sink(i) => {
-            assert!(*i < net.sinks.len(), "topology sink index {i} out of range");
-            let cap = match model {
-                DelayModel::PathLength => 0.0,
-                DelayModel::Elmore(_) => net.sinks[*i].cap_ff,
-            };
-            out.push(UstNode {
-                region: RRect::from_point(net.sinks[*i].pos),
-                lo: windows[*i].0,
-                hi: windows[*i].1,
-                cap,
-                kids: None,
-                sink: Some(*i),
-            });
-            out.len() - 1
-        }
-        HintedTopology::Merge(a, b, _) => {
-            let ia = build(net, a, windows, model, out);
-            let ib = build(net, b, windows, model, out);
-            let m = merge_windows(&out[ia], &out[ib], model);
-            out.push(UstNode {
-                region: m.region,
-                lo: m.lo,
-                hi: m.hi,
-                cap: m.cap,
-                kids: Some((ia, ib, m.ea, m.eb)),
-                sink: None,
-            });
-            out.len() - 1
+    enum W<'t> {
+        Visit(&'t HintedTopology),
+        Build,
+    }
+    let mut work = vec![W::Visit(topo)];
+    let mut done: Vec<usize> = Vec::new();
+    while let Some(w) = work.pop() {
+        match w {
+            W::Visit(HintedTopology::Sink(i)) => {
+                let i = *i;
+                assert!(i < net.sinks.len(), "topology sink index {i} out of range");
+                let cap = match model {
+                    DelayModel::PathLength => 0.0,
+                    DelayModel::Elmore(_) => net.sinks[i].cap_ff,
+                };
+                out.push(UstNode {
+                    region: RRect::from_point(net.sinks[i].pos),
+                    lo: windows[i].0,
+                    hi: windows[i].1,
+                    cap,
+                    kids: None,
+                    sink: Some(i),
+                });
+                done.push(out.len() - 1);
+            }
+            W::Visit(HintedTopology::Merge(a, b, _)) => {
+                work.push(W::Build);
+                work.push(W::Visit(b));
+                work.push(W::Visit(a));
+            }
+            W::Build => {
+                let ib = done.pop().expect("build follows two subtrees");
+                let ia = done.pop().expect("build follows two subtrees");
+                let m = merge_windows(&out[ia], &out[ib], model);
+                out.push(UstNode {
+                    region: m.region,
+                    lo: m.lo,
+                    hi: m.hi,
+                    cap: m.cap,
+                    kids: Some((ia, ib, m.ea, m.eb)),
+                    sink: None,
+                });
+                done.push(out.len() - 1);
+            }
         }
     }
+    done.pop().expect("nonempty topology")
 }
 
 struct MergedWindow {
@@ -272,29 +291,36 @@ fn bisect_decreasing(f: &impl Fn(f64) -> f64, mut lo: f64, mut hi: f64) -> f64 {
     0.5 * (lo + hi)
 }
 
+/// Top-down embedding as an explicit preorder stack (left child pushed
+/// last, so embedded first — tree node ids come out in recursive order);
+/// see `dme::embed_down`.
 #[allow(clippy::too_many_arguments)]
 fn embed(
     net: &ClockNet,
     nodes: &[UstNode],
-    idx: usize,
+    root_idx: usize,
     tree: &mut ClockTree,
-    parent: NodeId,
-    pos: Point,
-    edge: Option<f64>,
+    root_parent: NodeId,
+    root_pos: Point,
+    root_edge: Option<f64>,
 ) {
-    let n = &nodes[idx];
-    let id = match n.sink {
-        Some(i) => tree.add_sink_indexed(parent, pos, net.sinks[i].cap_ff, i),
-        None => tree.add_steiner(parent, pos),
-    };
-    if let Some(e) = edge {
-        tree.set_edge_len(id, e.max(tree.node(id).edge_len()));
-    }
-    if let Some((ia, ib, ea, eb)) = n.kids {
-        let pa = nodes[ia].region.nearest_to(pos);
-        let pb = nodes[ib].region.nearest_to(pos);
-        embed(net, nodes, ia, tree, id, pa, Some(ea));
-        embed(net, nodes, ib, tree, id, pb, Some(eb));
+    let mut stack: Vec<(usize, NodeId, Point, Option<f64>)> =
+        vec![(root_idx, root_parent, root_pos, root_edge)];
+    while let Some((idx, parent, pos, edge)) = stack.pop() {
+        let n = &nodes[idx];
+        let id = match n.sink {
+            Some(i) => tree.add_sink_indexed(parent, pos, net.sinks[i].cap_ff, i),
+            None => tree.add_steiner(parent, pos),
+        };
+        if let Some(e) = edge {
+            tree.set_edge_len(id, e.max(tree.node(id).edge_len()));
+        }
+        if let Some((ia, ib, ea, eb)) = n.kids {
+            let pa = nodes[ia].region.nearest_to(pos);
+            let pb = nodes[ib].region.nearest_to(pos);
+            stack.push((ib, id, pb, Some(eb)));
+            stack.push((ia, id, pa, Some(ea)));
+        }
     }
 }
 

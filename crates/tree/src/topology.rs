@@ -6,6 +6,15 @@
 //! candidate schemes (Greedy-Dist, Greedy-Merge, Bi-Partition, Bi-Cluster)
 //! and the CBS pipeline extracts them back out of intermediate trees
 //! (Fig. 2, steps 2 and 4).
+//!
+//! Greedy merge orders can produce arbitrarily deep (left-deep chain)
+//! trees on degenerate sink placements, and production nets reach
+//! hundreds of thousands of sinks — so every traversal here (`leaves`,
+//! `len`, `depth`, `to_hinted`, `from_tree`, `Clone`, `PartialEq`, and
+//! crucially `Drop`) is explicit-stack iterative: stack usage is O(1) in
+//! topology depth and a 200k-deep chain is handled on the default thread
+//! stack. Only [`Topology::balanced`] stays recursive (its depth is
+//! `log₂ n` by construction).
 
 use crate::{ClockTree, NodeId};
 
@@ -23,7 +32,7 @@ use crate::{ClockTree, NodeId};
 /// assert_eq!(t.leaves(), vec![0, 1, 2]);
 /// assert_eq!(t.depth(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub enum Topology {
     /// A leaf: index into the sink list.
     Sink(usize),
@@ -45,26 +54,33 @@ impl Topology {
     /// Sink indices in left-to-right order.
     pub fn leaves(&self) -> Vec<usize> {
         let mut out = Vec::new();
-        self.collect_leaves(&mut out);
-        out
-    }
-
-    fn collect_leaves(&self, out: &mut Vec<usize>) {
-        match self {
-            Topology::Sink(i) => out.push(*i),
-            Topology::Merge(a, b) => {
-                a.collect_leaves(out);
-                b.collect_leaves(out);
+        let mut stack = vec![self];
+        while let Some(t) = stack.pop() {
+            match t {
+                Topology::Sink(i) => out.push(*i),
+                Topology::Merge(a, b) => {
+                    stack.push(b);
+                    stack.push(a);
+                }
             }
         }
+        out
     }
 
     /// Number of sinks below this node.
     pub fn len(&self) -> usize {
-        match self {
-            Topology::Sink(_) => 1,
-            Topology::Merge(a, b) => a.len() + b.len(),
+        let mut n = 0;
+        let mut stack = vec![self];
+        while let Some(t) = stack.pop() {
+            match t {
+                Topology::Sink(_) => n += 1,
+                Topology::Merge(a, b) => {
+                    stack.push(b);
+                    stack.push(a);
+                }
+            }
         }
+        n
     }
 
     /// `true` only for the degenerate case of zero sinks — which cannot be
@@ -75,10 +91,18 @@ impl Topology {
 
     /// Height of the merge tree (a single sink has depth 0).
     pub fn depth(&self) -> usize {
-        match self {
-            Topology::Sink(_) => 0,
-            Topology::Merge(a, b) => 1 + a.depth().max(b.depth()),
+        let mut max = 0;
+        let mut stack = vec![(self, 0usize)];
+        while let Some((t, d)) = stack.pop() {
+            match t {
+                Topology::Sink(_) => max = max.max(d),
+                Topology::Merge(a, b) => {
+                    stack.push((b, d + 1));
+                    stack.push((a, d + 1));
+                }
+            }
         }
+        max
     }
 
     /// A balanced merge order over sinks `0..n` in index order. Handy as a
@@ -102,10 +126,28 @@ impl Topology {
 
     /// Converts into a [`HintedTopology`] with no position hints.
     pub fn to_hinted(&self) -> HintedTopology {
-        match self {
-            Topology::Sink(i) => HintedTopology::Sink(*i),
-            Topology::Merge(a, b) => HintedTopology::merge(a.to_hinted(), b.to_hinted(), None),
+        enum W<'a> {
+            Visit(&'a Topology),
+            Build,
         }
+        let mut work = vec![W::Visit(self)];
+        let mut out: Vec<HintedTopology> = Vec::new();
+        while let Some(w) = work.pop() {
+            match w {
+                W::Visit(Topology::Sink(i)) => out.push(HintedTopology::Sink(*i)),
+                W::Visit(Topology::Merge(a, b)) => {
+                    work.push(W::Build);
+                    work.push(W::Visit(b));
+                    work.push(W::Visit(a));
+                }
+                W::Build => {
+                    let b = out.pop().expect("build follows two subtrees");
+                    let a = out.pop().expect("build follows two subtrees");
+                    out.push(HintedTopology::merge(a, b, None));
+                }
+            }
+        }
+        out.pop().expect("nonempty topology")
     }
 
     /// Extracts the merge order implied by a clock tree.
@@ -119,24 +161,124 @@ impl Topology {
     ///
     /// Returns `None` when the tree contains no sinks.
     pub fn from_tree(tree: &ClockTree) -> Option<Topology> {
-        fn rec(tree: &ClockTree, id: NodeId) -> Option<Topology> {
-            let node = tree.node(id);
-            let own = match node.kind {
-                crate::NodeKind::Sink { sink_index, .. } => Some(Topology::Sink(sink_index)),
-                _ => None,
+        let own = |id: NodeId| match tree.node(id).kind {
+            crate::NodeKind::Sink { sink_index, .. } => Some(Topology::Sink(sink_index)),
+            _ => None,
+        };
+        struct Frame {
+            id: NodeId,
+            next_child: usize,
+            acc: Option<Topology>,
+        }
+        let root = tree.root();
+        let mut stack = vec![Frame {
+            id: root,
+            next_child: 0,
+            acc: own(root),
+        }];
+        loop {
+            let (id, next_child) = {
+                let top = stack.last().expect("stack nonempty until return");
+                (top.id, top.next_child)
             };
-            let mut acc: Option<Topology> = own;
-            for &c in node.children() {
-                if let Some(sub) = rec(tree, c) {
-                    acc = Some(match acc {
-                        None => sub,
-                        Some(prev) => Topology::merge(prev, sub),
-                    });
+            let children = tree.node(id).children();
+            if next_child < children.len() {
+                let c = children[next_child];
+                stack.last_mut().expect("checked").next_child += 1;
+                stack.push(Frame {
+                    id: c,
+                    next_child: 0,
+                    acc: own(c),
+                });
+                continue;
+            }
+            let done = stack.pop().expect("checked");
+            let Some(parent) = stack.last_mut() else {
+                return done.acc;
+            };
+            if let Some(sub) = done.acc {
+                parent.acc = Some(match parent.acc.take() {
+                    None => sub,
+                    Some(prev) => Topology::merge(prev, sub),
+                });
+            }
+        }
+    }
+}
+
+impl Clone for Topology {
+    fn clone(&self) -> Topology {
+        enum W<'a> {
+            Visit(&'a Topology),
+            Build,
+        }
+        let mut work = vec![W::Visit(self)];
+        let mut out: Vec<Topology> = Vec::new();
+        while let Some(w) = work.pop() {
+            match w {
+                W::Visit(Topology::Sink(i)) => out.push(Topology::Sink(*i)),
+                W::Visit(Topology::Merge(a, b)) => {
+                    work.push(W::Build);
+                    work.push(W::Visit(b));
+                    work.push(W::Visit(a));
+                }
+                W::Build => {
+                    let b = out.pop().expect("build follows two subtrees");
+                    let a = out.pop().expect("build follows two subtrees");
+                    out.push(Topology::merge(a, b));
                 }
             }
-            acc
         }
-        rec(tree, tree.root())
+        out.pop().expect("nonempty topology")
+    }
+}
+
+impl PartialEq for Topology {
+    fn eq(&self, other: &Topology) -> bool {
+        let mut stack = vec![(self, other)];
+        while let Some(pair) = stack.pop() {
+            match pair {
+                (Topology::Sink(i), Topology::Sink(j)) => {
+                    if i != j {
+                        return false;
+                    }
+                }
+                (Topology::Merge(a1, b1), Topology::Merge(a2, b2)) => {
+                    stack.push((b1, b2));
+                    stack.push((a1, a2));
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+impl Eq for Topology {}
+
+impl Drop for Topology {
+    /// Iterative drop: the derived drop glue recurses per merge level and
+    /// blows the stack on chain topologies (a 200k-sink greedy order over
+    /// degenerate placements is a 200k-deep chain). Children are detached
+    /// onto an explicit stack so every node drops with leaf children only.
+    fn drop(&mut self) {
+        let mut stack: Vec<Topology> = Vec::new();
+        let detach = |node: &mut Topology, stack: &mut Vec<Topology>| {
+            if let Topology::Merge(a, b) = node {
+                for child in [a, b] {
+                    let c = std::mem::replace(&mut **child, Topology::Sink(0));
+                    if matches!(c, Topology::Merge(..)) {
+                        stack.push(c);
+                    }
+                }
+            }
+        };
+        detach(self, &mut stack);
+        while let Some(mut t) = stack.pop() {
+            detach(&mut t, &mut stack);
+            // `t` drops here with both children replaced by sinks, so its
+            // own drop glue bottoms out immediately.
+        }
     }
 }
 
@@ -144,7 +286,7 @@ impl Topology {
 /// the location the merge point had in the tree the order was extracted
 /// from. Hinted embeddings (CBS step 5) use the hint to stay close to the
 /// source geometry whenever the skew bound leaves slack.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub enum HintedTopology {
     /// A leaf: index into the sink list.
     Sink(usize),
@@ -164,10 +306,18 @@ impl HintedTopology {
 
     /// Number of sinks below this node.
     pub fn len(&self) -> usize {
-        match self {
-            HintedTopology::Sink(_) => 1,
-            HintedTopology::Merge(a, b, _) => a.len() + b.len(),
+        let mut n = 0;
+        let mut stack = vec![self];
+        while let Some(t) = stack.pop() {
+            match t {
+                HintedTopology::Sink(_) => n += 1,
+                HintedTopology::Merge(a, b, _) => {
+                    stack.push(b);
+                    stack.push(a);
+                }
+            }
         }
+        n
     }
 
     /// Always `false`; provided for API symmetry with collections.
@@ -177,14 +327,18 @@ impl HintedTopology {
 
     /// Sink indices in left-to-right order.
     pub fn leaves(&self) -> Vec<usize> {
-        match self {
-            HintedTopology::Sink(i) => vec![*i],
-            HintedTopology::Merge(a, b, _) => {
-                let mut l = a.leaves();
-                l.extend(b.leaves());
-                l
+        let mut out = Vec::new();
+        let mut stack = vec![self];
+        while let Some(t) = stack.pop() {
+            match t {
+                HintedTopology::Sink(i) => out.push(*i),
+                HintedTopology::Merge(a, b, _) => {
+                    stack.push(b);
+                    stack.push(a);
+                }
             }
         }
+        out
     }
 
     /// Extracts the hinted merge order implied by a clock tree: the same
@@ -193,24 +347,121 @@ impl HintedTopology {
     ///
     /// Returns `None` when the tree contains no sinks.
     pub fn from_tree(tree: &ClockTree) -> Option<HintedTopology> {
-        fn rec(tree: &ClockTree, id: NodeId) -> Option<HintedTopology> {
-            let node = tree.node(id);
-            let own = match node.kind {
-                crate::NodeKind::Sink { sink_index, .. } => Some(HintedTopology::Sink(sink_index)),
-                _ => None,
+        let own = |id: NodeId| match tree.node(id).kind {
+            crate::NodeKind::Sink { sink_index, .. } => Some(HintedTopology::Sink(sink_index)),
+            _ => None,
+        };
+        struct Frame {
+            id: NodeId,
+            next_child: usize,
+            acc: Option<HintedTopology>,
+        }
+        let root = tree.root();
+        let mut stack = vec![Frame {
+            id: root,
+            next_child: 0,
+            acc: own(root),
+        }];
+        loop {
+            let (id, next_child) = {
+                let top = stack.last().expect("stack nonempty until return");
+                (top.id, top.next_child)
             };
-            let mut acc: Option<HintedTopology> = own;
-            for &c in node.children() {
-                if let Some(sub) = rec(tree, c) {
-                    acc = Some(match acc {
-                        None => sub,
-                        Some(prev) => HintedTopology::merge(prev, sub, Some(node.pos)),
-                    });
+            let children = tree.node(id).children();
+            if next_child < children.len() {
+                let c = children[next_child];
+                stack.last_mut().expect("checked").next_child += 1;
+                stack.push(Frame {
+                    id: c,
+                    next_child: 0,
+                    acc: own(c),
+                });
+                continue;
+            }
+            let done = stack.pop().expect("checked");
+            let Some(parent) = stack.last_mut() else {
+                return done.acc;
+            };
+            if let Some(sub) = done.acc {
+                let hint = Some(tree.node(parent.id).pos);
+                parent.acc = Some(match parent.acc.take() {
+                    None => sub,
+                    Some(prev) => HintedTopology::merge(prev, sub, hint),
+                });
+            }
+        }
+    }
+}
+
+impl Clone for HintedTopology {
+    fn clone(&self) -> HintedTopology {
+        enum W<'a> {
+            Visit(&'a HintedTopology),
+            Build(Option<sllt_geom::Point>),
+        }
+        let mut work = vec![W::Visit(self)];
+        let mut out: Vec<HintedTopology> = Vec::new();
+        while let Some(w) = work.pop() {
+            match w {
+                W::Visit(HintedTopology::Sink(i)) => out.push(HintedTopology::Sink(*i)),
+                W::Visit(HintedTopology::Merge(a, b, hint)) => {
+                    work.push(W::Build(*hint));
+                    work.push(W::Visit(b));
+                    work.push(W::Visit(a));
+                }
+                W::Build(hint) => {
+                    let b = out.pop().expect("build follows two subtrees");
+                    let a = out.pop().expect("build follows two subtrees");
+                    out.push(HintedTopology::merge(a, b, hint));
                 }
             }
-            acc
         }
-        rec(tree, tree.root())
+        out.pop().expect("nonempty topology")
+    }
+}
+
+impl PartialEq for HintedTopology {
+    fn eq(&self, other: &HintedTopology) -> bool {
+        let mut stack = vec![(self, other)];
+        while let Some(pair) = stack.pop() {
+            match pair {
+                (HintedTopology::Sink(i), HintedTopology::Sink(j)) => {
+                    if i != j {
+                        return false;
+                    }
+                }
+                (HintedTopology::Merge(a1, b1, h1), HintedTopology::Merge(a2, b2, h2)) => {
+                    if h1 != h2 {
+                        return false;
+                    }
+                    stack.push((b1, b2));
+                    stack.push((a1, a2));
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+impl Drop for HintedTopology {
+    /// Iterative drop; see [`Topology::drop`].
+    fn drop(&mut self) {
+        let mut stack: Vec<HintedTopology> = Vec::new();
+        let detach = |node: &mut HintedTopology, stack: &mut Vec<HintedTopology>| {
+            if let HintedTopology::Merge(a, b, _) = node {
+                for child in [a, b] {
+                    let c = std::mem::replace(&mut **child, HintedTopology::Sink(0));
+                    if matches!(c, HintedTopology::Merge(..)) {
+                        stack.push(c);
+                    }
+                }
+            }
+        };
+        detach(self, &mut stack);
+        while let Some(mut t) = stack.pop() {
+            detach(&mut t, &mut stack);
+        }
     }
 }
 
@@ -283,7 +534,7 @@ mod tests {
         t.add_sink(a, Point::new(5.0, 4.0), 1.0);
         t.add_sink(a, Point::new(3.0, 7.0), 1.0);
         let h = HintedTopology::from_tree(&t).unwrap();
-        match h {
+        match &h {
             HintedTopology::Merge(_, _, Some(p)) => assert!(p.approx_eq(Point::new(3.0, 4.0))),
             other => panic!("expected hinted merge, got {other:?}"),
         }
@@ -313,5 +564,69 @@ mod tests {
         let topo = Topology::from_tree(&t).unwrap();
         assert_eq!(topo.len(), 4);
         assert_eq!(topo.depth(), 3, "left-deep merge of 4 leaves");
+    }
+
+    #[test]
+    fn clone_and_eq_are_structural() {
+        let t = Topology::merge(
+            Topology::sink(0),
+            Topology::merge(Topology::sink(1), Topology::sink(2)),
+        );
+        let c = t.clone();
+        assert_eq!(t, c);
+        // Mirror-image structure over the same leaves is not equal.
+        let mirrored = Topology::merge(
+            Topology::merge(Topology::sink(0), Topology::sink(1)),
+            Topology::sink(2),
+        );
+        assert_ne!(t, mirrored);
+        assert_ne!(t, Topology::sink(0));
+        let h = t.to_hinted();
+        assert_eq!(h, h.clone());
+    }
+
+    /// A left-deep chain over `n` sinks: sink 0 at the bottom, each merge
+    /// adding the next index on the right.
+    fn chain(n: usize) -> Topology {
+        let mut t = Topology::Sink(0);
+        for i in 1..n {
+            t = Topology::merge(t, Topology::Sink(i));
+        }
+        t
+    }
+
+    /// Regression: building, traversing and dropping a 200k-deep chain
+    /// must not overflow the stack (derived drop glue and the old
+    /// recursive traversals both did).
+    #[test]
+    fn chain_200k_deep_builds_traverses_and_drops() {
+        const N: usize = 200_000;
+        let t = chain(N);
+        assert_eq!(t.len(), N);
+        assert_eq!(t.depth(), N - 1);
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), N);
+        assert_eq!(leaves[0], 0);
+        assert_eq!(leaves[N - 1], N - 1);
+        let h = t.to_hinted();
+        assert_eq!(h.len(), N);
+        let t2 = t.clone();
+        assert_eq!(t, t2);
+        drop(t);
+        drop(t2);
+        drop(h); // HintedTopology drop must be iterative too
+    }
+
+    /// Same regression for a hinted chain built directly.
+    #[test]
+    fn hinted_chain_200k_deep_drops() {
+        const N: usize = 200_000;
+        let mut h = HintedTopology::Sink(0);
+        for i in 1..N {
+            h = HintedTopology::merge(h, HintedTopology::Sink(i), Some(Point::ORIGIN));
+        }
+        assert_eq!(h.len(), N);
+        assert_eq!(h.leaves().len(), N);
+        drop(h);
     }
 }

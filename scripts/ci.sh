@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== feature-gated bench/proptest code still compiles"
+cargo check --workspace --all-targets --benches --features criterion,proptest
+
 echo "== tier-1: release build + root test suite"
 cargo build --release
 cargo test -q

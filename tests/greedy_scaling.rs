@@ -1,0 +1,62 @@
+//! Scale regressions for the greedy merge orders and the DME pipeline.
+//!
+//! Two failure modes guarded here, both exposed once topology generation
+//! stopped being the bottleneck:
+//!
+//! * the O(n³) pairwise rescan previously capped greedy schemes at a few
+//!   thousand sinks — the nearest-pair engine must take a 200k-sink
+//!   collinear net through `greedy_dist` → DME → drop;
+//! * chain-deep merge orders (depth ≈ n) used to overflow the default
+//!   8 MiB stack in `Topology`'s drop glue and DME's recursive
+//!   build/embed — all are explicit-stack iterative now, verified on a
+//!   200k-deep chain end to end.
+
+use sllt_geom::Point;
+use sllt_route::{bst_dme, greedy_dist, skew_of, DelayModel};
+use sllt_tree::{ClockNet, Sink, Topology};
+
+fn collinear_net(n: usize, step: f64) -> ClockNet {
+    ClockNet::new(
+        Point::ORIGIN,
+        (0..n)
+            .map(|i| Sink::new(Point::new(i as f64 * step, 0.0), 1.0))
+            .collect(),
+    )
+}
+
+/// Acceptance: a 200k-sink collinear net runs `greedy_dist` → `dme` →
+/// drop on the default stack. Collinear placements are the degenerate
+/// case for both the spatial grid (all points on one rotated-space
+/// diagonal) and the merge-order shape.
+#[test]
+fn collinear_200k_greedy_dist_to_dme_and_drop() {
+    const N: usize = 200_000;
+    let net = collinear_net(N, 0.5);
+    let topo = greedy_dist(&net);
+    assert_eq!(topo.len(), N);
+    // A generous bound keeps every merge feasible without detours; the
+    // point here is scale, not skew tightness.
+    let bound = N as f64;
+    let tree = bst_dme(&net, &topo, bound);
+    assert_eq!(tree.sinks().len(), N);
+    assert!(skew_of(&tree, &DelayModel::PathLength) <= bound + 1e-6);
+    drop(tree);
+    drop(topo);
+}
+
+/// A 200k-deep left-deep chain topology — the worst shape a greedy merge
+/// order can emit — must route through DME and drop without recursing.
+#[test]
+fn chain_200k_topology_runs_dme_and_drops() {
+    const N: usize = 200_000;
+    let net = collinear_net(N, 0.5);
+    let mut topo = Topology::sink(0);
+    for i in 1..N {
+        topo = Topology::merge(topo, Topology::sink(i));
+    }
+    assert_eq!(topo.depth(), N - 1);
+    let tree = bst_dme(&net, &topo, N as f64);
+    assert_eq!(tree.sinks().len(), N);
+    drop(tree);
+    drop(topo);
+}
