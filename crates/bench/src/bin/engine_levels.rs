@@ -6,14 +6,16 @@
 //! cargo run --release -p sllt-bench --bin engine_levels [-- <design-name>]
 //! ```
 
-use sllt_bench::Table;
+use sllt_bench::{emit_json, Table};
 use sllt_cts::flow::HierarchicalCts;
-use sllt_cts::CollectingObserver;
+use sllt_cts::{level_value, CollectingObserver};
 use sllt_design::DesignSpec;
+use sllt_obs::Value;
 
 fn main() {
     let name = std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "s38584".to_string());
     let spec = DesignSpec::by_name(&name)
         .unwrap_or_else(|| panic!("unknown design {name:?}; see `table4` for the suite"));
@@ -25,6 +27,7 @@ fn main() {
     cts.run_with_observer(&design, &mut obs)
         .expect("flow failed");
     println!("\nper-level engine report:\n{}", obs.render());
+    let levels: Vec<Value> = obs.levels.iter().map(level_value).collect();
 
     // Route-stage scaling: identical trees, different worker counts.
     // Swept to at least 4 so the determinism/overhead picture is visible
@@ -52,10 +55,17 @@ fn main() {
         if workers == 1 {
             serial_route_ms = route_ms;
         }
+        // Sub-precision route stages happen on tiny designs; report no
+        // speedup rather than a division-by-zero artifact.
+        let speedup = if route_ms > 0.0 {
+            format!("{:.2}x", serial_route_ms / route_ms)
+        } else {
+            "—".to_string()
+        };
         table.row(vec![
             workers.to_string(),
             format!("{route_ms:.1}"),
-            format!("{:.2}x", serial_route_ms / route_ms.max(1e-9)),
+            speedup,
             format!("{total_ms:.1}"),
         ]);
         workers *= 2;
@@ -64,5 +74,13 @@ fn main() {
         "route-stage scaling on {}:\n{}",
         design.name,
         table.render()
+    );
+    emit_json(
+        "engine_levels",
+        vec![
+            ("design", design.name.as_str().into()),
+            ("levels", levels.into()),
+            ("scaling", table.to_json()),
+        ],
     );
 }

@@ -10,7 +10,7 @@
 //! cargo run --release -p sllt-bench --bin fig4_sa_ablation
 //! ```
 
-use sllt_bench::Table;
+use sllt_bench::{emit_json, Table};
 use sllt_geom::Point;
 use sllt_partition::{balanced_kmeans_restarts, sa};
 use sllt_rng::prelude::*;
@@ -87,4 +87,5 @@ fn main() {
     println!("{}", table.render());
     println!("(the SA neighbourhood moves convex-hull instances of expensive nets to their");
     println!(" nearest neighbour net, as in paper Fig. 4)");
+    emit_json("fig4_sa_ablation", vec![("table", table.to_json())]);
 }

@@ -16,7 +16,7 @@
 //! cargo run --release -p sllt-bench --bin fig5_buffering_ablation
 //! ```
 
-use sllt_bench::Table;
+use sllt_bench::{emit_json, Table};
 use sllt_buffer::DelayEstimator;
 use sllt_cts::{eval::evaluate, flow::HierarchicalCts};
 use sllt_design::Design;
@@ -103,4 +103,5 @@ fn main() {
     println!("{}", table.render());
     println!("(paper: the Eq.(7) lower bound \"lowers skew repair costs and latency by");
     println!(" reducing downstream node disparities\" relative to no estimate)");
+    emit_json("fig5_buffering_ablation", vec![("table", table.to_json())]);
 }

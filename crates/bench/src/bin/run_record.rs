@@ -1,0 +1,125 @@
+//! Machine-readable run records for the hierarchical flow.
+//!
+//! Runs the paper's flow on the benchmark suite with a recording
+//! telemetry sink, writes one validated JSONL run record per design
+//! (`results/run_record_<design>.jsonl`: meta + level/assemble events +
+//! span tree + merged counters/gauges/histograms), and summarizes the
+//! sweep into `BENCH_cts.json` at the repo root (per-stage wall time,
+//! wirelength, skew, and the deep-layer counters).
+//!
+//! ```text
+//! cargo run --release -p sllt-bench --bin run_record [-- --design s35932]
+//! ```
+//!
+//! Every record is parsed back before it is written; a record that does
+//! not round-trip bit-identically is a schema bug and exits nonzero.
+
+use sllt_bench::arg_value;
+use sllt_cts::flow::HierarchicalCts;
+use sllt_cts::{evaluate, run_record, CollectingObserver, RecordingSink};
+use sllt_design::{DesignSpec, SUITE};
+use sllt_obs::{rate_per_sec, RunRecord, Value};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let specs: Vec<&DesignSpec> = match arg_value("--design") {
+        Some(name) => vec![DesignSpec::by_name(&name)
+            .unwrap_or_else(|| panic!("unknown design {name:?}; see `table4` for the suite"))],
+        None => SUITE.iter().collect(),
+    };
+    std::fs::create_dir_all("results").expect("create results directory");
+
+    let mut summaries: Vec<Value> = Vec::new();
+    for spec in specs {
+        let design = spec.instantiate();
+        let cts = HierarchicalCts::default();
+        let sink = RecordingSink::new();
+        let mut obs = CollectingObserver::new();
+        let t0 = Instant::now();
+        let tree = cts
+            .run_with_telemetry(&design, &mut obs, &sink)
+            .expect("flow failed");
+        let wall = t0.elapsed();
+        let report = evaluate(&tree, &cts.tech, &cts.lib);
+
+        let meta = Value::obj()
+            .with("design", design.name.as_str())
+            .with("sinks", design.num_ffs())
+            .with("seed", cts.seed)
+            .with("levels", obs.levels.len());
+        let rec = run_record(meta, &obs, sink.registry());
+        let text = rec.to_jsonl();
+        // Self-validation: what lands on disk must parse back into the
+        // same byte stream, or the schema has drifted.
+        match RunRecord::parse_jsonl(&text) {
+            Ok(back) if back.to_jsonl() == text => {}
+            Ok(_) => {
+                eprintln!("error: {}: run record did not round-trip", design.name);
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: {}: invalid run record: {e}", design.name);
+                std::process::exit(1);
+            }
+        }
+        let path = format!("results/run_record_{}.jsonl", design.name);
+        std::fs::write(&path, &text).expect("write run record");
+        println!(
+            "{}: {} sinks, {} spans, {} counters -> {path}",
+            design.name,
+            design.num_ffs(),
+            rec.spans.len(),
+            rec.metrics.counters.len()
+        );
+
+        let stage = |f: fn(&sllt_cts::StageTimings) -> Duration| -> f64 {
+            obs.levels
+                .iter()
+                .map(|l| f(&l.timings))
+                .sum::<Duration>()
+                .as_secs_f64()
+                * 1e3
+        };
+        let mut counters = Value::obj();
+        for (name, v) in &rec.metrics.counters {
+            counters.set(name, Value::from(*v));
+        }
+        summaries.push(
+            Value::obj()
+                .with("design", design.name.as_str())
+                .with("sinks", design.num_ffs())
+                .with("levels", obs.levels.len())
+                .with("wall_ms", wall.as_secs_f64() * 1e3)
+                .with("partition_ms", stage(|t| t.partition))
+                .with("route_ms", stage(|t| t.route))
+                .with("sizing_ms", stage(|t| t.sizing))
+                .with(
+                    "assemble_ms",
+                    obs.assemble.as_ref().map(|a| a.elapsed.as_secs_f64() * 1e3),
+                )
+                .with("clock_wl_um", report.clock_wl_um)
+                .with("skew_ps", report.skew_ps)
+                .with("max_latency_ps", report.max_latency_ps)
+                .with("num_buffers", report.num_buffers)
+                .with("clock_cap_ff", report.clock_cap_ff)
+                // Rates are None (JSON null) on a sub-resolution window
+                // rather than +inf.
+                .with(
+                    "merge_segments_per_sec",
+                    rate_per_sec(rec.metrics.counter("route.dme.merge_segments"), wall),
+                )
+                .with(
+                    "clusters_per_sec",
+                    rate_per_sec(rec.metrics.counter("cts.route.clusters"), wall),
+                )
+                .with("counters", counters),
+        );
+    }
+
+    let bench = Value::obj()
+        .with("bench", "cts")
+        .with("schema", sllt_obs::SCHEMA_VERSION)
+        .with("designs", summaries);
+    std::fs::write("BENCH_cts.json", bench.encode() + "\n").expect("write BENCH_cts.json");
+    println!("wrote BENCH_cts.json");
+}

@@ -8,7 +8,7 @@
 //! `--svg <dir>` additionally writes the Fig. 1 topology gallery as SVG
 //! files.
 
-use sllt_bench::{arg_value, demo_net, Table};
+use sllt_bench::{arg_value, demo_net, emit_json, Table};
 use sllt_core::cbs::{cbs, CbsConfig};
 use sllt_route::{ghtree, htree, rsmt::rsmt, salt::salt, topogen::TopologyScheme, zst_dme};
 use sllt_tree::{metrics::path_length_skew, svg, ClockTree, SlltMetrics};
@@ -76,6 +76,8 @@ fn main() {
         path_length_skew(&rows[3].1),
         path_length_skew(&rows[6].1),
     );
+
+    emit_json("table1", vec![("table", table.to_json())]);
 
     if let Some(dir) = arg_value("--svg") {
         std::fs::create_dir_all(&dir).expect("create svg output dir");

@@ -8,7 +8,7 @@
 //! The paper uses 10,000 nets per cell; the default here is 2,000 to keep
 //! interactive runs snappy — pass `--nets 10000` for the full workload.
 
-use sllt_bench::{arg_parse, Table};
+use sllt_bench::{arg_parse, emit_json, Table};
 use sllt_core::cbs::{cbs, CbsConfig};
 use sllt_design::NetGenerator;
 use sllt_route::{salt::salt, topogen::TopologyScheme, DelayModel};
@@ -72,4 +72,5 @@ fn main() {
     table.row(red_row);
     println!("{}", table.render());
     println!("(positive Reduce = CBS lighter than R-SALT; paper: +2.7 % at 80 ps shrinking to ~0 at 5 ps)");
+    emit_json("table2", vec![("table", table.to_json())]);
 }

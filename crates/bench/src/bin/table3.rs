@@ -5,7 +5,7 @@
 //! cargo run --release -p sllt-bench --bin table3 [-- --nets 10000]
 //! ```
 
-use sllt_bench::{arg_parse, Table};
+use sllt_bench::{arg_parse, emit_json, Table};
 use sllt_core::cbs::{cbs, step1_initial_bst, CbsConfig};
 use sllt_design::NetGenerator;
 use sllt_route::{topogen::TopologyScheme, DelayModel};
@@ -100,4 +100,5 @@ fn main() {
     println!("{}", table.render());
     println!("(columns: wirelength µm, net cap fF, max Elmore wire delay ps;");
     println!(" paper: CBS reduces BST-DME by ~16 % WL, ~13 % cap, ~25 % delay at every level)");
+    emit_json("table3", vec![("table", table.to_json())]);
 }

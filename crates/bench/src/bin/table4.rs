@@ -5,7 +5,7 @@
 //! cargo run -p sllt-bench --bin table4
 //! ```
 
-use sllt_bench::Table;
+use sllt_bench::{emit_json, Table};
 use sllt_design::SUITE;
 
 fn main() {
@@ -31,4 +31,5 @@ fn main() {
     }
     println!("{}", table.render());
     println!("Constraints (Table 5): skew 80 ps, fanout 32, cap 150 fF, wirelength 300 µm");
+    emit_json("table4", vec![("table", table.to_json())]);
 }

@@ -7,7 +7,7 @@
 //! cargo run --release -p sllt-bench --bin topo_scaling
 //! ```
 
-use sllt_bench::Table;
+use sllt_bench::{emit_json, Table};
 use sllt_geom::Point;
 use sllt_rng::prelude::*;
 use sllt_route::{greedy_dist, greedy_dist_naive, greedy_merge, greedy_merge_naive};
@@ -91,4 +91,8 @@ fn main() {
     }
     println!("\ncollinear degenerate case:");
     println!("{}", degen.render());
+    emit_json(
+        "topo_scaling",
+        vec![("scaling", table.to_json()), ("collinear", degen.to_json())],
+    );
 }

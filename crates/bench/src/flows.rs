@@ -49,6 +49,13 @@ pub fn run_three(spec: &DesignSpec) -> [FlowResult; 3] {
 
 /// Renders the Table 6/7 layout for a set of designs and returns it.
 pub fn comparison_table(specs: &[&DesignSpec]) -> String {
+    comparison(specs).render()
+}
+
+/// Builds the Table 6/7 comparison as a [`Table`] (one row per design
+/// plus the ratio-average footer), so callers can render it or emit it
+/// as JSON.
+pub fn comparison(specs: &[&DesignSpec]) -> Table {
     let mut table = Table::new(vec![
         "Case",
         "Lat O/C/R (ps)",
@@ -109,5 +116,5 @@ pub fn comparison_table(specs: &[&DesignSpec]) -> String {
         favg(5),
         favg(6),
     ]);
-    table.render()
+    table
 }

@@ -8,7 +8,9 @@
 pub mod flows;
 
 use sllt_geom::Point;
+use sllt_obs::Value;
 use sllt_tree::{ClockNet, Sink};
+use std::path::PathBuf;
 
 /// Reads a `--name value` flag from `std::env::args`.
 pub fn arg_value(name: &str) -> Option<String> {
@@ -61,6 +63,23 @@ impl Table {
         self.rows.push(r);
     }
 
+    /// Machine-readable form: `{"headers": [...], "rows": [[...], ...]}`.
+    pub fn to_json(&self) -> Value {
+        let headers: Vec<Value> = self.headers.iter().map(|h| h.as_str().into()).collect();
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Value::from(
+                    r.iter()
+                        .map(|c| Value::from(c.as_str()))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        Value::obj().with("headers", headers).with("rows", rows)
+    }
+
     /// Renders with aligned columns.
     pub fn render(&self) -> String {
         let ncol = self.headers.len();
@@ -91,6 +110,42 @@ impl Table {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Writes `value` as pretty-enough JSON (single line + trailing newline)
+/// to `results/<name>.json`, creating the directory, and returns the
+/// path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable directory, full disk).
+pub fn write_json(name: &str, value: &Value) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, value.encode() + "\n")?;
+    Ok(path)
+}
+
+/// The `--json` contract shared by every table/figure binary: when the
+/// flag is present, bundle the named sections into one object and write
+/// it to `results/<bin>.json`. Exits nonzero on a write failure so CI
+/// catches broken output paths.
+pub fn emit_json(bin: &str, sections: Vec<(&str, Value)>) {
+    if !arg_flag("--json") {
+        return;
+    }
+    let mut out = Value::obj().with("bin", bin);
+    for (name, v) in sections {
+        out.set(name, v);
+    }
+    match write_json(bin, &out) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write results/{bin}.json: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -125,6 +180,22 @@ mod tests {
         let s = t.render();
         assert!(s.contains("  a  bb") || s.contains("a  bb"));
         assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn table_to_json_mirrors_cells() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["333"]);
+        let v = t.to_json();
+        let headers = v.get("headers").and_then(Value::as_arr).unwrap();
+        assert_eq!(headers.len(), 2);
+        let rows = v.get("rows").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        // Short rows were padded on entry, so JSON rows are rectangular.
+        assert_eq!(rows[1].as_arr().unwrap().len(), 2);
+        // The encoded form must parse back.
+        assert!(sllt_obs::json::parse(&v.encode()).is_ok());
     }
 
     #[test]

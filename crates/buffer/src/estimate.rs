@@ -44,10 +44,16 @@ impl DelayEstimator {
     ) -> f64 {
         match self {
             DelayEstimator::None => 0.0,
-            DelayEstimator::LowerBound => lib.insertion_delay_lower_bound(cap_load_ff),
+            DelayEstimator::LowerBound => {
+                sllt_obs::count("buffer.estimate.lower_bound_hits", 1);
+                lib.insertion_delay_lower_bound(cap_load_ff)
+            }
             DelayEstimator::ChosenCell => chosen
                 .map(|c| c.delay(slew_ps, cap_load_ff))
-                .unwrap_or_else(|| lib.insertion_delay_lower_bound(cap_load_ff)),
+                .unwrap_or_else(|| {
+                    sllt_obs::count("buffer.estimate.lower_bound_hits", 1);
+                    lib.insertion_delay_lower_bound(cap_load_ff)
+                }),
         }
     }
 

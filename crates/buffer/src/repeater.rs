@@ -55,6 +55,7 @@ pub fn insert_repeaters(
     let caps = downstream_caps(tree, tech, Some(lib));
 
     let mut inserted = 0;
+    let mut split_edges = 0u64;
     let ids: Vec<NodeId> = tree.topo_order();
     for v in ids {
         let Some(p) = tree.node(v).parent() else {
@@ -69,6 +70,7 @@ pub fn insert_repeaters(
             continue;
         }
         let k = (len / lmax).ceil() as usize - 1;
+        split_edges += 1;
         let seg = len / (k + 1) as f64;
         // Geometric positions along the parent→child L-path; the routed
         // length per segment is `seg`, which may exceed the geometric
@@ -85,6 +87,11 @@ pub fn insert_repeaters(
         }
         tree.reparent(v, upper);
         tree.set_edge_len(v, seg);
+    }
+    if sllt_obs::enabled() {
+        sllt_obs::count("buffer.repeater.calls", 1);
+        sllt_obs::count("buffer.repeater.split_edges", split_edges);
+        sllt_obs::count("buffer.repeater.inserted", inserted as u64);
     }
     inserted
 }

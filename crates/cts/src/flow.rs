@@ -32,6 +32,7 @@ use crate::sizing::size_drivers;
 use sllt_buffer::DelayEstimator;
 use sllt_design::Design;
 use sllt_geom::Point;
+use sllt_obs::{NullSink, TelemetrySink};
 use sllt_route::TopologyScheme;
 use sllt_timing::{BufferLibrary, Technology};
 use sllt_tree::ClockTree;
@@ -199,6 +200,22 @@ impl HierarchicalCts {
         design: &Design,
         observer: &mut dyn FlowObserver,
     ) -> Result<ClockTree, CtsError> {
+        self.run_with_telemetry(design, observer, &NullSink)
+    }
+
+    /// [`run_with_observer`](Self::run_with_observer), additionally
+    /// recording spans and metrics into `sink`. With [`NullSink`] every
+    /// instrumentation site reduces to one relaxed atomic load; with a
+    /// [`RecordingSink`](sllt_obs::RecordingSink) the run's span tree
+    /// and counters land in the sink's registry for post-run inspection
+    /// or run-record serialization. Telemetry is observational only —
+    /// the built tree is bit-identical either way, at any worker count.
+    pub fn run_with_telemetry(
+        &self,
+        design: &Design,
+        observer: &mut dyn FlowObserver,
+        sink: &dyn TelemetrySink,
+    ) -> Result<ClockTree, CtsError> {
         self.constraints.validate();
         if design.sinks.is_empty() {
             return Err(CtsError::NoSinks);
@@ -209,6 +226,10 @@ impl HierarchicalCts {
         if self.partition_restarts == 0 {
             return Err(CtsError::NoPartitionRestarts);
         }
+        // Declared before the spans: guards drop in reverse declaration
+        // order, so every span closes before the scope merges its shard.
+        let _scope = sink.registry().map(|r| r.install("main"));
+        let _flow_span = sllt_obs::span("cts.flow");
         observer.on_flow_start(design.sinks.len(), self.effective_workers(usize::MAX));
 
         let mut cx = FlowContext::seed(design);
@@ -224,7 +245,9 @@ impl HierarchicalCts {
             cx.level += 1;
         }
 
+        let assemble_span = sllt_obs::span("cts.assemble");
         let (tree, assemble_report) = assemble(self, design, &cx.clusters, &cx.nodes[0]);
+        drop(assemble_span);
         observer.on_assemble(&assemble_report);
         Ok(tree)
     }
@@ -232,21 +255,31 @@ impl HierarchicalCts {
     /// Partitions, routes, and sizes one level, advancing `cx.nodes` to
     /// the next level's nodes.
     fn build_level(&self, cx: &mut FlowContext) -> Result<LevelReport, CtsError> {
+        let _level_span = sllt_obs::span("cts.level");
         let num_nodes = cx.nodes.len();
         let positions: Vec<Point> = cx.nodes.iter().map(|n| n.pos).collect();
         let caps: Vec<f64> = cx.nodes.iter().map(|n| n.cap_ff).collect();
 
         let t0 = Instant::now();
-        let part = partition_level(self, &positions, &caps, cx.level)?;
+        let part = {
+            let _s = sllt_obs::span("cts.partition");
+            partition_level(self, &positions, &caps, cx.level)?
+        };
         let t1 = Instant::now();
-        let routed = route_clusters(self, &cx.nodes, &part.assignment, part.k, cx.level)?;
+        let routed = {
+            let _s = sllt_obs::span("cts.route");
+            route_clusters(self, &cx.nodes, &part.assignment, part.k, cx.level)?
+        };
         let t2 = Instant::now();
 
         let wirelength_um: f64 = routed.iter().map(|r| r.tree.wirelength()).sum();
         let load_cap_ff: f64 = routed.iter().map(|r| r.load).sum();
         let workers = self.effective_workers(routed.len());
 
-        let (next, stats) = size_drivers(self, routed, &mut cx.clusters)?;
+        let (next, stats) = {
+            let _s = sllt_obs::span("cts.sizing");
+            size_drivers(self, routed, &mut cx.clusters)?
+        };
         let t3 = Instant::now();
 
         let (lo, hi) = next

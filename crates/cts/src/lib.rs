@@ -47,6 +47,7 @@ mod partition;
 pub mod report;
 mod route;
 mod sizing;
+pub mod telemetry;
 
 pub use baseline::{commercial_like, open_road_like};
 pub use constraints::CtsConstraints;
@@ -57,3 +58,5 @@ pub use ocv::{derate_skew, ocv_analysis, OcvModel, OcvReport};
 pub use report::{
     AssembleReport, CollectingObserver, FlowObserver, LevelReport, NullObserver, StageTimings,
 };
+pub use sllt_obs::{NullSink, RecordingSink, TelemetrySink};
+pub use telemetry::{assemble_value, level_value, run_record};

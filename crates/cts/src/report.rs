@@ -136,8 +136,11 @@ impl CollectingObserver {
         self.levels.iter().map(|l| l.timings.route).sum()
     }
 
-    /// A fixed-width per-level table (levels bottom-up, then assembly).
+    /// A fixed-width per-level table (levels bottom-up, then a totals
+    /// footer and the assembly line). Milliseconds are always rendered
+    /// `{:>10.2}` so columns stay aligned at any magnitude up to ~10 s.
     pub fn render(&self) -> String {
+        let ms = |d: Duration| format!("{:>10.2}", d.as_secs_f64() * 1e3);
         let mut out = String::new();
         out.push_str(&format!(
             "{:>5} {:>7} {:>9} {:>8} {:>11} {:>10} {:>6} {:>11} {:>10} {:>10} {:>10}\n",
@@ -155,7 +158,7 @@ impl CollectingObserver {
         ));
         for l in &self.levels {
             out.push_str(&format!(
-                "{:>5} {:>7} {:>9} {:>8} {:>11.1} {:>10.1} {:>6} {:>11.2} {:>10.2} {:>10.2} {:>10.2}\n",
+                "{:>5} {:>7} {:>9} {:>8} {:>11.1} {:>10.1} {:>6} {:>11.2} {} {} {}\n",
                 l.level,
                 l.num_nodes,
                 l.num_clusters,
@@ -164,17 +167,39 @@ impl CollectingObserver {
                 l.load_cap_ff,
                 l.pads,
                 l.delay_spread_ps,
-                l.timings.partition.as_secs_f64() * 1e3,
-                l.timings.route.as_secs_f64() * 1e3,
-                l.timings.sizing.as_secs_f64() * 1e3,
+                ms(l.timings.partition),
+                ms(l.timings.route),
+                ms(l.timings.sizing),
             ));
         }
+        // Totals footer: stage wall time, wirelength, and load summed
+        // over levels (the assembly trunk is reported on its own line).
+        let sum_wl: f64 = self.levels.iter().map(|l| l.wirelength_um).sum();
+        let sum_load: f64 = self.levels.iter().map(|l| l.load_cap_ff).sum();
+        let sum_pads: usize = self.levels.iter().map(|l| l.pads).sum();
+        let stage = |f: fn(&StageTimings) -> Duration| -> Duration {
+            self.levels.iter().map(|l| f(&l.timings)).sum()
+        };
+        out.push_str(&format!(
+            "{:>5} {:>7} {:>9} {:>8} {:>11.1} {:>10.1} {:>6} {:>11} {} {} {}\n",
+            "total",
+            "",
+            "",
+            "",
+            sum_wl,
+            sum_load,
+            sum_pads,
+            "",
+            ms(stage(|t| t.partition)),
+            ms(stage(|t| t.route)),
+            ms(stage(|t| t.sizing)),
+        ));
         if let Some(a) = &self.assemble {
             out.push_str(&format!(
-                "assemble: trunk {:.1} um, {} repeaters, {:.2} ms\n",
+                "assemble: trunk {:.1} um, {} repeaters, {} ms\n",
                 a.trunk_wl_um,
                 a.repeaters,
-                a.elapsed.as_secs_f64() * 1e3,
+                ms(a.elapsed).trim_start(),
             ));
         }
         out
@@ -227,6 +252,20 @@ mod tests {
         assert!((obs.total_buffer_input_cap_ff() - 7.5).abs() < 1e-12);
         let table = obs.render();
         assert!(table.contains("level") && table.contains("repeaters"));
+    }
+
+    #[test]
+    fn render_includes_totals_footer() {
+        let mut obs = CollectingObserver::new();
+        obs.on_level(&level(0, 100.0));
+        obs.on_level(&level(1, 40.0));
+        let table = obs.render();
+        let total = table
+            .lines()
+            .find(|l| l.trim_start().starts_with("total"))
+            .expect("totals footer present");
+        assert!(total.contains("140.0"), "WL sum missing: {total}");
+        assert!(total.contains("10.0"), "load sum missing: {total}");
     }
 
     #[test]

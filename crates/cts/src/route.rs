@@ -96,15 +96,27 @@ pub(crate) fn route_clusters(
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<Result<RoutedCluster, CtsError>>>> =
         Mutex::new((0..jobs.len()).map(|_| None).collect());
+    // Telemetry hand-off: workers record into the coordinator's registry
+    // (if one is installed), with their spans parented under the route
+    // stage's span. Purely observational — shards merge on scope exit,
+    // never mid-run, so worker interleaving stays unconstrained.
+    let registry = sllt_obs::current();
+    let parent_span = sllt_obs::current_span();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
+        let (next, slots, jobs, registry) = (&next, &slots, &jobs, &registry);
+        for w in 0..workers {
+            scope.spawn(move || {
+                let _telemetry = registry
+                    .as_ref()
+                    .map(|r| r.install_worker(&format!("route-worker-{w}"), parent_span));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let result = route_cluster(cts, &jobs[i], level);
+                    slots.lock().expect("no panics hold the slot lock")[i] = Some(result);
                 }
-                let result = route_cluster(cts, &jobs[i], level);
-                slots.lock().expect("no panics hold the slot lock")[i] = Some(result);
             });
         }
     });
@@ -122,6 +134,7 @@ fn route_cluster(
     job: &ClusterJob,
     level: usize,
 ) -> Result<RoutedCluster, CtsError> {
+    let started = sllt_obs::enabled().then(std::time::Instant::now);
     let members = &job.members;
     let _rng_stream = job.seed; // reserved for stochastic topology generators
     let tap =
@@ -194,6 +207,11 @@ fn route_cluster(
         }
     }
     let load = caps[tree.root().index()];
+    if let Some(t) = started {
+        sllt_obs::count("cts.route.clusters", 1);
+        sllt_obs::record("cts.route.cluster_sinks", members.len() as u64);
+        sllt_obs::record("cts.route.cluster_us", t.elapsed().as_micros() as u64);
+    }
     Ok(RoutedCluster {
         tree,
         members: members.clone(),

@@ -140,5 +140,9 @@ pub(crate) fn size_drivers(
             driver_pos: r.tap,
         });
     }
+    if sllt_obs::enabled() {
+        sllt_obs::count("cts.sizing.drivers", next.len() as u64);
+        sllt_obs::count("cts.sizing.pads", stats.pads as u64);
+    }
     Ok((next, stats))
 }

@@ -1,0 +1,119 @@
+//! Bridges the engine's report stream into the machine-readable run
+//! record.
+//!
+//! [`FlowObserver`](crate::report::FlowObserver) reports and the
+//! `sllt-obs` registry live on opposite sides of the dependency graph:
+//! the algorithm crates emit raw counters and spans, while
+//! [`LevelReport`]/[`AssembleReport`] are engine-level summaries. This
+//! module joins them — each report becomes one JSONL *event* with a
+//! stable shape, and [`run_record`] assembles the full record (meta +
+//! events + span tree + metrics) from a finished run.
+
+use crate::report::{AssembleReport, CollectingObserver, LevelReport};
+use sllt_obs::{Registry, RunRecord, Value};
+
+/// One level report as a `{"type":"level", ...}` event. Durations are
+/// fractional milliseconds.
+pub fn level_value(l: &LevelReport) -> Value {
+    Value::obj()
+        .with("type", "level")
+        .with("level", l.level)
+        .with("nodes", l.num_nodes)
+        .with("clusters", l.num_clusters)
+        .with("workers", l.workers)
+        .with("partition_ms", l.timings.partition.as_secs_f64() * 1e3)
+        .with("route_ms", l.timings.route.as_secs_f64() * 1e3)
+        .with("sizing_ms", l.timings.sizing.as_secs_f64() * 1e3)
+        .with("wirelength_um", l.wirelength_um)
+        .with("load_cap_ff", l.load_cap_ff)
+        .with("driver_input_cap_ff", l.driver_input_cap_ff)
+        .with("driver_area_um2", l.driver_area_um2)
+        .with("pads", l.pads)
+        .with("delay_spread_ps", l.delay_spread_ps)
+}
+
+/// The assembly report as a `{"type":"assemble", ...}` event.
+pub fn assemble_value(a: &AssembleReport) -> Value {
+    Value::obj()
+        .with("type", "assemble")
+        .with("trunk_wl_um", a.trunk_wl_um)
+        .with("repeaters", a.repeaters)
+        .with("repeater_input_cap_ff", a.repeater_input_cap_ff)
+        .with("elapsed_ms", a.elapsed.as_secs_f64() * 1e3)
+}
+
+/// Assembles a [`RunRecord`] from a finished run: the collector's report
+/// stream becomes the event lines (levels bottom-up, then assembly) and
+/// the registry snapshot contributes the span tree and merged metrics.
+/// `meta` should carry at least the design name; the caller may extend
+/// [`RunRecord::meta`] afterwards (the field is public).
+pub fn run_record(meta: Value, observer: &CollectingObserver, registry: &Registry) -> RunRecord {
+    let mut events: Vec<Value> = observer.levels.iter().map(level_value).collect();
+    if let Some(a) = &observer.assemble {
+        events.push(assemble_value(a));
+    }
+    RunRecord::new(meta, events, registry.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::StageTimings;
+    use std::time::Duration;
+
+    fn level() -> LevelReport {
+        LevelReport {
+            level: 1,
+            num_nodes: 64,
+            num_clusters: 4,
+            workers: 2,
+            timings: StageTimings {
+                partition: Duration::from_micros(1500),
+                route: Duration::from_micros(2500),
+                sizing: Duration::from_micros(500),
+            },
+            wirelength_um: 1234.5,
+            load_cap_ff: 99.0,
+            driver_input_cap_ff: 4.0,
+            driver_area_um2: 6.0,
+            pads: 3,
+            delay_spread_ps: 0.75,
+        }
+    }
+
+    #[test]
+    fn level_event_has_stable_shape() {
+        let v = level_value(&level());
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("level"));
+        assert_eq!(v.get("nodes").and_then(Value::as_u64), Some(64));
+        let route_ms = v.get("route_ms").and_then(Value::as_f64).unwrap();
+        assert!((route_ms - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_carries_events_spans_and_metrics() {
+        let mut obs = CollectingObserver::new();
+        obs.levels.push(level());
+        obs.assemble = Some(AssembleReport {
+            trunk_wl_um: 10.0,
+            repeaters: 1,
+            repeater_input_cap_ff: 1.5,
+            elapsed: Duration::from_micros(100),
+        });
+        let registry = Registry::new();
+        {
+            let _scope = registry.install("main");
+            let _span = sllt_obs::span("cts.flow");
+            sllt_obs::count("cts.route.clusters", 4);
+        }
+        let meta = Value::obj().with("design", "unit");
+        let rec = run_record(meta, &obs, &registry);
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.spans.len(), 1);
+        assert_eq!(rec.metrics.counter("cts.route.clusters"), 4);
+        // The full record must survive the schema round-trip.
+        let text = rec.to_jsonl();
+        let back = RunRecord::parse_jsonl(&text).unwrap();
+        assert_eq!(back.to_jsonl(), text);
+    }
+}

@@ -1,0 +1,139 @@
+//! Telemetry must be purely observational: the flow builds bit-identical
+//! trees whether it runs with the [`NullSink`] or a recording sink, at
+//! any worker count — and the record a real run produces must survive
+//! the JSONL schema round-trip.
+
+use sllt_cts::flow::HierarchicalCts;
+use sllt_cts::{run_record, CollectingObserver, NullObserver, NullSink, RecordingSink};
+use sllt_design::{Design, DesignSpec};
+use sllt_geom::{Point, Rect};
+use sllt_obs::{RunRecord, Value};
+use sllt_rng::prelude::*;
+use sllt_tree::Sink;
+use std::collections::BTreeMap;
+
+/// Counters the default flow must populate on a multi-level design —
+/// one per instrumented deep layer.
+const EXPECTED_COUNTERS: [&str; 8] = [
+    "cts.route.clusters",
+    "cts.sizing.drivers",
+    "route.dme.calls",
+    "route.dme.merge_segments",
+    "partition.kmeans.calls",
+    "partition.kmeans.lloyd_iterations",
+    "partition.mcf.augmentations",
+    "partition.sa.calls",
+];
+
+#[test]
+fn recording_sink_is_invisible_to_the_result() {
+    let design = DesignSpec::by_name("s35932").unwrap().instantiate();
+    let mut counters_by_workers: Vec<BTreeMap<String, u64>> = Vec::new();
+    for workers in [1usize, 4] {
+        let cts = HierarchicalCts {
+            workers,
+            ..HierarchicalCts::default()
+        };
+        let plain = cts
+            .run_with_telemetry(&design, &mut NullObserver, &NullSink)
+            .unwrap();
+        let sink = RecordingSink::new();
+        let mut obs = CollectingObserver::new();
+        let recorded = cts.run_with_telemetry(&design, &mut obs, &sink).unwrap();
+        assert_eq!(
+            plain, recorded,
+            "workers={workers}: recording telemetry changed the tree"
+        );
+
+        let collected = sink.registry().snapshot();
+        for counter in EXPECTED_COUNTERS {
+            assert!(
+                collected.metrics.counter(counter) > 0,
+                "workers={workers}: counter {counter} not recorded"
+            );
+        }
+
+        // Span tree: the flow root is parentless, every stage span is
+        // present, and every parent reference resolves.
+        let spans = &collected.spans;
+        let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+        for name in [
+            "cts.flow",
+            "cts.level",
+            "cts.partition",
+            "cts.route",
+            "cts.sizing",
+            "cts.assemble",
+        ] {
+            assert!(
+                spans.iter().any(|s| s.name == name),
+                "workers={workers}: span {name} missing"
+            );
+        }
+        for s in spans {
+            if let Some(p) = s.parent {
+                assert!(ids.contains(&p), "span {} has dangling parent {p}", s.id);
+            }
+        }
+        let flow = spans.iter().find(|s| s.name == "cts.flow").unwrap();
+        assert!(flow.parent.is_none(), "cts.flow must be the root span");
+
+        counters_by_workers.push(collected.metrics.counters.clone());
+    }
+    // The algorithmic counters are part of the determinism contract:
+    // worker sharding must merge to the same totals serial routing gets.
+    assert_eq!(
+        counters_by_workers[0], counters_by_workers[1],
+        "counters diverge between 1 and 4 route workers"
+    );
+}
+
+fn small_design() -> Design {
+    let mut rng = StdRng::seed_from_u64(0xD0C);
+    let side = 200.0;
+    let sinks: Vec<Sink> = (0..150)
+        .map(|_| {
+            Sink::new(
+                Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)),
+                1.2,
+            )
+        })
+        .collect();
+    Design {
+        name: "telemetry-unit".into(),
+        num_instances: 900,
+        utilization: 0.6,
+        die: Rect::new(Point::ORIGIN, Point::new(side, side)),
+        clock_root: Point::new(0.0, side / 2.0),
+        sinks,
+    }
+}
+
+#[test]
+fn real_run_record_round_trips_through_the_schema() {
+    let design = small_design();
+    let cts = HierarchicalCts::default();
+    let sink = RecordingSink::new();
+    let mut obs = CollectingObserver::new();
+    cts.run_with_telemetry(&design, &mut obs, &sink).unwrap();
+
+    let meta = Value::obj()
+        .with("design", design.name.as_str())
+        .with("sinks", design.num_ffs());
+    let rec = run_record(meta, &obs, sink.registry());
+    let event_type =
+        |e: &Value| -> Option<String> { e.get("type").and_then(Value::as_str).map(str::to_string) };
+    assert!(rec
+        .events
+        .iter()
+        .any(|e| event_type(e).as_deref() == Some("level")));
+    assert_eq!(
+        event_type(rec.events.last().unwrap()).as_deref(),
+        Some("assemble")
+    );
+
+    let text = rec.to_jsonl();
+    let back = RunRecord::parse_jsonl(&text).expect("real run record must validate");
+    assert_eq!(back, rec);
+    assert_eq!(back.to_jsonl(), text, "round-trip must be bit-exact");
+}

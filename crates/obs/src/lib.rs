@@ -1,0 +1,52 @@
+//! Workspace-wide telemetry for the SLLT engine (`sllt-obs`).
+//!
+//! The build environment is offline, so — like `sllt-rng`, the in-repo
+//! `proptest`, and the in-repo `criterion` — this crate has zero external
+//! dependencies. It provides the three pieces the hierarchical CTS flow
+//! instruments itself with:
+//!
+//! * **Spans** ([`span`], [`SpanRecord`]): hierarchical wall-time
+//!   intervals with thread attribution, nesting under whatever span is
+//!   open on the thread (workers inherit the spawner's current span).
+//! * **A metrics registry** ([`Registry`], [`count`], [`gauge`],
+//!   [`record`]): named counters, gauges, and log₂-scale histograms.
+//!   Each participating thread records into a private *shard* and the
+//!   shard merges into the registry exactly once, on scope exit — so
+//!   instrumentation never synchronizes mid-run and the engine's
+//!   bit-identical parallel-routing guarantee is untouched.
+//! * **A JSONL run record** ([`record::RunRecord`]): spans + metrics +
+//!   the engine's report stream in a stable, validated schema.
+//!
+//! # Overhead contract
+//!
+//! With no telemetry scope installed anywhere in the process, every
+//! instrumentation site costs one relaxed atomic load and a branch.
+//! Instrumented hot loops accumulate into plain locals and emit once per
+//! call, so even the enabled path adds no per-event map lookups.
+//!
+//! ```
+//! use sllt_obs::{Registry, count, span};
+//!
+//! let registry = Registry::new();
+//! {
+//!     let _scope = registry.install("main");
+//!     let _s = span("demo.stage");
+//!     count("demo.widgets", 3);
+//! }
+//! assert_eq!(registry.snapshot().metrics.counter("demo.widgets"), 3);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod record;
+mod registry;
+mod sink;
+
+pub use json::Value;
+pub use metrics::{fmt_rate, rate_per_sec, Histogram, MetricsMap};
+pub use record::{RunRecord, SCHEMA_VERSION};
+pub use registry::{
+    count, current, current_span, enabled, gauge, record, record_hist, span, Collected, Registry,
+    ScopeGuard, SpanGuard, SpanRecord,
+};
+pub use sink::{NullSink, RecordingSink, TelemetrySink};

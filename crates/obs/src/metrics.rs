@@ -1,0 +1,261 @@
+//! Metric primitives: counters, gauges, and log-scale histograms, plus
+//! the merged map a [`crate::Registry`] snapshot exposes.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Number of log₂ buckets: bucket `i` counts values whose bit length is
+/// `i` (bucket 0 holds only the value 0, bucket `i ≥ 1` holds
+/// `[2^(i−1), 2^i − 1]`).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log₂-scale histogram of `u64` samples. Recording is O(1); the
+/// bucket layout is fixed, so merging shards is index-wise addition.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The occupied buckets as `(bucket_index, count)` pairs.
+    pub fn occupied(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// The run-record JSON shape (see `record` module docs).
+    pub fn to_value(&self) -> Value {
+        Value::obj()
+            .with("count", self.count)
+            .with("sum", self.sum)
+            .with("min", self.min())
+            .with("max", self.max())
+            .with(
+                "buckets",
+                Value::Arr(
+                    self.occupied()
+                        .into_iter()
+                        .map(|(i, c)| Value::Arr(vec![Value::from(i), Value::from(c)]))
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Rebuilds a histogram from [`Histogram::to_value`] output.
+    pub fn from_value(v: &Value) -> Result<Histogram, String> {
+        let mut h = Histogram::new();
+        h.count = v
+            .get("count")
+            .and_then(Value::as_u64)
+            .ok_or("hist missing count")?;
+        h.sum = v
+            .get("sum")
+            .and_then(Value::as_u64)
+            .ok_or("hist missing sum")?;
+        h.min = v.get("min").and_then(Value::as_u64).unwrap_or(u64::MAX);
+        h.max = v.get("max").and_then(Value::as_u64).unwrap_or(0);
+        for pair in v
+            .get("buckets")
+            .and_then(Value::as_arr)
+            .ok_or("hist missing buckets")?
+        {
+            let items = pair.as_arr().ok_or("hist bucket is not a pair")?;
+            let (i, c) = match items {
+                [i, c] => (
+                    i.as_u64().ok_or("bad bucket index")? as usize,
+                    c.as_u64().ok_or("bad bucket count")?,
+                ),
+                _ => return Err("hist bucket is not a pair".to_string()),
+            };
+            *h.buckets.get_mut(i).ok_or("bucket index out of range")? = c;
+        }
+        Ok(h)
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Merged metrics: what a registry snapshot exposes after all worker
+/// shards folded in. Maps are ordered so serialization is stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsMap {
+    /// Monotonic counters (summed across shards).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges (last merged shard wins; keep gauges on the
+    /// coordinating thread when cross-run stability matters).
+    pub gauges: BTreeMap<String, f64>,
+    /// Log-scale histograms (bucket-wise summed across shards).
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsMap {
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A counter's value, 0 when never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Events per second, `None` when the window measured zero time (fast
+/// inputs on coarse clocks) — so reports print `—` instead of `inf`.
+pub fn rate_per_sec(count: u64, window: Duration) -> Option<f64> {
+    let secs = window.as_secs_f64();
+    (secs > 0.0).then(|| count as f64 / secs)
+}
+
+/// Formats an optional rate for fixed-width tables: `—` for `None`.
+pub fn fmt_rate(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) => format!("{r:.1}"),
+        None => "—".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_tracks_summary_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), None);
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.mean(), Some(26.5));
+    }
+
+    #[test]
+    fn merge_is_bucketwise() {
+        let mut a = Histogram::new();
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record(1);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(1000));
+        assert_eq!(a.occupied().len(), 2);
+    }
+
+    #[test]
+    fn histogram_round_trips_through_json() {
+        let mut h = Histogram::new();
+        for v in [0u64, 7, 7, 4096] {
+            h.record(v);
+        }
+        let back = Histogram::from_value(&h.to_value()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn zero_window_rates_are_none() {
+        assert_eq!(rate_per_sec(100, Duration::ZERO), None);
+        assert_eq!(fmt_rate(None), "—");
+        let r = rate_per_sec(100, Duration::from_secs(2)).unwrap();
+        assert_eq!(r, 50.0);
+        assert_eq!(fmt_rate(Some(r)), "50.0");
+    }
+}

@@ -97,7 +97,9 @@ pub fn balanced_kmeans(points: &[Point], k: usize, cap: usize, seed: u64) -> Par
 
     // Unconstrained Lloyd.
     let mut assignment = vec![0usize; points.len()];
+    let mut lloyd_iters = 0u64;
     for _ in 0..25 {
+        lloyd_iters += 1;
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
             let best = (0..k)
@@ -135,9 +137,13 @@ pub fn balanced_kmeans(points: &[Point], k: usize, cap: usize, seed: u64) -> Par
     const MCF_LIMIT: usize = 1500;
     if points.len() > MCF_LIMIT {
         assignment = greedy_capacitated(points, &centers, cap);
+        sllt_obs::count("partition.kmeans.assign_greedy", 1);
     } else {
         assignment = mcf_assign(points, &centers, cap);
+        sllt_obs::count("partition.kmeans.assign_mcf", 1);
     }
+    sllt_obs::count("partition.kmeans.calls", 1);
+    sllt_obs::count("partition.kmeans.lloyd_iterations", lloyd_iters);
 
     // Re-average the centres over the final membership.
     let mut sums = vec![Point::ORIGIN; k];

@@ -116,6 +116,7 @@ impl MinCostFlow {
         let mut potential = vec![0.0f64; n];
         let mut total_flow = 0i64;
         let mut total_cost = 0.0f64;
+        let mut augmentations = 0u64;
 
         loop {
             // Dijkstra over reduced costs.
@@ -167,6 +168,11 @@ impl MinCostFlow {
                 v = self.to[e ^ 1];
             }
             total_flow += bottleneck;
+            augmentations += 1;
+        }
+        if sllt_obs::enabled() {
+            sllt_obs::count("partition.mcf.solves", 1);
+            sllt_obs::count("partition.mcf.augmentations", augmentations);
         }
         (total_flow, total_cost)
     }

@@ -137,6 +137,10 @@ pub fn refine(
     // Annealing may wander uphill; remember the best state seen.
     let mut best_total = total;
     let mut best_assignment: Vec<usize> = assignment.to_vec();
+    let observing = sllt_obs::enabled();
+    let mut proposals = 0u64;
+    let mut accepts = 0u64;
+    let mut temp_trace = sllt_obs::Histogram::new();
 
     for _ in 0..cfg.iterations {
         if total <= 1e-12 {
@@ -186,7 +190,14 @@ pub fn refine(
         let new_dst = violation_cost(points, caps, &dst_members, cons);
         let delta = new_src + new_dst - cluster_cost[src] - cluster_cost[dst];
         let accept = delta < 0.0 || (temp > 1e-12 && rng.random::<f64>() < (-delta / temp).exp());
+        if observing {
+            proposals += 1;
+            // Trace the temperature in milli-fF so the log₂ buckets
+            // resolve the cooling tail below 1 fF.
+            temp_trace.record((temp * 1e3).max(0.0) as u64);
+        }
         if accept {
+            accepts += 1;
             assignment[moved] = dst;
             members[src] = src_members;
             members[dst] = dst_members;
@@ -200,6 +211,14 @@ pub fn refine(
         }
     }
     assignment.copy_from_slice(&best_assignment);
+    if observing {
+        sllt_obs::count("partition.sa.calls", 1);
+        sllt_obs::count("partition.sa.proposals", proposals);
+        sllt_obs::count("partition.sa.accepts", accepts);
+        sllt_obs::gauge("partition.sa.final_temp_ff", temp);
+        sllt_obs::gauge("partition.sa.final_cost_ff", best_total.max(0.0));
+        sllt_obs::record_hist("partition.sa.temperature_mff", &temp_trace);
+    }
     best_total.max(0.0)
 }
 

@@ -205,6 +205,15 @@ pub fn dme_intervals(
     let root_pt = nodes[root_idx].region.nearest_to(net.source);
     let source_node = tree.root();
     embed_down(net, &nodes, root_idx, &mut tree, source_node, root_pt, None);
+    if sllt_obs::enabled() {
+        sllt_obs::count("route.dme.calls", 1);
+        sllt_obs::count(
+            "route.dme.merge_segments",
+            nodes.len().saturating_sub(net.len()) as u64,
+        );
+        sllt_obs::count("route.dme.embed_passes", 1);
+        sllt_obs::count("route.dme.embed_nodes", nodes.len() as u64);
+    }
     tree
 }
 
@@ -271,6 +280,12 @@ fn build_up(
                 let ib = done.pop().expect("build follows two subtrees");
                 let ia = done.pop().expect("build follows two subtrees");
                 let m = merge(&out[ia], &out[ib], opts, hint);
+                // Detour merges wire more than the region gap to hold the
+                // skew bound — the trajectory metric behind snaking cost.
+                if sllt_obs::enabled() && m.ea + m.eb > out[ia].region.dist(&out[ib].region) + 1e-9
+                {
+                    sllt_obs::count("route.dme.detour_merges", 1);
+                }
                 out.push(MergeNode {
                     region: m.region,
                     lo: m.lo,

@@ -170,6 +170,7 @@ impl Grid {
         }
         let span = (uhi - ulo).max(vhi - vlo).max(1e-9);
         let mut per_axis = ((items.len() as f64).sqrt().ceil() as i64).max(1);
+        let mut refinements = 0u64;
         loop {
             let cell = span / per_axis as f64;
             let mut g = Grid {
@@ -192,9 +193,11 @@ impl Grid {
             // Coincident points can never spread, so cap the refinement at
             // one cell per item.
             if worst <= OCCUPANCY_TARGET || per_axis as usize >= items.len() {
+                sllt_obs::count("route.nnpair.grid_refinements", refinements);
                 return g;
             }
             per_axis = (per_axis * 2).min(items.len() as i64);
+            refinements += 1;
         }
     }
 
@@ -280,6 +283,7 @@ fn nearest_pair<M: PairMetric>(
     max_half_extent: f64,
     alive: usize,
     margin: f64,
+    total_examined: &mut u64,
 ) -> Entry {
     let sq = states[q as usize].as_ref().expect("query cluster is alive");
     let pq = M::position(sq);
@@ -319,7 +323,34 @@ fn nearest_pair<M: PairMetric>(
         }
         r += 1;
     }
+    *total_examined += examined as u64;
     best.expect("a live partner exists whenever alive ≥ 2")
+}
+
+/// Tallies one [`agglomerate`] call: plain locals in the hot loop,
+/// emitted to the telemetry shard (if any) once at the end.
+#[derive(Default)]
+struct EngineCounters {
+    pushes: u64,
+    pops: u64,
+    stale: u64,
+    rebuilds: u64,
+    examined: u64,
+}
+
+impl EngineCounters {
+    fn emit(&self, merges: u64) {
+        if !sllt_obs::enabled() {
+            return;
+        }
+        sllt_obs::count("route.nnpair.calls", 1);
+        sllt_obs::count("route.nnpair.merges", merges);
+        sllt_obs::count("route.nnpair.heap_push", self.pushes);
+        sllt_obs::count("route.nnpair.heap_pop", self.pops);
+        sllt_obs::count("route.nnpair.stale_discard", self.stale);
+        sllt_obs::count("route.nnpair.grid_rebuilds", self.rebuilds);
+        sllt_obs::count("route.nnpair.candidates_examined", self.examined);
+    }
 }
 
 /// Runs greedy agglomeration to a single topology: repeatedly merges the
@@ -358,6 +389,7 @@ pub fn agglomerate<M: PairMetric>(initial: Vec<M::State>) -> Topology {
 
     let mut alive = n;
     let mut grid_population = n;
+    let mut tally = EngineCounters::default();
     let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(2 * n);
     for id in 0..n as u32 {
         heap.push(nearest_pair::<M>(
@@ -367,16 +399,22 @@ pub fn agglomerate<M: PairMetric>(initial: Vec<M::State>) -> Topology {
             max_half_extent,
             alive,
             margin,
+            &mut tally.examined,
         ));
+        tally.pushes += 1;
     }
 
     while alive > 1 {
         let e = heap
             .pop()
             .expect("lazy-heap invariant: a live pair is enqueued");
+        tally.pops += 1;
         let (i, j) = (e.lo as usize, e.hi as usize);
         match (states[i].is_some(), states[j].is_some()) {
-            (false, false) => continue, // fully stale
+            (false, false) => {
+                tally.stale += 1;
+                continue; // fully stale
+            }
             (true, true) => {
                 let sa = states[i].take().expect("checked");
                 let sb = states[j].take().expect("checked");
@@ -400,6 +438,7 @@ pub fn agglomerate<M: PairMetric>(initial: Vec<M::State>) -> Topology {
                             .collect();
                         grid = Grid::build(&live);
                         grid_population = alive;
+                        tally.rebuilds += 1;
                     }
                     heap.push(nearest_pair::<M>(
                         id,
@@ -408,13 +447,16 @@ pub fn agglomerate<M: PairMetric>(initial: Vec<M::State>) -> Topology {
                         max_half_extent,
                         alive,
                         margin,
+                        &mut tally.examined,
                     ));
+                    tally.pushes += 1;
                 }
             }
             (i_alive, _) => {
                 // Half-stale: one endpoint outlived the entry. Re-arm the
                 // survivor with its current nearest pair (see module docs
                 // for why this preserves the pop-order invariant).
+                tally.stale += 1;
                 let survivor = if i_alive { e.lo } else { e.hi };
                 heap.push(nearest_pair::<M>(
                     survivor,
@@ -423,11 +465,14 @@ pub fn agglomerate<M: PairMetric>(initial: Vec<M::State>) -> Topology {
                     max_half_extent,
                     alive,
                     margin,
+                    &mut tally.examined,
                 ));
+                tally.pushes += 1;
             }
         }
     }
 
+    tally.emit((n - 1) as u64);
     states
         .iter()
         .position(|s| s.is_some())

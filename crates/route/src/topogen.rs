@@ -624,6 +624,29 @@ mod tests {
         }
     }
 
+    /// The engine-backed path must account for its work: every merge
+    /// pops the pair it commits, and heap traffic/examinations are
+    /// visible once a telemetry scope is installed.
+    #[test]
+    fn accelerated_greedy_emits_engine_counters() {
+        let net = random_net(7, 200);
+        let registry = sllt_obs::Registry::new();
+        {
+            let _scope = registry.install("test");
+            let _ = greedy_dist(&net);
+        }
+        let m = registry.snapshot().metrics;
+        assert_eq!(m.counter("route.nnpair.calls"), 1);
+        assert_eq!(m.counter("route.nnpair.merges"), 199);
+        assert!(m.counter("route.nnpair.heap_push") >= 199);
+        assert!(m.counter("route.nnpair.heap_pop") >= 199);
+        assert!(m.counter("route.nnpair.candidates_examined") > 0);
+        // Disabled scope: the same run must record nothing.
+        let silent = sllt_obs::Registry::new();
+        let _ = greedy_dist(&net);
+        assert_eq!(silent.snapshot().metrics.counter("route.nnpair.calls"), 0);
+    }
+
     #[test]
     fn accelerated_greedy_matches_naive_on_degenerate_inputs() {
         let n = if cfg!(debug_assertions) { 120 } else { 600 };

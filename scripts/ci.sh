@@ -20,4 +20,13 @@ cargo test -q
 echo "== workspace tests"
 cargo test -q --workspace
 
+echo "== telemetry equivalence (recording sink must not change the trees)"
+cargo test -q -p sllt-cts --test telemetry
+
+echo "== run-record smoke: JSONL must parse back bit-identically"
+# The bin self-validates every record (parse + re-encode) and exits
+# nonzero on any schema drift; double-check the artifact landed.
+cargo run --release -q -p sllt-bench --bin run_record -- --design s35932
+test -s results/run_record_s35932.jsonl
+
 echo "CI green"

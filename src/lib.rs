@@ -65,6 +65,7 @@ pub use sllt_core as core;
 pub use sllt_cts as cts;
 pub use sllt_design as design;
 pub use sllt_geom as geom;
+pub use sllt_obs as obs;
 pub use sllt_partition as partition;
 pub use sllt_route as route;
 pub use sllt_timing as timing;
