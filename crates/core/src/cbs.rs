@@ -97,11 +97,35 @@ pub fn cbs_offsets(net: &ClockNet, cfg: &CbsConfig, offsets: &[f64]) -> ClockTre
 ///
 /// As [`cbs`]; additionally panics when `intervals.len() != net.len()`.
 pub fn cbs_intervals(net: &ClockNet, cfg: &CbsConfig, intervals: &[(f64, f64)]) -> ClockTree {
-    assert_eq!(intervals.len(), net.len(), "one interval per sink");
-    let isllt = step1_initial_bst_intervals(net, cfg, intervals);
+    try_cbs_intervals(net, cfg, intervals).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`cbs_intervals`]: input degeneracies (sinkless nets,
+/// non-finite geometry, intervals wider than the skew bound, diverging
+/// detour searches) surface as a typed [`DmeError`](sllt_route::DmeError)
+/// instead of a panic. The hierarchical flow's degradation ladder relies
+/// on this to retry a failed cluster with a relaxed bound or a lighter
+/// topology.
+///
+/// # Errors
+///
+/// Every error [`sllt_route::try_dme_intervals`] reports, from either
+/// BST step (1 or 5).
+pub fn try_cbs_intervals(
+    net: &ClockNet,
+    cfg: &CbsConfig,
+    intervals: &[(f64, f64)],
+) -> Result<ClockTree, sllt_route::DmeError> {
+    if intervals.len() != net.len() {
+        return Err(sllt_route::DmeError::IntervalCountMismatch {
+            intervals: intervals.len(),
+            sinks: net.len(),
+        });
+    }
+    let isllt = try_step1_initial_bst_intervals(net, cfg, intervals)?;
     let relaxed = step3_salt_relax(net, isllt, cfg.eps);
     let (normalized, topo) = step4_normalize_and_extract(relaxed);
-    step5_restore_skew_intervals(net, normalized, &topo, cfg, intervals)
+    try_step5_restore_skew_intervals(net, normalized, &topo, cfg, intervals)
 }
 
 /// Step 1: the initial bounded-skew tree (iSLLT) over the configured
@@ -123,8 +147,24 @@ pub fn step1_initial_bst_intervals(
     intervals: &[(f64, f64)],
 ) -> ClockTree {
     assert!(!net.is_empty(), "CBS over a sinkless net");
+    try_step1_initial_bst_intervals(net, cfg, intervals).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`step1_initial_bst_intervals`].
+///
+/// # Errors
+///
+/// Every error [`sllt_route::try_dme_intervals`] reports.
+fn try_step1_initial_bst_intervals(
+    net: &ClockNet,
+    cfg: &CbsConfig,
+    intervals: &[(f64, f64)],
+) -> Result<ClockTree, sllt_route::DmeError> {
+    if net.is_empty() {
+        return Err(sllt_route::DmeError::SinklessNet);
+    }
     let topo = cfg.scheme.build(net);
-    sllt_route::dme_intervals(net, &topo.to_hinted(), &cfg.dme_options(), intervals)
+    sllt_route::try_dme_intervals(net, &topo.to_hinted(), &cfg.dme_options(), intervals)
 }
 
 /// Steps 2 + 3: strip the iSLLT down to its connection structure
@@ -189,6 +229,23 @@ pub fn step5_restore_skew_intervals(
     cfg: &CbsConfig,
     intervals: &[(f64, f64)],
 ) -> ClockTree {
+    try_step5_restore_skew_intervals(net, normalized, topo, cfg, intervals)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`step5_restore_skew_intervals`].
+///
+/// # Errors
+///
+/// Every error [`sllt_route::try_dme_intervals`] reports for the
+/// re-embedding path.
+fn try_step5_restore_skew_intervals(
+    net: &ClockNet,
+    normalized: ClockTree,
+    topo: &HintedTopology,
+    cfg: &CbsConfig,
+    intervals: &[(f64, f64)],
+) -> Result<ClockTree, sllt_route::DmeError> {
     let zero_offsets = intervals.iter().all(|&(l, h)| l == 0.0 && h == 0.0);
     // Path A: legalize the SALT geometry in place.
     let mut legal = normalized;
@@ -196,7 +253,7 @@ pub fn step5_restore_skew_intervals(
     edits::eliminate_redundant_steiner(&mut legal);
 
     // Path B: DME re-embedding with SALT hints.
-    let mut reembed = sllt_route::dme_intervals(net, topo, &cfg.dme_options(), intervals);
+    let mut reembed = sllt_route::try_dme_intervals(net, topo, &cfg.dme_options(), intervals)?;
     edits::eliminate_redundant_steiner(&mut reembed);
     // A Steinerization pass recovers overlap wire the committed-split
     // embedding left on the table; it can only shorten paths, so keep it
@@ -211,11 +268,11 @@ pub fn step5_restore_skew_intervals(
         }
     }
 
-    if legal.wirelength() <= reembed.wirelength() {
+    Ok(if legal.wirelength() <= reembed.wirelength() {
         legal
     } else {
         reembed
-    }
+    })
 }
 
 /// Resets every edge to its plain Manhattan length, discarding detour

@@ -35,4 +35,4 @@ pub mod analysis;
 pub mod cbs;
 
 pub use analysis::{analyze, SlltReport};
-pub use cbs::{cbs, CbsConfig};
+pub use cbs::{cbs, try_cbs_intervals, CbsConfig};

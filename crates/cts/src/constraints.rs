@@ -1,5 +1,7 @@
 //! CTS design constraints (paper Table 5).
 
+use crate::error::CtsError;
+
 /// The constraint set every flow must honour per clock net (paper §3.1
 /// lists the per-level form; Table 5 gives the values used throughout the
 /// evaluation).
@@ -29,14 +31,29 @@ impl CtsConstraints {
 
     /// Validates internal consistency.
     ///
-    /// # Panics
+    /// Every bound must be positive and finite (`!(x > 0.0)` also
+    /// rejects NaN). The first offending field is reported by name in
+    /// [`CtsError::InvalidConstraints`] so a driver can log exactly
+    /// which knob was mis-set. This never panics.
     ///
-    /// Panics when any bound is non-positive.
-    pub fn validate(&self) {
-        assert!(self.skew_ps > 0.0, "non-positive skew bound");
-        assert!(self.max_fanout > 0, "non-positive fanout bound");
-        assert!(self.max_cap_ff > 0.0, "non-positive cap bound");
-        assert!(self.max_wl_um > 0.0, "non-positive wirelength bound");
+    /// # Errors
+    ///
+    /// [`CtsError::InvalidConstraints`] naming the first bad field.
+    pub fn validate(&self) -> Result<(), CtsError> {
+        let bad = |field: &'static str, value: f64| CtsError::InvalidConstraints { field, value };
+        if !(self.skew_ps > 0.0 && self.skew_ps.is_finite()) {
+            return Err(bad("skew_ps", self.skew_ps));
+        }
+        if self.max_fanout == 0 {
+            return Err(bad("max_fanout", 0.0));
+        }
+        if !(self.max_cap_ff > 0.0 && self.max_cap_ff.is_finite()) {
+            return Err(bad("max_cap_ff", self.max_cap_ff));
+        }
+        if !(self.max_wl_um > 0.0 && self.max_wl_um.is_finite()) {
+            return Err(bad("max_wl_um", self.max_wl_um));
+        }
+        Ok(())
     }
 }
 
@@ -57,17 +74,54 @@ mod tests {
         assert_eq!(c.max_fanout, 32);
         assert_eq!(c.max_cap_ff, 150.0);
         assert_eq!(c.max_wl_um, 300.0);
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(CtsConstraints::default(), c);
     }
 
     #[test]
-    #[should_panic(expected = "non-positive skew")]
-    fn validation_catches_bad_bounds() {
-        CtsConstraints {
-            skew_ps: 0.0,
-            ..CtsConstraints::paper()
+    fn validation_reports_the_offending_field() {
+        let cases: [(CtsConstraints, &str); 5] = [
+            (
+                CtsConstraints {
+                    skew_ps: 0.0,
+                    ..CtsConstraints::paper()
+                },
+                "skew_ps",
+            ),
+            (
+                CtsConstraints {
+                    skew_ps: f64::NAN,
+                    ..CtsConstraints::paper()
+                },
+                "skew_ps",
+            ),
+            (
+                CtsConstraints {
+                    max_fanout: 0,
+                    ..CtsConstraints::paper()
+                },
+                "max_fanout",
+            ),
+            (
+                CtsConstraints {
+                    max_cap_ff: -1.0,
+                    ..CtsConstraints::paper()
+                },
+                "max_cap_ff",
+            ),
+            (
+                CtsConstraints {
+                    max_wl_um: f64::INFINITY,
+                    ..CtsConstraints::paper()
+                },
+                "max_wl_um",
+            ),
+        ];
+        for (c, want) in cases {
+            match c.validate() {
+                Err(CtsError::InvalidConstraints { field, .. }) => assert_eq!(field, want),
+                other => panic!("expected InvalidConstraints({want}), got {other:?}"),
+            }
         }
-        .validate();
     }
 }

@@ -4,11 +4,23 @@
 //! these instead of panicking: a caller driving many designs (benchmark
 //! sweeps, OCV Monte-Carlo) gets a value it can log and skip rather than
 //! an abort.
+//!
+//! Errors split into two classes (see `DESIGN.md`, *Failure model*):
+//!
+//! * **recoverable** — a level-scoped construction failure the
+//!   [degradation ladder](crate::recovery::RecoveryPolicy) may clear by
+//!   relaxing the skew bound or falling back to a simpler topology
+//!   ([`is_recoverable`](CtsError::is_recoverable) returns `true`);
+//! * **non-recoverable** — the input or configuration itself is unusable
+//!   ([`NoSinks`](CtsError::NoSinks),
+//!   [`InvalidConstraints`](CtsError::InvalidConstraints), …); retrying
+//!   cannot help and the ladder propagates them immediately.
 
+use sllt_route::DmeError;
 use std::fmt;
 
 /// Why a hierarchical CTS run could not produce a tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum CtsError {
     /// The design has no flip-flops: there is nothing to build a clock
@@ -21,6 +33,21 @@ pub enum CtsError {
     /// ([`partition_restarts`](crate::flow::HierarchicalCts::partition_restarts)
     /// = 0), leaving no candidate partition to pick from.
     NoPartitionRestarts,
+    /// A constraint bound is out of its valid range
+    /// ([`CtsConstraints::validate`](crate::constraints::CtsConstraints::validate)).
+    InvalidConstraints {
+        /// Name of the offending field (e.g. `"skew_ps"`).
+        field: &'static str,
+        /// The rejected value (fanout is reported as a float).
+        value: f64,
+    },
+    /// The design failed the sanitizer pre-flight: non-finite or
+    /// oversized coordinates, non-finite or negative pin caps. Repair
+    /// with [`sllt_design::sanitize::repair`] and re-run.
+    InvalidDesign {
+        /// Human-readable description of the first fatal lint.
+        detail: String,
+    },
     /// A routed cluster tree lost the RC-tree mapping for one of its
     /// sinks — the timing aggregation cannot price that member's delay.
     UnmappedSink {
@@ -37,6 +64,86 @@ pub enum CtsError {
         /// Node count still pending at that level.
         nodes: usize,
     },
+    /// A cluster's routing kernel rejected its input — most often a skew
+    /// bound the merge geometry cannot satisfy.
+    ClusterRoute {
+        /// Level of the failing cluster.
+        level: usize,
+        /// Cluster index within the level.
+        cluster: usize,
+        /// The routing kernel's own diagnosis.
+        source: DmeError,
+    },
+    /// A routing worker panicked; the panic was contained at cluster
+    /// granularity and converted into this error.
+    ClusterPanicked {
+        /// Level of the failing cluster.
+        level: usize,
+        /// Cluster index within the level.
+        cluster: usize,
+    },
+    /// A stage exceeded its cooperative work budget
+    /// ([`route_budget`](crate::flow::HierarchicalCts::route_budget)).
+    /// The budget is counted in deterministic cost units, not wall-clock,
+    /// so the same run always stops at the same place.
+    StageDeadline {
+        /// Level at which the budget ran out.
+        level: usize,
+        /// Stage name (`"route"`).
+        stage: &'static str,
+        /// Configured budget, cost units.
+        budget: u64,
+        /// Units the stage would have needed.
+        required: u64,
+    },
+    /// A fault injected by the test harness
+    /// ([`FaultPlan`](crate::fault::FaultPlan)) — never produced by a
+    /// production configuration.
+    InjectedFault {
+        /// Stage the fault was injected into.
+        stage: &'static str,
+        /// Level the fault fired at.
+        level: usize,
+        /// Cluster it fired at, when cluster-scoped.
+        cluster: Option<usize>,
+    },
+    /// Every rung of the degradation ladder failed for one level.
+    LadderExhausted {
+        /// The level that could not be built.
+        level: usize,
+        /// How many attempts were made (including the original).
+        attempts: usize,
+        /// The error from the final attempt.
+        last: Box<CtsError>,
+    },
+}
+
+impl CtsError {
+    /// Whether the degradation ladder may clear this error by retrying
+    /// the level under a relaxed configuration.
+    ///
+    /// Input/configuration errors ([`NoSinks`](CtsError::NoSinks),
+    /// [`InvalidConstraints`](CtsError::InvalidConstraints), …) return
+    /// `false`: no amount of skew relaxation or topology fallback can
+    /// fix them, so the ladder propagates them unchanged.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            CtsError::NoSinks
+            | CtsError::EmptyBufferLibrary
+            | CtsError::InvalidConstraints { .. }
+            | CtsError::InvalidDesign { .. }
+            | CtsError::LevelRunaway { .. }
+            | CtsError::LadderExhausted { .. } => false,
+            // NoPartitionRestarts is recoverable: the ladder retries with
+            // a floor of one restart.
+            CtsError::NoPartitionRestarts
+            | CtsError::UnmappedSink { .. }
+            | CtsError::ClusterRoute { .. }
+            | CtsError::ClusterPanicked { .. }
+            | CtsError::StageDeadline { .. }
+            | CtsError::InjectedFault { .. } => true,
+        }
+    }
 }
 
 impl fmt::Display for CtsError {
@@ -52,6 +159,10 @@ impl fmt::Display for CtsError {
                     "partition_restarts is 0: no candidate partition to choose"
                 )
             }
+            CtsError::InvalidConstraints { field, value } => {
+                write!(f, "invalid constraint {field} = {value}")
+            }
+            CtsError::InvalidDesign { detail } => write!(f, "design failed sanitization: {detail}"),
             CtsError::UnmappedSink { level, sink_index } => write!(
                 f,
                 "cluster sink {sink_index} at level {level} has no RC-tree node"
@@ -61,11 +172,59 @@ impl fmt::Display for CtsError {
                 "level runaway at level {level}: partitioning is not reducing \
                  ({nodes} nodes remain)"
             ),
+            CtsError::ClusterRoute {
+                level,
+                cluster,
+                source,
+            } => write!(
+                f,
+                "routing cluster {cluster} at level {level} failed: {source}"
+            ),
+            CtsError::ClusterPanicked { level, cluster } => write!(
+                f,
+                "routing worker panicked on cluster {cluster} at level {level} \
+                 (contained; no other cluster was affected)"
+            ),
+            CtsError::StageDeadline {
+                level,
+                stage,
+                budget,
+                required,
+            } => write!(
+                f,
+                "{stage} stage at level {level} exceeded its work budget \
+                 ({required} cost units required, {budget} allowed)"
+            ),
+            CtsError::InjectedFault {
+                stage,
+                level,
+                cluster,
+            } => match cluster {
+                Some(c) => write!(f, "injected fault in {stage} at level {level}, cluster {c}"),
+                None => write!(f, "injected fault in {stage} at level {level}"),
+            },
+            CtsError::LadderExhausted {
+                level,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "degradation ladder exhausted at level {level} after {attempts} \
+                 attempt(s); last error: {last}"
+            ),
         }
     }
 }
 
-impl std::error::Error for CtsError {}
+impl std::error::Error for CtsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CtsError::ClusterRoute { source, .. } => Some(source),
+            CtsError::LadderExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -88,11 +247,87 @@ mod tests {
             nodes: 9,
         };
         assert!(e.to_string().contains("40") && e.to_string().contains('9'));
+        let e = CtsError::InvalidConstraints {
+            field: "skew_ps",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("skew_ps") && e.to_string().contains("-1"));
+        let e = CtsError::ClusterRoute {
+            level: 2,
+            cluster: 5,
+            source: DmeError::NegativeSkewBound(-4.0),
+        };
+        assert!(e.to_string().contains("cluster 5") && e.to_string().contains("-4"));
+        let e = CtsError::ClusterPanicked {
+            level: 1,
+            cluster: 0,
+        };
+        assert!(e.to_string().contains("panicked"));
+        let e = CtsError::StageDeadline {
+            level: 0,
+            stage: "route",
+            budget: 10,
+            required: 25,
+        };
+        assert!(e.to_string().contains("budget") && e.to_string().contains("25"));
+        let e = CtsError::LadderExhausted {
+            level: 0,
+            attempts: 6,
+            last: Box::new(CtsError::ClusterPanicked {
+                level: 0,
+                cluster: 3,
+            }),
+        };
+        assert!(e.to_string().contains("exhausted") && e.to_string().contains("cluster 3"));
+    }
+
+    #[test]
+    fn recoverability_splits_input_errors_from_level_failures() {
+        assert!(!CtsError::NoSinks.is_recoverable());
+        assert!(!CtsError::EmptyBufferLibrary.is_recoverable());
+        assert!(!CtsError::InvalidConstraints {
+            field: "skew_ps",
+            value: 0.0
+        }
+        .is_recoverable());
+        assert!(!CtsError::InvalidDesign { detail: "x".into() }.is_recoverable());
+        assert!(CtsError::NoPartitionRestarts.is_recoverable());
+        assert!(CtsError::ClusterPanicked {
+            level: 0,
+            cluster: 0
+        }
+        .is_recoverable());
+        assert!(CtsError::ClusterRoute {
+            level: 0,
+            cluster: 0,
+            source: DmeError::SinklessNet
+        }
+        .is_recoverable());
+        assert!(CtsError::StageDeadline {
+            level: 0,
+            stage: "route",
+            budget: 1,
+            required: 2
+        }
+        .is_recoverable());
+        // An exhausted ladder must not be re-laddered.
+        assert!(!CtsError::LadderExhausted {
+            level: 0,
+            attempts: 1,
+            last: Box::new(CtsError::NoPartitionRestarts)
+        }
+        .is_recoverable());
     }
 
     #[test]
     fn error_trait_is_wired() {
         let e: Box<dyn std::error::Error> = Box::new(CtsError::NoSinks);
         assert!(!e.to_string().is_empty());
+        let e = CtsError::ClusterRoute {
+            level: 0,
+            cluster: 0,
+            source: DmeError::SinklessNet,
+        };
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -1,0 +1,203 @@
+//! Deterministic fault injection for exercising the recovery machinery.
+//!
+//! A [`FaultPlan`] attaches to
+//! [`HierarchicalCts::faults`](crate::flow::HierarchicalCts::faults) and
+//! makes a chosen stage fail at a chosen level (and cluster) — as a
+//! typed [`CtsError::InjectedFault`](crate::error::CtsError::InjectedFault)
+//! or, in the route stage, as a real `panic!` that the worker's
+//! containment must catch. The plan is *stateless*: whether a fault
+//! fires is a pure function of `(stage, level, cluster, attempt)`, so no
+//! atomics are needed, parallel workers cannot race on it, and runs stay
+//! bit-identical at any worker count.
+//!
+//! By default a fault fires only on attempt 0
+//! ([`max_attempt`](StageFault::max_attempt) = 1): the degradation
+//! ladder's first retry runs clean, which is exactly the "transient
+//! failure, bounded recovery" scenario the fault suite asserts. Raising
+//! `max_attempt` past the ladder length makes the fault permanent and
+//! drives the ladder to
+//! [`LadderExhausted`](crate::error::CtsError::LadderExhausted).
+//!
+//! An empty plan (the default) injects nothing and costs one `Vec`
+//! emptiness check per stage.
+
+/// Which stage a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStage {
+    /// Level partitioning (balanced K-means + SA).
+    Partition,
+    /// Per-cluster routing — the parallel stage; the only stage where
+    /// [`FaultKind::Panic`] is contained and therefore meaningful.
+    Route,
+    /// Joint driver sizing.
+    Sizing,
+}
+
+impl FaultStage {
+    /// Stage name as carried in
+    /// [`CtsError::InjectedFault`](crate::error::CtsError::InjectedFault).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultStage::Partition => "partition",
+            FaultStage::Route => "route",
+            FaultStage::Sizing => "sizing",
+        }
+    }
+}
+
+/// How an injected fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The stage returns
+    /// [`CtsError::InjectedFault`](crate::error::CtsError::InjectedFault).
+    Error,
+    /// The stage panics (`panic!`). Only the route stage contains
+    /// panics; injecting this elsewhere aborts the run, which is itself
+    /// a property the fault suite checks.
+    Panic,
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageFault {
+    /// Stage to fail.
+    pub stage: FaultStage,
+    /// Level to fail at.
+    pub level: usize,
+    /// Cluster to fail at (route stage only; `None` matches every
+    /// cluster of the level).
+    pub cluster: Option<usize>,
+    /// How the failure manifests.
+    pub kind: FaultKind,
+    /// The fault fires while `attempt < max_attempt`: 1 (the default
+    /// via [`StageFault::once`]) means attempt 0 only, so the first
+    /// ladder retry recovers; a large value makes the fault permanent.
+    pub max_attempt: usize,
+}
+
+impl StageFault {
+    /// A fault that fires on attempt 0 only — the transient case.
+    pub fn once(stage: FaultStage, level: usize, cluster: Option<usize>, kind: FaultKind) -> Self {
+        StageFault {
+            stage,
+            level,
+            cluster,
+            kind,
+            max_attempt: 1,
+        }
+    }
+
+    /// A fault that fires on every attempt — drives the ladder to
+    /// exhaustion.
+    pub fn permanent(
+        stage: FaultStage,
+        level: usize,
+        cluster: Option<usize>,
+        kind: FaultKind,
+    ) -> Self {
+        StageFault {
+            stage,
+            level,
+            cluster,
+            kind,
+            max_attempt: usize::MAX,
+        }
+    }
+}
+
+/// A set of injected faults (empty by default: no injection).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults to inject.
+    pub faults: Vec<StageFault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan injecting exactly `fault`.
+    pub fn single(fault: StageFault) -> Self {
+        FaultPlan {
+            faults: vec![fault],
+        }
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The first fault matching this site, if any. Pure: same inputs,
+    /// same answer, on every worker.
+    pub(crate) fn fires(
+        &self,
+        stage: FaultStage,
+        level: usize,
+        cluster: Option<usize>,
+        attempt: usize,
+    ) -> Option<&StageFault> {
+        self.faults.iter().find(|f| {
+            f.stage == stage
+                && f.level == level
+                && attempt < f.max_attempt
+                && (f.cluster.is_none() || f.cluster == cluster)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(p.fires(FaultStage::Route, 0, Some(0), 0).is_none());
+    }
+
+    #[test]
+    fn transient_fault_clears_on_retry() {
+        let p = FaultPlan::single(StageFault::once(
+            FaultStage::Route,
+            1,
+            Some(3),
+            FaultKind::Error,
+        ));
+        assert!(p.fires(FaultStage::Route, 1, Some(3), 0).is_some());
+        assert!(p.fires(FaultStage::Route, 1, Some(3), 1).is_none());
+        // Wrong level, cluster, or stage: no fire.
+        assert!(p.fires(FaultStage::Route, 0, Some(3), 0).is_none());
+        assert!(p.fires(FaultStage::Route, 1, Some(2), 0).is_none());
+        assert!(p.fires(FaultStage::Sizing, 1, Some(3), 0).is_none());
+    }
+
+    #[test]
+    fn wildcard_cluster_matches_everything_at_the_level() {
+        let p = FaultPlan::single(StageFault::once(
+            FaultStage::Route,
+            0,
+            None,
+            FaultKind::Error,
+        ));
+        assert!(p.fires(FaultStage::Route, 0, Some(0), 0).is_some());
+        assert!(p.fires(FaultStage::Route, 0, Some(17), 0).is_some());
+        assert!(p.fires(FaultStage::Route, 0, None, 0).is_some());
+    }
+
+    #[test]
+    fn permanent_fault_never_clears() {
+        let p = FaultPlan::single(StageFault::permanent(
+            FaultStage::Partition,
+            2,
+            None,
+            FaultKind::Error,
+        ));
+        for attempt in 0..64 {
+            assert!(p.fires(FaultStage::Partition, 2, None, attempt).is_some());
+        }
+    }
+}

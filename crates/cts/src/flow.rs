@@ -25,7 +25,9 @@
 use crate::assemble::{assemble, BuiltCluster};
 use crate::constraints::CtsConstraints;
 use crate::error::CtsError;
+use crate::fault::FaultPlan;
 use crate::partition::partition_level;
+use crate::recovery::{Downgrade, RecoveryPolicy};
 use crate::report::{FlowObserver, LevelReport, NullObserver, StageTimings};
 use crate::route::{route_clusters, LevelNode, NodeSource};
 use crate::sizing::size_drivers;
@@ -64,6 +66,33 @@ pub enum TopologyKind {
     HTree,
     /// Generalized H-tree.
     GhTree,
+}
+
+impl TopologyKind {
+    /// Short stable name for reports, telemetry, and downgrade records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyKind::Cbs { .. } => "cbs",
+            TopologyKind::Bst { .. } => "bst",
+            TopologyKind::Salt { .. } => "salt",
+            TopologyKind::Rsmt => "rsmt",
+            TopologyKind::HTree => "htree",
+            TopologyKind::GhTree => "ghtree",
+        }
+    }
+
+    /// Deterministic per-member cost weight for the route-stage work
+    /// budget ([`HierarchicalCts::route_budget`]). Relative, not
+    /// calibrated: CBS runs a five-step pipeline over each net, BST and
+    /// SALT a single construction, RSMT and the H-trees a cheap sweep —
+    /// so a topology fallback genuinely lowers the budget a level needs.
+    pub fn cost_weight(&self) -> u64 {
+        match self {
+            TopologyKind::Cbs { .. } => 4,
+            TopologyKind::Bst { .. } | TopologyKind::Salt { .. } => 2,
+            TopologyKind::Rsmt | TopologyKind::HTree | TopologyKind::GhTree => 1,
+        }
+    }
 }
 
 /// The hierarchical CTS engine.
@@ -112,6 +141,19 @@ pub struct HierarchicalCts {
     pub workers: usize,
     /// RNG seed for partitioning and the per-cluster route streams.
     pub seed: u64,
+    /// Level-failure recovery: the degradation ladder. Disabled by
+    /// default (fail fast, the historical behavior); see
+    /// [`RecoveryPolicy::standard`].
+    pub recovery: RecoveryPolicy,
+    /// Cooperative per-level work budget for the route stage, in
+    /// deterministic cost units (cluster members ×
+    /// [`TopologyKind::cost_weight`]). `None` (default) = unlimited.
+    /// Exceeding it yields [`CtsError::StageDeadline`] *before* any
+    /// cluster routes — same cutoff on every run, at any worker count.
+    pub route_budget: Option<u64>,
+    /// Fault injection for the recovery test harness; empty (injecting
+    /// nothing) by default. See [`crate::fault`].
+    pub faults: FaultPlan,
 }
 
 impl Default for HierarchicalCts {
@@ -136,6 +178,9 @@ impl Default for HierarchicalCts {
             partition_restarts: 4,
             workers: 0,
             seed: 0x05117C75,
+            recovery: RecoveryPolicy::default(),
+            route_budget: None,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -177,18 +222,27 @@ impl HierarchicalCts {
     /// Runs the flow on a design and returns the assembled, buffered
     /// clock tree. Sink nodes carry the design's sink indices.
     ///
+    /// This never panics on user input: constraints, the design, and
+    /// the buffer library are all checked up front, and per-level
+    /// failures come back as typed [`CtsError`]s (or are retried by the
+    /// [degradation ladder](RecoveryPolicy) when
+    /// [`recovery`](Self::recovery) is enabled).
+    ///
     /// # Errors
     ///
     /// [`CtsError::NoSinks`] for a design without flip-flops,
+    /// [`CtsError::InvalidDesign`] when the sanitizer pre-flight finds a
+    /// fatal defect (repair with [`sllt_design::sanitize::repair`]),
+    /// [`CtsError::InvalidConstraints`] for out-of-range bounds,
     /// [`CtsError::EmptyBufferLibrary`] when no driver can be sized,
     /// [`CtsError::NoPartitionRestarts`] when the partition search has
-    /// no candidates, and [`CtsError::LevelRunaway`] when partitioning
-    /// stops reducing the node count.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the constraints are inconsistent (see
-    /// [`CtsConstraints::validate`]).
+    /// no candidates and recovery is disabled,
+    /// [`CtsError::LevelRunaway`] when partitioning stops reducing the
+    /// node count, per-level routing errors
+    /// ([`CtsError::ClusterRoute`], [`CtsError::ClusterPanicked`],
+    /// [`CtsError::StageDeadline`]) when recovery is disabled, and
+    /// [`CtsError::LadderExhausted`] when it is enabled but every rung
+    /// failed.
     pub fn run(&self, design: &Design) -> Result<ClockTree, CtsError> {
         self.run_with_observer(design, &mut NullObserver)
     }
@@ -216,14 +270,26 @@ impl HierarchicalCts {
         observer: &mut dyn FlowObserver,
         sink: &dyn TelemetrySink,
     ) -> Result<ClockTree, CtsError> {
-        self.constraints.validate();
+        self.constraints.validate()?;
         if design.sinks.is_empty() {
             return Err(CtsError::NoSinks);
+        }
+        // Sanitizer pre-flight: reject non-finite or oversized
+        // coordinates and bad pin caps before any geometry runs on them.
+        // O(n), allocation-free; callers holding a dirty design can
+        // `sllt_design::sanitize::repair` it and re-run.
+        if let Some(issue) = sllt_design::sanitize::first_fatal(design) {
+            return Err(CtsError::InvalidDesign {
+                detail: issue.to_string(),
+            });
         }
         if self.lib.cells().is_empty() {
             return Err(CtsError::EmptyBufferLibrary);
         }
-        if self.partition_restarts == 0 {
+        // With recovery enabled the ladder floors restarts at
+        // `min_restarts` on retry, so the misconfiguration is
+        // survivable; without it, fail fast as always.
+        if self.partition_restarts == 0 && !self.recovery.enabled {
             return Err(CtsError::NoPartitionRestarts);
         }
         // Declared before the spans: guards drop in reverse declaration
@@ -254,8 +320,85 @@ impl HierarchicalCts {
 
     /// Partitions, routes, and sizes one level, advancing `cx.nodes` to
     /// the next level's nodes.
+    ///
+    /// This is where the degradation ladder lives: each rung from
+    /// [`RecoveryPolicy::ladder`] is tried in order against an
+    /// *unmodified* `cx` — a failed attempt commits nothing — and the
+    /// first success records every rung climbed in
+    /// [`LevelReport::downgrades`]. Non-recoverable errors propagate
+    /// immediately; exhausting the ladder yields
+    /// [`CtsError::LadderExhausted`] wrapping the final attempt's error.
     fn build_level(&self, cx: &mut FlowContext) -> Result<LevelReport, CtsError> {
         let _level_span = sllt_obs::span("cts.level");
+        let steps = self.recovery.ladder(self.topology);
+        let mut downgrades: Vec<Downgrade> = Vec::new();
+        for (attempt, step) in steps.iter().enumerate() {
+            // Attempt 0 runs the configured flow verbatim; retries run a
+            // relaxed clone. `self` (not `eff`) keeps providing the
+            // ladder so recovery never recurses.
+            let owned: HierarchicalCts;
+            let eff: &HierarchicalCts = if attempt == 0 {
+                self
+            } else {
+                let mut relaxed = self.clone();
+                relaxed.constraints.skew_ps *= step.skew_factor;
+                if let Some(t) = step.topology {
+                    relaxed.topology = t;
+                }
+                relaxed.partition_restarts =
+                    relaxed.partition_restarts.max(self.recovery.min_restarts);
+                owned = relaxed;
+                &owned
+            };
+            match Self::try_level(eff, cx, attempt) {
+                Ok((mut report, next, built)) => {
+                    report.attempts = attempt + 1;
+                    report.downgrades = downgrades;
+                    if report.attempts > 1 && sllt_obs::enabled() {
+                        sllt_obs::count("cts.recovery.levels_recovered", 1);
+                        sllt_obs::count("cts.recovery.retries", attempt as u64);
+                    }
+                    cx.clusters.extend(built);
+                    cx.nodes = next;
+                    return Ok(report);
+                }
+                Err(e) if e.is_recoverable() && attempt + 1 < steps.len() => {
+                    let next_step = &steps[attempt + 1];
+                    downgrades.push(Downgrade {
+                        attempt: attempt + 1,
+                        skew_factor: next_step.skew_factor,
+                        topology: next_step.topology.map(|t| t.name()),
+                        trigger: e.to_string(),
+                    });
+                }
+                Err(e) => {
+                    // Non-recoverable, or the ladder is spent. A
+                    // single-rung ladder (recovery disabled) reports the
+                    // raw error — the historical contract.
+                    if !e.is_recoverable() || steps.len() == 1 {
+                        return Err(e);
+                    }
+                    return Err(CtsError::LadderExhausted {
+                        level: cx.level,
+                        attempts: attempt + 1,
+                        last: Box::new(e),
+                    });
+                }
+            }
+        }
+        unreachable!("ladder always has at least the identity step")
+    }
+
+    /// One attempt at one level under configuration `eff`. Reads `cx`
+    /// but never mutates it: the caller commits the returned nodes and
+    /// clusters only on success, so a failed attempt leaves the run
+    /// exactly where it was.
+    #[allow(clippy::type_complexity)]
+    fn try_level(
+        eff: &HierarchicalCts,
+        cx: &FlowContext,
+        attempt: usize,
+    ) -> Result<(LevelReport, Vec<LevelNode>, Vec<BuiltCluster>), CtsError> {
         let num_nodes = cx.nodes.len();
         let positions: Vec<Point> = cx.nodes.iter().map(|n| n.pos).collect();
         let caps: Vec<f64> = cx.nodes.iter().map(|n| n.cap_ff).collect();
@@ -263,22 +406,22 @@ impl HierarchicalCts {
         let t0 = Instant::now();
         let part = {
             let _s = sllt_obs::span("cts.partition");
-            partition_level(self, &positions, &caps, cx.level)?
+            partition_level(eff, &positions, &caps, cx.level, attempt)?
         };
         let t1 = Instant::now();
         let routed = {
             let _s = sllt_obs::span("cts.route");
-            route_clusters(self, &cx.nodes, &part.assignment, part.k, cx.level)?
+            route_clusters(eff, &cx.nodes, &part.assignment, part.k, cx.level, attempt)?
         };
         let t2 = Instant::now();
 
         let wirelength_um: f64 = routed.iter().map(|r| r.tree.wirelength()).sum();
         let load_cap_ff: f64 = routed.iter().map(|r| r.load).sum();
-        let workers = self.effective_workers(routed.len());
+        let workers = eff.effective_workers(routed.len());
 
-        let (next, stats) = {
+        let (next, built, stats) = {
             let _s = sllt_obs::span("cts.sizing");
-            size_drivers(self, routed, &mut cx.clusters)?
+            size_drivers(eff, routed, cx.clusters.len(), cx.level, attempt)?
         };
         let t3 = Instant::now();
 
@@ -303,9 +446,10 @@ impl HierarchicalCts {
             driver_area_um2: stats.driver_area_um2,
             pads: stats.pads,
             delay_spread_ps: if next.is_empty() { 0.0 } else { hi - lo },
+            attempts: 1,
+            downgrades: Vec::new(),
         };
-        cx.nodes = next;
-        Ok(report)
+        Ok((report, next, built))
     }
 
     /// Worker threads the route stage will actually use for `jobs`

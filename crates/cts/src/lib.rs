@@ -41,9 +41,11 @@ pub mod baseline;
 pub mod constraints;
 pub mod error;
 pub mod eval;
+pub mod fault;
 pub mod flow;
 pub mod ocv;
 mod partition;
+pub mod recovery;
 pub mod report;
 mod route;
 mod sizing;
@@ -53,10 +55,12 @@ pub use baseline::{commercial_like, open_road_like};
 pub use constraints::CtsConstraints;
 pub use error::CtsError;
 pub use eval::{evaluate, TreeReport};
+pub use fault::{FaultKind, FaultPlan, FaultStage, StageFault};
 pub use flow::{HierarchicalCts, TopologyKind};
 pub use ocv::{derate_skew, ocv_analysis, OcvModel, OcvReport};
+pub use recovery::{Downgrade, LadderStep, RecoveryPolicy};
 pub use report::{
     AssembleReport, CollectingObserver, FlowObserver, LevelReport, NullObserver, StageTimings,
 };
 pub use sllt_obs::{NullSink, RecordingSink, TelemetrySink};
-pub use telemetry::{assemble_value, level_value, run_record};
+pub use telemetry::{assemble_value, downgrade_value, level_value, run_record};

@@ -2,6 +2,7 @@
 //! restarts, and SA boundary refinement (paper §3.2).
 
 use crate::error::CtsError;
+use crate::fault::{FaultKind, FaultStage};
 use crate::flow::HierarchicalCts;
 use sllt_geom::Point;
 use sllt_partition::sa;
@@ -26,7 +27,25 @@ pub(crate) fn partition_level(
     positions: &[Point],
     caps: &[f64],
     level: usize,
+    attempt: usize,
 ) -> Result<LevelPartition, CtsError> {
+    if !cts.faults.is_empty() {
+        if let Some(f) = cts
+            .faults
+            .fires(FaultStage::Partition, level, None, attempt)
+        {
+            match f.kind {
+                FaultKind::Error => {
+                    return Err(CtsError::InjectedFault {
+                        stage: "partition",
+                        level,
+                        cluster: None,
+                    })
+                }
+                FaultKind::Panic => panic!("injected panic: partition level {level}"),
+            }
+        }
+    }
     let cons = &cts.constraints;
     let n = positions.len();
     let by_fanout = n.div_ceil(cons.max_fanout);
@@ -150,7 +169,7 @@ mod tests {
             ..Default::default()
         };
         let (pts, caps) = grid(40);
-        let err = partition_level(&cts, &pts, &caps, 0).unwrap_err();
+        let err = partition_level(&cts, &pts, &caps, 0, 0).unwrap_err();
         assert_eq!(err, CtsError::NoPartitionRestarts);
     }
 
@@ -158,7 +177,7 @@ mod tests {
     fn partition_covers_every_node() {
         let cts = HierarchicalCts::default();
         let (pts, caps) = grid(120);
-        let part = partition_level(&cts, &pts, &caps, 0).unwrap();
+        let part = partition_level(&cts, &pts, &caps, 0, 0).unwrap();
         assert_eq!(part.assignment.len(), 120);
         assert!(part.k >= 2, "120 nodes must split");
         assert!(part.assignment.iter().all(|&a| a < part.k));
@@ -172,7 +191,7 @@ mod tests {
                 partition_restarts: restarts,
                 ..Default::default()
             };
-            let part = partition_level(&cts, &pts, &caps, 0).unwrap();
+            let part = partition_level(&cts, &pts, &caps, 0, 0).unwrap();
             assert_eq!(part.assignment.len(), 90);
         }
     }

@@ -6,6 +6,7 @@
 //! displays, and the tie-out tests all hang off this trait instead of
 //! re-instrumenting the engine.
 
+use crate::recovery::Downgrade;
 use std::time::Duration;
 
 /// Wall time spent in each stage of one level.
@@ -54,6 +55,12 @@ pub struct LevelReport {
     /// Spread of the accumulated delay intervals handed upward, ps:
     /// max slowest − min fastest over the level's output nodes.
     pub delay_spread_ps: f64,
+    /// How many attempts the level took (1 = first try succeeded; >1
+    /// means the degradation ladder climbed).
+    pub attempts: usize,
+    /// Every ladder rung climbed before the level succeeded, in order.
+    /// Empty for a clean level.
+    pub downgrades: Vec<Downgrade>,
 }
 
 /// What the final assembly did.
@@ -171,6 +178,18 @@ impl CollectingObserver {
                 ms(l.timings.route),
                 ms(l.timings.sizing),
             ));
+            // Recovered levels annotate their rungs right under the row,
+            // so a degraded run is visible in the default table.
+            for d in &l.downgrades {
+                let action = match d.topology {
+                    Some(t) => format!("fall back to {t} (skew x{})", d.skew_factor),
+                    None => format!("relax skew x{}", d.skew_factor),
+                };
+                out.push_str(&format!(
+                    "      downgrade[{}]: {action} after: {}\n",
+                    d.attempt, d.trigger
+                ));
+            }
         }
         // Totals footer: stage wall time, wirelength, and load summed
         // over levels (the assembly trunk is reported on its own line).
@@ -233,6 +252,8 @@ mod tests {
             driver_area_um2: 2.0,
             pads: 0,
             delay_spread_ps: 0.5,
+            attempts: 1,
+            downgrades: Vec::new(),
         }
     }
 
@@ -266,6 +287,24 @@ mod tests {
             .expect("totals footer present");
         assert!(total.contains("140.0"), "WL sum missing: {total}");
         assert!(total.contains("10.0"), "load sum missing: {total}");
+    }
+
+    #[test]
+    fn render_annotates_recovered_levels() {
+        let mut obs = CollectingObserver::new();
+        let mut l = level(0, 50.0);
+        l.attempts = 2;
+        l.downgrades.push(Downgrade {
+            attempt: 1,
+            skew_factor: 1.5,
+            topology: None,
+            trigger: "routing cluster 3 at level 0 failed".into(),
+        });
+        obs.on_level(&l);
+        let table = obs.render();
+        assert!(table.contains("downgrade[1]"), "{table}");
+        assert!(table.contains("relax skew x1.5"), "{table}");
+        assert!(table.contains("cluster 3"), "{table}");
     }
 
     #[test]

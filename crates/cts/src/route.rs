@@ -9,12 +9,14 @@
 //! bit-identical no matter how many workers run or how they interleave.
 
 use crate::error::CtsError;
+use crate::fault::{FaultKind, FaultStage};
 use crate::flow::{HierarchicalCts, TopologyKind};
-use sllt_core::cbs::{cbs_intervals, CbsConfig};
+use sllt_core::cbs::{try_cbs_intervals, CbsConfig};
 use sllt_geom::{centroid, Point};
 use sllt_rng::SplitMix64;
-use sllt_route::{dme_intervals, ghtree, htree, rsmt, salt, DelayModel, DmeOptions};
+use sllt_route::{ghtree, htree, rsmt, salt, try_dme_intervals, DelayModel, DmeOptions};
 use sllt_tree::{ClockNet, ClockTree, NodeKind, Sink};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -39,6 +41,7 @@ pub(crate) enum NodeSource {
 }
 
 /// A routed cluster awaiting joint driver sizing.
+#[derive(Debug)]
 pub(crate) struct RoutedCluster {
     pub tree: ClockTree,
     pub members: Vec<LevelNode>,
@@ -54,6 +57,8 @@ pub(crate) struct RoutedCluster {
 /// so a future stochastic generator stays reproducible under any worker
 /// count.
 struct ClusterJob {
+    /// Dense job index — the cluster identity carried in route errors.
+    index: usize,
     members: Vec<LevelNode>,
     seed: u64,
 }
@@ -61,15 +66,20 @@ struct ClusterJob {
 /// Groups `nodes` by `assignment` and routes every non-empty cluster.
 /// Results are returned in cluster-index order; on error the failure of
 /// the lowest-indexed failing cluster is reported (also independent of
-/// worker interleaving).
+/// worker interleaving). A panic inside any cluster's routing kernel is
+/// contained at cluster granularity (`catch_unwind` around the job) and
+/// surfaces as [`CtsError::ClusterPanicked`] — one bad cluster cannot
+/// take down the run or poison its siblings.
 pub(crate) fn route_clusters(
     cts: &HierarchicalCts,
     nodes: &[LevelNode],
     assignment: &[usize],
     k: usize,
     level: usize,
+    attempt: usize,
 ) -> Result<Vec<RoutedCluster>, CtsError> {
     let mut seeds = SplitMix64::new(cts.seed ^ (level as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut index = 0usize;
     let jobs: Vec<ClusterJob> = (0..k)
         .filter_map(|c| {
             let members: Vec<LevelNode> = nodes
@@ -81,16 +91,51 @@ pub(crate) fn route_clusters(
             // Every cluster index draws its seed, occupied or not, so the
             // streams do not shift when a cluster comes up empty.
             let seed = seeds.next_u64();
-            (!members.is_empty()).then_some(ClusterJob { members, seed })
+            (!members.is_empty()).then(|| {
+                let job = ClusterJob {
+                    index,
+                    members,
+                    seed,
+                };
+                index += 1;
+                job
+            })
         })
         .collect();
 
+    // Cooperative deadline: the stage's cost is a pure function of the
+    // job list and topology (members × weight, summed in cluster order),
+    // so the same configuration stops at the same place on every run and
+    // worker count — no wall clocks, no shared counters. Checked before
+    // any cluster routes; the ladder can recover by falling back to a
+    // cheaper topology.
+    if let Some(budget) = cts.route_budget {
+        let required: u64 = jobs
+            .iter()
+            .map(|j| j.members.len() as u64 * cts.topology.cost_weight())
+            .sum();
+        if required > budget {
+            return Err(CtsError::StageDeadline {
+                level,
+                stage: "route",
+                budget,
+                required,
+            });
+        }
+    }
+
+    let route_contained = |job: &ClusterJob| -> Result<RoutedCluster, CtsError> {
+        catch_unwind(AssertUnwindSafe(|| route_cluster(cts, job, level, attempt))).unwrap_or(Err(
+            CtsError::ClusterPanicked {
+                level,
+                cluster: job.index,
+            },
+        ))
+    };
+
     let workers = cts.effective_workers(jobs.len());
     if workers <= 1 {
-        return jobs
-            .iter()
-            .map(|job| route_cluster(cts, job, level))
-            .collect();
+        return jobs.iter().map(route_contained).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -104,6 +149,7 @@ pub(crate) fn route_clusters(
     let parent_span = sllt_obs::current_span();
     std::thread::scope(|scope| {
         let (next, slots, jobs, registry) = (&next, &slots, &jobs, &registry);
+        let route_contained = &route_contained;
         for w in 0..workers {
             scope.spawn(move || {
                 let _telemetry = registry
@@ -114,7 +160,7 @@ pub(crate) fn route_clusters(
                     if i >= jobs.len() {
                         break;
                     }
-                    let result = route_cluster(cts, &jobs[i], level);
+                    let result = route_contained(&jobs[i]);
                     slots.lock().expect("no panics hold the slot lock")[i] = Some(result);
                 }
             });
@@ -133,7 +179,27 @@ fn route_cluster(
     cts: &HierarchicalCts,
     job: &ClusterJob,
     level: usize,
+    attempt: usize,
 ) -> Result<RoutedCluster, CtsError> {
+    if !cts.faults.is_empty() {
+        if let Some(f) = cts
+            .faults
+            .fires(FaultStage::Route, level, Some(job.index), attempt)
+        {
+            match f.kind {
+                FaultKind::Error => {
+                    return Err(CtsError::InjectedFault {
+                        stage: "route",
+                        level,
+                        cluster: Some(job.index),
+                    })
+                }
+                FaultKind::Panic => {
+                    panic!("injected panic: route level {level} cluster {}", job.index)
+                }
+            }
+        }
+    }
     let started = sllt_obs::enabled().then(std::time::Instant::now);
     let members = &job.members;
     let _rng_stream = job.seed; // reserved for stochastic topology generators
@@ -164,8 +230,18 @@ fn route_cluster(
     // Merge-order generation inside `scheme.build` is nearest-pair
     // accelerated (sllt-route::nnpair), so cluster sizes are not limited
     // by topology generation even when partitioning is configured coarse.
+    // Skew-controlled kernels report infeasibility as a typed
+    // `DmeError` → `CtsError::ClusterRoute` (recoverable by the ladder);
+    // the skew-free generators cannot fail this way, and any residual
+    // panic in either family is contained by the caller's
+    // `catch_unwind`.
+    let route_err = |source| CtsError::ClusterRoute {
+        level,
+        cluster: job.index,
+        source,
+    };
     let tree = match cts.topology {
-        TopologyKind::Cbs { scheme, eps } => cbs_intervals(
+        TopologyKind::Cbs { scheme, eps } => try_cbs_intervals(
             &net,
             &CbsConfig {
                 scheme,
@@ -174,10 +250,11 @@ fn route_cluster(
                 model,
             },
             &intervals,
-        ),
+        )
+        .map_err(route_err)?,
         TopologyKind::Bst { scheme } => {
             let topo = scheme.build(&net);
-            dme_intervals(
+            try_dme_intervals(
                 &net,
                 &topo.to_hinted(),
                 &DmeOptions {
@@ -186,6 +263,7 @@ fn route_cluster(
                 },
                 &intervals,
             )
+            .map_err(route_err)?
         }
         TopologyKind::Salt { eps } => salt(&net, adaptive_eps(eps)),
         TopologyKind::Rsmt => rsmt::rsmt(&net),
@@ -257,7 +335,42 @@ mod tests {
     #[test]
     fn empty_assignment_routes_nothing() {
         let cts = HierarchicalCts::default();
-        let routed = route_clusters(&cts, &[], &[], 4, 0).unwrap();
+        let routed = route_clusters(&cts, &[], &[], 4, 0, 0).unwrap();
         assert!(routed.is_empty());
+    }
+
+    /// The deadline trips before any cluster routes, deterministically,
+    /// and reports exactly what the stage would have cost.
+    #[test]
+    fn route_budget_is_a_typed_deadline() {
+        let cts = HierarchicalCts {
+            route_budget: Some(3),
+            ..Default::default()
+        };
+        let nodes: Vec<LevelNode> = (0..4)
+            .map(|i| LevelNode {
+                pos: Point::new(i as f64 * 10.0, 0.0),
+                cap_ff: 1.0,
+                interval_ps: (0.0, 0.0),
+                source: NodeSource::DesignSink(i),
+            })
+            .collect();
+        let assignment = vec![0, 0, 1, 1];
+        let err = route_clusters(&cts, &nodes, &assignment, 2, 0, 0).unwrap_err();
+        match err {
+            CtsError::StageDeadline {
+                level,
+                stage,
+                budget,
+                required,
+            } => {
+                assert_eq!(level, 0);
+                assert_eq!(stage, "route");
+                assert_eq!(budget, 3);
+                // 4 members × CBS weight 4.
+                assert_eq!(required, 16);
+            }
+            other => panic!("expected StageDeadline, got {other:?}"),
+        }
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::assemble::BuiltCluster;
 use crate::error::CtsError;
+use crate::fault::{FaultKind, FaultStage};
 use crate::flow::HierarchicalCts;
 use crate::route::{LevelNode, NodeSource, RoutedCluster};
 
@@ -21,14 +22,33 @@ pub(crate) struct SizingStats {
     pub pads: usize,
 }
 
-/// Sizes every routed cluster's driver, pads fast clusters, appends the
-/// finished [`BuiltCluster`]s to the arena, and returns the next level's
-/// nodes (in cluster order) with the stage stats.
+/// Sizes every routed cluster's driver, pads fast clusters, and returns
+/// the next level's nodes (in cluster order), the finished
+/// [`BuiltCluster`]s, and the stage stats. The new clusters' arena
+/// indices start at `base` — the caller appends them to the arena *only
+/// on success*, so a failed level attempt (degradation-ladder retry)
+/// leaves the arena untouched.
 pub(crate) fn size_drivers(
     cts: &HierarchicalCts,
     routed: Vec<RoutedCluster>,
-    clusters: &mut Vec<BuiltCluster>,
-) -> Result<(Vec<LevelNode>, SizingStats), CtsError> {
+    base: usize,
+    level: usize,
+    attempt: usize,
+) -> Result<(Vec<LevelNode>, Vec<BuiltCluster>, SizingStats), CtsError> {
+    if !cts.faults.is_empty() {
+        if let Some(f) = cts.faults.fires(FaultStage::Sizing, level, None, attempt) {
+            match f.kind {
+                FaultKind::Error => {
+                    return Err(CtsError::InjectedFault {
+                        stage: "sizing",
+                        level,
+                        cluster: None,
+                    })
+                }
+                FaultKind::Panic => panic!("injected panic: sizing level {level}"),
+            }
+        }
+    }
     // Joint sizing: every cluster total (subtree + driver delay) should
     // land near a common target — the slowest cluster at its fastest
     // legal cell.
@@ -51,6 +71,7 @@ pub(crate) fn size_drivers(
         .fold(0.0f64, f64::max);
 
     let mut next = Vec::new();
+    let mut built = Vec::new();
     let mut stats = SizingStats::default();
     for r in routed {
         let usable = || {
@@ -125,14 +146,14 @@ pub(crate) fn size_drivers(
             cts.lib.cells()[cell].input_cap_ff + pads as f64 * pad_cell.input_cap_ff;
         stats.driver_area_um2 += cts.lib.cells()[cell].area_um2 + pads as f64 * pad_cell.area_um2;
         stats.pads += pads;
-        let idx = clusters.len();
+        let idx = base + built.len();
         next.push(LevelNode {
             pos: r.tap,
             cap_ff: input_cap,
             interval_ps: (r.subtree_lo + drv, r.subtree_hi + drv),
             source: NodeSource::Cluster(idx),
         });
-        clusters.push(BuiltCluster {
+        built.push(BuiltCluster {
             tree: r.tree,
             members: r.members,
             cell,
@@ -144,5 +165,5 @@ pub(crate) fn size_drivers(
         sllt_obs::count("cts.sizing.drivers", next.len() as u64);
         sllt_obs::count("cts.sizing.pads", stats.pads as u64);
     }
-    Ok((next, stats))
+    Ok((next, built, stats))
 }

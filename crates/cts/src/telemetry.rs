@@ -9,8 +9,21 @@
 //! stable shape, and [`run_record`] assembles the full record (meta +
 //! events + span tree + metrics) from a finished run.
 
+use crate::recovery::Downgrade;
 use crate::report::{AssembleReport, CollectingObserver, LevelReport};
 use sllt_obs::{Registry, RunRecord, Value};
+
+/// One recorded ladder rung as a JSON object.
+pub fn downgrade_value(d: &Downgrade) -> Value {
+    let v = Value::obj()
+        .with("attempt", d.attempt)
+        .with("skew_factor", d.skew_factor)
+        .with("trigger", d.trigger.as_str());
+    match d.topology {
+        Some(t) => v.with("topology", t),
+        None => v,
+    }
+}
 
 /// One level report as a `{"type":"level", ...}` event. Durations are
 /// fractional milliseconds.
@@ -30,6 +43,11 @@ pub fn level_value(l: &LevelReport) -> Value {
         .with("driver_area_um2", l.driver_area_um2)
         .with("pads", l.pads)
         .with("delay_spread_ps", l.delay_spread_ps)
+        .with("attempts", l.attempts)
+        .with(
+            "downgrades",
+            Value::Arr(l.downgrades.iter().map(downgrade_value).collect()),
+        )
 }
 
 /// The assembly report as a `{"type":"assemble", ...}` event.
@@ -78,6 +96,8 @@ mod tests {
             driver_area_um2: 6.0,
             pads: 3,
             delay_spread_ps: 0.75,
+            attempts: 1,
+            downgrades: Vec::new(),
         }
     }
 
@@ -88,6 +108,44 @@ mod tests {
         assert_eq!(v.get("nodes").and_then(Value::as_u64), Some(64));
         let route_ms = v.get("route_ms").and_then(Value::as_f64).unwrap();
         assert!((route_ms - 2.5).abs() < 1e-9);
+        assert_eq!(v.get("attempts").and_then(Value::as_u64), Some(1));
+        assert!(matches!(v.get("downgrades"), Some(Value::Arr(a)) if a.is_empty()));
+    }
+
+    #[test]
+    fn recovered_level_event_carries_its_downgrades() {
+        let mut l = level();
+        l.attempts = 3;
+        l.downgrades = vec![
+            Downgrade {
+                attempt: 1,
+                skew_factor: 1.5,
+                topology: None,
+                trigger: "skew merge infeasible".into(),
+            },
+            Downgrade {
+                attempt: 2,
+                skew_factor: 4.0,
+                topology: Some("rsmt"),
+                trigger: "still infeasible".into(),
+            },
+        ];
+        let v = level_value(&l);
+        assert_eq!(v.get("attempts").and_then(Value::as_u64), Some(3));
+        let Some(Value::Arr(ds)) = v.get("downgrades") else {
+            panic!("downgrades must be an array");
+        };
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[1].get("topology").and_then(Value::as_str), Some("rsmt"));
+        assert_eq!(
+            ds[0].get("trigger").and_then(Value::as_str),
+            Some("skew merge infeasible")
+        );
+        // The event must survive the JSONL schema round-trip.
+        let text = v.encode();
+        let back = sllt_obs::json::parse(&text).unwrap();
+        assert_eq!(back.encode(), text);
+        assert!(text.contains("\"downgrades\""), "{text}");
     }
 
     #[test]

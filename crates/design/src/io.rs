@@ -82,7 +82,8 @@ pub fn write_design<W: Write>(design: &Design, w: &mut W) -> std::io::Result<()>
 /// # Errors
 ///
 /// [`ParseDesignError::Syntax`] for malformed lines, a missing header or
-/// clock root, or a design without sinks.
+/// clock root, a design without sinks, non-finite numbers, or
+/// coordinates beyond [`crate::sanitize::MAX_COORD_UM`].
 pub fn read_design<R: BufRead>(r: &mut R) -> Result<Design, ParseDesignError> {
     let syntax = |line: usize, message: String| ParseDesignError::Syntax { line, message };
     let mut name = String::from("unnamed");
@@ -110,28 +111,46 @@ pub fn read_design<R: BufRead>(r: &mut R) -> Result<Design, ParseDesignError> {
         }
         let p: Vec<&str> = line.split_whitespace().collect();
         let parse_f = |s: &str| {
-            s.parse::<f64>()
-                .map_err(|_| syntax(ln, format!("not a number: {s:?}")))
+            let v: f64 = s
+                .parse()
+                .map_err(|_| syntax(ln, format!("not a number: {s:?}")))?;
+            if !v.is_finite() {
+                return Err(syntax(ln, format!("non-finite number: {s:?}")));
+            }
+            Ok(v)
+        };
+        // Coordinates feed rotated-space (x ± y) arithmetic downstream;
+        // reject magnitudes the geometry kernels cannot keep precise.
+        let parse_coord = |s: &str| {
+            let v = parse_f(s)?;
+            if v.abs() > crate::sanitize::MAX_COORD_UM {
+                return Err(syntax(ln, format!("coordinate out of range: {s}")));
+            }
+            Ok(v)
         };
         match p[0] {
             "name" => {
                 name = p.get(1..).unwrap_or_default().join(" ");
             }
             "die" if p.len() == 3 => {
-                die = Some(Rect::new(
-                    Point::ORIGIN,
-                    Point::new(parse_f(p[1])?, parse_f(p[2])?),
-                ));
+                let (w, h) = (parse_coord(p[1])?, parse_coord(p[2])?);
+                if w < 0.0 || h < 0.0 {
+                    return Err(syntax(ln, format!("negative die extent {w} x {h}")));
+                }
+                die = Some(Rect::new(Point::ORIGIN, Point::new(w, h)));
             }
             "clock_root" if p.len() == 3 => {
-                clock_root = Some(Point::new(parse_f(p[1])?, parse_f(p[2])?));
+                clock_root = Some(Point::new(parse_coord(p[1])?, parse_coord(p[2])?));
             }
             "sink" if p.len() == 4 => {
                 let cap = parse_f(p[3])?;
                 if cap < 0.0 {
                     return Err(syntax(ln, format!("negative sink cap {cap}")));
                 }
-                sinks.push(Sink::new(Point::new(parse_f(p[1])?, parse_f(p[2])?), cap));
+                sinks.push(Sink::new(
+                    Point::new(parse_coord(p[1])?, parse_coord(p[2])?),
+                    cap,
+                ));
             }
             other => {
                 return Err(syntax(
@@ -197,6 +216,10 @@ mod tests {
             ("sllt-design v1\nsink 1 2", "malformed"),
             ("sllt-design v1\nsink 1 2 x", "not a number"),
             ("sllt-design v1\nsink 1 2 -3", "negative sink cap"),
+            ("sllt-design v1\nsink nan 2 3", "non-finite number"),
+            ("sllt-design v1\nclock_root inf 0", "non-finite number"),
+            ("sllt-design v1\nsink 2e12 2 3", "coordinate out of range"),
+            ("sllt-design v1\ndie -5 10", "negative die extent"),
             ("sllt-design v1\nsink 1 2 3", "missing clock_root"),
             ("sllt-design v1\nclock_root 0 0", "no sinks"),
         ];

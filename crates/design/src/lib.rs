@@ -17,9 +17,11 @@
 pub mod design;
 pub mod io;
 pub mod netgen;
+pub mod sanitize;
 pub mod suite;
 
 pub use design::Design;
 pub use io::{read_design, write_design};
 pub use netgen::NetGenerator;
+pub use sanitize::{SanitizeIssue, SanitizeReport, Severity, MAX_COORD_UM};
 pub use suite::{DesignSpec, SUITE};

@@ -1,0 +1,129 @@
+//! Property tests for the design text format (`--features proptest`).
+//!
+//! Two properties back the robustness contract of [`sllt_design::io`]:
+//!
+//! 1. **No panic on byte soup** — `read_design` returns `Ok` or a typed
+//!    [`ParseDesignError`](sllt_design::io::ParseDesignError) for *any*
+//!    input, including non-UTF-8 bytes, truncated directives, and
+//!    numbers like `nan`/`inf` that parse but are rejected;
+//! 2. **Round-trip** — `write_design → read_design` reproduces every
+//!    valid design's sinks and clock root exactly.
+
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use sllt_design::{read_design, write_design, Design};
+use sllt_geom::{Point, Rect};
+use sllt_tree::Sink;
+
+/// Raw bytes, biased toward the printable range so directive prefixes
+/// actually occur, but with the full 0..=255 range represented.
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec((0u32..256).prop_map(|b| b as u8), 0..512)
+}
+
+/// Text assembled from format fragments: the adversarial middle ground
+/// between pure noise (rarely gets past the header) and valid input.
+fn arb_fragment_soup() -> impl Strategy<Value = String> {
+    const FRAGMENTS: &[&str] = &[
+        "sllt-design v1",
+        "sllt-design v2",
+        "name",
+        "name x",
+        "die",
+        "die 100 100",
+        "die -1 5",
+        "die 1e300 1",
+        "clock_root",
+        "clock_root 0 0",
+        "clock_root nan 0",
+        "clock_root inf -inf",
+        "sink",
+        "sink 1 2 3",
+        "sink 1 2",
+        "sink 1 2 3 4",
+        "sink nan nan nan",
+        "sink 1e400 0 1",
+        "sink 2e12 0 1",
+        "sink 1 2 -3",
+        "# comment",
+        "",
+        "garbage",
+        "\u{0}\u{1}\u{2}",
+    ];
+    proptest::collection::vec(0usize..FRAGMENTS.len(), 0..24).prop_map(|picks| {
+        picks
+            .into_iter()
+            .map(|i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+/// A structurally valid design whose serialized form must round-trip.
+fn arb_design() -> impl Strategy<Value = Design> {
+    (
+        proptest::collection::vec((0.0f64..400.0, 0.0f64..400.0, 0.01f64..10.0), 1..40),
+        (0.0f64..400.0, 0.0f64..400.0),
+    )
+        .prop_map(|(raw_sinks, (rx, ry))| {
+            let sinks: Vec<Sink> = raw_sinks
+                .into_iter()
+                .map(|(x, y, c)| Sink::new(Point::new(x, y), c))
+                .collect();
+            Design {
+                name: "prop".into(),
+                num_instances: sinks.len(),
+                utilization: 0.0,
+                die: Rect::new(Point::ORIGIN, Point::new(400.0, 400.0)),
+                clock_root: Point::new(rx, ry),
+                sinks,
+            }
+        })
+}
+
+#[test]
+fn read_design_never_panics_on_byte_soup() {
+    proptest!(|(bytes in arb_bytes())| {
+        // Any outcome is fine; panicking is not.
+        let _ = read_design(&mut bytes.as_slice());
+    });
+}
+
+#[test]
+fn read_design_never_panics_on_fragment_soup() {
+    proptest!(|(text in arb_fragment_soup())| {
+        let _ = read_design(&mut text.as_bytes());
+    });
+}
+
+#[test]
+fn accepted_designs_are_always_well_formed() {
+    proptest!(|(text in arb_fragment_soup())| {
+        if let Ok(d) = read_design(&mut text.as_bytes()) {
+            prop_assert!(!d.sinks.is_empty());
+            prop_assert!(d.clock_root.x.is_finite() && d.clock_root.y.is_finite());
+            for s in &d.sinks {
+                prop_assert!(s.pos.x.is_finite() && s.pos.y.is_finite());
+                prop_assert!(s.pos.x.abs() <= sllt_design::MAX_COORD_UM);
+                prop_assert!(s.cap_ff >= 0.0 && s.cap_ff.is_finite());
+            }
+        }
+    });
+}
+
+#[test]
+fn write_then_read_round_trips() {
+    proptest!(|(d in arb_design())| {
+        let mut buf = Vec::new();
+        write_design(&d, &mut buf).expect("write to Vec cannot fail");
+        let back = read_design(&mut buf.as_slice()).expect("own output must parse");
+        prop_assert_eq!(&back.name, &d.name);
+        prop_assert_eq!(back.sinks.len(), d.sinks.len());
+        prop_assert!(back.clock_root.approx_eq(d.clock_root));
+        for (a, b) in back.sinks.iter().zip(&d.sinks) {
+            prop_assert!(a.pos.approx_eq(b.pos));
+            prop_assert!((a.cap_ff - b.cap_ff).abs() < 1e-12);
+        }
+    });
+}

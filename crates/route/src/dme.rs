@@ -41,6 +41,95 @@
 use sllt_geom::{Point, RRect};
 use sllt_timing::Technology;
 use sllt_tree::{ClockNet, ClockTree, HintedTopology, NodeId, Topology};
+use std::fmt;
+
+/// Why a DME construction could not produce a tree.
+///
+/// [`try_dme_intervals`] returns these instead of panicking, so a caller
+/// that feeds DME with possibly-degenerate inputs (a hierarchical flow
+/// retrying a failed level, a fuzzer) gets a value it can match on. The
+/// panicking entry points ([`dme`], [`bst_dme`], …) keep their historical
+/// contract by unwrapping the same checks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DmeError {
+    /// The net has no sinks: there is nothing to embed.
+    SinklessNet,
+    /// The skew bound is negative (or NaN).
+    NegativeSkewBound(f64),
+    /// `intervals.len()` does not match the net's sink count.
+    IntervalCountMismatch {
+        /// Intervals supplied.
+        intervals: usize,
+        /// Sinks in the net.
+        sinks: usize,
+    },
+    /// A sink interval is negative, inverted, or non-finite.
+    BadSinkInterval {
+        /// Sink index.
+        sink: usize,
+        /// Interval low end, ps (or µm under the path-length model).
+        lo: f64,
+        /// Interval high end.
+        hi: f64,
+    },
+    /// A sink interval is already wider than the skew bound: no merge
+    /// above it can shrink the spread, so the subtree cannot be fixed
+    /// from above.
+    IntervalExceedsBound {
+        /// Sink index.
+        sink: usize,
+        /// Interval width.
+        width: f64,
+        /// The configured bound.
+        bound: f64,
+    },
+    /// The topology references a sink index the net does not have.
+    SinkIndexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Net sink count.
+        len: usize,
+    },
+    /// The net's source or a sink position is NaN or infinite —
+    /// rotated-space (x ± y) arithmetic would poison every region.
+    NonFiniteGeometry,
+    /// The detour search for a skew-balancing merge did not converge
+    /// within a generous range (detours beyond ~10⁶ µm indicate corrupt
+    /// inputs).
+    DetourDiverged,
+}
+
+impl fmt::Display for DmeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmeError::SinklessNet => write!(f, "DME over a sinkless net"),
+            DmeError::NegativeSkewBound(b) => write!(f, "negative skew bound {b}"),
+            DmeError::IntervalCountMismatch { intervals, sinks } => {
+                write!(
+                    f,
+                    "one interval per sink: got {intervals} for {sinks} sinks"
+                )
+            }
+            DmeError::BadSinkInterval { sink, lo, hi } => {
+                write!(f, "bad sink interval ({lo}, {hi}) at sink {sink}")
+            }
+            DmeError::IntervalExceedsBound { sink, width, bound } => write!(
+                f,
+                "sink {sink} interval wider ({width}) than the bound ({bound})"
+            ),
+            DmeError::SinkIndexOutOfRange { index, len } => {
+                write!(f, "topology sink index {index} out of range ({len} sinks)")
+            }
+            DmeError::NonFiniteGeometry => {
+                write!(f, "non-finite source or sink coordinates")
+            }
+            DmeError::DetourDiverged => write!(f, "detour search diverged"),
+        }
+    }
+}
+
+impl std::error::Error for DmeError {}
 
 /// Delay model used for merge balancing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -175,31 +264,72 @@ pub fn dme_offsets(
 ///
 /// # Panics
 ///
-/// Panics when `intervals.len() != net.len()`, any interval is negative
-/// or inverted, the net is sinkless, the bound is negative, or some
-/// interval is already wider than the bound (the subtree cannot be
-/// fixed from above).
+/// Panics when [`try_dme_intervals`] would return an error — see its
+/// error list. Callers that cannot guarantee well-formed inputs should
+/// use the fallible variant instead.
 pub fn dme_intervals(
     net: &ClockNet,
     topo: &HintedTopology,
     opts: &DmeOptions,
     intervals: &[(f64, f64)],
 ) -> ClockTree {
-    assert!(!net.is_empty(), "DME over a sinkless net");
-    assert!(opts.skew_bound >= 0.0, "negative skew bound");
-    assert_eq!(intervals.len(), net.len(), "one interval per sink");
-    for &(lo, hi) in intervals {
-        assert!(lo >= 0.0 && hi >= lo, "bad sink interval ({lo}, {hi})");
-        assert!(
-            hi - lo <= opts.skew_bound + 1e-9,
-            "sink interval wider ({}) than the bound ({})",
-            hi - lo,
-            opts.skew_bound
-        );
+    try_dme_intervals(net, topo, opts, intervals).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`dme_intervals`]: every input degeneracy the panicking
+/// entry points assert on becomes a typed [`DmeError`]. This is the
+/// entry point resilient callers (the hierarchical flow's degradation
+/// ladder, fuzzers) should use.
+///
+/// # Errors
+///
+/// [`DmeError::SinklessNet`], [`DmeError::NegativeSkewBound`],
+/// [`DmeError::IntervalCountMismatch`], [`DmeError::BadSinkInterval`],
+/// [`DmeError::IntervalExceedsBound`],
+/// [`DmeError::SinkIndexOutOfRange`],
+/// [`DmeError::NonFiniteGeometry`], and [`DmeError::DetourDiverged`].
+pub fn try_dme_intervals(
+    net: &ClockNet,
+    topo: &HintedTopology,
+    opts: &DmeOptions,
+    intervals: &[(f64, f64)],
+) -> Result<ClockTree, DmeError> {
+    if net.is_empty() {
+        return Err(DmeError::SinklessNet);
+    }
+    if opts.skew_bound < 0.0 || opts.skew_bound.is_nan() {
+        return Err(DmeError::NegativeSkewBound(opts.skew_bound));
+    }
+    if intervals.len() != net.len() {
+        return Err(DmeError::IntervalCountMismatch {
+            intervals: intervals.len(),
+            sinks: net.len(),
+        });
+    }
+    if !net.source.x.is_finite()
+        || !net.source.y.is_finite()
+        || net
+            .sinks
+            .iter()
+            .any(|s| !s.pos.x.is_finite() || !s.pos.y.is_finite() || !s.cap_ff.is_finite())
+    {
+        return Err(DmeError::NonFiniteGeometry);
+    }
+    for (sink, &(lo, hi)) in intervals.iter().enumerate() {
+        if !(lo >= 0.0 && hi >= lo && lo.is_finite() && hi.is_finite()) {
+            return Err(DmeError::BadSinkInterval { sink, lo, hi });
+        }
+        if hi - lo > opts.skew_bound + 1e-9 {
+            return Err(DmeError::IntervalExceedsBound {
+                sink,
+                width: hi - lo,
+                bound: opts.skew_bound,
+            });
+        }
     }
 
     let mut nodes: Vec<MergeNode> = Vec::new();
-    let root_idx = build_up(net, topo, opts, intervals, &mut nodes);
+    let root_idx = build_up(net, topo, opts, intervals, &mut nodes)?;
 
     let mut tree = ClockTree::new(net.source);
     let root_pt = nodes[root_idx].region.nearest_to(net.source);
@@ -214,7 +344,7 @@ pub fn dme_intervals(
         sllt_obs::count("route.dme.embed_passes", 1);
         sllt_obs::count("route.dme.embed_nodes", nodes.len() as u64);
     }
-    tree
+    Ok(tree)
 }
 
 /// One bottom-up merge node.
@@ -244,7 +374,7 @@ fn build_up(
     opts: &DmeOptions,
     intervals: &[(f64, f64)],
     out: &mut Vec<MergeNode>,
-) -> usize {
+) -> Result<usize, DmeError> {
     enum W<'t> {
         Visit(&'t HintedTopology),
         Build(Option<Point>),
@@ -256,7 +386,12 @@ fn build_up(
         match w {
             W::Visit(HintedTopology::Sink(i)) => {
                 let i = *i;
-                assert!(i < net.sinks.len(), "topology sink index {i} out of range");
+                if i >= net.sinks.len() {
+                    return Err(DmeError::SinkIndexOutOfRange {
+                        index: i,
+                        len: net.sinks.len(),
+                    });
+                }
                 let cap = match opts.model {
                     DelayModel::PathLength => 0.0,
                     DelayModel::Elmore(_) => net.sinks[i].cap_ff,
@@ -277,9 +412,12 @@ fn build_up(
                 work.push(W::Visit(a));
             }
             W::Build(hint) => {
+                // Invariant, not input-dependent: every Build is pushed
+                // with exactly two Visit frames above it, and each Visit
+                // pushes one `done` entry (or errors out first).
                 let ib = done.pop().expect("build follows two subtrees");
                 let ia = done.pop().expect("build follows two subtrees");
-                let m = merge(&out[ia], &out[ib], opts, hint);
+                let m = merge(&out[ia], &out[ib], opts, hint)?;
                 // Detour merges wire more than the region gap to hold the
                 // skew bound — the trajectory metric behind snaking cost.
                 if sllt_obs::enabled() && m.ea + m.eb > out[ia].region.dist(&out[ib].region) + 1e-9
@@ -298,7 +436,9 @@ fn build_up(
             }
         }
     }
-    done.pop().expect("nonempty topology")
+    // Invariant: the caller rejected sinkless nets, so at least one
+    // Visit ran and left exactly one completed root on the stack.
+    Ok(done.pop().expect("nonempty topology"))
 }
 
 struct Merged {
@@ -313,7 +453,12 @@ struct Merged {
 /// Balances one merge within the skew bound. Works for both delay models
 /// because the delay contribution of each child's wire is monotone in its
 /// length; splits and detours are located by bisection.
-fn merge(a: &MergeNode, b: &MergeNode, opts: &DmeOptions, hint: Option<Point>) -> Merged {
+fn merge(
+    a: &MergeNode,
+    b: &MergeNode,
+    opts: &DmeOptions,
+    hint: Option<Point>,
+) -> Result<Merged, DmeError> {
     let model = &opts.model;
     let bound = opts.skew_bound;
     let d = a.region.dist(&b.region);
@@ -332,13 +477,13 @@ fn merge(a: &MergeNode, b: &MergeNode, opts: &DmeOptions, hint: Option<Point>) -
     if g2(d) > 1e-12 {
         // Even all-wire-on-a leaves b too slow: eb = 0 and a detours.
         let need = b.hi - a.lo - bound; // Da(ea) must reach `need`
-        let ea_det = solve_increasing(|e| model.wire_delay(e, a.cap) - need, d);
+        let ea_det = solve_increasing(|e| model.wire_delay(e, a.cap) - need, d)?;
         ea = ea_det;
         eb = 0.0;
     } else if g1(0.0) > 1e-12 {
         // Even all-wire-on-b leaves a too slow: ea = 0 and b detours.
         let need = a.hi - b.lo - bound;
-        let eb_det = solve_increasing(|e| model.wire_delay(e, b.cap) - need, d);
+        let eb_det = solve_increasing(|e| model.wire_delay(e, b.cap) - need, d)?;
         ea = 0.0;
         eb = eb_det;
     } else {
@@ -380,37 +525,43 @@ fn merge(a: &MergeNode, b: &MergeNode, opts: &DmeOptions, hint: Option<Point>) -
 
     let da_v = model.wire_delay(ea, a.cap);
     let db_v = model.wire_delay(eb, b.cap);
+    // Invariant, not input-dependent: the caller pre-checked that all
+    // geometry is finite, and every branch above yields ea + eb ≥ dist
+    // (splits partition d exactly; detours only add wire), so the
+    // inflated regions always intersect.
     let region = a
         .region
         .inflated(ea)
         .intersection(&b.region.inflated(eb))
         .expect("inflated child regions must intersect: e_a + e_b >= dist");
-    Merged {
+    Ok(Merged {
         region,
         lo: (a.lo + da_v).min(b.lo + db_v),
         hi: (a.hi + da_v).max(b.hi + db_v),
         cap: a.cap + b.cap + model.wire_cap(ea + eb),
         ea,
         eb,
-    }
+    })
 }
 
 /// Root of an increasing function `f` with `f(0) < 0`, searched upward
 /// from an initial bracket of `start`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when no root is found within a generous range (detour lengths
-/// beyond ~10⁶ µm indicate corrupt inputs).
-fn solve_increasing(f: impl Fn(f64) -> f64, start: f64) -> f64 {
+/// [`DmeError::DetourDiverged`] when no root is found within a generous
+/// range (detour lengths beyond ~10⁶ µm indicate corrupt inputs).
+fn solve_increasing(f: impl Fn(f64) -> f64, start: f64) -> Result<f64, DmeError> {
     let mut hi = (start.max(1.0)) * 2.0;
     let mut guard = 0;
     while f(hi) < 0.0 {
         hi *= 2.0;
         guard += 1;
-        assert!(guard < 60, "detour search diverged");
+        if guard >= 60 {
+            return Err(DmeError::DetourDiverged);
+        }
     }
-    bisect(&f, 0.0, hi, true)
+    Ok(bisect(&f, 0.0, hi, true))
 }
 
 /// Bisection for a monotone `f` on `[lo, hi]`. With `increasing == true`
@@ -474,6 +625,8 @@ pub fn skew_of(tree: &ClockTree, model: &DelayModel) -> f64 {
             let delays = rc.elmore(tech, 0.0);
             let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
             for s in sinks {
+                // Invariant: `to_rc_tree` maps every node of the tree it
+                // was built from, and `s` came from that same tree.
                 let d = delays[map[s.index()].expect("sink mapped")];
                 lo = lo.min(d);
                 hi = hi.max(d);
@@ -748,6 +901,120 @@ mod tests {
     fn bad_topology_rejected() {
         let net = ClockNet::new(Point::ORIGIN, vec![Sink::new(Point::new(1.0, 1.0), 1.0)]);
         let _ = zst_dme(&net, &Topology::Sink(3));
+    }
+
+    fn two_sink_net() -> (ClockNet, HintedTopology) {
+        let net = ClockNet::new(
+            Point::ORIGIN,
+            vec![
+                Sink::new(Point::new(0.0, 4.0), 1.0),
+                Sink::new(Point::new(4.0, 0.0), 1.0),
+            ],
+        );
+        let topo = Topology::merge(Topology::Sink(0), Topology::Sink(1)).to_hinted();
+        (net, topo)
+    }
+
+    #[test]
+    fn try_dme_reports_every_degeneracy() {
+        let opts = DmeOptions {
+            skew_bound: 1.0,
+            model: DelayModel::PathLength,
+        };
+        let (net, topo) = two_sink_net();
+
+        let empty = ClockNet::new(Point::ORIGIN, vec![]);
+        assert_eq!(
+            try_dme_intervals(&empty, &Topology::Sink(0).to_hinted(), &opts, &[]),
+            Err(DmeError::SinklessNet)
+        );
+
+        let bad_bound = DmeOptions {
+            skew_bound: -1.0,
+            ..opts
+        };
+        assert_eq!(
+            try_dme_intervals(&net, &topo, &bad_bound, &[(0.0, 0.0); 2]),
+            Err(DmeError::NegativeSkewBound(-1.0))
+        );
+
+        assert_eq!(
+            try_dme_intervals(&net, &topo, &opts, &[(0.0, 0.0)]),
+            Err(DmeError::IntervalCountMismatch {
+                intervals: 1,
+                sinks: 2
+            })
+        );
+
+        assert_eq!(
+            try_dme_intervals(&net, &topo, &opts, &[(2.0, 1.0), (0.0, 0.0)]),
+            Err(DmeError::BadSinkInterval {
+                sink: 0,
+                lo: 2.0,
+                hi: 1.0
+            })
+        );
+
+        let err = try_dme_intervals(&net, &topo, &opts, &[(0.0, 0.0), (1.0, 9.0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            DmeError::IntervalExceedsBound { sink: 1, bound, .. } if bound == 1.0
+        ));
+
+        let bad_topo = Topology::merge(Topology::Sink(0), Topology::Sink(7)).to_hinted();
+        assert_eq!(
+            try_dme_intervals(&net, &bad_topo, &opts, &[(0.0, 0.0); 2]),
+            Err(DmeError::SinkIndexOutOfRange { index: 7, len: 2 })
+        );
+
+        let poisoned = ClockNet::new(
+            Point::ORIGIN,
+            vec![
+                Sink::new(Point::new(f64::NAN, 4.0), 1.0),
+                Sink::new(Point::new(4.0, 0.0), 1.0),
+            ],
+        );
+        assert_eq!(
+            try_dme_intervals(&poisoned, &topo, &opts, &[(0.0, 0.0); 2]),
+            Err(DmeError::NonFiniteGeometry)
+        );
+    }
+
+    #[test]
+    fn try_dme_matches_the_panicking_path_on_good_input() {
+        let (net, topo) = two_sink_net();
+        let opts = DmeOptions {
+            skew_bound: 2.0,
+            model: DelayModel::PathLength,
+        };
+        let intervals = [(0.0, 0.5), (0.0, 0.0)];
+        let a = try_dme_intervals(&net, &topo, &opts, &intervals).unwrap();
+        let b = dme_intervals(&net, &topo, &opts, &intervals);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dme_error_display_is_informative() {
+        for (e, needle) in [
+            (DmeError::SinklessNet, "sinkless"),
+            (DmeError::NegativeSkewBound(-2.0), "-2"),
+            (
+                DmeError::IntervalExceedsBound {
+                    sink: 3,
+                    width: 9.0,
+                    bound: 1.0,
+                },
+                "wider",
+            ),
+            (
+                DmeError::SinkIndexOutOfRange { index: 7, len: 2 },
+                "out of range",
+            ),
+            (DmeError::NonFiniteGeometry, "non-finite"),
+            (DmeError::DetourDiverged, "diverged"),
+        ] {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
     }
 
     #[test]

@@ -59,8 +59,10 @@ fn expand(tree: &mut ClockTree, tap: NodeId, sinks: &[(usize, Sink)], leaf_size:
             best = Some((cost, clusters));
         }
     }
-    let Some((_, clusters)) = best else {
-        // Fewer sinks than the smallest branching factor: attach directly.
+    // No progress means the recursion would never terminate: fewer sinks
+    // than the smallest branching factor, or k-means collapsed to a single
+    // cluster (all sinks coincident). Attach directly in both cases.
+    let Some((_, clusters)) = best.filter(|(_, c)| c.len() > 1) else {
         for &(i, s) in sinks {
             tree.add_sink_indexed(tap, s.pos, s.cap_ff, i);
         }
@@ -214,6 +216,19 @@ mod tests {
         let net = random_net(3, 2);
         let t = ghtree(&net, 1);
         assert_eq!(t.sinks().len(), 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn coincident_sinks_terminate() {
+        // k-means collapses to one full-size cluster here; expansion must
+        // attach directly instead of recursing on the same set forever.
+        let sinks: Vec<Sink> = (0..16)
+            .map(|_| Sink::new(Point::new(5.0, 5.0), 1.0))
+            .collect();
+        let net = ClockNet::new(Point::ORIGIN, sinks);
+        let t = ghtree(&net, 2);
+        assert_eq!(t.sinks().len(), 16);
         t.validate().unwrap();
     }
 

@@ -34,7 +34,10 @@ fn subdivide(
     leaf_size: usize,
     split_x: bool,
 ) {
-    if sinks.len() <= leaf_size {
+    // Coincident sinks make the region zero-extent: both halves equal the
+    // parent and the recursion would never terminate. Attach directly.
+    let coincident = sinks.windows(2).all(|w| w[0].1.pos == w[1].1.pos);
+    if sinks.len() <= leaf_size || coincident {
         for &(i, s) in sinks {
             tree.add_sink_indexed(tap, s.pos, s.cap_ff, i);
         }
@@ -158,6 +161,19 @@ mod tests {
         let net = ClockNet::new(Point::ORIGIN, sinks);
         let t = htree(&net, 1);
         assert_eq!(t.sinks().len(), 8);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn coincident_sinks_terminate() {
+        // Zero-extent region: splitting makes no progress, so the sinks
+        // must attach directly instead of recursing forever.
+        let sinks: Vec<Sink> = (0..16)
+            .map(|_| Sink::new(Point::new(5.0, 5.0), 1.0))
+            .collect();
+        let net = ClockNet::new(Point::ORIGIN, sinks);
+        let t = htree(&net, 2);
+        assert_eq!(t.sinks().len(), 16);
         t.validate().unwrap();
     }
 

@@ -57,8 +57,8 @@ pub mod ust;
 pub use sllt_tree::{ClockNet, Sink};
 
 pub use dme::{
-    bst_dme, bst_dme_elmore, dme, dme_intervals, dme_offsets, skew_of, zst_dme, DelayModel,
-    DmeOptions,
+    bst_dme, bst_dme_elmore, dme, dme_intervals, dme_offsets, skew_of, try_dme_intervals, zst_dme,
+    DelayModel, DmeError, DmeOptions,
 };
 pub use ghtree::ghtree;
 pub use htree::htree;

@@ -23,10 +23,24 @@ cargo test -q --workspace
 echo "== telemetry equivalence (recording sink must not change the trees)"
 cargo test -q -p sllt-cts --test telemetry
 
+echo "== robustness: degenerate corpus + fault-injection suite"
+cargo test -q -p sllt-cts --test degenerate --test faults
+
+echo "== robustness: reader fuzz (byte soup must never panic)"
+cargo test -q -p sllt-design --features proptest --test io_prop
+
 echo "== run-record smoke: JSONL must parse back bit-identically"
 # The bin self-validates every record (parse + re-encode) and exits
 # nonzero on any schema drift; double-check the artifact landed.
 cargo run --release -q -p sllt-bench --bin run_record -- --design s35932
 test -s results/run_record_s35932.jsonl
+
+echo "== fault smoke: ladder recovers on s35932, log non-empty, runs bit-identical"
+# The bin exits nonzero if any scenario fails to recover, records no
+# downgrades, or diverges across worker counts; double-check the
+# artifact landed with a non-empty recovery log.
+cargo run --release -q -p sllt-bench --bin faultsweep -- --design s35932
+test -s results/faultsweep_s35932.json
+grep -q '"triggers":\["' results/faultsweep_s35932.json
 
 echo "CI green"
