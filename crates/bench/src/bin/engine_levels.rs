@@ -6,26 +6,31 @@
 //! cargo run --release -p sllt-bench --bin engine_levels [-- <design-name>]
 //! ```
 
-use sllt_bench::{emit_json, Table};
+use sllt_bench::{emit_json, run_main, Table};
 use sllt_cts::flow::HierarchicalCts;
 use sllt_cts::{level_value, CollectingObserver};
 use sllt_design::DesignSpec;
 use sllt_obs::Value;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_main(run)
+}
+
+fn run() -> Result<(), String> {
     let name = std::env::args()
         .skip(1)
         .find(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "s38584".to_string());
     let spec = DesignSpec::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown design {name:?}; see `table4` for the suite"));
+        .ok_or_else(|| format!("unknown design {name:?}; see `table4` for the suite"))?;
     let design = spec.instantiate();
     println!("{}: {} FFs", design.name, design.num_ffs());
 
     let cts = HierarchicalCts::default();
     let mut obs = CollectingObserver::new();
     cts.run_with_observer(&design, &mut obs)
-        .expect("flow failed");
+        .map_err(|e| format!("flow failed: {e}"))?;
     println!("\nper-level engine report:\n{}", obs.render());
     let levels: Vec<Value> = obs.levels.iter().map(level_value).collect();
 
@@ -45,7 +50,7 @@ fn main() {
         };
         let mut obs = CollectingObserver::new();
         cts.run_with_observer(&design, &mut obs)
-            .expect("flow failed");
+            .map_err(|e| format!("flow failed at {workers} workers: {e}"))?;
         let route_ms = obs.route_time().as_secs_f64() * 1e3;
         let total_ms = obs
             .levels
@@ -83,4 +88,5 @@ fn main() {
             ("scaling", table.to_json()),
         ],
     );
+    Ok(())
 }

@@ -83,14 +83,18 @@ fn scenarios(num_sinks: u64) -> Vec<Scenario> {
     ]
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    sllt_bench::run_main(run)
+}
+
+fn run() -> Result<(), String> {
     // Injected panics are expected here; keep the default hook from
     // spamming a backtrace per contained panic.
     let quiet_design = arg_value("--design").unwrap_or_else(|| "s35932".into());
     let spec = DesignSpec::by_name(&quiet_design)
-        .unwrap_or_else(|| panic!("unknown design {quiet_design:?}; see `table4` for the suite"));
+        .ok_or_else(|| format!("unknown design {quiet_design:?}; see `table4` for the suite"))?;
     let design = spec.instantiate();
-    std::fs::create_dir_all("results").expect("create results directory");
+    std::fs::create_dir_all("results").map_err(|e| format!("create results directory: {e}"))?;
     std::panic::set_hook(Box::new(|_| {}));
 
     let mut failures = 0usize;
@@ -182,10 +186,13 @@ fn main() {
         )
         .with("scenarios", rows);
     let path = format!("results/faultsweep_{}.json", design.name);
-    std::fs::write(&path, out.encode() + "\n").expect("write faultsweep results");
+    std::fs::write(&path, out.encode() + "\n")
+        .map_err(|e| format!("write faultsweep results: {e}"))?;
     println!("wrote {path}");
     if failures > 0 {
-        eprintln!("{failures} scenario(s) violated the recovery contract");
-        std::process::exit(1);
+        return Err(format!(
+            "{failures} scenario(s) violated the recovery contract"
+        ));
     }
+    Ok(())
 }

@@ -16,7 +16,7 @@
 //! cargo run --release -p sllt-bench --bin fig5_buffering_ablation
 //! ```
 
-use sllt_bench::{emit_json, Table};
+use sllt_bench::{emit_json, run_main, Table};
 use sllt_buffer::DelayEstimator;
 use sllt_cts::{eval::evaluate, flow::HierarchicalCts};
 use sllt_design::Design;
@@ -57,7 +57,11 @@ fn mixed_bank_design(seed: u64) -> Design {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    run_main(run)
+}
+
+fn run() -> Result<(), String> {
     let mut table = Table::new(vec![
         "Case",
         "Estimator",
@@ -86,7 +90,10 @@ fn main() {
                 level_skew_fraction: 0.12,
                 ..HierarchicalCts::default()
             };
-            let r = evaluate(&cts.run(&design).expect("flow failed"), &cts.tech, &cts.lib);
+            let tree = cts
+                .run(&design)
+                .map_err(|e| format!("{} ({label}): flow failed: {e}", design.name))?;
+            let r = evaluate(&tree, &cts.tech, &cts.lib);
             table.row(vec![
                 design.name.clone(),
                 label.to_string(),
@@ -104,4 +111,5 @@ fn main() {
     println!("(paper: the Eq.(7) lower bound \"lowers skew repair costs and latency by");
     println!(" reducing downstream node disparities\" relative to no estimate)");
     emit_json("fig5_buffering_ablation", vec![("table", table.to_json())]);
+    Ok(())
 }

@@ -10,11 +10,16 @@
 //! cargo run --release -p sllt-bench --bin ocv_robustness
 //! ```
 
-use sllt_bench::Table;
+use sllt_bench::{run_main, Table};
 use sllt_cts::{baseline, constraints::CtsConstraints, flow::HierarchicalCts, ocv};
 use sllt_design::SUITE;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_main(run)
+}
+
+fn run() -> Result<(), String> {
     let mut table = Table::new(vec![
         "Case",
         "Flow",
@@ -27,12 +32,16 @@ fn main() {
         let design = spec.instantiate();
         let ours = HierarchicalCts::default();
         let flows: Vec<(&str, sllt_tree::ClockTree)> = vec![
-            ("ours", ours.run(&design).expect("flow failed")),
+            (
+                "ours",
+                ours.run(&design)
+                    .map_err(|e| format!("{}: flow failed: {e}", spec.name))?,
+            ),
             (
                 "commercial-like",
                 baseline::commercial_like()
                     .run(&design)
-                    .expect("flow failed"),
+                    .map_err(|e| format!("{}: commercial-like flow failed: {e}", spec.name))?,
             ),
             (
                 "openroad-like",
@@ -57,4 +66,5 @@ fn main() {
     println!("{}", table.render());
     println!("(shallow SLLT trees diverge late and keep paths short, so the derate-induced");
     println!(" growth is smallest for the paper's flow — its §1 motivation, quantified)");
+    Ok(())
 }

@@ -14,20 +14,24 @@
 //! Every record is parsed back before it is written; a record that does
 //! not round-trip bit-identically is a schema bug and exits nonzero.
 
-use sllt_bench::arg_value;
+use sllt_bench::{arg_value, run_main};
 use sllt_cts::flow::HierarchicalCts;
 use sllt_cts::{evaluate, run_record, CollectingObserver, RecordingSink};
 use sllt_design::{DesignSpec, SUITE};
 use sllt_obs::{rate_per_sec, RunRecord, Value};
 use std::time::{Duration, Instant};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    run_main(run)
+}
+
+fn run() -> Result<(), String> {
     let specs: Vec<&DesignSpec> = match arg_value("--design") {
         Some(name) => vec![DesignSpec::by_name(&name)
-            .unwrap_or_else(|| panic!("unknown design {name:?}; see `table4` for the suite"))],
+            .ok_or_else(|| format!("unknown design {name:?}; see `table4` for the suite"))?],
         None => SUITE.iter().collect(),
     };
-    std::fs::create_dir_all("results").expect("create results directory");
+    std::fs::create_dir_all("results").map_err(|e| format!("create results directory: {e}"))?;
 
     let mut summaries: Vec<Value> = Vec::new();
     for spec in specs {
@@ -38,7 +42,7 @@ fn main() {
         let t0 = Instant::now();
         let tree = cts
             .run_with_telemetry(&design, &mut obs, &sink)
-            .expect("flow failed");
+            .map_err(|e| format!("{}: flow failed: {e}", design.name))?;
         let wall = t0.elapsed();
         let report = evaluate(&tree, &cts.tech, &cts.lib);
 
@@ -54,16 +58,14 @@ fn main() {
         match RunRecord::parse_jsonl(&text) {
             Ok(back) if back.to_jsonl() == text => {}
             Ok(_) => {
-                eprintln!("error: {}: run record did not round-trip", design.name);
-                std::process::exit(1);
+                return Err(format!("{}: run record did not round-trip", design.name));
             }
             Err(e) => {
-                eprintln!("error: {}: invalid run record: {e}", design.name);
-                std::process::exit(1);
+                return Err(format!("{}: invalid run record: {e}", design.name));
             }
         }
         let path = format!("results/run_record_{}.jsonl", design.name);
-        std::fs::write(&path, &text).expect("write run record");
+        std::fs::write(&path, &text).map_err(|e| format!("write {path}: {e}"))?;
         println!(
             "{}: {} sinks, {} spans, {} counters -> {path}",
             design.name,
@@ -120,6 +122,8 @@ fn main() {
         .with("bench", "cts")
         .with("schema", sllt_obs::SCHEMA_VERSION)
         .with("designs", summaries);
-    std::fs::write("BENCH_cts.json", bench.encode() + "\n").expect("write BENCH_cts.json");
+    std::fs::write("BENCH_cts.json", bench.encode() + "\n")
+        .map_err(|e| format!("write BENCH_cts.json: {e}"))?;
     println!("wrote BENCH_cts.json");
+    Ok(())
 }

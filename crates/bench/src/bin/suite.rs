@@ -1,0 +1,511 @@
+//! Fault-isolated batch suite runner: designs × constraint configs, one
+//! OS process per job.
+//!
+//! The parent process walks the job matrix and re-execs itself
+//! (`--job design:config`) for each cell, so a job that fails, panics,
+//! or is cancelled never takes the batch down — the worst outcome is a
+//! nonzero final exit code and a manifest row saying why. Progress is
+//! journaled to a checksummed, fsync'd manifest (`manifest.jsonl` in
+//! `--out`, same sealed-JSONL format as the level checkpoints; see
+//! DESIGN.md "Durability model"), so a killed batch restarts with
+//! `--resume` and executes only the jobs that never finished.
+//!
+//! Each child runs with the PR-4 recovery ladder enabled and writes a
+//! per-job level checkpoint next to the manifest; a child that died
+//! mid-run resumes its own flow from the last committed level on the
+//! next attempt.
+//!
+//! ```text
+//! cargo run --release -p sllt-bench --bin suite [-- --designs s35932,s38584
+//!     --configs base,tight --out results/suite --retries 1 --resume]
+//! ```
+//!
+//! `--designs` accepts suite names (`s35932`, …) and synthetic
+//! `grid<N>` designs (an N-sink register grid) for fast smoke runs.
+//! `--inject-panic design:config` makes that child panic mid-job — the
+//! isolation contract's test hook.
+
+use sllt_bench::{arg_flag, arg_parse, arg_value, run_main, Table};
+use sllt_cts::flow::HierarchicalCts;
+use sllt_cts::{evaluate, CancelToken, CtsError, RecoveryPolicy};
+use sllt_design::{Design, DesignSpec};
+use sllt_geom::{Point, Rect};
+use sllt_obs::journal::read_journal;
+use sllt_obs::{DurableAppender, Value};
+use sllt_tree::Sink;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+use std::time::Instant;
+
+const SUITE_SCHEMA: u64 = 1;
+/// Child exit codes the parent interprets; anything else (libstd's 101,
+/// or death by signal) is classified as a panic.
+const EXIT_JOB_ERROR: i32 = 2;
+const EXIT_JOB_CANCELLED: i32 = 3;
+
+fn main() -> ExitCode {
+    if let Some(job) = arg_value("--job") {
+        return child_main(&job);
+    }
+    run_main(parent_main)
+}
+
+// ---------------------------------------------------------------- jobs
+
+/// Resolves a design name: the benchmark suite by name, or a synthetic
+/// `grid<N>` register grid (N sinks over a 12-column array) for smoke
+/// tests that must not pay ISCAS-scale runtimes.
+fn design_by_name(name: &str) -> Result<Design, String> {
+    if let Some(n) = name.strip_prefix("grid") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("bad grid design {name:?}: expected grid<N>"))?;
+        if n == 0 {
+            return Err(format!("bad grid design {name:?}: N must be positive"));
+        }
+        let sinks: Vec<Sink> = (0..n)
+            .map(|i| {
+                Sink::new(
+                    Point::new((i % 12) as f64 * 15.0, (i / 12) as f64 * 15.0),
+                    1.0 + (i % 3) as f64 * 0.4,
+                )
+            })
+            .collect();
+        return Ok(Design {
+            name: name.to_string(),
+            num_instances: n,
+            utilization: 0.5,
+            die: Rect::new(
+                Point::ORIGIN,
+                Point::new(200.0, (n as f64 / 12.0).ceil().max(1.0) * 15.0 + 15.0),
+            ),
+            clock_root: Point::ORIGIN,
+            sinks,
+        });
+    }
+    DesignSpec::by_name(name)
+        .map(|s| s.instantiate())
+        .ok_or_else(|| format!("unknown design {name:?}; see `table4` for the suite"))
+}
+
+/// Named constraint configurations the matrix sweeps. All run with the
+/// recovery ladder on — a batch job should degrade, not die.
+fn config_by_name(name: &str) -> Result<HierarchicalCts, String> {
+    let base = HierarchicalCts {
+        recovery: RecoveryPolicy::standard(),
+        ..HierarchicalCts::default()
+    };
+    match name {
+        "base" => Ok(base),
+        "tight" => Ok(HierarchicalCts {
+            level_skew_fraction: 0.35,
+            sizing_slack: 1.15,
+            ..base
+        }),
+        "nosa" => Ok(HierarchicalCts {
+            use_sa: false,
+            ..base
+        }),
+        _ => Err(format!(
+            "unknown config {name:?}; available: base, tight, nosa"
+        )),
+    }
+}
+
+fn ckpt_path(out_dir: &Path, job: &str) -> PathBuf {
+    out_dir.join(format!("ckpt_{}.jsonl", job.replace(':', "_")))
+}
+
+// --------------------------------------------------------------- child
+
+/// Runs one `design:config` job in-process and reports through the exit
+/// code plus a `RESULT {json}` stdout line. This is the isolation
+/// boundary: everything in here may fail, panic, or be interrupted
+/// without consequence for the parent.
+fn child_main(job: &str) -> ExitCode {
+    match child_run(job) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => ExitCode::from(code),
+    }
+}
+
+fn child_run(job: &str) -> Result<(), u8> {
+    let fail = |msg: String| -> u8 {
+        eprintln!("error: {msg}");
+        EXIT_JOB_ERROR as u8
+    };
+    let (dname, cname) = job
+        .split_once(':')
+        .ok_or_else(|| fail(format!("bad job {job:?}: expected design:config")))?;
+    let design = design_by_name(dname).map_err(fail)?;
+    let mut cts = config_by_name(cname).map_err(fail)?;
+    cts.workers = arg_parse("--workers", 1usize);
+    let out_dir = PathBuf::from(arg_value("--out").unwrap_or_else(|| "results/suite".into()));
+
+    let token = CancelToken::new();
+    cts.cancel = token.clone();
+    #[cfg(unix)]
+    sllt_cts::cancel::install_sigint(&token);
+
+    if arg_flag("--child-panic") {
+        panic!("injected child panic ({job}); suite isolation test hook");
+    }
+
+    let ckpt = ckpt_path(&out_dir, job);
+    let t0 = Instant::now();
+    let result = if ckpt.exists() {
+        match cts.resume(&design, &ckpt) {
+            // A stale or mismatched journal (config drift, corrupt tail
+            // beyond tolerance) is discarded, not fatal: start fresh.
+            Err(CtsError::Checkpoint { .. }) => {
+                std::fs::remove_file(&ckpt).ok();
+                cts.run_checkpointed(&design, &ckpt)
+            }
+            other => other,
+        }
+    } else {
+        cts.run_checkpointed(&design, &ckpt)
+    };
+
+    match result {
+        Ok(tree) => {
+            let report = evaluate(&tree, &cts.tech, &cts.lib);
+            let v = Value::obj()
+                .with("job", job)
+                .with("sinks", design.num_ffs())
+                .with("skew_ps", report.skew_ps)
+                .with("wl_um", report.clock_wl_um)
+                .with("runtime_s", t0.elapsed().as_secs_f64());
+            println!("RESULT {}", v.encode());
+            // The manifest row is the durable record of a finished job;
+            // its level checkpoint has nothing left to resume.
+            std::fs::remove_file(&ckpt).ok();
+            Ok(())
+        }
+        Err(CtsError::Cancelled) => {
+            eprintln!(
+                "{job}: cancelled; committed levels remain at {}",
+                ckpt.display()
+            );
+            Err(EXIT_JOB_CANCELLED as u8)
+        }
+        Err(e) => Err(fail(format!("{job}: {e}"))),
+    }
+}
+
+// -------------------------------------------------------------- parent
+
+#[derive(Debug, Clone)]
+struct Outcome {
+    status: String,
+    attempts: usize,
+    skew_ps: Option<f64>,
+    runtime_s: Option<f64>,
+    detail: String,
+}
+
+fn parent_main() -> Result<(), String> {
+    let designs: Vec<String> = arg_value("--designs")
+        .unwrap_or_else(|| "s35932,s38584".into())
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let configs: Vec<String> = arg_value("--configs")
+        .unwrap_or_else(|| "base,tight".into())
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let retries = arg_parse("--retries", 1usize);
+    let workers = arg_parse("--workers", 1usize);
+    let inject = arg_value("--inject-panic");
+    let out_dir = PathBuf::from(arg_value("--out").unwrap_or_else(|| "results/suite".into()));
+    let resume = arg_flag("--resume");
+
+    // Validate the whole matrix before journaling anything: a typo must
+    // not burn a manifest.
+    for d in &designs {
+        design_by_name(d).map(|_| ())?;
+    }
+    for c in &configs {
+        config_by_name(c).map(|_| ())?;
+    }
+    let jobs: Vec<String> = designs
+        .iter()
+        .flat_map(|d| configs.iter().map(move |c| format!("{d}:{c}")))
+        .collect();
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    let manifest = out_dir.join("manifest.jsonl");
+    let (mut app, finished) = open_manifest(&manifest, resume, &designs, &configs, retries)?;
+
+    let token = CancelToken::new();
+    #[cfg(unix)]
+    sllt_cts::cancel::install_sigint(&token);
+
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut outcomes: BTreeMap<String, Outcome> = finished
+        .iter()
+        .map(|(job, o)| (job.clone(), o.clone()))
+        .collect();
+    let mut interrupted = false;
+
+    for job in &jobs {
+        if finished.contains_key(job) {
+            continue;
+        }
+        if token.is_cancelled() {
+            interrupted = true;
+            break;
+        }
+        let mut outcome = Outcome {
+            status: "pending".into(),
+            attempts: 0,
+            skew_ps: None,
+            runtime_s: None,
+            detail: String::new(),
+        };
+        for attempt in 1..=retries + 1 {
+            outcome.attempts = attempt;
+            append(
+                &mut app,
+                Value::obj()
+                    .with("type", "job_start")
+                    .with("job", job.as_str())
+                    .with("attempt", attempt),
+            )?;
+            let mut cmd = Command::new(&exe);
+            cmd.arg("--job")
+                .arg(job)
+                .arg("--workers")
+                .arg(workers.to_string())
+                .arg("--out")
+                .arg(&out_dir);
+            if inject.as_deref() == Some(job.as_str()) {
+                cmd.arg("--child-panic");
+            }
+            let out = cmd
+                .output()
+                .map_err(|e| format!("spawn {}: {e}", exe.display()))?;
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            let stderr = String::from_utf8_lossy(&out.stderr);
+
+            let mut done = Value::obj()
+                .with("type", "job_done")
+                .with("job", job.as_str())
+                .with("attempt", attempt);
+            match out.status.code() {
+                Some(0) => match parse_result_line(&stdout) {
+                    Some(r) => {
+                        outcome.status = "ok".into();
+                        outcome.skew_ps = r.get("skew_ps").and_then(Value::as_f64);
+                        outcome.runtime_s = r.get("runtime_s").and_then(Value::as_f64);
+                        done.set("status", "ok");
+                        done.set("skew_ps", outcome.skew_ps);
+                        done.set("runtime_s", outcome.runtime_s);
+                    }
+                    None => {
+                        outcome.status = "error".into();
+                        outcome.detail = "child exited 0 without a RESULT line".into();
+                        done.set("status", "error");
+                        done.set("detail", outcome.detail.as_str());
+                    }
+                },
+                Some(EXIT_JOB_CANCELLED) => {
+                    outcome.status = "cancelled".into();
+                    outcome.detail = "job cancelled; its level checkpoint is kept".into();
+                    done.set("status", "cancelled");
+                }
+                Some(EXIT_JOB_ERROR) => {
+                    outcome.status = "error".into();
+                    outcome.detail = last_line(&stderr);
+                    done.set("status", "error");
+                    done.set("detail", outcome.detail.as_str());
+                }
+                code => {
+                    // 101 (Rust panic), any other code, or death by
+                    // signal: the child blew up. The batch carries on.
+                    outcome.status = "panic".into();
+                    outcome.detail = match code {
+                        Some(c) => format!("child exited {c}: {}", last_line(&stderr)),
+                        None => "child killed by signal".into(),
+                    };
+                    done.set("status", "panic");
+                    done.set("detail", outcome.detail.as_str());
+                }
+            }
+            append(&mut app, done)?;
+            // Cancellation is a stop request, not a flaky job: never
+            // retry it. Errors and panics get the remaining attempts.
+            if outcome.status == "ok" || outcome.status == "cancelled" {
+                break;
+            }
+        }
+        if outcome.status == "cancelled" {
+            interrupted = true;
+        }
+        outcomes.insert(job.clone(), outcome);
+        if interrupted {
+            break;
+        }
+    }
+
+    let mut table = Table::new(vec!["Job", "Status", "Attempts", "Skew (ps)", "Time (s)"]);
+    let mut failures = 0usize;
+    let mut pending = 0usize;
+    for job in &jobs {
+        match outcomes.get(job) {
+            Some(o) => {
+                if o.status != "ok" {
+                    failures += 1;
+                    if !o.detail.is_empty() {
+                        eprintln!("{job}: {}: {}", o.status, o.detail);
+                    }
+                }
+                let prev = if finished.contains_key(job) {
+                    " (previous run)"
+                } else {
+                    ""
+                };
+                table.row(vec![
+                    job.clone(),
+                    format!("{}{prev}", o.status),
+                    o.attempts.to_string(),
+                    o.skew_ps.map_or("—".into(), |s| format!("{s:.1}")),
+                    o.runtime_s.map_or("—".into(), |s| format!("{s:.2}")),
+                ]);
+            }
+            None => {
+                pending += 1;
+                table.row(vec![
+                    job.clone(),
+                    "not run".to_string(),
+                    "0".to_string(),
+                    "—".to_string(),
+                    "—".to_string(),
+                ]);
+            }
+        }
+    }
+    println!(
+        "suite — {} jobs, manifest {}",
+        jobs.len(),
+        manifest.display()
+    );
+    println!("{}", table.render());
+
+    if interrupted {
+        return Err(format!(
+            "batch interrupted; rerun with --resume --out {} to finish {} job(s)",
+            out_dir.display(),
+            failures + pending
+        ));
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} job(s) failed; manifest at {}",
+            manifest.display()
+        ));
+    }
+    Ok(())
+}
+
+/// Opens (or resumes) the batch manifest. Returns the appender plus the
+/// jobs already finished `ok` in previous runs, with their recorded
+/// outcomes. On resume the journal's torn final line — the signature of
+/// a batch killed mid-append — is truncated away and appending
+/// continues from the last intact record.
+fn open_manifest(
+    manifest: &Path,
+    resume: bool,
+    designs: &[String],
+    configs: &[String],
+    retries: usize,
+) -> Result<(DurableAppender, BTreeMap<String, Outcome>), String> {
+    let meta = Value::obj()
+        .with("type", "suite-meta")
+        .with("schema", SUITE_SCHEMA)
+        .with(
+            "designs",
+            Value::Arr(designs.iter().map(|d| Value::from(d.as_str())).collect()),
+        )
+        .with(
+            "configs",
+            Value::Arr(configs.iter().map(|c| Value::from(c.as_str())).collect()),
+        )
+        .with("retries", retries);
+
+    if resume && manifest.exists() {
+        let journal = read_journal(manifest).map_err(|e| format!("{}: {e}", manifest.display()))?;
+        let head = journal
+            .records
+            .first()
+            .ok_or_else(|| format!("{}: empty manifest", manifest.display()))?;
+        if head.get("type").and_then(Value::as_str) != Some("suite-meta") {
+            return Err(format!("{}: not a suite manifest", manifest.display()));
+        }
+        for key in ["designs", "configs"] {
+            if head.get(key).map(Value::encode) != meta.get(key).map(Value::encode) {
+                return Err(format!(
+                    "{}: manifest {key} do not match this invocation; \
+                     use a fresh --out for a different matrix",
+                    manifest.display()
+                ));
+            }
+        }
+        let mut finished = BTreeMap::new();
+        for rec in &journal.records[1..] {
+            if rec.get("type").and_then(Value::as_str) != Some("job_done") {
+                continue;
+            }
+            let (Some(job), Some(status)) = (
+                rec.get("job").and_then(Value::as_str),
+                rec.get("status").and_then(Value::as_str),
+            ) else {
+                continue;
+            };
+            if status == "ok" {
+                finished.insert(
+                    job.to_string(),
+                    Outcome {
+                        status: "ok".into(),
+                        attempts: rec.get("attempt").and_then(Value::as_u64).unwrap_or(0) as usize,
+                        skew_ps: rec.get("skew_ps").and_then(Value::as_f64),
+                        runtime_s: rec.get("runtime_s").and_then(Value::as_f64),
+                        detail: String::new(),
+                    },
+                );
+            }
+        }
+        let app = DurableAppender::reopen(manifest, journal.valid_len)
+            .map_err(|e| format!("reopen {}: {e}", manifest.display()))?;
+        return Ok((app, finished));
+    }
+
+    let mut app = DurableAppender::create(manifest)
+        .map_err(|e| format!("create {}: {e}", manifest.display()))?;
+    append(&mut app, meta)?;
+    Ok((app, BTreeMap::new()))
+}
+
+fn append(app: &mut DurableAppender, record: Value) -> Result<(), String> {
+    app.append(&record)
+        .map_err(|e| format!("manifest append: {e}"))
+}
+
+fn parse_result_line(stdout: &str) -> Option<Value> {
+    let line = stdout
+        .lines()
+        .rev()
+        .find_map(|l| l.strip_prefix("RESULT "))?;
+    sllt_obs::json::parse(line).ok()
+}
+
+fn last_line(stderr: &str) -> String {
+    stderr
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty() && !l.starts_with("note:"))
+        .unwrap_or("(no stderr)")
+        .to_string()
+}

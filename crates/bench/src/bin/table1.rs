@@ -8,12 +8,16 @@
 //! `--svg <dir>` additionally writes the Fig. 1 topology gallery as SVG
 //! files.
 
-use sllt_bench::{arg_value, demo_net, emit_json, Table};
+use sllt_bench::{arg_value, demo_net, emit_json, run_main, Table};
 use sllt_core::cbs::{cbs, CbsConfig};
 use sllt_route::{ghtree, htree, rsmt::rsmt, salt::salt, topogen::TopologyScheme, zst_dme};
 use sllt_tree::{metrics::path_length_skew, svg, ClockTree, SlltMetrics};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    run_main(run)
+}
+
+fn run() -> Result<(), String> {
     let net = demo_net();
     let ref_wl = sllt_route::rsmt::rsmt_wirelength(&net);
     let topo = TopologyScheme::GreedyDist.build(&net);
@@ -80,11 +84,13 @@ fn main() {
     emit_json("table1", vec![("table", table.to_json())]);
 
     if let Some(dir) = arg_value("--svg") {
-        std::fs::create_dir_all(&dir).expect("create svg output dir");
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create svg output dir {dir}: {e}"))?;
         for (name, tree, _) in &rows {
             let path = format!("{dir}/fig1_{}.svg", name.to_lowercase().replace('*', ""));
-            std::fs::write(&path, svg::render(tree, name)).expect("write svg");
+            std::fs::write(&path, svg::render(tree, name))
+                .map_err(|e| format!("write {path}: {e}"))?;
             println!("wrote {path}");
         }
     }
+    Ok(())
 }

@@ -22,6 +22,8 @@ fn measure(tree: &ClockTree, net: &ClockNet, tech: &Technology) -> (f64, f64, f6
     let delay = tree
         .sinks()
         .iter()
+        // Invariant: to_rc_tree maps every sink of the tree it was built
+        // from, so the lookup cannot miss.
         .map(|&s| delays[map[s.index()].expect("sink mapped")])
         .fold(0.0f64, f64::max);
     (wl, cap, delay)

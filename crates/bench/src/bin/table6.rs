@@ -5,16 +5,20 @@
 //! cargo run --release -p sllt-bench --bin table6
 //! ```
 
-use sllt_bench::emit_json;
 use sllt_bench::flows::comparison;
+use sllt_bench::{emit_json, run_main};
 use sllt_design::SUITE;
+use std::process::ExitCode;
 
-fn main() {
-    let specs: Vec<_> = SUITE.iter().filter(|s| !s.internal).collect();
-    let table = comparison(&specs);
-    println!("Table 6 — ours (O) vs commercial-like (C) vs OpenROAD-like (R)");
-    println!("{}", table.render());
-    emit_json("table6", vec![("table", table.to_json())]);
-    println!("(paper Avg. vs ours: latency C 1.062 / R 1.417; skew C 1.062 / R 1.708;");
-    println!(" buffers C 1.036 / R 1.310; area C 1.051 / R 1.668; cap C 1.196 / R 1.259)");
+fn main() -> ExitCode {
+    run_main(|| {
+        let specs: Vec<_> = SUITE.iter().filter(|s| !s.internal).collect();
+        let table = comparison(&specs)?;
+        println!("Table 6 — ours (O) vs commercial-like (C) vs OpenROAD-like (R)");
+        println!("{}", table.render());
+        emit_json("table6", vec![("table", table.to_json())]);
+        println!("(paper Avg. vs ours: latency C 1.062 / R 1.417; skew C 1.062 / R 1.708;");
+        println!(" buffers C 1.036 / R 1.310; area C 1.051 / R 1.668; cap C 1.196 / R 1.259)");
+        Ok(())
+    })
 }

@@ -4,16 +4,20 @@
 //! cargo run --release -p sllt-bench --bin table7
 //! ```
 
-use sllt_bench::emit_json;
 use sllt_bench::flows::comparison;
+use sllt_bench::{emit_json, run_main};
 use sllt_design::SUITE;
+use std::process::ExitCode;
 
-fn main() {
-    let specs: Vec<_> = SUITE.iter().filter(|s| s.internal).collect();
-    let table = comparison(&specs);
-    println!("Table 7 — ours (O) vs commercial-like (C) vs OpenROAD-like (R), ysyx designs");
-    println!("{}", table.render());
-    emit_json("table7", vec![("table", table.to_json())]);
-    println!("(paper Avg. vs ours: latency C 1.017 / R 1.449; buffers C 1.019 / R 1.215;");
-    println!(" area C 1.016 / R 3.082; cap C 1.101 / R 0.650; WL C 1.003 / R 1.063)");
+fn main() -> ExitCode {
+    run_main(|| {
+        let specs: Vec<_> = SUITE.iter().filter(|s| s.internal).collect();
+        let table = comparison(&specs)?;
+        println!("Table 7 — ours (O) vs commercial-like (C) vs OpenROAD-like (R), ysyx designs");
+        println!("{}", table.render());
+        emit_json("table7", vec![("table", table.to_json())]);
+        println!("(paper Avg. vs ours: latency C 1.017 / R 1.449; buffers C 1.019 / R 1.215;");
+        println!(" area C 1.016 / R 3.082; cap C 1.101 / R 0.650; WL C 1.003 / R 1.063)");
+        Ok(())
+    })
 }

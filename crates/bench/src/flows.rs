@@ -18,20 +18,29 @@ pub struct FlowResult {
 }
 
 /// Runs ours / commercial-like / OpenROAD-like on a design.
-pub fn run_three(spec: &DesignSpec) -> [FlowResult; 3] {
+///
+/// # Errors
+///
+/// Returns a message naming the design and flow when either engine-based
+/// flow fails, so table binaries can exit nonzero instead of panicking.
+pub fn run_three(spec: &DesignSpec) -> Result<[FlowResult; 3], String> {
     let design = spec.instantiate();
     let ours = HierarchicalCts::default();
     let com = baseline::commercial_like();
 
     let t0 = Instant::now();
-    let tree = ours.run(&design).expect("hierarchical flow failed");
+    let tree = ours
+        .run(&design)
+        .map_err(|e| format!("{}: hierarchical flow failed: {e}", spec.name))?;
     let ours_res = FlowResult {
         report: evaluate(&tree, &ours.tech, &ours.lib),
         runtime_s: t0.elapsed().as_secs_f64(),
     };
 
     let t0 = Instant::now();
-    let tree = com.run(&design).expect("commercial-like flow failed");
+    let tree = com
+        .run(&design)
+        .map_err(|e| format!("{}: commercial-like flow failed: {e}", spec.name))?;
     let com_res = FlowResult {
         report: evaluate(&tree, &com.tech, &com.lib),
         runtime_s: t0.elapsed().as_secs_f64(),
@@ -44,18 +53,26 @@ pub fn run_three(spec: &DesignSpec) -> [FlowResult; 3] {
         runtime_s: t0.elapsed().as_secs_f64(),
     };
 
-    [ours_res, com_res, or_res]
+    Ok([ours_res, com_res, or_res])
 }
 
 /// Renders the Table 6/7 layout for a set of designs and returns it.
-pub fn comparison_table(specs: &[&DesignSpec]) -> String {
-    comparison(specs).render()
+///
+/// # Errors
+///
+/// Propagates the first flow failure from [`run_three`].
+pub fn comparison_table(specs: &[&DesignSpec]) -> Result<String, String> {
+    Ok(comparison(specs)?.render())
 }
 
 /// Builds the Table 6/7 comparison as a [`Table`] (one row per design
 /// plus the ratio-average footer), so callers can render it or emit it
 /// as JSON.
-pub fn comparison(specs: &[&DesignSpec]) -> Table {
+///
+/// # Errors
+///
+/// Propagates the first flow failure from [`run_three`].
+pub fn comparison(specs: &[&DesignSpec]) -> Result<Table, String> {
     let mut table = Table::new(vec![
         "Case",
         "Lat O/C/R (ps)",
@@ -69,7 +86,7 @@ pub fn comparison(specs: &[&DesignSpec]) -> Table {
     // Ratio accumulators: [metric][flow], normalized to "ours".
     let mut ratios = [[0.0f64; 3]; 7];
     for spec in specs {
-        let res = run_three(spec);
+        let res = run_three(spec)?;
         let cols: Vec<[f64; 3]> = vec![
             [0, 1, 2].map(|i| res[i].report.max_latency_ps),
             [0, 1, 2].map(|i| res[i].report.skew_ps),
@@ -116,5 +133,5 @@ pub fn comparison(specs: &[&DesignSpec]) -> Table {
         favg(5),
         favg(6),
     ]);
-    table
+    Ok(table)
 }

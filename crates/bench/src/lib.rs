@@ -23,15 +23,28 @@ pub fn arg_value(name: &str) -> Option<String> {
 
 /// Reads a `--name value` flag and parses it, falling back to `default`.
 ///
-/// # Panics
-///
-/// Panics with a usage message when the value does not parse.
+/// Exits with code 2 and a usage message when the value does not parse:
+/// a malformed flag must never look like a successful run to CI.
 pub fn arg_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
     match arg_value(name) {
         None => default,
-        Some(v) => v
-            .parse()
-            .unwrap_or_else(|_| panic!("{name} expects a number, got {v:?}")),
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} expects a number, got {v:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Wraps a fallible `main` body: on `Err` the message goes to stderr and
+/// the process exits with code 2, so every bench binary fails loudly
+/// instead of printing a partial table and exiting 0.
+pub fn run_main(body: impl FnOnce() -> Result<(), String>) -> std::process::ExitCode {
+    match body() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::from(2)
+        }
     }
 }
 

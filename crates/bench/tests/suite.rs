@@ -1,0 +1,174 @@
+//! Batch-isolation contract of the `suite` runner, driven through the
+//! real binary: a panicking job must not take the batch down, the
+//! manifest must record every outcome durably (including through a torn
+//! final line), and `--resume` must execute only the unfinished jobs.
+
+use sllt_obs::journal::read_journal;
+use sllt_obs::Value;
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_suite");
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sllt_suite_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn suite binary")
+}
+
+/// All sealed manifest records of one type, in order.
+fn records(manifest: &std::path::Path, ty: &str) -> Vec<Value> {
+    read_journal(manifest)
+        .expect("manifest parses")
+        .records
+        .into_iter()
+        .filter(|r| r.get("type").and_then(Value::as_str) == Some(ty))
+        .collect()
+}
+
+fn job_of(rec: &Value) -> &str {
+    rec.get("job").and_then(Value::as_str).unwrap()
+}
+
+#[test]
+fn panicking_job_is_contained_retried_and_finished_by_resume() {
+    let dir = out_dir("isolation");
+    let manifest = dir.join("manifest.jsonl");
+    let dir_s = dir.to_str().unwrap();
+
+    // One job is rigged to panic; --retries 1 grants it a second (still
+    // panicking) attempt. The other jobs must complete regardless.
+    let out = run(&[
+        "--designs",
+        "grid36,grid48",
+        "--configs",
+        "base",
+        "--out",
+        dir_s,
+        "--retries",
+        "1",
+        "--inject-panic",
+        "grid48:base",
+    ]);
+    assert!(
+        !out.status.success(),
+        "a failed job must fail the batch exit code"
+    );
+
+    let done = records(&manifest, "job_done");
+    let status = |job: &str| -> Vec<&str> {
+        done.iter()
+            .filter(|r| job_of(r) == job)
+            .map(|r| r.get("status").and_then(Value::as_str).unwrap())
+            .collect()
+    };
+    assert_eq!(
+        status("grid36:base"),
+        ["ok"],
+        "healthy job must survive its sibling's panic"
+    );
+    assert_eq!(
+        status("grid48:base"),
+        ["panic", "panic"],
+        "rigged job must be retried exactly once and both attempts recorded"
+    );
+
+    // Simulate the batch process dying mid-append: a torn, uncommitted
+    // fragment after the last sealed record. Resume must truncate it,
+    // skip the finished job, and run only the panicked one.
+    std::fs::OpenOptions::new()
+        .append(true)
+        .open(&manifest)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, b"{\"type\":\"job_st"))
+        .unwrap();
+
+    let out = run(&[
+        "--designs",
+        "grid36,grid48",
+        "--configs",
+        "base",
+        "--out",
+        dir_s,
+        "--retries",
+        "1",
+        "--resume",
+    ]);
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let starts = records(&manifest, "job_start");
+    let attempts = |job: &str| starts.iter().filter(|r| job_of(r) == job).count();
+    assert_eq!(
+        attempts("grid36:base"),
+        1,
+        "resume must not re-run a job already finished ok"
+    );
+    assert_eq!(
+        attempts("grid48:base"),
+        3,
+        "resume must re-run the unfinished job (2 panicked attempts + 1 ok)"
+    );
+    let done = records(&manifest, "job_done");
+    let last = done
+        .iter()
+        .rfind(|r| job_of(r) == "grid48:base")
+        .and_then(|r| r.get("status").and_then(Value::as_str));
+    assert_eq!(last, Some("ok"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_refuses_a_manifest_from_a_different_matrix() {
+    let dir = out_dir("mismatch");
+    let dir_s = dir.to_str().unwrap();
+    let ok = run(&["--designs", "grid36", "--configs", "base", "--out", dir_s]);
+    assert!(ok.status.success());
+
+    let out = run(&[
+        "--designs",
+        "grid36,grid48",
+        "--configs",
+        "base",
+        "--out",
+        dir_s,
+        "--resume",
+    ]);
+    assert!(!out.status.success(), "matrix drift must be refused");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("designs"),
+        "the refusal must name what drifted"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_design_or_config_exits_nonzero_before_touching_the_manifest() {
+    let dir = out_dir("badargs");
+    let dir_s = dir.to_str().unwrap();
+    let out = run(&["--designs", "nosuchdesign", "--out", dir_s]);
+    assert!(!out.status.success());
+    assert!(
+        !dir.join("manifest.jsonl").exists(),
+        "a rejected matrix must not create a manifest"
+    );
+    let out = run(&[
+        "--designs",
+        "grid36",
+        "--configs",
+        "nosuchcfg",
+        "--out",
+        dir_s,
+    ]);
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -66,6 +66,8 @@ pub fn open_road_like(
     let trunk_cell = lib.cells().len() / 2;
     let leaf_cell = (lib.cells().len() / 2).saturating_sub(1);
     let sinks: Vec<(usize, Sink)> = design.sinks.iter().copied().enumerate().collect();
+    // Invariant: guarded by the is_empty assert above — a non-empty sink
+    // set always has a bounding box.
     let region =
         Rect::bounding(&sinks.iter().map(|(_, s)| s.pos).collect::<Vec<_>>()).expect("nonempty");
     let root = tree.root();

@@ -1,0 +1,491 @@
+//! Crash-safe level checkpoints (see `DESIGN.md`, *Durability model*).
+//!
+//! After each hierarchical level commits, the flow appends one sealed
+//! record to an append-only journal (`sllt-obs`'s checksummed JSONL):
+//! the level's [`LevelReport`], the next level's nodes, and the clusters
+//! built at that level — their routed trees in the v1 tree text format,
+//! embedded as JSON strings. Because the per-level RNG streams are
+//! derived statelessly from the flow seed and the level index, this is
+//! the *complete* inter-level state: a resumed run re-derives everything
+//! else and continues bit-identically.
+//!
+//! Durability contract:
+//!
+//! * every record is written with a single `write` + `fdatasync`
+//!   ([`DurableAppender`]), so a crash leaves at most one torn final
+//!   record — which the reader detects (checksum + shape) and discards;
+//! * the journal opens with a fingerprinted meta record binding it to
+//!   the exact flow configuration and design, so a resume against the
+//!   wrong config fails loudly instead of diverging silently;
+//! * on resume the writer reopens at the intact prefix length,
+//!   truncating any torn tail before appending.
+
+use crate::assemble::BuiltCluster;
+use crate::error::CtsError;
+use crate::flow::HierarchicalCts;
+use crate::report::LevelReport;
+use crate::route::{LevelNode, NodeSource};
+use crate::telemetry::{level_report_from_value, level_value};
+use sllt_design::Design;
+use sllt_geom::Point;
+use sllt_obs::journal::read_journal;
+use sllt_obs::{DurableAppender, Value};
+use std::path::Path;
+
+/// Journal schema version; bump on any incompatible record change.
+pub const CHECKPOINT_SCHEMA: u64 = 1;
+
+fn ckpt_err(detail: impl Into<String>) -> CtsError {
+    CtsError::Checkpoint {
+        detail: detail.into(),
+    }
+}
+
+fn io_err(context: &str, e: impl std::fmt::Display) -> CtsError {
+    ckpt_err(format!("{context}: {e}"))
+}
+
+/// Binds a journal to the exact (config, design) pair that wrote it.
+///
+/// Hashes every flow field that influences the built tree — notably NOT
+/// [`workers`](HierarchicalCts::workers) (trees are bit-identical at any
+/// worker count) and not the cancel token — plus the design's name,
+/// clock root, and every sink's coordinate/capacitance bit pattern.
+/// `Debug` formatting of f64 prints the shortest round-trip form, so the
+/// hash is exact, not approximate.
+fn fingerprint(cts: &HierarchicalCts, design: &Design) -> u64 {
+    let config = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{}|{}|{:?}|{:?}",
+        cts.constraints,
+        cts.tech,
+        cts.lib,
+        cts.topology,
+        cts.estimator,
+        cts.use_sa,
+        cts.level_skew_fraction,
+        cts.cluster_latency_slack_ps,
+        cts.sizing_slack,
+        cts.equalize_sizing,
+        cts.sizing_window_fraction,
+        cts.partition_restarts,
+        cts.seed,
+        design.name,
+        cts.recovery,
+        cts.route_budget,
+    );
+    let mut bytes = config.into_bytes();
+    bytes.extend_from_slice(&design.clock_root.x.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&design.clock_root.y.to_bits().to_le_bytes());
+    for s in &design.sinks {
+        bytes.extend_from_slice(&s.pos.x.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&s.pos.y.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&s.cap_ff.to_bits().to_le_bytes());
+    }
+    sllt_obs::fnv1a64(&bytes)
+}
+
+/// One level node as the compact array `[x, y, cap, lo, hi, kind, idx]`
+/// (kind 0 = design sink, 1 = built cluster). All five floats round-trip
+/// bit-exactly through the obs JSON number encoding.
+fn node_value(n: &LevelNode) -> Value {
+    let (kind, idx) = match n.source {
+        NodeSource::DesignSink(i) => (0u64, i as u64),
+        NodeSource::Cluster(i) => (1u64, i as u64),
+    };
+    Value::Arr(vec![
+        n.pos.x.into(),
+        n.pos.y.into(),
+        n.cap_ff.into(),
+        n.interval_ps.0.into(),
+        n.interval_ps.1.into(),
+        kind.into(),
+        idx.into(),
+    ])
+}
+
+fn node_from_value(v: &Value) -> Result<LevelNode, String> {
+    let items = v.as_arr().ok_or("node is not an array")?;
+    if items.len() != 7 {
+        return Err(format!("node has {} fields, expected 7", items.len()));
+    }
+    let f = |i: usize| {
+        items[i]
+            .as_f64()
+            .ok_or(format!("node field {i} not a number"))
+    };
+    let kind = items[5].as_u64().ok_or("node kind not an integer")?;
+    let idx = items[6].as_u64().ok_or("node index not an integer")? as usize;
+    let source = match kind {
+        0 => NodeSource::DesignSink(idx),
+        1 => NodeSource::Cluster(idx),
+        other => return Err(format!("unknown node kind {other}")),
+    };
+    Ok(LevelNode {
+        pos: Point::new(f(0)?, f(1)?),
+        cap_ff: f(2)?,
+        interval_ps: (f(3)?, f(4)?),
+        source,
+    })
+}
+
+/// One built cluster: sizing outcome, driver position, members, and the
+/// routed tree in v1 text form (the exact-round-trip on-disk format).
+fn cluster_value(c: &BuiltCluster) -> Result<Value, CtsError> {
+    let mut text = Vec::new();
+    sllt_tree::io::write_tree(&c.tree, &mut text)
+        .map_err(|e| io_err("serializing cluster tree", e))?;
+    let text = String::from_utf8(text).map_err(|e| io_err("cluster tree text is not UTF-8", e))?;
+    Ok(Value::obj()
+        .with("cell", c.cell as u64)
+        .with("pads", c.pads as u64)
+        .with("x", c.driver_pos.x)
+        .with("y", c.driver_pos.y)
+        .with(
+            "members",
+            Value::Arr(c.members.iter().map(node_value).collect()),
+        )
+        .with("tree", text))
+}
+
+fn cluster_from_value(v: &Value) -> Result<BuiltCluster, String> {
+    let int = |k: &str| {
+        v.get(k)
+            .and_then(Value::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("cluster missing {k}"))
+    };
+    let num = |k: &str| {
+        v.get(k)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("cluster missing {k}"))
+    };
+    let members = v
+        .get("members")
+        .and_then(Value::as_arr)
+        .ok_or("cluster missing members")?
+        .iter()
+        .map(node_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    let text = v
+        .get("tree")
+        .and_then(Value::as_str)
+        .ok_or("cluster missing tree")?;
+    let tree =
+        sllt_tree::io::read_tree(&mut text.as_bytes()).map_err(|e| format!("cluster tree: {e}"))?;
+    Ok(BuiltCluster {
+        tree,
+        members,
+        cell: int("cell")?,
+        pads: int("pads")?,
+        driver_pos: Point::new(num("x")?, num("y")?),
+    })
+}
+
+/// Appends sealed level records to a checkpoint journal. Created (or
+/// reopened) by the flow; one [`append_level`](Self::append_level) per
+/// committed level, each a single durable write.
+pub(crate) struct CheckpointWriter {
+    app: DurableAppender,
+}
+
+impl CheckpointWriter {
+    /// Starts a fresh journal (truncating any existing file) and writes
+    /// the fingerprinted meta record.
+    pub(crate) fn create(
+        path: &Path,
+        cts: &HierarchicalCts,
+        design: &Design,
+    ) -> Result<CheckpointWriter, CtsError> {
+        let mut app =
+            DurableAppender::create(path).map_err(|e| io_err("creating checkpoint journal", e))?;
+        let meta = Value::obj()
+            .with("type", "sllt-ckpt")
+            .with("schema", CHECKPOINT_SCHEMA)
+            .with("design", design.name.as_str())
+            .with("sinks", design.sinks.len() as u64)
+            .with("fingerprint", format!("{:016x}", fingerprint(cts, design)));
+        app.append(&meta)
+            .map_err(|e| io_err("writing checkpoint meta", e))?;
+        Ok(CheckpointWriter { app })
+    }
+
+    /// Reopens an existing journal for appending, truncating to the
+    /// intact prefix `valid_len` first (discarding any torn tail).
+    pub(crate) fn reopen(path: &Path, valid_len: u64) -> Result<CheckpointWriter, CtsError> {
+        let app = DurableAppender::reopen(path, valid_len)
+            .map_err(|e| io_err("reopening checkpoint journal", e))?;
+        Ok(CheckpointWriter { app })
+    }
+
+    /// Seals one committed level: its report, the next level's nodes,
+    /// and the clusters built at this level (appended to the arena by
+    /// the caller just before this call).
+    pub(crate) fn append_level(
+        &mut self,
+        report: &LevelReport,
+        nodes: &[LevelNode],
+        new_clusters: &[BuiltCluster],
+    ) -> Result<(), CtsError> {
+        let clusters = new_clusters
+            .iter()
+            .map(cluster_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let record = Value::obj()
+            .with("type", "level")
+            .with("level", report.level as u64)
+            .with("report", level_value(report))
+            .with("nodes", Value::Arr(nodes.iter().map(node_value).collect()))
+            .with("clusters", Value::Arr(clusters));
+        self.app
+            .append(&record)
+            .map_err(|e| io_err("appending level checkpoint", e))
+    }
+}
+
+/// A loaded checkpoint: everything the flow needs to continue from the
+/// last committed level.
+pub struct Checkpoint {
+    pub(crate) reports: Vec<LevelReport>,
+    pub(crate) clusters: Vec<BuiltCluster>,
+    pub(crate) nodes: Vec<LevelNode>,
+    pub(crate) valid_len: u64,
+    torn: Option<String>,
+}
+
+impl Checkpoint {
+    /// Reads and validates a checkpoint journal against the flow
+    /// configuration and design that will resume from it.
+    ///
+    /// Tolerates (and reports through [`torn`](Self::torn)) a torn
+    /// final record — the shape a kill mid-append leaves. Everything
+    /// else is strict: a checksum failure on an interior record, a
+    /// schema or fingerprint mismatch, or a gap in the level sequence
+    /// is [`CtsError::Checkpoint`].
+    pub fn load(
+        path: &Path,
+        cts: &HierarchicalCts,
+        design: &Design,
+    ) -> Result<Checkpoint, CtsError> {
+        let journal = read_journal(path).map_err(|e| io_err("reading checkpoint journal", e))?;
+        let mut records = journal.records.iter();
+        let meta = records.next().ok_or_else(|| {
+            ckpt_err("checkpoint journal has no meta record (empty or fully torn file)")
+        })?;
+        if meta.get("type").and_then(Value::as_str) != Some("sllt-ckpt") {
+            return Err(ckpt_err("first record is not a checkpoint meta record"));
+        }
+        let schema = meta.get("schema").and_then(Value::as_u64);
+        if schema != Some(CHECKPOINT_SCHEMA) {
+            return Err(ckpt_err(format!(
+                "unsupported checkpoint schema {schema:?} (supported: {CHECKPOINT_SCHEMA})"
+            )));
+        }
+        let expect = format!("{:016x}", fingerprint(cts, design));
+        let found = meta
+            .get("fingerprint")
+            .and_then(Value::as_str)
+            .unwrap_or("");
+        if found != expect {
+            return Err(ckpt_err(format!(
+                "checkpoint fingerprint {found} does not match this configuration/design \
+                 ({expect}): resume would not reproduce the original run"
+            )));
+        }
+
+        let mut out = Checkpoint {
+            reports: Vec::new(),
+            clusters: Vec::new(),
+            nodes: Vec::new(),
+            valid_len: journal.valid_len,
+            torn: journal.torn_tail.map(|t| t.reason),
+        };
+        for (i, rec) in records.enumerate() {
+            let at = |msg: String| ckpt_err(format!("level record {i}: {msg}"));
+            if rec.get("type").and_then(Value::as_str) != Some("level") {
+                return Err(at("unexpected record type".into()));
+            }
+            let level = rec
+                .get("level")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| at("missing level".into()))? as usize;
+            if level != i {
+                return Err(at(format!("level {level} out of sequence (expected {i})")));
+            }
+            let report = rec
+                .get("report")
+                .ok_or_else(|| at("missing report".into()))
+                .and_then(|v| level_report_from_value(v).map_err(at))?;
+            let nodes = rec
+                .get("nodes")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| at("missing nodes".into()))?
+                .iter()
+                .map(node_from_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(at)?;
+            if nodes.is_empty() {
+                return Err(at("level has no output nodes".into()));
+            }
+            let new_clusters = rec
+                .get("clusters")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| at("missing clusters".into()))?
+                .iter()
+                .map(cluster_from_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(at)?;
+            if new_clusters.len() != nodes.len() {
+                return Err(at(format!(
+                    "{} clusters but {} output nodes",
+                    new_clusters.len(),
+                    nodes.len()
+                )));
+            }
+            out.reports.push(report);
+            out.clusters.extend(new_clusters);
+            out.nodes = nodes;
+        }
+        // Arena integrity: every cluster-sourced node must resolve.
+        let arena = out.clusters.len();
+        let check = |n: &LevelNode| match n.source {
+            NodeSource::Cluster(i) if i >= arena => Err(ckpt_err(format!(
+                "node references cluster {i} outside the arena of {arena}"
+            ))),
+            NodeSource::DesignSink(i) if i >= design.sinks.len() => Err(ckpt_err(format!(
+                "node references design sink {i} outside the design's {}",
+                design.sinks.len()
+            ))),
+            _ => Ok(()),
+        };
+        for n in out
+            .nodes
+            .iter()
+            .chain(out.clusters.iter().flat_map(|c| c.members.iter()))
+        {
+            check(n)?;
+        }
+        Ok(out)
+    }
+
+    /// Number of committed levels in the journal (0 = only the meta
+    /// record survived; resume restarts from the design sinks).
+    pub fn levels(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// The committed level reports, bottom-up.
+    pub fn reports(&self) -> &[LevelReport] {
+        &self.reports
+    }
+
+    /// Why the final record was discarded, when the journal ended in a
+    /// torn (partially written) line.
+    pub fn torn(&self) -> Option<&str> {
+        self.torn.as_deref()
+    }
+
+    /// Byte length of the journal's intact prefix — where a resuming
+    /// writer continues appending.
+    pub fn valid_len(&self) -> u64 {
+        self.valid_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sllt_tree::ClockTree;
+
+    fn node(x: f64, kind_cluster: bool, idx: usize) -> LevelNode {
+        LevelNode {
+            pos: Point::new(x, 0.1 + x / 3.0),
+            cap_ff: 1.5 + x,
+            interval_ps: (x * 0.25, x * 0.5 + 1e-7),
+            source: if kind_cluster {
+                NodeSource::Cluster(idx)
+            } else {
+                NodeSource::DesignSink(idx)
+            },
+        }
+    }
+
+    #[test]
+    fn node_encoding_round_trips_bit_exactly() {
+        for n in [
+            node(0.0, false, 0),
+            node(17.3, true, 5),
+            node(1e-9, false, 3),
+        ] {
+            let back = node_from_value(&node_value(&n)).unwrap();
+            assert_eq!(back.pos.x.to_bits(), n.pos.x.to_bits());
+            assert_eq!(back.pos.y.to_bits(), n.pos.y.to_bits());
+            assert_eq!(back.cap_ff.to_bits(), n.cap_ff.to_bits());
+            assert_eq!(back.interval_ps.0.to_bits(), n.interval_ps.0.to_bits());
+            assert_eq!(back.interval_ps.1.to_bits(), n.interval_ps.1.to_bits());
+            match (back.source, n.source) {
+                (NodeSource::DesignSink(a), NodeSource::DesignSink(b)) => assert_eq!(a, b),
+                (NodeSource::Cluster(a), NodeSource::Cluster(b)) => assert_eq!(a, b),
+                other => panic!("source kind flipped: {other:?}"),
+            }
+        }
+        // Malformed nodes are rejected, not defaulted.
+        assert!(node_from_value(&Value::Arr(vec![1.0.into()])).is_err());
+        let mut bad: Vec<Value> = (0..7).map(|i| Value::from(i as f64)).collect();
+        bad[5] = 9u64.into();
+        assert!(node_from_value(&Value::Arr(bad)).is_err());
+    }
+
+    #[test]
+    fn cluster_encoding_round_trips_through_tree_text() {
+        let mut tree = ClockTree::new(Point::new(5.0, 5.0));
+        let root = tree.root();
+        tree.add_sink(root, Point::new(1.0, 2.0), 1.25);
+        let c = BuiltCluster {
+            tree,
+            members: vec![node(1.0, false, 0)],
+            cell: 3,
+            pads: 2,
+            driver_pos: Point::new(5.0, 5.0),
+        };
+        let v = cluster_value(&c).unwrap();
+        let back = cluster_from_value(&v).unwrap();
+        assert_eq!(back.cell, 3);
+        assert_eq!(back.pads, 2);
+        assert_eq!(back.driver_pos, c.driver_pos);
+        assert_eq!(back.members.len(), 1);
+        assert_eq!(back.tree.len(), c.tree.len());
+        assert_eq!(back.tree.wirelength(), c.tree.wirelength());
+        // The embedded tree text survives JSONL encoding (newlines are
+        // escaped inside the JSON string).
+        let line = v.encode();
+        assert!(!line.contains('\n'));
+        let reparsed = sllt_obs::json::parse(&line).unwrap();
+        assert!(cluster_from_value(&reparsed).is_ok());
+    }
+
+    #[test]
+    fn fingerprint_separates_configs_but_ignores_workers() {
+        let design = sllt_design::DesignSpec::by_name("s38584")
+            .unwrap()
+            .instantiate();
+        let base = HierarchicalCts::default();
+        let fp = fingerprint(&base, &design);
+        let mut w4 = base.clone();
+        w4.workers = 4;
+        assert_eq!(fp, fingerprint(&w4, &design), "workers must not matter");
+        let mut seeded = base.clone();
+        seeded.seed ^= 1;
+        assert_ne!(fp, fingerprint(&seeded, &design), "seed must matter");
+        let mut relaxed = base.clone();
+        relaxed.constraints.skew_ps *= 2.0;
+        assert_ne!(
+            fp,
+            fingerprint(&relaxed, &design),
+            "constraints must matter"
+        );
+        let other = sllt_design::DesignSpec::by_name("s35932")
+            .unwrap()
+            .instantiate();
+        assert_ne!(fp, fingerprint(&base, &other), "design must matter");
+    }
+}

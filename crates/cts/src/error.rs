@@ -107,6 +107,18 @@ pub enum CtsError {
         /// Cluster it fired at, when cluster-scoped.
         cluster: Option<usize>,
     },
+    /// The run observed a fired [`CancelToken`](crate::cancel::CancelToken)
+    /// and stopped at the next poll point. Work committed before the
+    /// cancellation (including any level checkpoint) is intact; the
+    /// partially-built level is discarded.
+    Cancelled,
+    /// A level checkpoint could not be written, read, or matched against
+    /// the current flow configuration (see `crate::checkpoint`).
+    Checkpoint {
+        /// What went wrong — an I/O error, a corrupt journal, or a
+        /// config/design fingerprint mismatch on resume.
+        detail: String,
+    },
     /// Every rung of the degradation ladder failed for one level.
     LadderExhausted {
         /// The level that could not be built.
@@ -133,6 +145,10 @@ impl CtsError {
             | CtsError::InvalidConstraints { .. }
             | CtsError::InvalidDesign { .. }
             | CtsError::LevelRunaway { .. }
+            // Cancellation is a caller decision, not a level failure:
+            // retrying the level would fight the caller's intent.
+            | CtsError::Cancelled
+            | CtsError::Checkpoint { .. }
             | CtsError::LadderExhausted { .. } => false,
             // NoPartitionRestarts is recoverable: the ladder retries with
             // a floor of one restart.
@@ -203,6 +219,10 @@ impl fmt::Display for CtsError {
                 Some(c) => write!(f, "injected fault in {stage} at level {level}, cluster {c}"),
                 None => write!(f, "injected fault in {stage} at level {level}"),
             },
+            CtsError::Cancelled => {
+                write!(f, "run cancelled; committed levels remain checkpointed")
+            }
+            CtsError::Checkpoint { detail } => write!(f, "checkpoint failure: {detail}"),
             CtsError::LadderExhausted {
                 level,
                 attempts,
@@ -279,6 +299,11 @@ mod tests {
             }),
         };
         assert!(e.to_string().contains("exhausted") && e.to_string().contains("cluster 3"));
+        assert!(CtsError::Cancelled.to_string().contains("cancelled"));
+        let e = CtsError::Checkpoint {
+            detail: "journal corrupt at line 4".into(),
+        };
+        assert!(e.to_string().contains("line 4"));
     }
 
     #[test]
@@ -310,6 +335,9 @@ mod tests {
             required: 2
         }
         .is_recoverable());
+        // Cancellation and checkpoint faults must never be retried.
+        assert!(!CtsError::Cancelled.is_recoverable());
+        assert!(!CtsError::Checkpoint { detail: "x".into() }.is_recoverable());
         // An exhausted ladder must not be re-laddered.
         assert!(!CtsError::LadderExhausted {
             level: 0,

@@ -23,6 +23,8 @@
 //! [`HierarchicalCts::run_with_observer`].
 
 use crate::assemble::{assemble, BuiltCluster};
+use crate::cancel::CancelToken;
+use crate::checkpoint::{Checkpoint, CheckpointWriter};
 use crate::constraints::CtsConstraints;
 use crate::error::CtsError;
 use crate::fault::FaultPlan;
@@ -154,6 +156,14 @@ pub struct HierarchicalCts {
     /// Fault injection for the recovery test harness; empty (injecting
     /// nothing) by default. See [`crate::fault`].
     pub faults: FaultPlan,
+    /// Cooperative cancellation flag, polled at cluster and SA-sweep
+    /// granularity by every stage. Inert by default; clone the token
+    /// before the run and [`cancel`](CancelToken::cancel) it from any
+    /// thread (or wire it to Ctrl-C with
+    /// [`install_sigint`](crate::cancel::install_sigint)) to stop the
+    /// flow with [`CtsError::Cancelled`] within a bounded number of
+    /// work units.
+    pub cancel: CancelToken,
 }
 
 impl Default for HierarchicalCts {
@@ -181,6 +191,7 @@ impl Default for HierarchicalCts {
             recovery: RecoveryPolicy::default(),
             route_budget: None,
             faults: FaultPlan::default(),
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -217,6 +228,17 @@ impl FlowContext {
 /// Levels past this are a divergence, not a deep design: each level must
 /// at least halve the node count.
 const MAX_LEVELS: usize = 40;
+
+/// How [`HierarchicalCts::run_core`] interacts with a checkpoint
+/// journal.
+enum CheckpointMode<'p> {
+    /// No journal (the plain [`run`](HierarchicalCts::run) family).
+    Off,
+    /// Start a fresh journal at the path, truncating any existing file.
+    Fresh(&'p std::path::Path),
+    /// Load the journal, restore the last committed level, and append.
+    Resume(&'p std::path::Path),
+}
 
 impl HierarchicalCts {
     /// Runs the flow on a design and returns the assembled, buffered
@@ -270,6 +292,87 @@ impl HierarchicalCts {
         observer: &mut dyn FlowObserver,
         sink: &dyn TelemetrySink,
     ) -> Result<ClockTree, CtsError> {
+        self.run_core(design, observer, sink, CheckpointMode::Off)
+    }
+
+    /// [`run`](Self::run), writing a crash-safe level checkpoint to
+    /// `journal` after every committed level (truncating any existing
+    /// file first). If the process dies — or the run is
+    /// [cancelled](Self::cancel) — [`resume`](Self::resume) with the
+    /// same configuration continues from the last committed level and
+    /// produces a tree bit-identical to an uninterrupted run, at any
+    /// worker count. See `DESIGN.md`, *Durability model*.
+    pub fn run_checkpointed(
+        &self,
+        design: &Design,
+        journal: &std::path::Path,
+    ) -> Result<ClockTree, CtsError> {
+        self.run_core(
+            design,
+            &mut NullObserver,
+            &NullSink,
+            CheckpointMode::Fresh(journal),
+        )
+    }
+
+    /// [`run_checkpointed`](Self::run_checkpointed) with a progress
+    /// observer.
+    pub fn run_checkpointed_with_observer(
+        &self,
+        design: &Design,
+        journal: &std::path::Path,
+        observer: &mut dyn FlowObserver,
+    ) -> Result<ClockTree, CtsError> {
+        self.run_core(design, observer, &NullSink, CheckpointMode::Fresh(journal))
+    }
+
+    /// Resumes an interrupted [`run_checkpointed`](Self::run_checkpointed)
+    /// from its journal: validates the journal against this configuration
+    /// and the design (fingerprint), restores the last committed level,
+    /// and continues — appending new level checkpoints to the same file.
+    /// A torn final record (crash mid-append) is discarded and rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// [`CtsError::Checkpoint`] when the journal is unreadable, corrupt
+    /// beyond its final record, or was written by a different
+    /// configuration or design; plus everything [`run`](Self::run) can
+    /// return for the remaining levels.
+    pub fn resume(
+        &self,
+        design: &Design,
+        journal: &std::path::Path,
+    ) -> Result<ClockTree, CtsError> {
+        self.run_core(
+            design,
+            &mut NullObserver,
+            &NullSink,
+            CheckpointMode::Resume(journal),
+        )
+    }
+
+    /// [`resume`](Self::resume) with a progress observer. Checkpointed
+    /// levels are replayed through
+    /// [`FlowObserver::on_resumed_level`] before live reports begin.
+    pub fn resume_with_observer(
+        &self,
+        design: &Design,
+        journal: &std::path::Path,
+        observer: &mut dyn FlowObserver,
+    ) -> Result<ClockTree, CtsError> {
+        self.run_core(design, observer, &NullSink, CheckpointMode::Resume(journal))
+    }
+
+    /// The single engine loop behind every public entry point: validate,
+    /// optionally restore checkpointed state, build levels (checkpointing
+    /// each commit), assemble.
+    fn run_core(
+        &self,
+        design: &Design,
+        observer: &mut dyn FlowObserver,
+        sink: &dyn TelemetrySink,
+        mode: CheckpointMode<'_>,
+    ) -> Result<ClockTree, CtsError> {
         self.constraints.validate()?;
         if design.sinks.is_empty() {
             return Err(CtsError::NoSinks);
@@ -299,7 +402,31 @@ impl HierarchicalCts {
         observer.on_flow_start(design.sinks.len(), self.effective_workers(usize::MAX));
 
         let mut cx = FlowContext::seed(design);
+        let mut writer = match mode {
+            CheckpointMode::Off => None,
+            CheckpointMode::Fresh(path) => Some(CheckpointWriter::create(path, self, design)?),
+            CheckpointMode::Resume(path) => {
+                let ckpt = Checkpoint::load(path, self, design)?;
+                // Replay the committed history, then continue from the
+                // restored state. An empty journal (meta only) resumes
+                // from the design sinks — identical to a fresh run.
+                for report in ckpt.reports() {
+                    observer.on_resumed_level(report);
+                }
+                if ckpt.levels() > 0 {
+                    cx = FlowContext {
+                        level: ckpt.levels(),
+                        clusters: ckpt.clusters,
+                        nodes: ckpt.nodes,
+                    };
+                }
+                Some(CheckpointWriter::reopen(path, ckpt.valid_len)?)
+            }
+        };
         while cx.nodes.len() > 1 {
+            if self.cancel.poll() {
+                return Err(CtsError::Cancelled);
+            }
             if cx.level >= MAX_LEVELS {
                 return Err(CtsError::LevelRunaway {
                     level: cx.level,
@@ -307,6 +434,13 @@ impl HierarchicalCts {
                 });
             }
             let report = self.build_level(&mut cx)?;
+            if let Some(w) = &mut writer {
+                // The level just committed: the clusters it appended are
+                // the arena's last `num_clusters` entries and `cx.nodes`
+                // is the next level's node list.
+                let new = &cx.clusters[cx.clusters.len() - report.num_clusters..];
+                w.append_level(&report, &cx.nodes, new)?;
+            }
             observer.on_level(&report);
             cx.level += 1;
         }

@@ -38,6 +38,8 @@
 
 mod assemble;
 pub mod baseline;
+pub mod cancel;
+pub mod checkpoint;
 pub mod constraints;
 pub mod error;
 pub mod eval;
@@ -52,6 +54,8 @@ mod sizing;
 pub mod telemetry;
 
 pub use baseline::{commercial_like, open_road_like};
+pub use cancel::CancelToken;
+pub use checkpoint::Checkpoint;
 pub use constraints::CtsConstraints;
 pub use error::CtsError;
 pub use eval::{evaluate, TreeReport};

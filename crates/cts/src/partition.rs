@@ -70,6 +70,9 @@ pub(crate) fn partition_level(
     // balance at the bottom toward delay balance at the top. The realized
     // cluster count may exceed the estimate.
     let part = if n > 1500 {
+        if cts.cancel.poll() {
+            return Err(CtsError::Cancelled);
+        }
         sllt_partition::balanced_kmeans_grid(
             positions,
             k,
@@ -81,19 +84,27 @@ pub(crate) fn partition_level(
         // Rough level count for the weight schedule.
         let est_levels = ((n as f64).ln() / (cons.max_fanout as f64).ln()).ceil() as usize + 1;
         let (p, q) = sllt_partition::cost::level_weights(level, est_levels.max(2));
-        (0..cts.partition_restarts as u64)
-            .map(|t| {
-                let cand = sllt_partition::balanced_kmeans(
-                    positions,
-                    k,
-                    cons.max_fanout,
-                    (cts.seed ^ level as u64).wrapping_add(t * 0x9E37),
-                );
-                let score = adaptive_cluster_cost(cts, positions, caps, &cand, p, q);
-                (score, cand)
-            })
-            .min_by(|a, b| a.0.total_cmp(&b.0))
-            .map(|(_, cand)| cand)
+        // Explicit restart loop (rather than `.min_by`) so the token is
+        // polled between restarts. Strict `<` keeps `min_by`'s
+        // first-minimum-wins tie-break: the chosen partition is
+        // bit-identical to the pre-cancellation implementation.
+        let mut best: Option<(f64, sllt_partition::Partition)> = None;
+        for t in 0..cts.partition_restarts as u64 {
+            if cts.cancel.poll() {
+                return Err(CtsError::Cancelled);
+            }
+            let cand = sllt_partition::balanced_kmeans(
+                positions,
+                k,
+                cons.max_fanout,
+                (cts.seed ^ level as u64).wrapping_add(t * 0x9E37),
+            );
+            let score = adaptive_cluster_cost(cts, positions, caps, &cand, p, q);
+            if best.as_ref().is_none_or(|(s, _)| score < *s) {
+                best = Some((score, cand));
+            }
+        }
+        best.map(|(_, cand)| cand)
             .ok_or(CtsError::NoPartitionRestarts)?
     };
     let k = part.centers.len();
@@ -105,7 +116,10 @@ pub(crate) fn partition_level(
             max_wl_um: cons.max_wl_um,
             unit_wire_cap: cts.tech.unit_cap_ff,
         };
-        sa::refine(
+        // Cancellation is polled once per SA proposal; a stopped sweep
+        // leaves `assignment` unspecified, so the whole level attempt is
+        // discarded as Cancelled.
+        sa::refine_with_stop(
             positions,
             caps,
             &mut assignment,
@@ -115,7 +129,9 @@ pub(crate) fn partition_level(
                 seed: cts.seed ^ (level as u64) << 8,
                 ..Default::default()
             },
-        );
+            &mut || cts.cancel.poll(),
+        )
+        .ok_or(CtsError::Cancelled)?;
     }
     Ok(LevelPartition { k, assignment })
 }

@@ -90,6 +90,16 @@ pub trait FlowObserver {
         let _ = report;
     }
 
+    /// A level restored from a checkpoint during
+    /// [`resume`](crate::flow::HierarchicalCts::resume) — replayed in
+    /// order before any freshly built level reports. Defaults to
+    /// [`on_level`](Self::on_level) so collectors see a resumed run as a
+    /// complete level sequence; override to distinguish replay from live
+    /// progress (e.g. to skip re-printing).
+    fn on_resumed_level(&mut self, report: &LevelReport) {
+        self.on_level(report);
+    }
+
     /// The tree is assembled and buffered.
     fn on_assemble(&mut self, report: &AssembleReport) {
         let _ = report;

@@ -135,7 +135,16 @@ pub(crate) fn route_clusters(
 
     let workers = cts.effective_workers(jobs.len());
     if workers <= 1 {
-        return jobs.iter().map(route_contained).collect();
+        // Serial path: poll once per cluster so cancellation latency is
+        // bounded by a single cluster's routing work.
+        let mut out = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            if cts.cancel.poll() {
+                return Err(CtsError::Cancelled);
+            }
+            out.push(route_contained(job)?);
+        }
+        return Ok(out);
     }
 
     let next = AtomicUsize::new(0);
@@ -156,6 +165,11 @@ pub(crate) fn route_clusters(
                     .as_ref()
                     .map(|r| r.install_worker(&format!("route-worker-{w}"), parent_span));
                 loop {
+                    // Each worker polls before claiming a cluster, so at
+                    // most `workers` clusters start after a cancel fires.
+                    if cts.cancel.poll() {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
@@ -170,7 +184,9 @@ pub(crate) fn route_clusters(
         .into_inner()
         .expect("workers joined")
         .into_iter()
-        .map(|slot| slot.expect("every cluster routed"))
+        // A slot left empty means its worker saw the cancel before
+        // claiming the cluster; the whole level attempt is discarded.
+        .map(|slot| slot.unwrap_or(Err(CtsError::Cancelled)))
         .collect()
 }
 
@@ -203,6 +219,9 @@ fn route_cluster(
     let started = sllt_obs::enabled().then(std::time::Instant::now);
     let members = &job.members;
     let _rng_stream = job.seed; // reserved for stochastic topology generators
+                                // Invariant: the partition stage never emits an empty cluster (the
+                                // min-cost flow assigns every centre at least one member), so the
+                                // centroid always exists.
     let tap =
         centroid(&members.iter().map(|m| m.pos).collect::<Vec<_>>()).expect("cluster is non-empty");
     let net = ClockNet::new(

@@ -74,6 +74,9 @@ pub(crate) fn size_drivers(
     let mut built = Vec::new();
     let mut stats = SizingStats::default();
     for r in routed {
+        if cts.cancel.poll() {
+            return Err(CtsError::Cancelled);
+        }
         let usable = || {
             cts.lib
                 .cells()

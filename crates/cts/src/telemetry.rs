@@ -50,6 +50,88 @@ pub fn level_value(l: &LevelReport) -> Value {
         )
 }
 
+/// Inverts [`downgrade_value`]. Topology names are interned back to the
+/// engine's static name set; an unknown name (a newer journal) is an
+/// error rather than a silent drop.
+pub fn downgrade_from_value(v: &Value) -> Result<Downgrade, String> {
+    let topology = match v.get("topology").and_then(Value::as_str) {
+        None => None,
+        Some(name) => Some(
+            *["cbs", "bst", "salt", "rsmt", "htree", "ghtree"]
+                .iter()
+                .find(|&&t| t == name)
+                .ok_or_else(|| format!("unknown downgrade topology {name:?}"))?,
+        ),
+    };
+    Ok(Downgrade {
+        attempt: v
+            .get("attempt")
+            .and_then(Value::as_u64)
+            .ok_or("downgrade missing attempt")? as usize,
+        skew_factor: v
+            .get("skew_factor")
+            .and_then(Value::as_f64)
+            .ok_or("downgrade missing skew_factor")?,
+        topology,
+        trigger: v
+            .get("trigger")
+            .and_then(Value::as_str)
+            .ok_or("downgrade missing trigger")?
+            .to_string(),
+    })
+}
+
+/// Inverts [`level_value`]. Stage timings come back as fractional
+/// milliseconds, so the round trip is approximate in the sub-nanosecond
+/// digits — fine for reports, which never feed back into construction.
+pub fn level_report_from_value(v: &Value) -> Result<LevelReport, String> {
+    let num = |k: &str| {
+        v.get(k)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("level event missing {k}"))
+    };
+    let int = |k: &str| {
+        v.get(k)
+            .and_then(Value::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("level event missing {k}"))
+    };
+    let duration = |k: &str| -> Result<std::time::Duration, String> {
+        let ms = num(k)?;
+        if !ms.is_finite() || ms < 0.0 {
+            return Err(format!("level event {k} out of range: {ms}"));
+        }
+        Ok(std::time::Duration::from_secs_f64(ms / 1e3))
+    };
+    let downgrades = match v.get("downgrades") {
+        None => Vec::new(),
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(downgrade_from_value)
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err("level event downgrades is not an array".into()),
+    };
+    Ok(LevelReport {
+        level: int("level")?,
+        num_nodes: int("nodes")?,
+        num_clusters: int("clusters")?,
+        workers: int("workers")?,
+        timings: crate::report::StageTimings {
+            partition: duration("partition_ms")?,
+            route: duration("route_ms")?,
+            sizing: duration("sizing_ms")?,
+        },
+        wirelength_um: num("wirelength_um")?,
+        load_cap_ff: num("load_cap_ff")?,
+        driver_input_cap_ff: num("driver_input_cap_ff")?,
+        driver_area_um2: num("driver_area_um2")?,
+        pads: int("pads")?,
+        delay_spread_ps: num("delay_spread_ps")?,
+        attempts: int("attempts")?,
+        downgrades,
+    })
+}
+
 /// The assembly report as a `{"type":"assemble", ...}` event.
 pub fn assemble_value(a: &AssembleReport) -> Value {
     Value::obj()
@@ -146,6 +228,38 @@ mod tests {
         let back = sllt_obs::json::parse(&text).unwrap();
         assert_eq!(back.encode(), text);
         assert!(text.contains("\"downgrades\""), "{text}");
+    }
+
+    #[test]
+    fn level_event_round_trips_through_the_parser() {
+        let mut l = level();
+        l.attempts = 2;
+        l.downgrades.push(Downgrade {
+            attempt: 1,
+            skew_factor: 2.0,
+            topology: Some("rsmt"),
+            trigger: "deadline".into(),
+        });
+        let back = level_report_from_value(&level_value(&l)).unwrap();
+        // Timings go through fractional ms, everything else is exact.
+        assert_eq!(back.level, l.level);
+        assert_eq!(back.num_nodes, l.num_nodes);
+        assert_eq!(back.num_clusters, l.num_clusters);
+        assert_eq!(back.wirelength_um, l.wirelength_um);
+        assert_eq!(back.delay_spread_ps, l.delay_spread_ps);
+        assert_eq!(back.downgrades, l.downgrades);
+        assert!(
+            (back.timings.route.as_secs_f64() - l.timings.route.as_secs_f64()).abs() < 1e-9,
+            "timing drift"
+        );
+        // Missing members and unknown topologies are typed failures.
+        assert!(level_report_from_value(&Value::obj().with("type", "level")).is_err());
+        let bad = Value::obj()
+            .with("attempt", 1u64)
+            .with("skew_factor", 1.0)
+            .with("topology", "btree")
+            .with("trigger", "x");
+        assert!(downgrade_from_value(&bad).is_err());
     }
 
     #[test]

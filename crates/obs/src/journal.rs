@@ -1,0 +1,368 @@
+//! Append-only, fsync'd, checksummed JSONL journals.
+//!
+//! The durability layer under the engine's level checkpoints and the
+//! suite runner's batch manifest. A journal is a plain JSONL file where
+//! every line is one JSON object *sealed* with a trailing `"crc"`
+//! member — the FNV-1a-64 checksum (hex) of the line's encoding without
+//! that member. Because [`Value`](crate::json::Value) objects preserve
+//! member order, stripping the final `crc` member and re-encoding
+//! reproduces exactly the bytes that were checksummed.
+//!
+//! Write contract ([`DurableAppender`]): each record is written as one
+//! `write` of `line + "\n"` followed by `File::sync_data`, so after a
+//! crash the file is a sequence of intact records possibly followed by
+//! **one** torn fragment. The reader ([`read_journal`]) accepts exactly
+//! that shape: a final line that is unterminated, unparseable, or fails
+//! its checksum is reported as a [`TornTail`] and skipped; a bad record
+//! *followed by more records* is real corruption and a hard error.
+//!
+//! [`Journal::valid_len`] is the byte length of the intact prefix; a
+//! writer resuming after a crash truncates to it before appending, which
+//! restores the invariant above.
+
+use crate::json::{parse, Value};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// FNV-1a 64-bit over `bytes` — the journal's record checksum. Stable,
+/// dependency-free, and fast enough to never show up in a profile.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Seals `record` (must be an object without a `crc` member) into its
+/// journal line: the object re-encoded with `"crc":"<16 hex>"` appended
+/// as the final member. No trailing newline.
+///
+/// # Panics
+///
+/// Panics when `record` is not a JSON object (a programming error — the
+/// journal schema is objects-only).
+pub fn seal(record: &Value) -> String {
+    let body = record.encode();
+    let crc = fnv1a64(body.as_bytes());
+    record.clone().with("crc", format!("{crc:016x}")).encode()
+}
+
+/// Verifies one sealed journal line: parses it, checks that the final
+/// member is `crc`, and re-checksums the rest. Returns the record with
+/// the `crc` member removed.
+pub fn verify_line(line: &str) -> Result<Value, String> {
+    let v = parse(line)?;
+    let Value::Obj(mut members) = v else {
+        return Err("journal record is not an object".to_string());
+    };
+    let Some((key, crc_v)) = members.pop() else {
+        return Err("journal record is empty".to_string());
+    };
+    if key != "crc" {
+        return Err(format!("journal record ends with {key:?}, not \"crc\""));
+    }
+    let Some(stored) = crc_v.as_str() else {
+        return Err("crc member is not a string".to_string());
+    };
+    let body = Value::Obj(members);
+    let want = format!("{:016x}", fnv1a64(body.encode().as_bytes()));
+    if stored != want {
+        return Err(format!("crc mismatch: stored {stored}, computed {want}"));
+    }
+    Ok(body)
+}
+
+/// Why a journal could not be read.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A record that is *not* the final line failed verification — the
+    /// file is corrupt beyond the single-torn-tail shape a crash leaves.
+    Corrupt {
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::Corrupt { line, reason } => {
+                write!(f, "journal corrupt at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// A torn final record, reported (not fatal) by [`read_journal`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TornTail {
+    /// 1-based line number of the fragment.
+    pub line: usize,
+    /// Why it failed verification.
+    pub reason: String,
+}
+
+/// A journal read back from disk.
+#[derive(Debug)]
+pub struct Journal {
+    /// Every intact record, `crc` member stripped, in file order.
+    pub records: Vec<Value>,
+    /// The torn final fragment, when the file ends mid-record.
+    pub torn_tail: Option<TornTail>,
+    /// Byte length of the intact prefix — truncate to this before
+    /// appending after a crash.
+    pub valid_len: u64,
+}
+
+/// Reads and verifies a journal file, tolerating one torn final record.
+///
+/// # Errors
+///
+/// [`JournalError::Io`] for filesystem failures and
+/// [`JournalError::Corrupt`] when a *non-final* record fails
+/// verification (a crash can only tear the tail).
+pub fn read_journal(path: &Path) -> Result<Journal, JournalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    read_journal_bytes(&bytes)
+}
+
+/// [`read_journal`] over in-memory bytes (the file's full contents).
+///
+/// # Errors
+///
+/// See [`read_journal`].
+pub fn read_journal_bytes(bytes: &[u8]) -> Result<Journal, JournalError> {
+    let mut records = Vec::new();
+    let mut valid_len = 0u64;
+    let mut at = 0usize;
+    let mut line_no = 0usize;
+    while at < bytes.len() {
+        line_no += 1;
+        let nl = bytes[at..].iter().position(|&b| b == b'\n');
+        let (line_bytes, terminated, next) = match nl {
+            Some(off) => (&bytes[at..at + off], true, at + off + 1),
+            None => (&bytes[at..], false, bytes.len()),
+        };
+        let verdict: Result<Value, String> = if !terminated {
+            Err("record is not newline-terminated".to_string())
+        } else {
+            std::str::from_utf8(line_bytes)
+                .map_err(|_| "record is not valid UTF-8".to_string())
+                .and_then(verify_line)
+        };
+        match verdict {
+            Ok(v) => {
+                records.push(v);
+                valid_len = next as u64;
+            }
+            Err(reason) => {
+                // Tolerable only as the very last thing in the file.
+                if bytes[next..].iter().any(|&b| !b.is_ascii_whitespace()) {
+                    return Err(JournalError::Corrupt {
+                        line: line_no,
+                        reason,
+                    });
+                }
+                return Ok(Journal {
+                    records,
+                    torn_tail: Some(TornTail {
+                        line: line_no,
+                        reason,
+                    }),
+                    valid_len,
+                });
+            }
+        }
+        at = next;
+    }
+    Ok(Journal {
+        records,
+        torn_tail: None,
+        valid_len,
+    })
+}
+
+/// Appends sealed records to a journal file, fsyncing after every
+/// record so a committed record survives any later crash.
+#[derive(Debug)]
+pub struct DurableAppender {
+    file: File,
+}
+
+impl DurableAppender {
+    /// Creates (or truncates) the journal at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path) -> std::io::Result<DurableAppender> {
+        Ok(DurableAppender {
+            file: File::create(path)?,
+        })
+    }
+
+    /// Reopens an existing journal for appending, first truncating it to
+    /// `valid_len` (from [`Journal::valid_len`]) to drop a torn tail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn reopen(path: &Path, valid_len: u64) -> std::io::Result<DurableAppender> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut app = DurableAppender { file };
+        app.file.seek(SeekFrom::End(0))?;
+        Ok(app)
+    }
+
+    /// Seals `record`, writes it as one line, and fsyncs. After this
+    /// returns, the record is durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; on error the record may be torn on
+    /// disk, which the reader tolerates.
+    pub fn append(&mut self, record: &Value) -> std::io::Result<()> {
+        let mut line = seal(record);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64) -> Value {
+        Value::obj().with("type", "t").with("i", i).with("x", 0.125)
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn seal_verify_round_trips() {
+        let r = rec(7);
+        let line = seal(&r);
+        assert!(line.contains("\"crc\":\""));
+        assert_eq!(verify_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn verify_rejects_tampering() {
+        let line = seal(&rec(7));
+        let tampered = line.replace("\"i\":7", "\"i\":8");
+        assert!(verify_line(&tampered).unwrap_err().contains("crc mismatch"));
+        assert!(verify_line("{\"no\":\"crc\"}").is_err());
+        assert!(verify_line("not json").is_err());
+    }
+
+    #[test]
+    fn journal_reads_back_what_was_appended() {
+        let path = std::env::temp_dir().join(format!("sllt_journal_rt_{}", std::process::id()));
+        let mut app = DurableAppender::create(&path).unwrap();
+        for i in 0..4 {
+            app.append(&rec(i)).unwrap();
+        }
+        drop(app);
+        let j = read_journal(&path).unwrap();
+        assert_eq!(j.records.len(), 4);
+        assert!(j.torn_tail.is_none());
+        assert_eq!(j.valid_len, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(j.records[2], rec(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_reported_at_every_cut() {
+        let mut bytes = Vec::new();
+        for i in 0..3 {
+            bytes.extend_from_slice(seal(&rec(i)).as_bytes());
+            bytes.push(b'\n');
+        }
+        let full = bytes.len();
+        let boundaries: Vec<usize> = {
+            let mut b = vec![0];
+            b.extend(
+                bytes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c == b'\n')
+                    .map(|(i, _)| i + 1),
+            );
+            b
+        };
+        // Every prefix of the file parses: whole records survive, the
+        // torn fragment (if any) is reported, never fatal.
+        for cut in 0..=full {
+            let j = read_journal_bytes(&bytes[..cut]).unwrap();
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(j.records.len(), whole, "cut at {cut}");
+            let at_boundary = boundaries.contains(&cut);
+            assert_eq!(j.torn_tail.is_none(), at_boundary, "cut at {cut}");
+            assert_eq!(j.valid_len as usize, boundaries[whole], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn mid_file_corruption_is_fatal() {
+        let mut text = String::new();
+        for i in 0..3 {
+            text.push_str(&seal(&rec(i)));
+            text.push('\n');
+        }
+        let corrupted = text.replacen("\"i\":1", "\"i\":9", 1);
+        let err = read_journal_bytes(corrupted.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Corrupt { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn reopen_truncates_the_torn_tail() {
+        let path = std::env::temp_dir().join(format!("sllt_journal_tt_{}", std::process::id()));
+        let mut app = DurableAppender::create(&path).unwrap();
+        app.append(&rec(0)).unwrap();
+        app.append(&rec(1)).unwrap();
+        drop(app);
+        // Simulate a crash mid-write: chop the last record in half.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let j = read_journal(&path).unwrap();
+        assert_eq!(j.records.len(), 1);
+        assert!(j.torn_tail.is_some());
+        let mut app = DurableAppender::reopen(&path, j.valid_len).unwrap();
+        app.append(&rec(2)).unwrap();
+        drop(app);
+        let j = read_journal(&path).unwrap();
+        assert!(j.torn_tail.is_none());
+        assert_eq!(j.records.len(), 2);
+        assert_eq!(j.records[1], rec(2));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -36,12 +36,14 @@
 //! assert_eq!(registry.snapshot().metrics.counter("demo.widgets"), 3);
 //! ```
 
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod record;
 mod registry;
 mod sink;
 
+pub use journal::{fnv1a64, DurableAppender, Journal, JournalError, TornTail};
 pub use json::Value;
 pub use metrics::{fmt_rate, rate_per_sec, Histogram, MetricsMap};
 pub use record::{RunRecord, SCHEMA_VERSION};

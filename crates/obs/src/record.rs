@@ -38,6 +38,12 @@ pub struct RunRecord {
     pub spans: Vec<SpanRecord>,
     /// Merged metrics.
     pub metrics: MetricsMap,
+    /// Set by [`parse_jsonl`](RunRecord::parse_jsonl) when the file
+    /// ended in a truncated (non-JSON) final line — the record that was
+    /// being written when the process died. The fragment is skipped, not
+    /// fatal: every intact record is still returned. The writer never
+    /// sets this and [`to_jsonl`](RunRecord::to_jsonl) ignores it.
+    pub torn_tail: Option<String>,
 }
 
 impl RunRecord {
@@ -49,6 +55,7 @@ impl RunRecord {
             events,
             spans: collected.spans,
             metrics: collected.metrics,
+            torn_tail: None,
         }
     }
 
@@ -116,15 +123,33 @@ impl RunRecord {
 
     /// Parses and validates a JSONL run record. Errors carry the line
     /// number and what was wrong.
+    ///
+    /// A *final* line that is not valid JSON — the shape a crash leaves
+    /// when it truncates the record being written — is skipped and
+    /// reported through [`torn_tail`](RunRecord::torn_tail) instead of
+    /// rejecting the whole file. A broken line anywhere else is still a
+    /// hard error, as is any semantic violation (missing meta, dangling
+    /// span parent, unknown schema), so intact records keep the bit-exact
+    /// round-trip guarantee.
     pub fn parse_jsonl(text: &str) -> Result<RunRecord, String> {
         let mut record = RunRecord::default();
         let mut saw_meta = false;
-        for (i, line) in text.lines().enumerate() {
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        let last = lines.len().saturating_sub(1);
+        for (pos, &(i, line)) in lines.iter().enumerate() {
             let at = |msg: &str| format!("line {}: {msg}", i + 1);
-            if line.trim().is_empty() {
-                continue;
-            }
-            let v = parse(line).map_err(|e| at(&e))?;
+            let v = match parse(line) {
+                Ok(v) => v,
+                Err(e) if pos == last => {
+                    record.torn_tail = Some(at(&format!("truncated final record: {e}")));
+                    continue;
+                }
+                Err(e) => return Err(at(&e)),
+            };
             let ty = v
                 .get("type")
                 .and_then(Value::as_str)
@@ -265,6 +290,7 @@ mod tests {
                 },
             ],
             metrics,
+            torn_tail: None,
         }
     }
 
@@ -291,6 +317,27 @@ mod tests {
         assert!(RunRecord::parse_jsonl(&future).is_err());
         // Not JSON at all.
         assert!(RunRecord::parse_jsonl("{nope}").is_err());
+    }
+
+    #[test]
+    fn truncated_final_line_is_skipped_and_reported() {
+        let good = sample().to_jsonl();
+        // Chop the last record mid-way, as a crash during write would.
+        let cut = good.trim_end().len() - 15;
+        let torn = &good[..cut];
+        let back = RunRecord::parse_jsonl(torn).expect("torn tail must not reject the file");
+        let tail = back.torn_tail.as_deref().expect("torn tail reported");
+        assert!(tail.contains("truncated final record"), "{tail}");
+        // Every intact line survived: only the final hist record is gone.
+        assert_eq!(back.meta, sample().meta);
+        assert_eq!(back.events, sample().events);
+        assert_eq!(back.spans, sample().spans);
+        assert!(back.metrics.histograms.is_empty());
+        // A broken line that is NOT final stays fatal.
+        let mid = good.replacen("\"type\":\"span\"", "\"type\":", 1);
+        assert!(RunRecord::parse_jsonl(&mid).is_err());
+        // An intact file reports no tear.
+        assert!(RunRecord::parse_jsonl(&good).unwrap().torn_tail.is_none());
     }
 
     #[test]

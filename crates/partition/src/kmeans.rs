@@ -107,6 +107,7 @@ pub fn balanced_kmeans(points: &[Point], k: usize, cap: usize, seed: u64) -> Par
                     p.dist_l2_sq(centers[a])
                         .total_cmp(&p.dist_l2_sq(centers[b]))
                 })
+                // Invariant: backed by the `k > 0` assert at entry.
                 .expect("k > 0");
             if assignment[i] != best {
                 assignment[i] = best;
@@ -344,6 +345,7 @@ pub fn balanced_kmeans_restarts(
         })
         .min_by(|a, b| a.0.total_cmp(&b.0))
         .map(|(_, p)| p)
+        // Invariant: backed by the `tries > 0` assert at entry.
         .expect("tries > 0")
 }
 

@@ -41,4 +41,4 @@ pub use kmeans::{
     balanced_kmeans, balanced_kmeans_grid, balanced_kmeans_restarts, silhouette, Partition,
 };
 pub use mcf::MinCostFlow;
-pub use sa::{refine, PartitionConstraints, SaConfig};
+pub use sa::{refine, refine_with_stop, PartitionConstraints, SaConfig};

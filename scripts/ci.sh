@@ -43,4 +43,26 @@ cargo run --release -q -p sllt-bench --bin faultsweep -- --design s35932
 test -s results/faultsweep_s35932.json
 grep -q '"triggers":\["' results/faultsweep_s35932.json
 
+echo "== durability: checkpoint/resume + cancellation suites (release, incl. ISCAS kill/resume)"
+# Covers: truncate-at-every-boundary resume, torn-tail tolerance,
+# fingerprint drift refusal, bounded cancellation latency, and
+# resume-after-kill bit-identity on s35932/s38584 at 1/2/4 workers.
+# (The ISCAS tests are ignore-gated in debug builds only; a release run
+# executes them.)
+cargo test -q --release -p sllt-cts --test checkpoint --test cancel
+
+echo "== suite runner: panic isolation + torn-manifest --resume smoke"
+rm -rf results/suite_ci
+if cargo run --release -q -p sllt-bench --bin suite -- \
+    --designs grid48,grid64 --configs base --out results/suite_ci \
+    --retries 0 --inject-panic grid64:base; then
+  echo "suite must exit nonzero when a job panics" >&2; exit 1
+fi
+# Simulate a batch killed mid-append, then resume: only grid64 reruns.
+printf '{"type":"job_st' >> results/suite_ci/manifest.jsonl
+cargo run --release -q -p sllt-bench --bin suite -- \
+    --designs grid48,grid64 --configs base --out results/suite_ci --retries 0 --resume
+test "$(grep -c '"job":"grid48:base","attempt"' results/suite_ci/manifest.jsonl)" = 2
+rm -rf results/suite_ci
+
 echo "CI green"

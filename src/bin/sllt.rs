@@ -47,7 +47,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   sllt suite
   sllt run  (--design <name> | --design-file <file>) [--flow ours|commercial|openroad]
-            [--tree <file>] [--svg <file>]
+            [--checkpoint <journal> [--resume]] [--tree <file>] [--svg <file>]
   sllt net  [--pins N] [--seed N] [--algo cbs|salt|rsmt|zst|bst|htree|ghtree] [--skew PS] [--svg <file>]
   sllt eval --tree <file>
   sllt ocv  --tree <file> [--derate F] [--trials N]";
@@ -116,6 +116,37 @@ fn save_outputs(args: &[String], tree: &ClockTree, title: &str) -> Result<(), St
     Ok(())
 }
 
+/// Runs an engine-based flow with Ctrl-C wired to cooperative
+/// cancellation, and optionally journaled to `--checkpoint <file>`.
+/// With `--resume` and an existing journal, the run continues from the
+/// last committed level instead of starting over; an interrupted run
+/// exits nonzero but leaves the journal resumable.
+fn run_engine(
+    cts: HierarchicalCts,
+    design: &sllt::design::Design,
+    args: &[String],
+) -> Result<ClockTree, String> {
+    let token = sllt::cts::CancelToken::new();
+    #[cfg(unix)]
+    sllt::cts::cancel::install_sigint(&token);
+    let cts = HierarchicalCts {
+        cancel: token,
+        ..cts
+    };
+    let result = match flag(args, "--checkpoint") {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            if args.iter().any(|a| a == "--resume") && path.exists() {
+                cts.resume(design, &path)
+            } else {
+                cts.run_checkpointed(design, &path)
+            }
+        }
+        None => cts.run(design),
+    };
+    result.map_err(|e| format!("CTS flow failed: {e}"))
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let design = if let Some(path) = flag(args, "--design-file") {
         let f = std::fs::File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
@@ -132,10 +163,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let flow = flag(args, "--flow").unwrap_or_else(|| "ours".into());
     let ours = HierarchicalCts::default();
     let tree = match flow.as_str() {
-        "ours" => ours.run(&design).expect("CTS flow failed"),
-        "commercial" => baseline::commercial_like()
-            .run(&design)
-            .expect("CTS flow failed"),
+        "ours" => run_engine(HierarchicalCts::default(), &design, args)?,
+        "commercial" => run_engine(baseline::commercial_like(), &design, args)?,
         "openroad" => {
             baseline::open_road_like(&design, &CtsConstraints::paper(), &ours.tech, &ours.lib)
         }
@@ -216,6 +245,11 @@ fn cmd_ocv(args: &[String]) -> Result<(), String> {
     let tree = load_tree(args)?;
     let derate: f64 = flag_parse(args, "--derate", 0.08)?;
     let trials: usize = flag_parse(args, "--trials", 200)?;
+    // ocv_analysis asserts trials > 0; turn a bad flag into a clean
+    // error instead of a panic.
+    if trials == 0 {
+        return Err("--trials must be at least 1".into());
+    }
     let tech = Technology::n28();
     let lib = BufferLibrary::n28();
     let nominal = ocv::derate_skew(&tree, &tech, &lib, 0.0);
