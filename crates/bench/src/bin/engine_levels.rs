@@ -5,11 +5,13 @@
 //! ```text
 //! cargo run --release -p sllt-bench --bin engine_levels [-- <design-name>]
 //! ```
+//!
+//! `<design-name>` is a placed suite design (`s38584`, …) or a
+//! synthetic `grid<N>` (e.g. `grid100000`) for scaling looks.
 
 use sllt_bench::{emit_json, run_main, Table};
 use sllt_cts::flow::HierarchicalCts;
 use sllt_cts::{level_value, CollectingObserver};
-use sllt_design::DesignSpec;
 use sllt_obs::Value;
 use std::process::ExitCode;
 
@@ -22,9 +24,8 @@ fn run() -> Result<(), String> {
         .skip(1)
         .find(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "s38584".to_string());
-    let spec = DesignSpec::by_name(&name)
+    let design = sllt_design::design_by_name(&name)
         .ok_or_else(|| format!("unknown design {name:?}; see `table4` for the suite"))?;
-    let design = spec.instantiate();
     println!("{}: {} FFs", design.name, design.num_ffs());
 
     let cts = HierarchicalCts::default();

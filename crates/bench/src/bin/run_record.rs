@@ -17,7 +17,7 @@
 use sllt_bench::{arg_value, run_main};
 use sllt_cts::flow::HierarchicalCts;
 use sllt_cts::{evaluate, run_record, CollectingObserver, RecordingSink};
-use sllt_design::{DesignSpec, SUITE};
+use sllt_design::{Design, SUITE};
 use sllt_obs::{rate_per_sec, RunRecord, Value};
 use std::time::{Duration, Instant};
 
@@ -25,17 +25,30 @@ fn main() -> std::process::ExitCode {
     run_main(run)
 }
 
+/// A full sweep covers every placed suite design (paper Table 1) plus
+/// one large synthetic grid point, so the recorded benchmark tracks the
+/// sharded-partition / SoA-tree scale path as well as the paper
+/// comparisons.
+const SCALE_POINT: &str = "grid100000";
+
+fn design_by_name(name: &str) -> Result<Design, String> {
+    sllt_design::design_by_name(name)
+        .ok_or_else(|| format!("unknown design {name:?}; see `table4` for the suite"))
+}
+
 fn run() -> Result<(), String> {
-    let specs: Vec<&DesignSpec> = match arg_value("--design") {
-        Some(name) => vec![DesignSpec::by_name(&name)
-            .ok_or_else(|| format!("unknown design {name:?}; see `table4` for the suite"))?],
-        None => SUITE.iter().collect(),
+    let designs: Vec<Design> = match arg_value("--design") {
+        Some(name) => vec![design_by_name(&name)?],
+        None => SUITE
+            .iter()
+            .map(|s| s.instantiate())
+            .chain([design_by_name(SCALE_POINT)?])
+            .collect(),
     };
     std::fs::create_dir_all("results").map_err(|e| format!("create results directory: {e}"))?;
 
     let mut summaries: Vec<Value> = Vec::new();
-    for spec in specs {
-        let design = spec.instantiate();
+    for design in designs {
         let cts = HierarchicalCts::default();
         let sink = RecordingSink::new();
         let mut obs = CollectingObserver::new();

@@ -28,11 +28,9 @@
 use sllt_bench::{arg_flag, arg_parse, arg_value, run_main, Table};
 use sllt_cts::flow::HierarchicalCts;
 use sllt_cts::{evaluate, CancelToken, CtsError, RecoveryPolicy};
-use sllt_design::{Design, DesignSpec};
-use sllt_geom::{Point, Rect};
+use sllt_design::Design;
 use sllt_obs::journal::read_journal;
 use sllt_obs::{DurableAppender, Value};
-use sllt_tree::Sink;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -54,38 +52,10 @@ fn main() -> ExitCode {
 // ---------------------------------------------------------------- jobs
 
 /// Resolves a design name: the benchmark suite by name, or a synthetic
-/// `grid<N>` register grid (N sinks over a 12-column array) for smoke
-/// tests that must not pay ISCAS-scale runtimes.
+/// `grid<N>` register grid ([`sllt_design::GridSpec`]) for smoke tests
+/// that must not pay ISCAS-scale runtimes.
 fn design_by_name(name: &str) -> Result<Design, String> {
-    if let Some(n) = name.strip_prefix("grid") {
-        let n: usize = n
-            .parse()
-            .map_err(|_| format!("bad grid design {name:?}: expected grid<N>"))?;
-        if n == 0 {
-            return Err(format!("bad grid design {name:?}: N must be positive"));
-        }
-        let sinks: Vec<Sink> = (0..n)
-            .map(|i| {
-                Sink::new(
-                    Point::new((i % 12) as f64 * 15.0, (i / 12) as f64 * 15.0),
-                    1.0 + (i % 3) as f64 * 0.4,
-                )
-            })
-            .collect();
-        return Ok(Design {
-            name: name.to_string(),
-            num_instances: n,
-            utilization: 0.5,
-            die: Rect::new(
-                Point::ORIGIN,
-                Point::new(200.0, (n as f64 / 12.0).ceil().max(1.0) * 15.0 + 15.0),
-            ),
-            clock_root: Point::ORIGIN,
-            sinks,
-        });
-    }
-    DesignSpec::by_name(name)
-        .map(|s| s.instantiate())
+    sllt_design::design_by_name(name)
         .ok_or_else(|| format!("unknown design {name:?}; see `table4` for the suite"))
 }
 

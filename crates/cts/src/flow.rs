@@ -420,7 +420,12 @@ impl HierarchicalCts {
                         nodes: ckpt.nodes,
                     };
                 }
-                Some(CheckpointWriter::reopen(path, ckpt.valid_len)?)
+                Some(CheckpointWriter::reopen(
+                    path,
+                    ckpt.valid_len,
+                    ckpt.schema,
+                    &cx.nodes,
+                )?)
             }
         };
         while cx.nodes.len() > 1 {

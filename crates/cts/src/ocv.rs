@@ -148,7 +148,7 @@ pub fn derate_skew(tree: &ClockTree, tech: &Technology, lib: &BufferLibrary, der
         // diverge exactly at `v`.
         let mut best_late = late[v.index()];
         let mut best_early = early[v.index()];
-        for &c in node.children() {
+        for c in node.children() {
             if late[c.index()] > f64::NEG_INFINITY && best_early < f64::INFINITY {
                 worst = worst.max(late[c.index()] - best_early - 2.0 * derate * delay[v.index()]);
             }

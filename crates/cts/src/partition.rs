@@ -64,22 +64,34 @@ pub(crate) fn partition_level(
     let k = by_fanout.max(by_cap).max(by_wl).max(1).min((n / 2).max(1));
 
     // Large levels use median-bisection cells with per-cell exact
-    // (min-cost-flow) assignment; smaller ones pick among K-means
-    // restarts with the paper's latency/capacitance-adaptive cost
-    // `p·σ(Cap) + q·σ(T)` (§3.2), whose weights shift from capacitance
-    // balance at the bottom toward delay balance at the top. The realized
-    // cluster count may exceed the estimate.
-    let part = if n > 1500 {
-        if cts.cancel.poll() {
-            return Err(CtsError::Cancelled);
-        }
-        sllt_partition::balanced_kmeans_grid(
+    // (min-cost-flow) assignment, fanned out across the flow's worker
+    // pool — per-cell seed streams are anchored to cell content, so the
+    // partition is bit-identical at any worker count. Smaller levels
+    // pick among K-means restarts with the paper's
+    // latency/capacitance-adaptive cost `p·σ(Cap) + q·σ(T)` (§3.2),
+    // whose weights shift from capacitance balance at the bottom toward
+    // delay balance at the top. The realized cluster count may exceed
+    // the estimate.
+    // The restart path's exact assignment costs ~O(n^2.7) per solve
+    // (10 ms at 300 points, ~700 ms at 1400), so levels past a few
+    // hundred nodes pay seconds per restart; the cell path bounds every
+    // solve at `max_cell` points and stays near-linear.
+    let part = if n > 600 {
+        // Cell size bounds the min-cost-flow's quadratic blowup: at ~300
+        // points a cell assigns in ~10 ms where 1200-point cells cost
+        // ~450 ms each, and total partition time stays near-linear in
+        // the sink count. Cells must still hold one full cluster.
+        let max_cell = 300.max(cons.max_fanout);
+        sllt_partition::balanced_kmeans_grid_sharded(
             positions,
             k,
             cons.max_fanout,
-            1200,
+            max_cell,
             cts.seed ^ level as u64,
+            cts.effective_workers(usize::MAX),
+            &|| cts.cancel.poll(),
         )
+        .ok_or(CtsError::Cancelled)?
     } else {
         // Rough level count for the weight schedule.
         let est_levels = ((n as f64).ln() / (cons.max_fanout as f64).ln()).ceil() as usize + 1;

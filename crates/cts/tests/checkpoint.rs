@@ -41,12 +41,29 @@ fn journal_path(tag: &str) -> PathBuf {
 }
 
 /// Byte offsets of every record boundary in the journal (after the
-/// terminating newline of each record), including 0.
+/// terminating newline of each record), including 0. Record-structure
+/// aware: a schema-2 binary frame's payload may contain `0x0A` bytes,
+/// so newlines alone do not delimit records — frames are skipped whole
+/// via their length header.
 fn boundaries(bytes: &[u8]) -> Vec<usize> {
+    use sllt_obs::journal::{FRAME_MARKER, FRAME_OVERHEAD};
     let mut out = vec![0usize];
-    for (i, &b) in bytes.iter().enumerate() {
-        if b == b'\n' {
-            out.push(i + 1);
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == FRAME_MARKER {
+            let Some(hdr) = bytes.get(i + 1..i + 5) else {
+                break;
+            };
+            let len = u32::from_le_bytes(hdr.try_into().unwrap()) as usize;
+            i += FRAME_OVERHEAD + len;
+        } else {
+            match bytes[i..].iter().position(|&b| b == b'\n') {
+                Some(nl) => i += nl + 1,
+                None => break,
+            }
+        }
+        if i <= bytes.len() {
+            out.push(i);
         }
     }
     out

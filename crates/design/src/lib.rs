@@ -15,12 +15,14 @@
 //!   matching those statistics preserves the comparisons. See DESIGN.md.
 
 pub mod design;
+pub mod grid;
 pub mod io;
 pub mod netgen;
 pub mod sanitize;
 pub mod suite;
 
 pub use design::Design;
+pub use grid::{design_by_name, grid_design, GridSpec};
 pub use io::{read_design, write_design};
 pub use netgen::NetGenerator;
 pub use sanitize::{SanitizeIssue, SanitizeReport, Severity, MAX_COORD_UM};

@@ -19,6 +19,26 @@
 //! [`Journal::valid_len`] is the byte length of the intact prefix; a
 //! writer resuming after a crash truncates to it before appending, which
 //! restores the invariant above.
+//!
+//! # Binary frames
+//!
+//! Large payloads (the engine's binary level checkpoints) would bloat by
+//! a third under base64, so the journal also supports *binary frame*
+//! records interleaved with JSONL lines. A frame starts with a `0x00`
+//! marker byte — which can never open a JSON line — followed by a
+//! little-endian `u32` payload length, the payload itself, the FNV-1a-64
+//! checksum of the payload, and a terminating newline:
+//!
+//! ```text
+//! 0x00 | len: u32 LE | payload (len bytes) | fnv1a64(payload): u64 LE | '\n'
+//! ```
+//!
+//! Frames obey the same durability contract as lines: one `write` +
+//! `fdatasync` per frame ([`DurableAppender::append_binary`]), a torn
+//! final frame (truncated header, payload, or checksum) is reported and
+//! skipped, and a bad frame followed by more data is a hard error.
+//! [`Journal::frames`] returns payloads in file order, each tagged with
+//! how many JSON records preceded it.
 
 use crate::json::{parse, Value};
 use std::fmt;
@@ -119,16 +139,73 @@ pub struct TornTail {
     pub reason: String,
 }
 
+/// One verified binary frame read back from a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalFrame {
+    /// How many JSON records preceded this frame in the file —
+    /// interleaving position for readers that care about order.
+    pub after_record: usize,
+    /// The frame's payload, checksum already verified.
+    pub payload: Vec<u8>,
+}
+
 /// A journal read back from disk.
 #[derive(Debug)]
 pub struct Journal {
     /// Every intact record, `crc` member stripped, in file order.
     pub records: Vec<Value>,
+    /// Every intact binary frame, in file order.
+    pub frames: Vec<JournalFrame>,
     /// The torn final fragment, when the file ends mid-record.
     pub torn_tail: Option<TornTail>,
     /// Byte length of the intact prefix — truncate to this before
     /// appending after a crash.
     pub valid_len: u64,
+}
+
+/// Marker byte opening a binary frame record (never opens a JSON line).
+pub const FRAME_MARKER: u8 = 0x00;
+
+/// Fixed overhead of a binary frame around its payload: marker (1) +
+/// length (4) + checksum (8) + newline (1).
+pub const FRAME_OVERHEAD: usize = 14;
+
+/// Parses one binary frame starting at `bytes[0]` (the marker byte).
+/// Returns the payload and the total bytes consumed. On failure the
+/// error carries the frame's declared extent when the header was intact
+/// (`None` = the file ends inside the frame), so the caller can decide
+/// torn-tail vs corrupt the same way it does for lines.
+fn parse_frame(bytes: &[u8]) -> Result<(Vec<u8>, usize), (String, Option<usize>)> {
+    if bytes.len() < 5 {
+        return Err(("truncated binary frame header".to_string(), None));
+    }
+    let len = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]) as usize;
+    let total = FRAME_OVERHEAD + len;
+    if bytes.len() < total {
+        return Err((
+            format!(
+                "truncated binary frame: need {total} bytes, have {}",
+                bytes.len()
+            ),
+            None,
+        ));
+    }
+    let payload = &bytes[5..5 + len];
+    let stored = u64::from_le_bytes(bytes[5 + len..5 + len + 8].try_into().unwrap());
+    let want = fnv1a64(payload);
+    if stored != want {
+        return Err((
+            format!("binary frame checksum mismatch: stored {stored:016x}, computed {want:016x}"),
+            Some(total),
+        ));
+    }
+    if bytes[total - 1] != b'\n' {
+        return Err((
+            "binary frame is not newline-terminated".to_string(),
+            Some(total),
+        ));
+    }
+    Ok((payload.to_vec(), total))
 }
 
 /// Reads and verifies a journal file, tolerating one torn final record.
@@ -151,11 +228,49 @@ pub fn read_journal(path: &Path) -> Result<Journal, JournalError> {
 /// See [`read_journal`].
 pub fn read_journal_bytes(bytes: &[u8]) -> Result<Journal, JournalError> {
     let mut records = Vec::new();
+    let mut frames = Vec::new();
     let mut valid_len = 0u64;
     let mut at = 0usize;
     let mut line_no = 0usize;
     while at < bytes.len() {
         line_no += 1;
+        // Binary frame records open with the marker byte; everything
+        // else is a newline-terminated sealed JSON line.
+        if bytes[at] == FRAME_MARKER {
+            match parse_frame(&bytes[at..]) {
+                Ok((payload, consumed)) => {
+                    frames.push(JournalFrame {
+                        after_record: records.len(),
+                        payload,
+                    });
+                    at += consumed;
+                    valid_len = at as u64;
+                    continue;
+                }
+                Err((reason, extent)) => {
+                    // A frame whose declared extent fits the file but
+                    // fails verification, with more data after it, is
+                    // corruption; anything reaching the end of the file
+                    // is the single torn tail a crash leaves.
+                    let after = extent.map_or(bytes.len(), |t| at + t);
+                    if bytes[after..].iter().any(|&b| !b.is_ascii_whitespace()) {
+                        return Err(JournalError::Corrupt {
+                            line: line_no,
+                            reason,
+                        });
+                    }
+                    return Ok(Journal {
+                        records,
+                        frames,
+                        torn_tail: Some(TornTail {
+                            line: line_no,
+                            reason,
+                        }),
+                        valid_len,
+                    });
+                }
+            }
+        }
         let nl = bytes[at..].iter().position(|&b| b == b'\n');
         let (line_bytes, terminated, next) = match nl {
             Some(off) => (&bytes[at..at + off], true, at + off + 1),
@@ -183,6 +298,7 @@ pub fn read_journal_bytes(bytes: &[u8]) -> Result<Journal, JournalError> {
                 }
                 return Ok(Journal {
                     records,
+                    frames,
                     torn_tail: Some(TornTail {
                         line: line_no,
                         reason,
@@ -195,6 +311,7 @@ pub fn read_journal_bytes(bytes: &[u8]) -> Result<Journal, JournalError> {
     }
     Ok(Journal {
         records,
+        frames,
         torn_tail: None,
         valid_len,
     })
@@ -244,6 +361,30 @@ impl DurableAppender {
         let mut line = seal(record);
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+
+    /// Frames `payload` as one binary record (marker, length, payload,
+    /// checksum, newline), writes it as a single `write`, and fsyncs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; `InvalidInput` when the payload
+    /// exceeds the `u32` frame length.
+    pub fn append_binary(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        let len = u32::try_from(payload.len()).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "binary frame payload exceeds u32 length",
+            )
+        })?;
+        let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+        frame.push(FRAME_MARKER);
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        frame.push(b'\n');
+        self.file.write_all(&frame)?;
         self.file.sync_data()
     }
 }
@@ -341,6 +482,74 @@ mod tests {
             matches!(err, JournalError::Corrupt { line: 2, .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn binary_frames_interleave_with_lines_and_round_trip() {
+        let path = std::env::temp_dir().join(format!("sllt_journal_bf_{}", std::process::id()));
+        let mut app = DurableAppender::create(&path).unwrap();
+        app.append(&rec(0)).unwrap();
+        // Payload with newlines, marker bytes, and all byte values.
+        let p1: Vec<u8> = (0..=255u8).cycle().take(700).collect();
+        app.append_binary(&p1).unwrap();
+        app.append(&rec(1)).unwrap();
+        let p2 = b"\n\x00tiny\n".to_vec();
+        app.append_binary(&p2).unwrap();
+        drop(app);
+        let j = read_journal(&path).unwrap();
+        assert_eq!(j.records.len(), 2);
+        assert_eq!(j.frames.len(), 2);
+        assert_eq!(j.frames[0].after_record, 1);
+        assert_eq!(j.frames[0].payload, p1);
+        assert_eq!(j.frames[1].after_record, 2);
+        assert_eq!(j.frames[1].payload, p2);
+        assert!(j.torn_tail.is_none());
+        assert_eq!(j.valid_len, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_binary_frame_is_skipped_at_every_cut() {
+        let path = std::env::temp_dir().join(format!("sllt_journal_bt_{}", std::process::id()));
+        let mut app = DurableAppender::create(&path).unwrap();
+        app.append(&rec(0)).unwrap();
+        let payload: Vec<u8> = (0..300u32).map(|i| (i % 251) as u8).collect();
+        app.append_binary(&payload).unwrap();
+        drop(app);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let frame_start = bytes.len() - (FRAME_OVERHEAD + payload.len());
+        // Any cut inside the frame (including mid-header and mid-checksum)
+        // drops it as a torn tail, keeping the JSON record before it.
+        for cut in frame_start + 1..bytes.len() {
+            let j = read_journal_bytes(&bytes[..cut]).unwrap();
+            assert_eq!(j.records.len(), 1, "cut at {cut}");
+            assert!(j.frames.is_empty(), "cut at {cut}");
+            assert!(j.torn_tail.is_some(), "cut at {cut}");
+            assert_eq!(j.valid_len as usize, frame_start, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_interior_frame_is_fatal() {
+        let path = std::env::temp_dir().join(format!("sllt_journal_bc_{}", std::process::id()));
+        let mut app = DurableAppender::create(&path).unwrap();
+        app.append_binary(b"payload bytes here").unwrap();
+        app.append(&rec(0)).unwrap();
+        drop(app);
+        let mut bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        bytes[7] ^= 0x40; // flip a payload bit in the (non-final) frame
+        let err = read_journal_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Corrupt { line: 1, .. }),
+            "{err}"
+        );
+        // The same flip with nothing after the frame is a torn tail.
+        let frame_len = FRAME_OVERHEAD + b"payload bytes here".len();
+        let j = read_journal_bytes(&bytes[..frame_len]).unwrap();
+        assert!(j.torn_tail.is_some());
+        assert_eq!(j.valid_len, 0);
     }
 
     #[test]

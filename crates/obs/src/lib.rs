@@ -43,7 +43,7 @@ pub mod record;
 mod registry;
 mod sink;
 
-pub use journal::{fnv1a64, DurableAppender, Journal, JournalError, TornTail};
+pub use journal::{fnv1a64, DurableAppender, Journal, JournalError, JournalFrame, TornTail};
 pub use json::Value;
 pub use metrics::{fmt_rate, rate_per_sec, Histogram, MetricsMap};
 pub use record::{RunRecord, SCHEMA_VERSION};

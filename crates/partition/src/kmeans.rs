@@ -255,6 +255,9 @@ fn greedy_capacitated(points: &[Point], centers: &[Point], cap: usize) -> Vec<us
 /// of µm wide); median bisection keeps every cluster local while the
 /// per-cell flow keeps the capacity exact.
 ///
+/// Serial convenience wrapper over [`balanced_kmeans_grid_sharded`]
+/// with one worker and no stop condition.
+///
 /// # Panics
 ///
 /// As [`balanced_kmeans`]; additionally panics when `max_cell < cap`.
@@ -265,14 +268,17 @@ pub fn balanced_kmeans_grid(
     max_cell: usize,
     seed: u64,
 ) -> Partition {
-    assert!(!points.is_empty(), "clustering an empty point set");
-    assert!(max_cell >= cap, "cells must hold at least one full cluster");
-    let n = points.len();
-    let mut assignment = vec![0usize; n];
-    let mut centers: Vec<Point> = Vec::new();
+    balanced_kmeans_grid_sharded(points, target_k, cap, max_cell, seed, 1, &|| false)
+        .expect("never stopped")
+}
 
-    // Recursive median split into cells.
-    let mut stack: Vec<Vec<usize>> = vec![(0..n).collect()];
+/// Splits `0..points.len()` into spatial cells of at most `max_cell`
+/// indices by recursive median bisection along the wider extent. Cell
+/// order is a pure function of the point set (LIFO split order, stable
+/// sorts), so downstream cluster numbering is reproducible.
+fn median_split_cells(points: &[Point], max_cell: usize) -> Vec<Vec<usize>> {
+    let mut cells = Vec::new();
+    let mut stack: Vec<Vec<usize>> = vec![(0..points.len()).collect()];
     while let Some(mut cell) = stack.pop() {
         if cell.is_empty() {
             // Median splits of nonempty cells keep both halves nonempty,
@@ -296,6 +302,47 @@ pub fn balanced_kmeans_grid(
             stack.push(hi);
             continue;
         }
+        cells.push(cell);
+    }
+    cells
+}
+
+/// [`balanced_kmeans_grid`] with the per-cell clustering fanned out
+/// across `workers` scoped threads.
+///
+/// The median bisection runs first and yields a deterministic cell
+/// list; workers then pull whole cells from a shared counter and run
+/// the per-cell K-means + min-cost-flow independently. Each cell's
+/// seed is anchored to its first (sort-leading) point index and
+/// expanded through SplitMix64 by the RNG layer, so every shard's
+/// random stream is a pure function of the point set and `seed` —
+/// never of worker count or scheduling. Shard results merge in cell
+/// order, which makes the returned partition (assignment *and* centre
+/// numbering) bit-identical at any worker count, including the serial
+/// path.
+///
+/// `stop` is polled between cells on every worker; returns `None` when
+/// it fired (the partial partition is discarded).
+///
+/// # Panics
+///
+/// As [`balanced_kmeans`]; additionally panics when `max_cell < cap`.
+pub fn balanced_kmeans_grid_sharded(
+    points: &[Point],
+    target_k: usize,
+    cap: usize,
+    max_cell: usize,
+    seed: u64,
+    workers: usize,
+    stop: &(dyn Fn() -> bool + Sync),
+) -> Option<Partition> {
+    assert!(!points.is_empty(), "clustering an empty point set");
+    assert!(max_cell >= cap, "cells must hold at least one full cluster");
+    let n = points.len();
+    let cells = median_split_cells(points, max_cell);
+    sllt_obs::count("partition.grid.cells", cells.len() as u64);
+
+    let cluster_cell = |cell: &[usize]| -> Partition {
         let pts: Vec<Point> = cell.iter().map(|&i| points[i]).collect();
         let k_cell = cell
             .len()
@@ -303,17 +350,75 @@ pub fn balanced_kmeans_grid(
             .max(target_k * cell.len() / n.max(1))
             .max(1)
             .min(cell.len());
-        let part = balanced_kmeans_restarts(&pts, k_cell, cap, seed ^ cell[0] as u64, 2);
+        balanced_kmeans_restarts(&pts, k_cell, cap, seed ^ cell[0] as u64, 2)
+    };
+
+    let workers = workers.clamp(1, cells.len().max(1));
+    let parts: Vec<Option<Partition>> = if workers <= 1 {
+        let mut parts = Vec::with_capacity(cells.len());
+        for cell in &cells {
+            if stop() {
+                return None;
+            }
+            parts.push(Some(cluster_cell(cell)));
+        }
+        parts
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Partition>>> = Mutex::new(vec![None; cells.len()]);
+        // Telemetry hand-off: workers record into the coordinator's
+        // registry (if one is installed) so per-cell counters merge to
+        // the same totals the serial path records — worker count must
+        // stay invisible to telemetry, not just to the partition.
+        let registry = sllt_obs::current();
+        let parent_span = sllt_obs::current_span();
+        std::thread::scope(|scope| {
+            let (next, slots, cells, cluster_cell, registry) =
+                (&next, &slots, &cells, &cluster_cell, &registry);
+            for w in 0..workers {
+                scope.spawn(move || {
+                    let _telemetry = registry
+                        .as_ref()
+                        .map(|r| r.install_worker(&format!("kmeans-worker-{w}"), parent_span));
+                    loop {
+                        // Poll before claiming, so at most `workers` cells
+                        // start after a stop fires.
+                        if stop() {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        let part = cluster_cell(&cells[i]);
+                        slots.lock().expect("no panics hold the slot lock")[i] = Some(part);
+                    }
+                });
+            }
+        });
+        slots.into_inner().expect("workers joined")
+    };
+
+    // Merge in cell order: shard-local cluster indices offset by the
+    // running total, exactly as the serial loop numbered them.
+    let mut assignment = vec![0usize; n];
+    let mut centers: Vec<Point> = Vec::new();
+    for (cell, part) in cells.iter().zip(parts) {
+        // An empty slot means its worker saw the stop before claiming
+        // the cell; the whole partition is discarded.
+        let part = part?;
         let base = centers.len();
         centers.extend_from_slice(&part.centers);
         for (local, &global) in cell.iter().enumerate() {
             assignment[global] = base + part.assignment[local];
         }
     }
-    Partition {
+    Some(Partition {
         assignment,
         centers,
-    }
+    })
 }
 
 /// Runs [`balanced_kmeans`] `tries` times with derived seeds and keeps
@@ -538,6 +643,42 @@ mod tests {
     fn infeasible_capacity_rejected() {
         let pts = grid(3, 1.0);
         let _ = balanced_kmeans(&pts, 2, 4, 1);
+    }
+
+    /// Sharding is an execution strategy, not a result knob: the
+    /// partition (assignment and centre numbering) must be bit-identical
+    /// at every worker count, including the serial wrapper.
+    #[test]
+    fn sharded_grid_is_bit_identical_at_any_worker_count() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let pts: Vec<Point> = (0..2400)
+            .map(|_| Point::new(rng.random_range(0.0..900.0), rng.random_range(0.0..600.0)))
+            .collect();
+        let serial = balanced_kmeans_grid(&pts, 2400 / 24, 24, 400, 17);
+        for workers in [1usize, 2, 3, 8] {
+            let sharded =
+                balanced_kmeans_grid_sharded(&pts, 2400 / 24, 24, 400, 17, workers, &|| false)
+                    .unwrap();
+            assert_eq!(serial.assignment, sharded.assignment, "workers={workers}");
+            let same_centers = serial
+                .centers
+                .iter()
+                .zip(&sharded.centers)
+                .all(|(a, b)| a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits());
+            assert!(
+                same_centers && serial.centers.len() == sharded.centers.len(),
+                "workers={workers}: centres diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_grid_stop_discards_the_partition() {
+        let pts = grid(50, 4.0); // 2500 points
+        for workers in [1usize, 4] {
+            let out = balanced_kmeans_grid_sharded(&pts, 80, 32, 500, 3, workers, &|| true);
+            assert!(out.is_none(), "workers={workers}: stop must discard");
+        }
     }
 
     #[test]

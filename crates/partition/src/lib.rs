@@ -38,7 +38,8 @@ pub mod sa;
 
 pub use cost::{cluster_cost, variance};
 pub use kmeans::{
-    balanced_kmeans, balanced_kmeans_grid, balanced_kmeans_restarts, silhouette, Partition,
+    balanced_kmeans, balanced_kmeans_grid, balanced_kmeans_grid_sharded, balanced_kmeans_restarts,
+    silhouette, Partition,
 };
 pub use mcf::MinCostFlow;
 pub use sa::{refine, refine_with_stop, PartitionConstraints, SaConfig};

@@ -2,8 +2,10 @@
 //!
 //! Successive shortest augmenting paths with Johnson potentials (Dijkstra
 //! on reduced costs). Costs are non-negative `f64`s — all the assignment
-//! problems in this workspace (sink→cluster distances) satisfy that, and
-//! potentials keep reduced costs non-negative throughout.
+//! problems in this workspace (sink→cluster distances) satisfy that.
+//! Potentials keep reduced costs non-negative in exact arithmetic;
+//! floating-point residue is clamped to zero inside the sweep so the
+//! invariant (and termination) survives large coordinates.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -126,7 +128,7 @@ impl MinCostFlow {
             dist[s] = 0.0;
             heap.push(HeapItem(0.0, s));
             while let Some(HeapItem(d, v)) = heap.pop() {
-                if d > dist[v] + 1e-12 {
+                if d > dist[v] {
                     continue;
                 }
                 for &e in &self.head[v] {
@@ -134,8 +136,20 @@ impl MinCostFlow {
                         continue;
                     }
                     let u = self.to[e];
-                    let nd = d + self.cost[e] + potential[v] - potential[u];
-                    if nd + 1e-12 < dist[u] {
+                    // Reduced cost. Exact arithmetic keeps it ≥ 0, but
+                    // floating point can round it a hair negative once
+                    // potentials carry accumulated sums of large
+                    // coordinates; a negative edge lets Dijkstra chase a
+                    // residual cycle of rounding noise forever (the heap
+                    // grows without bound — a real hang at die spans
+                    // past a few thousand µm). Negative values are pure
+                    // noise, so clamp to zero: with non-negative
+                    // weights and exact comparisons every node
+                    // finalizes at its first valid pop and the sweep
+                    // terminates in O(E log V).
+                    let rc = (self.cost[e] + potential[v] - potential[u]).max(0.0);
+                    let nd = d + rc;
+                    if nd < dist[u] {
                         dist[u] = nd;
                         prev_edge[u] = e;
                         heap.push(HeapItem(nd, u));
@@ -181,6 +195,45 @@ impl MinCostFlow {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression: an assignment network whose point coordinates sit
+    /// far from the origin (a partition cell deep inside a large die).
+    /// Here the Johnson potentials are sums of ~10⁴-µm distances whose
+    /// rounding residue used to push reduced costs a hair negative and
+    /// send Dijkstra around a residual cycle forever, growing the heap
+    /// without bound. Completing at all (with a saturating flow) is the
+    /// assertion.
+    #[test]
+    fn large_coordinates_terminate() {
+        use sllt_geom::Point;
+        let (cols, pitch, off) = (17usize, 15.0, 7905.0);
+        let points: Vec<Point> = (0..293)
+            .map(|i| {
+                Point::new(
+                    off + (i % cols) as f64 * pitch,
+                    off + (i / cols) as f64 * pitch,
+                )
+            })
+            .collect();
+        let centers: Vec<Point> = (0..14)
+            .map(|c| Point::new(off + (c % 4) as f64 * 60.0, off + (c / 4) as f64 * 60.0))
+            .collect();
+        let (n, k) = (points.len(), centers.len());
+        let mut g = MinCostFlow::new(2 + n + k);
+        let sink = 1 + n + k;
+        for (i, p) in points.iter().enumerate() {
+            g.add_edge(0, 1 + i, 1, 0.0);
+            for (c, ctr) in centers.iter().enumerate() {
+                g.add_edge(1 + i, 1 + n + c, 1, p.dist(*ctr));
+            }
+        }
+        for c in 0..k {
+            g.add_edge(1 + n + c, sink, 32, 0.0);
+        }
+        let (flow, cost) = g.solve(0, sink);
+        assert_eq!(flow as usize, n);
+        assert!(cost.is_finite() && cost >= 0.0);
+    }
 
     #[test]
     fn single_path() {

@@ -143,10 +143,7 @@ fn has_sink_below(tree: &ClockTree, v: NodeId) -> bool {
     if tree.node(v).kind.is_sink() {
         return true;
     }
-    tree.node(v)
-        .children()
-        .iter()
-        .any(|&c| has_sink_below(tree, c))
+    tree.node(v).children().any(|c| has_sink_below(tree, c))
 }
 
 fn wire_delay(model: &DelayModel, e: f64, cap: f64) -> f64 {

@@ -169,7 +169,7 @@ pub fn relocate_steiner(tree: &mut ClockTree) -> f64 {
                 straight &= node.edge_len() <= tree.node(p).pos.dist(pv) + 1e-9;
                 nbr_pos.push(tree.node(p).pos);
             }
-            for &c in node.children() {
+            for c in node.children() {
                 straight &= tree.node(c).edge_len() <= tree.node(c).pos.dist(pv) + 1e-9;
                 nbr_pos.push(tree.node(c).pos);
             }
@@ -207,7 +207,7 @@ fn best_median_move(tree: &ClockTree, v: NodeId) -> Option<(NodeId, NodeId, Poin
             nbrs.push(p);
         }
     }
-    for &c in node.children() {
+    for c in node.children() {
         if tree.node(c).edge_len() <= tree.node(c).pos.dist(pv) + 1e-9 {
             nbrs.push(c);
         }

@@ -99,7 +99,7 @@ fn enforce_shallowness(net: &ClockNet, tree: &mut ClockTree, eps: f64) {
                 pl[v.index()] = pl[best.index()] + tree.node(v).edge_len();
             }
         }
-        stack.extend(tree.node(v).children().iter().copied());
+        stack.extend(tree.node(v).children());
     }
 }
 

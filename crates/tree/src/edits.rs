@@ -78,7 +78,7 @@ pub fn sinks_to_leaves(tree: &mut ClockTree) -> usize {
 pub fn binarize(tree: &mut ClockTree) -> usize {
     // Deepest routed path below each node (0 for leaves), used as the
     // delay proxy when pairing.
-    let mut depth_below = vec![0.0f64; tree.path_lengths().len()];
+    let mut depth_below = vec![0.0f64; tree.arena_len()];
     let order = tree.topo_order();
     for &id in order.iter().rev() {
         if let Some(p) = tree.node(id).parent() {
@@ -120,7 +120,7 @@ pub fn binarize(tree: &mut ClockTree) -> usize {
             depth_below[group.index()] = grouped_depth;
             inserted += 1;
         }
-        stack.extend(tree.node(id).children().iter().copied());
+        stack.extend(tree.node(id).children());
     }
     inserted
 }

@@ -71,7 +71,7 @@ pub fn write_tree<W: Write>(tree: &ClockTree, w: &mut W) -> std::io::Result<()> 
     writeln!(w, "source {} {}", src.x, src.y)?;
     // Stable compact ids in topological order.
     let order = tree.topo_order();
-    let mut compact = vec![usize::MAX; tree.path_lengths().len()];
+    let mut compact = vec![usize::MAX; tree.arena_len()];
     for (i, id) in order.iter().enumerate() {
         compact[id.index()] = i;
     }

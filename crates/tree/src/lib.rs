@@ -29,6 +29,7 @@
 //! assert!((m.lightness - 1.0).abs() < 1e-9);   // WL equals the reference
 //! ```
 
+pub mod codec;
 pub mod edits;
 pub mod io;
 pub mod metrics;
@@ -42,4 +43,4 @@ pub use metrics::SlltMetrics;
 pub use net::{ClockNet, Sink};
 pub use node::{Node, NodeId, NodeKind};
 pub use topology::{HintedTopology, Topology};
-pub use tree::ClockTree;
+pub use tree::{Children, ClockTree, TreeEdit};

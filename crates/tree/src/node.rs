@@ -1,5 +1,6 @@
 //! Clock tree nodes.
 
+use crate::tree::{Children, ClockTree};
 use sllt_geom::Point;
 use std::fmt;
 
@@ -69,38 +70,46 @@ impl NodeKind {
     }
 }
 
-/// One node of a [`crate::ClockTree`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct Node {
+/// A borrowed view over one live node of a [`ClockTree`].
+///
+/// The tree stores nodes column-wise (structure of arrays); this view
+/// copies the two hot scalar columns (`pos`, `kind`) into public fields —
+/// so `tree.node(id).pos` reads exactly like it did when nodes were stored
+/// as structs — and answers structural queries (`parent`, `children`,
+/// `edge_len`) by looking back into the arena.
+#[derive(Clone, Copy)]
+pub struct Node<'t> {
+    pub(crate) tree: &'t ClockTree,
+    pub(crate) id: NodeId,
     /// Placement-plane location, µm.
     pub pos: Point,
     /// Node role.
     pub kind: NodeKind,
-    pub(crate) parent: Option<NodeId>,
-    pub(crate) children: Vec<NodeId>,
-    /// Routed wire length to the parent, µm. At least the Manhattan
-    /// distance; the excess is detour (snaking) wire.
-    pub(crate) edge_len: f64,
-    pub(crate) alive: bool,
 }
 
-impl Node {
+impl<'t> Node<'t> {
+    /// The id this view was taken at.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
     /// Parent id, `None` for the root.
     #[inline]
     pub fn parent(&self) -> Option<NodeId> {
-        self.parent
+        self.tree.parent_of(self.id)
     }
 
     /// Child ids, in insertion order.
     #[inline]
-    pub fn children(&self) -> &[NodeId] {
-        &self.children
+    pub fn children(&self) -> Children<'t> {
+        self.tree.children(self.id)
     }
 
     /// Routed wire length to the parent, µm (0 for the root).
     #[inline]
     pub fn edge_len(&self) -> f64 {
-        self.edge_len
+        self.tree.edge_len_of(self.id)
     }
 
     /// Pin capacitance for sinks, 0 otherwise.
@@ -110,6 +119,18 @@ impl Node {
             NodeKind::Sink { cap_ff, .. } => cap_ff,
             _ => 0.0,
         }
+    }
+}
+
+impl fmt::Debug for Node<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("pos", &self.pos)
+            .field("kind", &self.kind)
+            .field("parent", &self.parent())
+            .field("edge_len", &self.edge_len())
+            .finish()
     }
 }
 
@@ -133,5 +154,20 @@ mod tests {
     fn node_id_displays_compactly() {
         assert_eq!(NodeId(7).to_string(), "n7");
         assert_eq!(NodeId(7).index(), 7);
+    }
+
+    #[test]
+    fn view_exposes_structure() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let s = t.add_steiner(t.root(), Point::new(3.0, 0.0));
+        let k = t.add_sink(s, Point::new(3.0, 4.0), 1.5);
+        let view = t.node(k);
+        assert_eq!(view.id(), k);
+        assert_eq!(view.parent(), Some(s));
+        assert_eq!(view.edge_len(), 4.0);
+        assert_eq!(view.cap_ff(), 1.5);
+        assert!(view.children().is_empty());
+        let dbg = format!("{view:?}");
+        assert!(dbg.contains("pos") && dbg.contains("edge_len"));
     }
 }

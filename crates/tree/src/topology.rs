@@ -165,29 +165,24 @@ impl Topology {
             crate::NodeKind::Sink { sink_index, .. } => Some(Topology::Sink(sink_index)),
             _ => None,
         };
-        struct Frame {
-            id: NodeId,
-            next_child: usize,
+        struct Frame<'t> {
+            kids: crate::Children<'t>,
             acc: Option<Topology>,
         }
         let root = tree.root();
         let mut stack = vec![Frame {
-            id: root,
-            next_child: 0,
+            kids: tree.children(root),
             acc: own(root),
         }];
         loop {
-            let (id, next_child) = {
-                let top = stack.last().expect("stack nonempty until return");
-                (top.id, top.next_child)
-            };
-            let children = tree.node(id).children();
-            if next_child < children.len() {
-                let c = children[next_child];
-                stack.last_mut().expect("checked").next_child += 1;
+            let next = stack
+                .last_mut()
+                .expect("stack nonempty until return")
+                .kids
+                .next();
+            if let Some(c) = next {
                 stack.push(Frame {
-                    id: c,
-                    next_child: 0,
+                    kids: tree.children(c),
                     acc: own(c),
                 });
                 continue;
@@ -351,29 +346,27 @@ impl HintedTopology {
             crate::NodeKind::Sink { sink_index, .. } => Some(HintedTopology::Sink(sink_index)),
             _ => None,
         };
-        struct Frame {
+        struct Frame<'t> {
             id: NodeId,
-            next_child: usize,
+            kids: crate::Children<'t>,
             acc: Option<HintedTopology>,
         }
         let root = tree.root();
         let mut stack = vec![Frame {
             id: root,
-            next_child: 0,
+            kids: tree.children(root),
             acc: own(root),
         }];
         loop {
-            let (id, next_child) = {
-                let top = stack.last().expect("stack nonempty until return");
-                (top.id, top.next_child)
-            };
-            let children = tree.node(id).children();
-            if next_child < children.len() {
-                let c = children[next_child];
-                stack.last_mut().expect("checked").next_child += 1;
+            let next = stack
+                .last_mut()
+                .expect("stack nonempty until return")
+                .kids
+                .next();
+            if let Some(c) = next {
                 stack.push(Frame {
                     id: c,
-                    next_child: 0,
+                    kids: tree.children(c),
                     acc: own(c),
                 });
                 continue;

@@ -6,12 +6,95 @@ use sllt_timing::RcTree;
 use std::error::Error;
 use std::fmt;
 
+/// Sentinel for "no node" in the flat link columns.
+const NONE: u32 = u32::MAX;
+
+/// One structural edit applied to a [`ClockTree`].
+///
+/// Edits are recorded in the tree's [mutation log](ClockTree::recent_edits)
+/// as they happen; the links themselves are updated eagerly, so queries are
+/// always exact — the log exists for auditability (equivalence tests replay
+/// it against a reference implementation) and to drive lazy compaction
+/// policies in callers that let dead slots pile up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeEdit {
+    /// `node` (with its subtree) moved from under `from` to under `to`.
+    Reparent {
+        /// The moved node.
+        node: NodeId,
+        /// Its previous parent.
+        from: NodeId,
+        /// Its new parent.
+        to: NodeId,
+    },
+    /// A childless `node` was detached from `parent` and marked dead.
+    RemoveLeaf {
+        /// The removed leaf.
+        node: NodeId,
+        /// The parent it was detached from.
+        parent: NodeId,
+    },
+    /// Degree-1 `node` was spliced out: `child` was reattached to `parent`
+    /// with the two edge lengths summed, and `node` marked dead.
+    Splice {
+        /// The spliced-out node.
+        node: NodeId,
+        /// Its parent, which adopted `child`.
+        parent: NodeId,
+        /// The single child that moved up.
+        child: NodeId,
+    },
+}
+
+/// Bounded log of structural edits; see [`TreeEdit`].
+///
+/// The log self-compacts lazily: once it exceeds [`MutationLog::CAP`]
+/// entries, the oldest entries are folded into a running count. The total
+/// number of edits ever applied is always exact.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct MutationLog {
+    edits: Vec<TreeEdit>,
+    folded: u64,
+}
+
+impl MutationLog {
+    /// Recent-edit window retained verbatim before folding kicks in.
+    const CAP: usize = 256;
+
+    fn push(&mut self, e: TreeEdit) {
+        if self.edits.len() >= Self::CAP {
+            // Lazy compaction: fold the older half into the counter so a
+            // long edit churn neither grows without bound nor pays a
+            // per-edit drain.
+            let keep = Self::CAP / 2;
+            let drop = self.edits.len() - keep;
+            self.folded += drop as u64;
+            self.edits.drain(..drop);
+        }
+        self.edits.push(e);
+    }
+
+    fn total(&self) -> u64 {
+        self.folded + self.edits.len() as u64
+    }
+}
+
 /// A rooted rectilinear Steiner tree distributing a clock from a source to
 /// a set of sinks.
 ///
-/// Nodes live in an arena; structural edits mark nodes *dead* instead of
-/// reindexing, so [`NodeId`]s stay stable. Call [`ClockTree::compact`] to
-/// drop dead nodes when the churn is done.
+/// Nodes live in a structure-of-arrays arena: every per-node attribute is
+/// its own flat column (`pos`, `kind`, `parent`, `edge_len`, …) and the
+/// child lists are a first-child/next-sibling doubly-linked weave over
+/// four `u32` columns instead of one heap `Vec<NodeId>` per node. A
+/// million-node tree is a dozen allocations, traversals stream through
+/// contiguous memory, and the structural edits the CBS pipeline performs
+/// (`reparent`, `remove_leaf`, `splice_out`) are O(1) pointer splices that
+/// preserve child insertion order exactly.
+///
+/// Structural edits mark nodes *dead* instead of reindexing, so
+/// [`NodeId`]s stay stable; each edit is also recorded in a small
+/// [mutation log](ClockTree::recent_edits) that compacts itself lazily.
+/// Call [`ClockTree::compact`] to drop dead nodes when the churn is done.
 ///
 /// Every edge stores a routed length which must be at least the Manhattan
 /// distance between its endpoints; the excess is detour (snaking) wire,
@@ -33,9 +116,83 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClockTree {
-    nodes: Vec<Node>,
+    pos: Vec<Point>,
+    kind: Vec<NodeKind>,
+    /// Parent arena index; [`NONE`] for the root.
+    parent: Vec<u32>,
+    /// Routed wire length to the parent, µm; at least the Manhattan
+    /// distance, the excess is detour wire.
+    edge_len: Vec<f64>,
+    first_child: Vec<u32>,
+    last_child: Vec<u32>,
+    prev_sib: Vec<u32>,
+    next_sib: Vec<u32>,
+    /// Child count, kept in step with the sibling weave for O(1) degree.
+    degree: Vec<u32>,
+    alive: Vec<bool>,
+    /// Live node count (root included).
+    live: usize,
+    /// Live sink count, so default sink indices are O(1) to hand out.
+    sink_count: usize,
     root: NodeId,
+    log: MutationLog,
 }
+
+/// Iterator over the children of one node, in insertion order.
+///
+/// Yields [`NodeId`]s by value. Length is known up front (the arena tracks
+/// per-node degree), so [`Children::len`] and [`Children::is_empty`] are
+/// O(1); [`Children::to_vec`] materializes the ids when a snapshot is
+/// needed across mutations.
+#[derive(Clone)]
+pub struct Children<'t> {
+    tree: &'t ClockTree,
+    next: u32,
+    remaining: u32,
+}
+
+impl Children<'_> {
+    /// Number of children, O(1).
+    #[inline]
+    #[allow(clippy::len_without_is_empty)] // is_empty provided below
+    pub fn len(&self) -> usize {
+        self.remaining as usize
+    }
+
+    /// Whether there are no children, O(1).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Collects the child ids into a vector.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.clone().collect()
+    }
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next == NONE {
+            return None;
+        }
+        let id = self.next as usize;
+        self.next = self.tree.next_sib[id];
+        self.remaining -= 1;
+        Some(NodeId(id))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for Children<'_> {}
+impl std::iter::FusedIterator for Children<'_> {}
 
 /// Structural defects reported by [`ClockTree::validate`].
 #[derive(Debug, Clone, PartialEq)]
@@ -74,16 +231,43 @@ impl ClockTree {
     /// Creates a tree containing only the clock source at `source_pos`.
     pub fn new(source_pos: Point) -> Self {
         ClockTree {
-            nodes: vec![Node {
-                pos: source_pos,
-                kind: NodeKind::Source,
-                parent: None,
-                children: Vec::new(),
-                edge_len: 0.0,
-                alive: true,
-            }],
+            pos: vec![source_pos],
+            kind: vec![NodeKind::Source],
+            parent: vec![NONE],
+            edge_len: vec![0.0],
+            first_child: vec![NONE],
+            last_child: vec![NONE],
+            prev_sib: vec![NONE],
+            next_sib: vec![NONE],
+            degree: vec![0],
+            alive: vec![true],
+            live: 1,
+            sink_count: 0,
             root: NodeId(0),
+            log: MutationLog::default(),
         }
+    }
+
+    /// Pre-sizes the arena columns for `nodes` total nodes. Purely an
+    /// allocation hint; ids and semantics are unaffected.
+    pub fn with_capacity(source_pos: Point, nodes: usize) -> Self {
+        let mut t = ClockTree::new(source_pos);
+        t.reserve(nodes.saturating_sub(1));
+        t
+    }
+
+    /// Reserves room for `additional` more nodes across all columns.
+    pub fn reserve(&mut self, additional: usize) {
+        self.pos.reserve(additional);
+        self.kind.reserve(additional);
+        self.parent.reserve(additional);
+        self.edge_len.reserve(additional);
+        self.first_child.reserve(additional);
+        self.last_child.reserve(additional);
+        self.prev_sib.reserve(additional);
+        self.next_sib.reserve(additional);
+        self.degree.reserve(additional);
+        self.alive.reserve(additional);
     }
 
     /// The root (clock source) id.
@@ -95,30 +279,35 @@ impl ClockTree {
     /// Root position.
     #[inline]
     pub fn source_pos(&self) -> Point {
-        self.nodes[self.root.0].pos
+        self.pos[self.root.0]
     }
 
-    /// Immutable access to a node.
+    /// Immutable view of a node.
     ///
     /// # Panics
     ///
     /// Panics if the id is out of range or refers to a dead node.
     #[inline]
-    pub fn node(&self, id: NodeId) -> &Node {
-        let n = &self.nodes[id.0];
-        assert!(n.alive, "access to dead node {id}");
-        n
+    pub fn node(&self, id: NodeId) -> Node<'_> {
+        assert!(self.is_alive(id), "access to dead node {id}");
+        Node {
+            tree: self,
+            id,
+            pos: self.pos[id.0],
+            kind: self.kind[id.0],
+        }
     }
 
     /// Whether `id` refers to a live node.
     #[inline]
     pub fn is_alive(&self, id: NodeId) -> bool {
-        id.0 < self.nodes.len() && self.nodes[id.0].alive
+        id.0 < self.alive.len() && self.alive[id.0]
     }
 
-    /// Number of live nodes.
+    /// Number of live nodes, O(1).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.iter().filter(|n| n.alive).count()
+        self.live
     }
 
     /// Whether the tree is just the bare source.
@@ -126,43 +315,156 @@ impl ClockTree {
         self.len() <= 1
     }
 
+    /// Total arena slots, live and dead — the exclusive upper bound on
+    /// `NodeId::index` values this tree has ever issued. Sizes lookup
+    /// tables indexed by raw arena index (as [`ClockTree::path_lengths`]
+    /// is).
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of dead arena slots awaiting [`ClockTree::compact`], O(1).
+    #[inline]
+    pub fn dead_len(&self) -> usize {
+        self.arena_len() - self.live
+    }
+
+    /// Dead fraction of the arena, 0.0 when fully compact.
+    pub fn fragmentation(&self) -> f64 {
+        self.dead_len() as f64 / self.arena_len() as f64
+    }
+
+    /// The most recent structural edits, oldest first. The window is
+    /// bounded: once it fills, older entries fold into
+    /// [`ClockTree::edits_applied`] (lazy compaction of the log itself).
+    pub fn recent_edits(&self) -> &[TreeEdit] {
+        &self.log.edits
+    }
+
+    /// Total structural edits ever applied, including ones the log window
+    /// has folded away.
+    pub fn edits_applied(&self) -> u64 {
+        self.log.total()
+    }
+
     /// Ids of all live nodes.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
+        self.alive
             .iter()
             .enumerate()
-            .filter(|(_, n)| n.alive)
+            .filter(|(_, &a)| a)
             .map(|(i, _)| NodeId(i))
     }
 
     /// Ids of all live sinks, in arena order.
     pub fn sinks(&self) -> Vec<NodeId> {
         self.node_ids()
-            .filter(|&id| self.nodes[id.0].kind.is_sink())
+            .filter(|&id| self.kind[id.0].is_sink())
             .collect()
     }
 
-    fn attach(&mut self, parent: NodeId, pos: Point, kind: NodeKind) -> NodeId {
+    /// Parent id of a node, `None` for the root. The id must be live.
+    #[inline]
+    pub(crate) fn parent_of(&self, id: NodeId) -> Option<NodeId> {
+        let p = self.parent[id.0];
+        (p != NONE).then_some(NodeId(p as usize))
+    }
+
+    /// Routed length of the edge into a node (0 for the root).
+    #[inline]
+    pub(crate) fn edge_len_of(&self, id: NodeId) -> f64 {
+        self.edge_len[id.0]
+    }
+
+    /// Children of `id`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or refers to a dead node.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        assert!(self.is_alive(id), "children of dead node {id}");
+        Children {
+            tree: self,
+            next: self.first_child[id.0],
+            remaining: self.degree[id.0],
+        }
+    }
+
+    /// Appends `child` at the tail of `parent`'s child list.
+    fn link_tail(&mut self, parent: usize, child: usize) {
+        let tail = self.last_child[parent];
+        if tail == NONE {
+            self.first_child[parent] = child as u32;
+        } else {
+            self.next_sib[tail as usize] = child as u32;
+        }
+        self.prev_sib[child] = tail;
+        self.next_sib[child] = NONE;
+        self.last_child[parent] = child as u32;
+        self.degree[parent] += 1;
+    }
+
+    /// Detaches `child` from its parent's child list (parent link itself is
+    /// left for the caller to rewrite).
+    fn unlink(&mut self, child: usize) {
+        let parent = self.parent[child] as usize;
+        let prev = self.prev_sib[child];
+        let next = self.next_sib[child];
+        if prev == NONE {
+            self.first_child[parent] = next;
+        } else {
+            self.next_sib[prev as usize] = next;
+        }
+        if next == NONE {
+            self.last_child[parent] = prev;
+        } else {
+            self.prev_sib[next as usize] = prev;
+        }
+        self.prev_sib[child] = NONE;
+        self.next_sib[child] = NONE;
+        self.degree[parent] -= 1;
+    }
+
+    pub(crate) fn attach(&mut self, parent: NodeId, pos: Point, kind: NodeKind) -> NodeId {
         assert!(self.is_alive(parent), "attach under dead node {parent}");
-        let id = NodeId(self.nodes.len());
-        let edge_len = self.nodes[parent.0].pos.dist(pos);
-        self.nodes.push(Node {
-            pos,
-            kind,
-            parent: Some(parent),
-            children: Vec::new(),
-            edge_len,
-            alive: true,
-        });
-        self.nodes[parent.0].children.push(id);
-        id
+        assert!(
+            self.alive.len() < NONE as usize,
+            "arena exhausted its u32 index space"
+        );
+        let id = self.alive.len();
+        let edge_len = self.pos[parent.0].dist(pos);
+        self.pos.push(pos);
+        self.kind.push(kind);
+        self.parent.push(parent.0 as u32);
+        self.edge_len.push(edge_len);
+        self.first_child.push(NONE);
+        self.last_child.push(NONE);
+        self.prev_sib.push(NONE);
+        self.next_sib.push(NONE);
+        self.degree.push(0);
+        self.alive.push(true);
+        self.live += 1;
+        if kind.is_sink() {
+            self.sink_count += 1;
+        }
+        self.link_tail(parent.0, id);
+        NodeId(id)
+    }
+
+    /// Overrides the routed length stored for the edge into `id` without
+    /// the Manhattan check — crate-internal, for deserializers and
+    /// `compact` which copy already-validated lengths verbatim.
+    pub(crate) fn set_edge_len_raw(&mut self, id: NodeId, len: f64) {
+        self.edge_len[id.0] = len;
     }
 
     /// Adds a sink with pin capacitance `cap_ff` under `parent`; the edge
     /// length defaults to the Manhattan distance. The sink index defaults
     /// to the running count of sinks.
     pub fn add_sink(&mut self, parent: NodeId, pos: Point, cap_ff: f64) -> NodeId {
-        let sink_index = self.sinks().len();
+        let sink_index = self.sink_count;
         self.add_sink_indexed(parent, pos, cap_ff, sink_index)
     }
 
@@ -195,13 +497,13 @@ impl ClockTree {
     /// Panics when `len` is shorter than the Manhattan distance the edge
     /// must cover (beyond [`EPS`]) or when called on the root.
     pub fn set_edge_len(&mut self, node: NodeId, len: f64) {
-        let p = self.node(node).parent.expect("root has no incoming edge");
-        let dist = self.nodes[p.0].pos.dist(self.nodes[node.0].pos);
+        let p = self.node(node).parent().expect("root has no incoming edge");
+        let dist = self.pos[p.0].dist(self.pos[node.0]);
         assert!(
             len >= dist - EPS,
             "edge into {node} of routed length {len} cannot cover manhattan distance {dist}"
         );
-        self.nodes[node.0].edge_len = len.max(dist);
+        self.edge_len[node.0] = len.max(dist);
     }
 
     /// Adds `extra` µm of detour (snaking) wire to the edge into `node`.
@@ -212,14 +514,15 @@ impl ClockTree {
     pub fn add_detour(&mut self, node: NodeId, extra: f64) {
         assert!(extra >= 0.0, "negative detour");
         assert!(
-            self.node(node).parent.is_some(),
+            self.node(node).parent().is_some(),
             "root has no incoming edge"
         );
-        self.nodes[node.0].edge_len += extra;
+        self.edge_len[node.0] += extra;
     }
 
     /// Moves `node` (with its subtree) under `new_parent`, resetting the
-    /// edge length to the Manhattan distance.
+    /// edge length to the Manhattan distance. The node is appended at the
+    /// tail of its new parent's child list.
     ///
     /// # Panics
     ///
@@ -229,29 +532,42 @@ impl ClockTree {
         assert!(self.is_alive(node) && self.is_alive(new_parent));
         assert_ne!(node, self.root, "cannot reparent the root");
         // Cycle check: walk up from new_parent.
-        let mut cur = Some(new_parent);
-        while let Some(c) = cur {
-            assert_ne!(c, node, "reparent would create a cycle at {node}");
-            cur = self.nodes[c.0].parent;
+        let mut cur = new_parent.0 as u32;
+        loop {
+            assert_ne!(
+                cur as usize, node.0,
+                "reparent would create a cycle at {node}"
+            );
+            cur = self.parent[cur as usize];
+            if cur == NONE {
+                break;
+            }
         }
-        let old = self.nodes[node.0].parent.expect("non-root has a parent");
-        self.nodes[old.0].children.retain(|&c| c != node);
-        self.nodes[new_parent.0].children.push(node);
-        self.nodes[node.0].parent = Some(new_parent);
-        self.nodes[node.0].edge_len = self.nodes[new_parent.0].pos.dist(self.nodes[node.0].pos);
+        let old = NodeId(self.parent[node.0] as usize);
+        self.unlink(node.0);
+        self.link_tail(new_parent.0, node.0);
+        self.parent[node.0] = new_parent.0 as u32;
+        self.edge_len[node.0] = self.pos[new_parent.0].dist(self.pos[node.0]);
+        self.log.push(TreeEdit::Reparent {
+            node,
+            from: old,
+            to: new_parent,
+        });
     }
 
     /// Moves a node to a new position, re-deriving the Manhattan length of
     /// the edges touching it (detours are discarded).
     pub fn move_node(&mut self, node: NodeId, pos: Point) {
         assert!(self.is_alive(node));
-        self.nodes[node.0].pos = pos;
-        if let Some(p) = self.nodes[node.0].parent {
-            self.nodes[node.0].edge_len = self.nodes[p.0].pos.dist(pos);
+        self.pos[node.0] = pos;
+        let p = self.parent[node.0];
+        if p != NONE {
+            self.edge_len[node.0] = self.pos[p as usize].dist(pos);
         }
-        let children = self.nodes[node.0].children.clone();
-        for c in children {
-            self.nodes[c.0].edge_len = pos.dist(self.nodes[c.0].pos);
+        let mut c = self.first_child[node.0];
+        while c != NONE {
+            self.edge_len[c as usize] = pos.dist(self.pos[c as usize]);
+            c = self.next_sib[c as usize];
         }
     }
 
@@ -261,45 +577,59 @@ impl ClockTree {
     ///
     /// Panics when the node still has children or is the root.
     pub(crate) fn remove_leaf(&mut self, node: NodeId) {
-        assert!(
-            self.nodes[node.0].children.is_empty(),
-            "remove of internal node {node}"
-        );
+        assert_eq!(self.degree[node.0], 0, "remove of internal node {node}");
         assert_ne!(node, self.root);
-        let p = self.nodes[node.0].parent.expect("non-root has a parent");
-        self.nodes[p.0].children.retain(|&c| c != node);
-        self.nodes[node.0].alive = false;
+        let p = NodeId(self.parent[node.0] as usize);
+        self.unlink(node.0);
+        self.alive[node.0] = false;
+        self.live -= 1;
+        if self.kind[node.0].is_sink() {
+            self.sink_count -= 1;
+        }
+        self.log.push(TreeEdit::RemoveLeaf { node, parent: p });
     }
 
     /// Splices a degree-1 internal node out of the tree: its single child
-    /// is reattached to its parent with the two edge lengths summed.
+    /// is reattached to its parent (at the tail of the child list) with
+    /// the two edge lengths summed.
     pub(crate) fn splice_out(&mut self, node: NodeId) {
         assert_ne!(node, self.root, "cannot splice the root");
-        assert_eq!(
-            self.nodes[node.0].children.len(),
-            1,
-            "splice of non-degree-1 node"
-        );
-        let child = self.nodes[node.0].children[0];
-        let parent = self.nodes[node.0].parent.expect("non-root has a parent");
-        let total = self.nodes[node.0].edge_len + self.nodes[child.0].edge_len;
-        self.nodes[parent.0].children.retain(|&c| c != node);
-        self.nodes[parent.0].children.push(child);
-        self.nodes[child.0].parent = Some(parent);
+        assert_eq!(self.degree[node.0], 1, "splice of non-degree-1 node");
+        let child = NodeId(self.first_child[node.0] as usize);
+        let parent = NodeId(self.parent[node.0] as usize);
         // Keep the routed length (it is still wired through the old point)
         // unless that is shorter than the direct distance, which cannot
         // happen by the triangle inequality.
-        self.nodes[child.0].edge_len = total;
-        self.nodes[node.0].alive = false;
+        let total = self.edge_len[node.0] + self.edge_len[child.0];
+        self.unlink(child.0);
+        self.unlink(node.0);
+        self.link_tail(parent.0, child.0);
+        self.parent[child.0] = parent.0 as u32;
+        self.edge_len[child.0] = total;
+        self.alive[node.0] = false;
+        self.live -= 1;
+        if self.kind[node.0].is_sink() {
+            self.sink_count -= 1;
+        }
+        self.log.push(TreeEdit::Splice {
+            node,
+            parent,
+            child,
+        });
     }
 
     /// Parents-before-children order over live nodes.
     pub fn topo_order(&self) -> Vec<NodeId> {
-        let mut order = vec![self.root];
+        let mut order = Vec::with_capacity(self.live);
+        order.push(self.root);
         let mut i = 0;
         while i < order.len() {
             let v = order[i];
-            order.extend(self.nodes[v.0].children.iter().copied());
+            let mut c = self.first_child[v.0];
+            while c != NONE {
+                order.push(NodeId(c as usize));
+                c = self.next_sib[c as usize];
+            }
             i += 1;
         }
         order
@@ -307,16 +637,22 @@ impl ClockTree {
 
     /// Total routed wirelength, µm.
     pub fn wirelength(&self) -> f64 {
-        self.node_ids().map(|id| self.nodes[id.0].edge_len).sum()
+        self.alive
+            .iter()
+            .zip(&self.edge_len)
+            .filter(|(&a, _)| a)
+            .map(|(_, &e)| e)
+            .sum()
     }
 
     /// Routed path length from the root to every live node, indexed by raw
     /// arena index (dead slots hold 0).
     pub fn path_lengths(&self) -> Vec<f64> {
-        let mut pl = vec![0.0; self.nodes.len()];
+        let mut pl = vec![0.0; self.arena_len()];
         for id in self.topo_order() {
-            if let Some(p) = self.nodes[id.0].parent {
-                pl[id.0] = pl[p.0] + self.nodes[id.0].edge_len;
+            let p = self.parent[id.0];
+            if p != NONE {
+                pl[id.0] = pl[p as usize] + self.edge_len[id.0];
             }
         }
         pl
@@ -339,44 +675,71 @@ impl ClockTree {
             return Err(TreeError::Unreachable(lost));
         }
         for id in self.node_ids() {
-            let n = &self.nodes[id.0];
-            if let Some(p) = n.parent {
-                if !self.nodes[p.0].children.contains(&id) {
+            let i = id.0;
+            let p = self.parent[i];
+            if p != NONE {
+                // The sibling weave must agree with the parent column in
+                // both directions.
+                let pi = p as usize;
+                let prev = self.prev_sib[i];
+                let next = self.next_sib[i];
+                let head_ok = if prev == NONE {
+                    self.first_child[pi] == i as u32
+                } else {
+                    self.next_sib[prev as usize] == i as u32 && self.parent[prev as usize] == p
+                };
+                let tail_ok = if next == NONE {
+                    self.last_child[pi] == i as u32
+                } else {
+                    self.prev_sib[next as usize] == i as u32 && self.parent[next as usize] == p
+                };
+                if !head_ok || !tail_ok || !self.alive[pi] {
                     return Err(TreeError::LinkMismatch(id));
                 }
-                let dist = self.nodes[p.0].pos.dist(n.pos);
-                if n.edge_len < dist - 1e-6 {
+                let dist = self.pos[pi].dist(self.pos[i]);
+                if self.edge_len[i] < dist - 1e-6 {
                     return Err(TreeError::EdgeTooShort {
                         node: id,
-                        len: n.edge_len,
+                        len: self.edge_len[i],
                         dist,
                     });
                 }
             }
-            for &c in &n.children {
-                if self.nodes[c.0].parent != Some(id) {
-                    return Err(TreeError::LinkMismatch(c));
+            // Degree column vs. actual weave length, and child back-links.
+            let mut seen = 0u32;
+            let mut c = self.first_child[i];
+            while c != NONE {
+                if self.parent[c as usize] != i as u32 || !self.alive[c as usize] {
+                    return Err(TreeError::LinkMismatch(NodeId(c as usize)));
                 }
+                seen += 1;
+                if seen > self.degree[i] {
+                    break;
+                }
+                c = self.next_sib[c as usize];
+            }
+            if seen != self.degree[i] {
+                return Err(TreeError::LinkMismatch(id));
             }
         }
         Ok(())
     }
 
     /// Rebuilds the arena without dead nodes. Node ids are *not* preserved;
-    /// sink identity survives via [`NodeKind::Sink::sink_index`].
+    /// sink identity survives via [`NodeKind::Sink::sink_index`]. The new
+    /// tree starts with an empty mutation log.
     pub fn compact(&self) -> ClockTree {
-        let mut out = ClockTree::new(self.source_pos());
-        let mut map = vec![None; self.nodes.len()];
-        map[self.root.0] = Some(out.root());
+        let mut out = ClockTree::with_capacity(self.source_pos(), self.live);
+        let mut map = vec![NONE; self.arena_len()];
+        map[self.root.0] = out.root().0 as u32;
         for id in self.topo_order() {
             if id == self.root {
                 continue;
             }
-            let n = &self.nodes[id.0];
-            let parent = map[n.parent.expect("non-root").0].expect("parent visited first");
-            let new_id = out.attach(parent, n.pos, n.kind);
-            out.nodes[new_id.0].edge_len = n.edge_len;
-            map[id.0] = Some(new_id);
+            let parent = NodeId(map[self.parent[id.0] as usize] as usize);
+            let new_id = out.attach(parent, self.pos[id.0], self.kind[id.0]);
+            out.edge_len[new_id.0] = self.edge_len[id.0];
+            map[id.0] = new_id.0 as u32;
         }
         out
     }
@@ -389,7 +752,12 @@ impl ClockTree {
     /// Panics when `id` refers to a dead node.
     pub fn set_kind(&mut self, id: NodeId, kind: NodeKind) {
         assert!(self.is_alive(id), "set_kind on dead node {id}");
-        self.nodes[id.0].kind = kind;
+        match (self.kind[id.0].is_sink(), kind.is_sink()) {
+            (true, false) => self.sink_count -= 1,
+            (false, true) => self.sink_count += 1,
+            _ => {}
+        }
+        self.kind[id.0] = kind;
     }
 
     /// Lowers the tree into an [`RcTree`] for Elmore evaluation, using each
@@ -403,18 +771,21 @@ impl ClockTree {
     }
 
     /// Like [`ClockTree::to_rc_tree`] with a custom per-node capacitance.
-    pub fn to_rc_tree_with(&self, cap_of: impl Fn(&Node) -> f64) -> (RcTree, Vec<Option<usize>>) {
+    pub fn to_rc_tree_with(
+        &self,
+        cap_of: impl Fn(&Node<'_>) -> f64,
+    ) -> (RcTree, Vec<Option<usize>>) {
         let order = self.topo_order();
-        let mut map = vec![None; self.nodes.len()];
+        let mut map = vec![None; self.arena_len()];
         for (rc_idx, id) in order.iter().enumerate() {
             map[id.0] = Some(rc_idx);
         }
         let mut rc = RcTree::new(order.len());
         for (rc_idx, id) in order.iter().enumerate() {
-            let n = &self.nodes[id.0];
-            rc.set_cap(rc_idx, cap_of(n));
-            if let Some(p) = n.parent {
-                rc.set_parent(rc_idx, map[p.0].expect("parent mapped"), n.edge_len);
+            let n = self.node(*id);
+            rc.set_cap(rc_idx, cap_of(&n));
+            if let Some(p) = n.parent() {
+                rc.set_parent(rc_idx, map[p.0].expect("parent mapped"), n.edge_len());
             }
         }
         (rc, map)
@@ -490,6 +861,14 @@ mod tests {
         assert!(t.node(a).children().is_empty());
         assert_eq!(t.node(s).edge_len(), 3.0 + 2.0);
         t.validate().unwrap();
+        assert_eq!(
+            t.recent_edits(),
+            &[TreeEdit::Reparent {
+                node: s,
+                from: a,
+                to: b
+            }]
+        );
     }
 
     #[test]
@@ -512,6 +891,8 @@ mod tests {
         // The wire still runs through (5, 0): length 10, not direct 10.
         assert_eq!(t.node(s).edge_len(), 10.0);
         t.validate().unwrap();
+        assert_eq!(t.dead_len(), 1);
+        assert!(t.fragmentation() > 0.0);
     }
 
     #[test]
@@ -523,6 +904,8 @@ mod tests {
         let c = t.compact();
         assert_eq!(c.len(), 3);
         assert_eq!(c.sinks().len(), 1);
+        assert_eq!(c.dead_len(), 0);
+        assert_eq!(c.edits_applied(), 0);
         c.validate().unwrap();
         assert!((c.wirelength() - 8.0).abs() < 1e-12);
     }
@@ -530,7 +913,7 @@ mod tests {
     #[test]
     fn move_node_recomputes_edges() {
         let mut t = sample();
-        let steiner = t.node(t.root()).children()[0];
+        let steiner = t.node(t.root()).children().next().unwrap();
         t.move_node(steiner, Point::new(2.0, 0.0));
         assert_eq!(t.node(steiner).edge_len(), 2.0);
         let sinks = t.sinks();
@@ -558,13 +941,79 @@ mod tests {
 
     #[test]
     fn validate_catches_unreachable() {
-        // Build a tree, then manually break a link to simulate corruption.
+        // Build a tree, then manually break the weave to simulate
+        // corruption: orphan the steiner node by emptying the root's
+        // child list while its parent column still points at the root.
+        let mut t = sample();
+        let r = t.root().index();
+        t.first_child[r] = NONE;
+        t.last_child[r] = NONE;
+        t.degree[r] = 0;
+        assert!(matches!(t.validate(), Err(TreeError::Unreachable(_))));
+    }
+
+    #[test]
+    fn validate_catches_link_mismatch() {
+        // Point a child's parent column somewhere else entirely: the node
+        // is still reached through the root's weave, but the back-link
+        // disagrees.
         let mut t = sample();
         let sinks = t.sinks();
-        // Orphan sink 0 by clearing its parent's child list entry.
-        let p = t.node(sinks[0]).parent().unwrap();
-        t.nodes[p.index()].children.retain(|&c| c != sinks[0]);
-        assert!(matches!(t.validate(), Err(TreeError::Unreachable(_))));
+        t.parent[sinks[0].index()] = sinks[1].index() as u32;
+        assert!(matches!(t.validate(), Err(TreeError::LinkMismatch(_))));
+    }
+
+    #[test]
+    fn children_iterate_in_insertion_order() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let ids: Vec<NodeId> = (0..5)
+            .map(|i| t.add_sink(t.root(), Point::new(i as f64, 1.0), 1.0))
+            .collect();
+        let kids = t.children(t.root());
+        assert_eq!(kids.len(), 5);
+        assert_eq!(kids.to_vec(), ids);
+        // Removing from the middle preserves the order of the rest.
+        t.remove_leaf(ids[2]);
+        let kids: Vec<NodeId> = t.children(t.root()).collect();
+        assert_eq!(kids, vec![ids[0], ids[1], ids[3], ids[4]]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn default_sink_indices_track_live_sinks() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let a = t.add_sink(t.root(), Point::new(1.0, 0.0), 1.0);
+        t.add_sink(t.root(), Point::new(2.0, 0.0), 1.0);
+        match t.node(a).kind {
+            NodeKind::Sink { sink_index, .. } => assert_eq!(sink_index, 0),
+            _ => unreachable!(),
+        }
+        t.remove_leaf(a);
+        // One live sink left, so the next default index is 1 — the same
+        // running-count rule the Vec-children arena used.
+        let c = t.add_sink(t.root(), Point::new(3.0, 0.0), 1.0);
+        match t.node(c).kind {
+            NodeKind::Sink { sink_index, .. } => assert_eq!(sink_index, 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn mutation_log_folds_lazily() {
+        let mut t = ClockTree::new(Point::ORIGIN);
+        let a = t.add_steiner(t.root(), Point::new(1.0, 0.0));
+        let b = t.add_steiner(t.root(), Point::new(0.0, 1.0));
+        let s = t.add_sink(a, Point::new(1.0, 1.0), 1.0);
+        let n = MutationLog::CAP as u64 + 100;
+        for i in 0..n {
+            t.reparent(s, if i % 2 == 0 { b } else { a });
+        }
+        assert_eq!(t.edits_applied(), n);
+        assert!(t.recent_edits().len() <= MutationLog::CAP);
+        // The window holds the newest edits.
+        let last = *t.recent_edits().last().unwrap();
+        assert!(matches!(last, TreeEdit::Reparent { node, .. } if node == s));
+        t.validate().unwrap();
     }
 
     #[test]

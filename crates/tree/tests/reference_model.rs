@@ -1,0 +1,298 @@
+//! Differential property test for the SoA/CSR tree arena.
+//!
+//! `ClockTree` stores nodes in struct-of-arrays columns with an
+//! intrusive child list; before the memory-layout rework it was a plain
+//! `Vec`-of-nodes with per-node `Vec<usize>` child vectors. This test
+//! keeps that old representation alive as an executable specification:
+//! a naive reference arena with the same public mutation semantics
+//! (tail-append child order, Manhattan default edge lengths, detours,
+//! reparenting, node moves). Random edit sequences drive both
+//! implementations in lockstep; traversal order, every per-node field,
+//! and the derived metrics must stay **bit-identical** — any divergence
+//! is a silent layout bug the higher layers (routing, sizing,
+//! checkpointing) would inherit.
+
+use sllt_geom::Point;
+use sllt_rng::prelude::*;
+use sllt_tree::{ClockTree, NodeKind};
+
+// ---------------------------------------------------------------------
+// Reference implementation: the pre-SoA Vec-children arena.
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+struct RefNode {
+    pos: Point,
+    kind: NodeKind,
+    parent: Option<usize>,
+    edge_len: f64,
+    children: Vec<usize>,
+}
+
+struct RefTree {
+    nodes: Vec<RefNode>,
+    sink_count: usize,
+}
+
+impl RefTree {
+    fn new(source_pos: Point) -> Self {
+        RefTree {
+            nodes: vec![RefNode {
+                pos: source_pos,
+                kind: NodeKind::Source,
+                parent: None,
+                edge_len: 0.0,
+                children: Vec::new(),
+            }],
+            sink_count: 0,
+        }
+    }
+
+    fn attach(&mut self, parent: usize, pos: Point, kind: NodeKind) -> usize {
+        let id = self.nodes.len();
+        let edge_len = self.nodes[parent].pos.dist(pos);
+        self.nodes.push(RefNode {
+            pos,
+            kind,
+            parent: Some(parent),
+            edge_len,
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(id);
+        if matches!(kind, NodeKind::Sink { .. }) {
+            self.sink_count += 1;
+        }
+        id
+    }
+
+    fn add_sink(&mut self, parent: usize, pos: Point, cap_ff: f64) -> usize {
+        let sink_index = self.sink_count;
+        self.attach(parent, pos, NodeKind::Sink { cap_ff, sink_index })
+    }
+
+    fn set_edge_len(&mut self, node: usize, len: f64) {
+        let p = self.nodes[node].parent.expect("root has no incoming edge");
+        let dist = self.nodes[p].pos.dist(self.nodes[node].pos);
+        self.nodes[node].edge_len = len.max(dist);
+    }
+
+    fn add_detour(&mut self, node: usize, extra: f64) {
+        self.nodes[node].edge_len += extra;
+    }
+
+    fn reparent(&mut self, node: usize, new_parent: usize) {
+        let old = self.nodes[node].parent.expect("cannot reparent the root");
+        self.nodes[old].children.retain(|&c| c != node);
+        self.nodes[new_parent].children.push(node);
+        self.nodes[node].parent = Some(new_parent);
+        self.nodes[node].edge_len = self.nodes[new_parent].pos.dist(self.nodes[node].pos);
+    }
+
+    fn move_node(&mut self, node: usize, pos: Point) {
+        self.nodes[node].pos = pos;
+        if let Some(p) = self.nodes[node].parent {
+            self.nodes[node].edge_len = self.nodes[p].pos.dist(pos);
+        }
+        let children = self.nodes[node].children.clone();
+        for c in children {
+            self.nodes[c].edge_len = pos.dist(self.nodes[c].pos);
+        }
+    }
+
+    /// `new_parent` must not lie in `node`'s subtree.
+    fn would_cycle(&self, node: usize, new_parent: usize) -> bool {
+        let mut cur = Some(new_parent);
+        while let Some(c) = cur {
+            if c == node {
+                return true;
+            }
+            cur = self.nodes[c].parent;
+        }
+        false
+    }
+
+    /// Parents-before-children BFS in child-list order, mirroring
+    /// `ClockTree::topo_order`.
+    fn topo_order(&self) -> Vec<usize> {
+        let mut order = vec![0usize];
+        let mut i = 0;
+        while i < order.len() {
+            order.extend_from_slice(&self.nodes[order[i]].children);
+            i += 1;
+        }
+        order
+    }
+
+    /// Index-order sum, mirroring `ClockTree::wirelength`.
+    fn wirelength(&self) -> f64 {
+        self.nodes.iter().map(|n| n.edge_len).sum()
+    }
+
+    fn path_lengths(&self) -> Vec<f64> {
+        let mut pl = vec![0.0; self.nodes.len()];
+        for id in self.topo_order() {
+            if let Some(p) = self.nodes[id].parent {
+                pl[id] = pl[p] + self.nodes[id].edge_len;
+            }
+        }
+        pl
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lockstep driver
+// ---------------------------------------------------------------------
+
+fn kinds_equal(a: NodeKind, b: NodeKind) -> bool {
+    match (a, b) {
+        (NodeKind::Source, NodeKind::Source) => true,
+        (NodeKind::Steiner, NodeKind::Steiner) => true,
+        (NodeKind::Buffer { cell: x }, NodeKind::Buffer { cell: y }) => x == y,
+        (
+            NodeKind::Sink {
+                cap_ff: c1,
+                sink_index: i1,
+            },
+            NodeKind::Sink {
+                cap_ff: c2,
+                sink_index: i2,
+            },
+        ) => c1.to_bits() == c2.to_bits() && i1 == i2,
+        _ => false,
+    }
+}
+
+/// Every observable the higher layers consume, compared bit-exactly.
+fn assert_equivalent(tree: &ClockTree, model: &RefTree, seed: u64, step: usize) {
+    let ctx = format!("seed {seed} step {step}");
+    tree.validate().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    assert_eq!(tree.len(), model.nodes.len(), "{ctx}: node count");
+    assert_eq!(tree.sinks().len(), model.sink_count, "{ctx}: sink count");
+
+    let order = tree.topo_order();
+    let ref_order = model.topo_order();
+    assert_eq!(
+        order.iter().map(|id| id.index()).collect::<Vec<_>>(),
+        ref_order,
+        "{ctx}: traversal order"
+    );
+
+    for id in tree.node_ids() {
+        let n = tree.node(id);
+        let r = &model.nodes[id.index()];
+        assert_eq!(n.pos.x.to_bits(), r.pos.x.to_bits(), "{ctx}: {id} x");
+        assert_eq!(n.pos.y.to_bits(), r.pos.y.to_bits(), "{ctx}: {id} y");
+        assert!(kinds_equal(n.kind, r.kind), "{ctx}: {id} kind");
+        assert_eq!(
+            n.edge_len().to_bits(),
+            r.edge_len.to_bits(),
+            "{ctx}: {id} edge length"
+        );
+        assert_eq!(
+            n.parent().map(|p| p.index()),
+            r.parent,
+            "{ctx}: {id} parent"
+        );
+        assert_eq!(
+            n.children().map(|c| c.index()).collect::<Vec<_>>(),
+            model.nodes[id.index()].children,
+            "{ctx}: {id} child order"
+        );
+    }
+
+    assert_eq!(
+        tree.wirelength().to_bits(),
+        model.wirelength().to_bits(),
+        "{ctx}: wirelength"
+    );
+    let pl = tree.path_lengths();
+    let rpl = model.path_lengths();
+    assert_eq!(pl.len(), rpl.len(), "{ctx}: path length count");
+    for (i, (a, b)) in pl.iter().zip(&rpl).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: path length of node {i}");
+    }
+}
+
+#[test]
+fn random_edit_sequences_match_the_vec_children_reference() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(0xC10C_7BEE ^ seed);
+        let root_pos = Point::new((rng.next_u64() % 100) as f64, (rng.next_u64() % 100) as f64);
+        let mut tree = ClockTree::new(root_pos);
+        let mut model = RefTree::new(root_pos);
+        // NodeIds are only issued by the tree; `ids[i]` is the id of the
+        // node the model knows as index `i`.
+        let mut ids = vec![tree.root()];
+
+        let steps = 60 + (rng.next_u64() % 120) as usize;
+        for step in 0..steps {
+            let n = tree.len();
+            let pick = |rng: &mut SplitMix64| (rng.next_u64() as usize) % n;
+            let pos = Point::new(
+                (rng.next_u64() % 4000) as f64 * 0.25,
+                (rng.next_u64() % 4000) as f64 * 0.25,
+            );
+            match rng.next_u64() % 8 {
+                // Grow: sinks, steiners, buffers (tail-append order).
+                0 | 1 => {
+                    let p = pick(&mut rng);
+                    let cap = 0.5 + (rng.next_u64() % 8) as f64 * 0.3;
+                    ids.push(tree.add_sink(ids[p], pos, cap));
+                    model.add_sink(p, pos, cap);
+                }
+                2 => {
+                    let p = pick(&mut rng);
+                    ids.push(tree.add_steiner(ids[p], pos));
+                    model.attach(p, pos, NodeKind::Steiner);
+                }
+                3 => {
+                    let p = pick(&mut rng);
+                    let cell = (rng.next_u64() % 5) as usize;
+                    ids.push(tree.add_buffer(ids[p], pos, cell));
+                    model.attach(p, pos, NodeKind::Buffer { cell });
+                }
+                // Lengthen: snaking detour on a non-root edge.
+                4 => {
+                    let v = pick(&mut rng);
+                    if v != 0 {
+                        let extra = (rng.next_u64() % 100) as f64 * 0.5;
+                        tree.add_detour(ids[v], extra);
+                        model.add_detour(v, extra);
+                    }
+                }
+                // Override a routed length (clamped to Manhattan).
+                5 => {
+                    let v = pick(&mut rng);
+                    if v != 0 {
+                        let dist = model.nodes[model.nodes[v].parent.unwrap()]
+                            .pos
+                            .dist(model.nodes[v].pos);
+                        let len = dist + (rng.next_u64() % 40) as f64;
+                        tree.set_edge_len(ids[v], len);
+                        model.set_edge_len(v, len);
+                    }
+                }
+                // Restructure: reparent a subtree (skip cycles).
+                6 => {
+                    let v = pick(&mut rng);
+                    let p = pick(&mut rng);
+                    if v != 0 && !model.would_cycle(v, p) {
+                        tree.reparent(ids[v], ids[p]);
+                        model.reparent(v, p);
+                    }
+                }
+                // Move a node, re-deriving the touching edge lengths.
+                _ => {
+                    let v = pick(&mut rng);
+                    tree.move_node(ids[v], pos);
+                    model.move_node(v, pos);
+                }
+            }
+            // Full bit-exact comparison every few steps (every step is
+            // quadratic in sequence length), and always at the end.
+            if step % 16 == 0 || step + 1 == steps {
+                assert_equivalent(&tree, &model, seed, step);
+            }
+        }
+    }
+}

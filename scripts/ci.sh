@@ -51,6 +51,17 @@ echo "== durability: checkpoint/resume + cancellation suites (release, incl. ISC
 # executes them.)
 cargo test -q --release -p sllt-cts --test checkpoint --test cancel
 
+echo "== durability: text -> binary checkpoint migration round-trip"
+# A v1 text checkpoint must resume bit-identically through the binary
+# (schema-2) writer, and the binary form must be at least 5x smaller.
+cargo test -q --release -p sllt-cts --lib legacy_text_checkpoint
+
+echo "== scale smoke: grid200000 end-to-end under a wall budget"
+# Near-linear scaling regression gate: ~110 us/sink on the reference
+# box puts 200k sinks around 22 s; 180 s is the hard budget (timeout
+# exits 124 on breach, and the bin exits nonzero on a failed flow).
+timeout 180 cargo run --release -q -p sllt-bench --bin scale_sweep -- --sizes 200000
+
 echo "== suite runner: panic isolation + torn-manifest --resume smoke"
 rm -rf results/suite_ci
 if cargo run --release -q -p sllt-bench --bin suite -- \
