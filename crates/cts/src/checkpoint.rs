@@ -71,7 +71,7 @@ fn io_err(context: &str, e: impl std::fmt::Display) -> CtsError {
 /// hash is exact, not approximate.
 fn fingerprint(cts: &HierarchicalCts, design: &Design) -> u64 {
     let config = format!(
-        "{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{}|{}|{:?}|{:?}",
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}|{}|{}|{:?}|{:?}",
         cts.constraints,
         cts.tech,
         cts.lib,
@@ -84,6 +84,8 @@ fn fingerprint(cts: &HierarchicalCts, design: &Design) -> u64 {
         cts.equalize_sizing,
         cts.sizing_window_fraction,
         cts.partition_restarts,
+        cts.sa_chains,
+        cts.partition_warm_mcf,
         cts.seed,
         design.name,
         cts.recovery,

@@ -137,6 +137,20 @@ pub struct HierarchicalCts {
     /// K-means restarts per level in the small-level partition search.
     /// Must be at least 1 ([`CtsError::NoPartitionRestarts`]).
     pub partition_restarts: usize,
+    /// Independent SA chains per level in the partition refinement; the
+    /// lowest-cost final state wins (ties break toward the lowest chain
+    /// index). Chains run across the worker pool; any chain/worker
+    /// combination yields bit-identical trees. Must be at least 1 when
+    /// [`use_sa`](Self::use_sa) is set.
+    pub sa_chains: usize,
+    /// Whether the per-cluster capacity assignment inside balanced
+    /// K-means warm-starts from the nearest-centre seed and repairs only
+    /// the overflow with a small min-cost flow, instead of solving the
+    /// dense point×centre flow from scratch each balance round. Exact —
+    /// the repaired assignment reaches the dense optimum's total cost —
+    /// and several times faster; disable only to cross-check trees
+    /// against the cold solver.
+    pub partition_warm_mcf: bool,
     /// Worker threads for the per-cluster route stage: 0 picks the
     /// machine's available parallelism, 1 routes serially. Any value
     /// yields bit-identical trees.
@@ -186,6 +200,8 @@ impl Default for HierarchicalCts {
             sizing_window_fraction: 0.0,
             sizing_slack: 1.3,
             partition_restarts: 4,
+            sa_chains: 2,
+            partition_warm_mcf: true,
             workers: 0,
             seed: 0x05117C75,
             recovery: RecoveryPolicy::default(),

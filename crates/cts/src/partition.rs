@@ -76,48 +76,52 @@ pub(crate) fn partition_level(
     // (10 ms at 300 points, ~700 ms at 1400), so levels past a few
     // hundred nodes pay seconds per restart; the cell path bounds every
     // solve at `max_cell` points and stays near-linear.
+    let kcfg = sllt_partition::KmeansConfig {
+        warm_mcf: cts.partition_warm_mcf,
+        ..Default::default()
+    };
     let part = if n > 600 {
         // Cell size bounds the min-cost-flow's quadratic blowup: at ~300
         // points a cell assigns in ~10 ms where 1200-point cells cost
         // ~450 ms each, and total partition time stays near-linear in
         // the sink count. Cells must still hold one full cluster.
         let max_cell = 300.max(cons.max_fanout);
-        sllt_partition::balanced_kmeans_grid_sharded(
+        sllt_partition::balanced_kmeans_grid_sharded_cfg(
             positions,
             k,
             cons.max_fanout,
             max_cell,
             cts.seed ^ level as u64,
             cts.effective_workers(usize::MAX),
+            &kcfg,
             &|| cts.cancel.poll(),
         )
         .ok_or(CtsError::Cancelled)?
     } else {
+        if cts.partition_restarts == 0 {
+            return Err(CtsError::NoPartitionRestarts);
+        }
         // Rough level count for the weight schedule.
         let est_levels = ((n as f64).ln() / (cons.max_fanout as f64).ln()).ceil() as usize + 1;
         let (p, q) = sllt_partition::cost::level_weights(level, est_levels.max(2));
-        // Explicit restart loop (rather than `.min_by`) so the token is
-        // polled between restarts. Strict `<` keeps `min_by`'s
-        // first-minimum-wins tie-break: the chosen partition is
-        // bit-identical to the pre-cancellation implementation.
-        let mut best: Option<(f64, sllt_partition::Partition)> = None;
-        for t in 0..cts.partition_restarts as u64 {
-            if cts.cancel.poll() {
-                return Err(CtsError::Cancelled);
-            }
-            let cand = sllt_partition::balanced_kmeans(
-                positions,
-                k,
-                cons.max_fanout,
-                (cts.seed ^ level as u64).wrapping_add(t * 0x9E37),
-            );
-            let score = adaptive_cluster_cost(cts, positions, caps, &cand, p, q);
-            if best.as_ref().is_none_or(|(s, _)| score < *s) {
-                best = Some((score, cand));
-            }
-        }
-        best.map(|(_, cand)| cand)
-            .ok_or(CtsError::NoPartitionRestarts)?
+        // Restarts fan out across the worker pool with per-restart seed
+        // streams; the serial strict-`<` best-of keeps `min_by`'s
+        // first-minimum-wins tie-break, so the chosen partition is
+        // bit-identical at any worker count (and to the old serial
+        // loop). Cancellation is polled between restarts; a stopped
+        // search discards every candidate.
+        sllt_partition::balanced_kmeans_restarts_scored(
+            positions,
+            k,
+            cons.max_fanout,
+            cts.seed ^ level as u64,
+            cts.partition_restarts,
+            cts.effective_workers(cts.partition_restarts),
+            &kcfg,
+            &|cand| adaptive_cluster_cost(cts, positions, caps, cand, p, q),
+            &|| cts.cancel.poll(),
+        )
+        .ok_or(CtsError::Cancelled)?
     };
     let k = part.centers.len();
     let mut assignment = part.assignment;
@@ -128,10 +132,12 @@ pub(crate) fn partition_level(
             max_wl_um: cons.max_wl_um,
             unit_wire_cap: cts.tech.unit_cap_ff,
         };
-        // Cancellation is polled once per SA proposal; a stopped sweep
-        // leaves `assignment` unspecified, so the whole level attempt is
+        // Independent chains explore from the same start; the serial
+        // best-of keeps the result bit-identical at any worker count.
+        // Cancellation is polled once per SA proposal; a stopped run
+        // leaves `assignment` untouched and the whole level attempt is
         // discarded as Cancelled.
-        sa::refine_with_stop(
+        sa::refine_chains(
             positions,
             caps,
             &mut assignment,
@@ -141,7 +147,9 @@ pub(crate) fn partition_level(
                 seed: cts.seed ^ (level as u64) << 8,
                 ..Default::default()
             },
-            &mut || cts.cancel.poll(),
+            cts.sa_chains.max(1),
+            cts.effective_workers(cts.sa_chains.max(1)),
+            &|| cts.cancel.poll(),
         )
         .ok_or(CtsError::Cancelled)?;
     }
@@ -162,8 +170,9 @@ fn adaptive_cluster_cost(
     let k = part.centers.len();
     let mut cluster_caps = Vec::with_capacity(k);
     let mut cluster_delays = Vec::with_capacity(k);
-    for c in 0..k {
-        let members = part.members(c);
+    // Single pass over the assignment; the per-cluster `members(c)`
+    // accessor would rescan it k times.
+    for members in part.members_all() {
         if members.is_empty() {
             continue;
         }

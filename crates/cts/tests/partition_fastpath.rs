@@ -1,0 +1,126 @@
+//! Determinism and equivalence suite for the partition fast path.
+//!
+//! The fast path changed three execution strategies without changing
+//! the contract: K-means restarts and SA chains fan out across worker
+//! threads (deterministic best-of), the Lloyd nearest-centre scan is
+//! grid-pruned (exact), and the per-round capacity assignment
+//! warm-starts from the nearest-centre seed and repairs only the
+//! overflow (cost-equal to the dense flow). These tests pin the
+//! end-to-end consequences on whole trees:
+//!
+//! - trees are bit-identical at any worker count, on both the small
+//!   (restart-scored) and large (sharded-grid) partition paths,
+//! - warm and cold assignment produce the same tree on designs with
+//!   random (tie-free) coordinates,
+//! - the chain count changes the search, never the contract.
+
+use sllt_cts::flow::HierarchicalCts;
+use sllt_design::Design;
+use sllt_geom::{Point, Rect};
+use sllt_rng::prelude::*;
+use sllt_tree::Sink;
+
+/// A design with irrational-ish random coordinates: distance ties (and
+/// thus alternate-optima ambiguity in the assignment flows) have
+/// measure zero, so warm and cold assignment must agree exactly.
+fn random_design(seed: u64, n: usize, span: f64) -> Design {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sinks: Vec<Sink> = (0..n)
+        .map(|_| {
+            Sink::new(
+                Point::new(rng.random_range(0.0..span), rng.random_range(0.0..span)),
+                1.0 + rng.random_range(0.0..1.5),
+            )
+        })
+        .collect();
+    Design {
+        name: format!("fastpath{n}"),
+        num_instances: n,
+        utilization: 0.5,
+        die: Rect::new(Point::ORIGIN, Point::new(span, span)),
+        clock_root: Point::ORIGIN,
+        sinks,
+    }
+}
+
+#[test]
+fn restart_and_chain_parallelism_is_bit_identical() {
+    // 180 sinks: level 0 takes the restart-scored path (n <= 600), so
+    // this drives parallel K-means restarts AND parallel SA chains.
+    let design = random_design(11, 180, 400.0);
+    let serial = HierarchicalCts {
+        workers: 1,
+        ..HierarchicalCts::default()
+    }
+    .run(&design)
+    .unwrap();
+    for workers in [2usize, 4] {
+        let parallel = HierarchicalCts {
+            workers,
+            ..HierarchicalCts::default()
+        }
+        .run(&design)
+        .unwrap();
+        assert_eq!(serial, parallel, "workers={workers} diverged from serial");
+    }
+}
+
+#[test]
+fn sharded_grid_parallelism_is_bit_identical() {
+    // 1400 sinks: level 0 takes the sharded-grid path (n > 600) with
+    // the warm overflow-repair assignment inside every cell.
+    let design = random_design(23, 1400, 1500.0);
+    let serial = HierarchicalCts {
+        workers: 1,
+        ..HierarchicalCts::default()
+    }
+    .run(&design)
+    .unwrap();
+    for workers in [2usize, 4] {
+        let parallel = HierarchicalCts {
+            workers,
+            ..HierarchicalCts::default()
+        }
+        .run(&design)
+        .unwrap();
+        assert_eq!(serial, parallel, "workers={workers} diverged from serial");
+    }
+}
+
+#[test]
+fn warm_and_cold_assignment_build_the_same_tree() {
+    // Random coordinates leave no assignment ties, so the exact warm
+    // repair must reproduce the dense cold solve decision-for-decision
+    // — all the way to an identical built tree. Cover both partition
+    // paths.
+    for (seed, n, span) in [(7u64, 300, 500.0), (41, 900, 1100.0)] {
+        let design = random_design(seed, n, span);
+        let warm = HierarchicalCts {
+            partition_warm_mcf: true,
+            ..HierarchicalCts::default()
+        }
+        .run(&design)
+        .unwrap();
+        let cold = HierarchicalCts {
+            partition_warm_mcf: false,
+            ..HierarchicalCts::default()
+        }
+        .run(&design)
+        .unwrap();
+        assert_eq!(warm, cold, "n={n}: warm assignment changed the tree");
+    }
+}
+
+#[test]
+fn chain_count_changes_the_search_not_the_contract() {
+    let design = random_design(3, 150, 300.0);
+    for chains in [1usize, 2, 4] {
+        let tree = HierarchicalCts {
+            sa_chains: chains,
+            ..HierarchicalCts::default()
+        }
+        .run(&design)
+        .unwrap();
+        assert_eq!(tree.sinks().len(), 150, "chains={chains}");
+    }
+}

@@ -29,42 +29,75 @@ use crate::Point;
 /// assert_eq!(hull.len(), 4);
 /// ```
 pub fn convex_hull(points: &[Point]) -> Vec<usize> {
-    let n = points.len();
-    if n < 3 {
-        return (0..n).collect();
-    }
-    let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| {
-        points[a]
-            .x
-            .total_cmp(&points[b].x)
-            .then(points[a].y.total_cmp(&points[b].y))
-    });
-    idx.dedup_by(|&mut a, &mut b| points[a].approx_eq(points[b]));
-    if idx.len() < 3 {
-        return idx;
+    let mut out = Vec::new();
+    HullScratch::new().compute(points, &mut out);
+    out
+}
+
+/// Reusable buffers for repeated [`convex_hull`] computations.
+///
+/// Search loops (the SA partition refinement proposes a hull per move)
+/// call [`compute`](Self::compute) thousands of times on small point
+/// sets; reusing the sort and chain buffers makes each call
+/// allocation-free after the first.
+#[derive(Debug, Default)]
+pub struct HullScratch {
+    idx: Vec<usize>,
+    upper: Vec<usize>,
+}
+
+impl HullScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    // Monotone chain keeping collinear points (strict right turns pop).
-    let turn = |a: usize, b: usize, c: usize| Point::cross(points[a], points[b], points[c]);
-    let mut lower: Vec<usize> = Vec::with_capacity(idx.len());
-    for &i in &idx {
-        while lower.len() >= 2 && turn(lower[lower.len() - 2], lower[lower.len() - 1], i) < 0.0 {
-            lower.pop();
+    /// Computes the hull of `points` into `out` (cleared first), with
+    /// output identical to [`convex_hull`].
+    pub fn compute(&mut self, points: &[Point], out: &mut Vec<usize>) {
+        let n = points.len();
+        out.clear();
+        if n < 3 {
+            out.extend(0..n);
+            return;
         }
-        lower.push(i);
-    }
-    let mut upper: Vec<usize> = Vec::with_capacity(idx.len());
-    for &i in idx.iter().rev() {
-        while upper.len() >= 2 && turn(upper[upper.len() - 2], upper[upper.len() - 1], i) < 0.0 {
-            upper.pop();
+        let idx = &mut self.idx;
+        idx.clear();
+        idx.extend(0..n);
+        idx.sort_by(|&a, &b| {
+            points[a]
+                .x
+                .total_cmp(&points[b].x)
+                .then(points[a].y.total_cmp(&points[b].y))
+        });
+        idx.dedup_by(|&mut a, &mut b| points[a].approx_eq(points[b]));
+        if idx.len() < 3 {
+            out.extend_from_slice(idx);
+            return;
         }
-        upper.push(i);
+
+        // Monotone chain keeping collinear points (strict right turns
+        // pop); `out` doubles as the lower chain.
+        let turn = |a: usize, b: usize, c: usize| Point::cross(points[a], points[b], points[c]);
+        for &i in idx.iter() {
+            while out.len() >= 2 && turn(out[out.len() - 2], out[out.len() - 1], i) < 0.0 {
+                out.pop();
+            }
+            out.push(i);
+        }
+        let upper = &mut self.upper;
+        upper.clear();
+        for &i in idx.iter().rev() {
+            while upper.len() >= 2 && turn(upper[upper.len() - 2], upper[upper.len() - 1], i) < 0.0
+            {
+                upper.pop();
+            }
+            upper.push(i);
+        }
+        out.pop();
+        upper.pop();
+        out.extend_from_slice(upper);
     }
-    lower.pop();
-    upper.pop();
-    lower.extend(upper);
-    lower
 }
 
 /// Whether `p` lies inside (or on the boundary of) the convex polygon with

@@ -33,7 +33,7 @@ pub mod point;
 pub mod rect;
 pub mod rotated;
 
-pub use hull::convex_hull;
+pub use hull::{convex_hull, HullScratch};
 pub use point::{centroid, Point};
 pub use rect::Rect;
 pub use rotated::{RPoint, RRect};

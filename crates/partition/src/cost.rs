@@ -14,6 +14,31 @@ pub fn variance(xs: &[f64]) -> f64 {
     xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64
 }
 
+/// Cumulative weighted pick: returns the index whose cumulative weight
+/// interval contains `pick`, skipping zero-weight entries.
+///
+/// Shared by the k-means++ seeding and the SA cluster selection, both
+/// of which draw `pick` uniformly from `[0, Σweights)`. Floating-point
+/// summation residue can leave `pick > 0` after the scan (the running
+/// subtraction and the caller's total disagree in the last ulp); the
+/// pick then falls back to the **last positive-weight index** — never a
+/// zero-weight entry, which for k-means++ would mean seeding a centre
+/// on a point coincident with an existing centre. Returns `None` when
+/// no weight is positive.
+pub fn weighted_pick(weights: &[f64], mut pick: f64) -> Option<usize> {
+    let mut fallback = None;
+    for (i, &w) in weights.iter().enumerate() {
+        if w > 0.0 {
+            fallback = Some(i);
+            pick -= w;
+            if pick <= 0.0 {
+                return Some(i);
+            }
+        }
+    }
+    fallback
+}
+
 /// The adaptive clustering cost `p·σ(caps) + q·σ(delays)`.
 ///
 /// `caps` and `delays` are per-cluster aggregates: total net capacitance

@@ -16,8 +16,16 @@
 //! fF (wirelength via the unit wire capacitance, fanout via the mean pin
 //! capacitance), so "all constraint costs have equivalent numerical
 //! ranges".
+//!
+//! The proposal loop is allocation-free per move: cluster costs are
+//! evaluated by streaming over member indices (no collected point
+//! vectors), the hull runs on reused scratch buffers, and accepted
+//! moves mutate the member lists in place. [`refine_chains`] runs
+//! several independent chains (per-chain SplitMix64 seed streams)
+//! across a scoped worker pool with deterministic best-of selection.
 
-use sllt_geom::{convex_hull, Point, Rect};
+use crate::cost::weighted_pick;
+use sllt_geom::{HullScratch, Point};
 use sllt_rng::prelude::*;
 
 /// Per-cluster design constraints (paper Table 5 for the defaults used in
@@ -59,6 +67,42 @@ impl Default for SaConfig {
     }
 }
 
+/// Violation cost over a streamed member set — the allocation-free core
+/// behind [`violation_cost`]. The bounding box accumulates inline
+/// instead of collecting points and calling `Rect::bounding`.
+fn violation_cost_iter(
+    points: &[Point],
+    caps: &[f64],
+    members: impl Iterator<Item = usize>,
+    cons: &PartitionConstraints,
+) -> f64 {
+    let mut count = 0usize;
+    let mut total_cap = 0.0f64;
+    let (mut x0, mut y0) = (f64::INFINITY, f64::INFINITY);
+    let (mut x1, mut y1) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for i in members {
+        count += 1;
+        total_cap += caps[i];
+        let p = points[i];
+        x0 = x0.min(p.x);
+        x1 = x1.max(p.x);
+        y0 = y0.min(p.y);
+        y1 = y1.max(p.y);
+    }
+    if count == 0 {
+        return 0.0;
+    }
+    let mean_cap = total_cap / count as f64;
+    // Half-perimeter of the member bounding box, as Rect::hpwl.
+    let wl = (x1 - x0) + (y1 - y0);
+    let wire_cap = cons.unit_wire_cap * wl;
+
+    let cap_excess = (total_cap + wire_cap - cons.max_cap_ff).max(0.0);
+    let wl_excess = cons.unit_wire_cap * (wl - cons.max_wl_um).max(0.0);
+    let fanout_excess = count.saturating_sub(cons.max_fanout) as f64 * mean_cap;
+    cap_excess + wl_excess + fanout_excess
+}
+
 /// Violation cost of one cluster, in fF. Zero when all constraints hold.
 ///
 /// Wirelength is estimated by the cluster bounding box half-perimeter —
@@ -69,22 +113,11 @@ pub fn violation_cost(
     members: &[usize],
     cons: &PartitionConstraints,
 ) -> f64 {
-    if members.is_empty() {
-        return 0.0;
-    }
-    let total_cap: f64 = members.iter().map(|&i| caps[i]).sum();
-    let mean_cap = total_cap / members.len() as f64;
-    let pts: Vec<Point> = members.iter().map(|&i| points[i]).collect();
-    let wl = Rect::bounding(&pts).map_or(0.0, |r| r.hpwl());
-    let wire_cap = cons.unit_wire_cap * wl;
-
-    let cap_excess = (total_cap + wire_cap - cons.max_cap_ff).max(0.0);
-    let wl_excess = cons.unit_wire_cap * (wl - cons.max_wl_um).max(0.0);
-    let fanout_excess = members.len().saturating_sub(cons.max_fanout) as f64 * mean_cap;
-    cap_excess + wl_excess + fanout_excess
+    violation_cost_iter(points, caps, members.iter().copied(), cons)
 }
 
-/// Total violation cost over all clusters, fF.
+/// Total violation cost over all clusters, fF. Single pass over the
+/// assignment to build member lists, then one evaluation per cluster.
 pub fn total_cost(
     points: &[Point],
     caps: &[f64],
@@ -92,16 +125,13 @@ pub fn total_cost(
     k: usize,
     cons: &PartitionConstraints,
 ) -> f64 {
-    (0..k)
-        .map(|c| {
-            let members: Vec<usize> = assignment
-                .iter()
-                .enumerate()
-                .filter(|(_, &a)| a == c)
-                .map(|(i, _)| i)
-                .collect();
-            violation_cost(points, caps, &members, cons)
-        })
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &a) in assignment.iter().enumerate() {
+        members[a].push(i);
+    }
+    members
+        .iter()
+        .map(|m| violation_cost(points, caps, m, cons))
         .sum()
 }
 
@@ -166,6 +196,11 @@ pub fn refine_with_stop(
     let mut proposals = 0u64;
     let mut accepts = 0u64;
     let mut temp_trace = sllt_obs::Histogram::new();
+    // Scratch reused by every proposal: the annealer allocates nothing
+    // per move after warm-up.
+    let mut hull_scratch = HullScratch::new();
+    let mut hull_pts: Vec<Point> = Vec::new();
+    let mut hull: Vec<usize> = Vec::new();
 
     for _ in 0..cfg.iterations {
         if stop() {
@@ -186,8 +221,9 @@ pub fn refine_with_stop(
             continue; // moving the last member just relocates the violation
         }
         // (2) boundary instances of the source cluster.
-        let pts: Vec<Point> = members[src].iter().map(|&i| points[i]).collect();
-        let hull = convex_hull(&pts);
+        hull_pts.clear();
+        hull_pts.extend(members[src].iter().map(|&i| points[i]));
+        hull_scratch.compute(&hull_pts, &mut hull);
         if hull.is_empty() {
             continue;
         }
@@ -209,13 +245,20 @@ pub fn refine_with_stop(
         if dst == usize::MAX {
             break; // single cluster: no move possible
         }
-        // (4) evaluate the move.
-        let mut src_members = members[src].clone();
-        src_members.retain(|&i| i != moved);
-        let mut dst_members = members[dst].clone();
-        dst_members.push(moved);
-        let new_src = violation_cost(points, caps, &src_members, cons);
-        let new_dst = violation_cost(points, caps, &dst_members, cons);
+        // (4) evaluate the move by streaming the hypothetical member
+        // sets — no cloned vectors.
+        let new_src = violation_cost_iter(
+            points,
+            caps,
+            members[src].iter().copied().filter(|&i| i != moved),
+            cons,
+        );
+        let new_dst = violation_cost_iter(
+            points,
+            caps,
+            members[dst].iter().copied().chain(std::iter::once(moved)),
+            cons,
+        );
         let delta = new_src + new_dst - cluster_cost[src] - cluster_cost[dst];
         let accept = delta < 0.0 || (temp > 1e-12 && rng.random::<f64>() < (-delta / temp).exp());
         if observing {
@@ -227,8 +270,8 @@ pub fn refine_with_stop(
         if accept {
             accepts += 1;
             assignment[moved] = dst;
-            members[src] = src_members;
-            members[dst] = dst_members;
+            members[src].retain(|&i| i != moved);
+            members[dst].push(moved);
             total += new_src + new_dst - cluster_cost[src] - cluster_cost[dst];
             cluster_cost[src] = new_src;
             cluster_cost[dst] = new_dst;
@@ -250,21 +293,114 @@ pub fn refine_with_stop(
     Some(best_total.max(0.0))
 }
 
+/// One chain's outcome: final cost and assignment, `None` when stopped.
+type ChainResult = Option<(f64, Vec<usize>)>;
+
+/// Runs `chains` independent annealing chains from the same starting
+/// assignment across a scoped pool of `workers` threads and keeps the
+/// best final state.
+///
+/// Chain `c` anneals with seed `cfg.seed + c·0x9E37` (wrapping), which
+/// the RNG layer expands through SplitMix64 into a decorrelated stream
+/// per chain; chain 0 uses `cfg.seed` verbatim, so a single chain
+/// reproduces [`refine_with_stop`] exactly. Workers pull chain indices
+/// from a shared counter; the best-of selection is a serial scan in
+/// chain order keeping the strictly lowest final cost (ties break
+/// toward the lowest chain index), so the winning assignment is
+/// bit-identical at any worker count.
+///
+/// Returns the winning final cost and writes the winning assignment in
+/// place; `None` when `stop` fired (the assignment is then left
+/// untouched).
+///
+/// # Panics
+///
+/// As [`refine_with_stop`]; additionally panics when `chains` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_chains(
+    points: &[Point],
+    caps: &[f64],
+    assignment: &mut [usize],
+    k: usize,
+    cons: &PartitionConstraints,
+    cfg: &SaConfig,
+    chains: usize,
+    workers: usize,
+    stop: &(dyn Fn() -> bool + Sync),
+) -> Option<f64> {
+    assert!(chains > 0, "at least one chain");
+    let run = |c: usize| -> ChainResult {
+        let chain_cfg = SaConfig {
+            seed: cfg.seed.wrapping_add(c as u64 * 0x9E37),
+            ..*cfg
+        };
+        let mut local = assignment.to_vec();
+        let cost = refine_with_stop(points, caps, &mut local, k, cons, &chain_cfg, &mut || {
+            stop()
+        })?;
+        Some((cost, local))
+    };
+    let workers = workers.clamp(1, chains);
+    let results: Vec<ChainResult> = if workers <= 1 {
+        let mut out = Vec::with_capacity(chains);
+        for c in 0..chains {
+            out.push(run(c));
+        }
+        out
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<ChainResult>> = Mutex::new(vec![None; chains]);
+        let registry = sllt_obs::current();
+        let parent_span = sllt_obs::current_span();
+        std::thread::scope(|scope| {
+            let (next, slots, run, registry) = (&next, &slots, &run, &registry);
+            for w in 0..workers {
+                scope.spawn(move || {
+                    let _telemetry = registry
+                        .as_ref()
+                        .map(|r| r.install_worker(&format!("sa-chain-{w}"), parent_span));
+                    loop {
+                        if stop() {
+                            break;
+                        }
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= chains {
+                            break;
+                        }
+                        let out = run(c);
+                        slots.lock().expect("no panics hold the slot lock")[c] = out;
+                    }
+                });
+            }
+        });
+        slots.into_inner().expect("workers joined")
+    };
+    // Deterministic best-of: strict `<` in chain order.
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for slot in results {
+        let (cost, state) = slot?;
+        if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+            best = Some((cost, state));
+        }
+    }
+    let (cost, state) = best?;
+    assignment.copy_from_slice(&state);
+    Some(cost)
+}
+
 /// Samples an index with probability proportional to its (non-negative)
-/// weight; `None` when all weights are ~0.
+/// weight; `None` when all weights are ~0. Zero-weight entries are
+/// never selected, even when floating-point residue leaves the draw
+/// unconsumed after the scan (see [`weighted_pick`]).
 fn pick_weighted(weights: &[f64], rng: &mut StdRng) -> Option<usize> {
     let total: f64 = weights.iter().sum();
     if total <= 1e-12 {
         return None;
     }
-    let mut pick = rng.random_range(0.0..total);
-    for (i, w) in weights.iter().enumerate() {
-        pick -= w;
-        if pick <= 0.0 {
-            return Some(i);
-        }
-    }
-    Some(weights.len() - 1)
+    let pick = rng.random_range(0.0..total);
+    weighted_pick(weights, pick)
 }
 
 #[cfg(test)]
@@ -303,6 +439,43 @@ mod tests {
         // Wirelength violation: two far-apart pins.
         let far = vec![Point::ORIGIN, Point::new(200.0, 0.0)];
         assert!(violation_cost(&far, &[0.1, 0.1], &[0, 1], &c) > 0.0);
+    }
+
+    /// The streamed cost must equal the collected-slice evaluation on
+    /// hypothetical skip/extra member sets — the allocation-free move
+    /// evaluation is a pure refactor.
+    #[test]
+    fn streamed_cost_matches_slice_cost() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let points: Vec<Point> = (0..20)
+            .map(|_| Point::new(rng.random_range(0.0..300.0), rng.random_range(0.0..300.0)))
+            .collect();
+        let caps: Vec<f64> = (0..20).map(|_| rng.random_range(0.5..20.0)).collect();
+        let members: Vec<usize> = vec![2, 5, 7, 11, 13, 19];
+        let c = cons();
+        // Skip one member.
+        let skipped: Vec<usize> = members.iter().copied().filter(|&i| i != 7).collect();
+        assert_eq!(
+            violation_cost_iter(
+                &points,
+                &caps,
+                members.iter().copied().filter(|&i| i != 7),
+                &c
+            ),
+            violation_cost(&points, &caps, &skipped, &c)
+        );
+        // Add one member.
+        let mut extended = members.clone();
+        extended.push(4);
+        assert_eq!(
+            violation_cost_iter(
+                &points,
+                &caps,
+                members.iter().copied().chain(std::iter::once(4)),
+                &c
+            ),
+            violation_cost(&points, &caps, &extended, &c)
+        );
     }
 
     #[test]
@@ -418,6 +591,92 @@ mod tests {
         .unwrap();
         assert_eq!(c1, c2);
         assert_eq!(a1, a2);
+    }
+
+    /// Chain parallelism is an execution strategy: the winning
+    /// assignment and cost must be bit-identical at every worker count,
+    /// and a single chain must reproduce `refine_with_stop`.
+    #[test]
+    fn chains_bit_identical_at_any_worker_count() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let points: Vec<Point> = (0..40)
+            .map(|_| Point::new(rng.random_range(0.0..60.0), rng.random_range(0.0..60.0)))
+            .collect();
+        let caps: Vec<f64> = (0..40).map(|_| rng.random_range(2.0..9.0)).collect();
+        let start: Vec<usize> = (0..40).map(|i| i % 3).collect();
+        let cfg = SaConfig {
+            iterations: 600,
+            ..SaConfig::default()
+        };
+
+        let mut single = start.clone();
+        let c_single =
+            refine_with_stop(&points, &caps, &mut single, 3, &cons(), &cfg, &mut || false).unwrap();
+        let mut one_chain = start.clone();
+        let c_one = refine_chains(
+            &points,
+            &caps,
+            &mut one_chain,
+            3,
+            &cons(),
+            &cfg,
+            1,
+            1,
+            &|| false,
+        )
+        .unwrap();
+        assert_eq!(c_single, c_one, "one chain must reproduce the plain sweep");
+        assert_eq!(single, one_chain);
+
+        let mut reference: Option<(f64, Vec<usize>)> = None;
+        for workers in [1usize, 2, 4] {
+            let mut a = start.clone();
+            let c = refine_chains(
+                &points,
+                &caps,
+                &mut a,
+                3,
+                &cons(),
+                &cfg,
+                4,
+                workers,
+                &|| false,
+            )
+            .unwrap();
+            match &reference {
+                None => reference = Some((c, a)),
+                Some((rc, ra)) => {
+                    assert_eq!(*rc, c, "workers={workers}: cost diverged");
+                    assert_eq!(*ra, &a[..], "workers={workers}: assignment diverged");
+                }
+            }
+        }
+        // More chains can only match or beat one chain.
+        let (multi, _) = reference.unwrap();
+        assert!(multi <= c_single + 1e-9);
+    }
+
+    #[test]
+    fn chains_stop_discards() {
+        let points: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 30.0, 0.0)).collect();
+        let caps = vec![10.0; 10];
+        let start: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        for workers in [1usize, 3] {
+            let mut a = start.clone();
+            let out = refine_chains(
+                &points,
+                &caps,
+                &mut a,
+                2,
+                &cons(),
+                &SaConfig::default(),
+                3,
+                workers,
+                &|| true,
+            );
+            assert!(out.is_none(), "workers={workers}: stop must discard");
+            assert_eq!(a, start, "stopped chains must leave the input untouched");
+        }
     }
 
     #[test]

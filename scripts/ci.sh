@@ -51,6 +51,16 @@ echo "== durability: checkpoint/resume + cancellation suites (release, incl. ISC
 # executes them.)
 cargo test -q --release -p sllt-cts --test checkpoint --test cancel
 
+echo "== partition fast path: worker determinism + warm/cold tree equivalence (release)"
+# Parallel restarts, SA chains, and the sharded grid must build
+# bit-identical trees at 1/2/4 workers, and the warm overflow-repair
+# assignment must reproduce the cold dense-flow tree exactly.
+cargo test -q --release -p sllt-cts --test partition_fastpath
+cargo test -q --release -p sllt-partition --features proptest -- \
+    proptest_pruned_assignment_matches_scan \
+    proptest_warm_assignment_cost_matches_cold \
+    proptest_reoptimize_matches_cold_solve
+
 echo "== durability: text -> binary checkpoint migration round-trip"
 # A v1 text checkpoint must resume bit-identically through the binary
 # (schema-2) writer, and the binary form must be at least 5x smaller.
