@@ -11,7 +11,7 @@
 
 use sllt_bench::{emit_json, run_main, Table};
 use sllt_cts::flow::HierarchicalCts;
-use sllt_cts::{level_value, CollectingObserver};
+use sllt_cts::{level_value, CollectingObserver, RecordingSink};
 use sllt_obs::Value;
 use std::process::ExitCode;
 
@@ -30,9 +30,14 @@ fn run() -> Result<(), String> {
 
     let cts = HierarchicalCts::default();
     let mut obs = CollectingObserver::new();
-    cts.run_with_observer(&design, &mut obs)
+    let sink = RecordingSink::new();
+    cts.run_with_telemetry(&design, &mut obs, &sink)
         .map_err(|e| format!("flow failed: {e}"))?;
-    println!("\nper-level engine report:\n{}", obs.render());
+    let metrics = sink.registry().snapshot().metrics;
+    println!(
+        "\nper-level engine report:\n{}",
+        obs.render_with_metrics(Some(&metrics))
+    );
     let levels: Vec<Value> = obs.levels.iter().map(level_value).collect();
 
     // Route-stage scaling: identical trees, different worker counts.

@@ -9,12 +9,18 @@
 //!
 //! ```text
 //! cargo run --release -p sllt-bench --bin run_record [-- --design s35932]
+//!     [--out BENCH_cts.json] [--force]
 //! ```
 //!
 //! Every record is parsed back before it is written; a record that does
 //! not round-trip bit-identically is a schema bug and exits nonzero.
+//! The summary lands at `--out` (default `BENCH_cts.json`); when the
+//! existing file carries a **newer** schema than this binary writes,
+//! the overwrite is refused (exit nonzero) unless `--force` is given —
+//! a stale toolchain must not silently downgrade the committed
+//! baseline that `bench_diff` gates CI on.
 
-use sllt_bench::{arg_value, run_main};
+use sllt_bench::{arg_flag, arg_value, run_main};
 use sllt_cts::flow::HierarchicalCts;
 use sllt_cts::{evaluate, run_record, CollectingObserver, RecordingSink};
 use sllt_design::{Design, SUITE};
@@ -36,7 +42,35 @@ fn design_by_name(name: &str) -> Result<Design, String> {
         .ok_or_else(|| format!("unknown design {name:?}; see `table4` for the suite"))
 }
 
+/// Refuses to clobber a benchmark summary written by a newer schema.
+/// An unreadable or unparseable existing file does not block: the whole
+/// point of regenerating is to repair it.
+fn check_overwrite(path: &str) -> Result<(), String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(());
+    };
+    let Ok(existing) = sllt_obs::json::parse(&text) else {
+        return Ok(());
+    };
+    let Some(schema) = existing.get("schema").and_then(Value::as_u64) else {
+        return Ok(());
+    };
+    if schema > sllt_obs::SCHEMA_VERSION {
+        return Err(format!(
+            "{path} carries schema {schema}, newer than this binary's {}: refusing to \
+             overwrite a baseline from a newer toolchain. Rebuild from the branch that \
+             wrote it (or migrate the file), or pass --force to discard it.",
+            sllt_obs::SCHEMA_VERSION
+        ));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_cts.json".into());
+    if !arg_flag("--force") {
+        check_overwrite(&out)?;
+    }
     let designs: Vec<Design> = match arg_value("--design") {
         Some(name) => vec![design_by_name(&name)?],
         None => SUITE
@@ -135,8 +169,7 @@ fn run() -> Result<(), String> {
         .with("bench", "cts")
         .with("schema", sllt_obs::SCHEMA_VERSION)
         .with("designs", summaries);
-    std::fs::write("BENCH_cts.json", bench.encode() + "\n")
-        .map_err(|e| format!("write BENCH_cts.json: {e}"))?;
-    println!("wrote BENCH_cts.json");
+    std::fs::write(&out, bench.encode() + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
     Ok(())
 }

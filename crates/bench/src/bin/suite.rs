@@ -25,15 +25,16 @@
 //! `--inject-panic design:config` makes that child panic mid-job — the
 //! isolation contract's test hook.
 
-use sllt_bench::{arg_flag, arg_parse, arg_value, run_main, Table};
+use sllt_bench::{arg_flag, arg_parse, arg_value, peak_rss_bytes, run_main, Table};
 use sllt_cts::flow::HierarchicalCts;
-use sllt_cts::{evaluate, CancelToken, CtsError, RecoveryPolicy};
+use sllt_cts::{evaluate, CancelToken, CtsError, Progress, RecoveryPolicy};
 use sllt_design::Design;
 use sllt_obs::journal::read_journal;
-use sllt_obs::{DurableAppender, Value};
+use sllt_obs::{DurableAppender, JournalProgress, Value};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+use std::sync::Arc;
 use std::time::Instant;
 
 const SUITE_SCHEMA: u64 = 1;
@@ -87,6 +88,12 @@ fn ckpt_path(out_dir: &Path, job: &str) -> PathBuf {
     out_dir.join(format!("ckpt_{}.jsonl", job.replace(':', "_")))
 }
 
+/// The per-job progress journal: level start/done and decile events,
+/// sealed JSONL, written live so a dashboard can tail a running batch.
+fn progress_path(out_dir: &Path, job: &str) -> PathBuf {
+    out_dir.join(format!("progress_{}.jsonl", job.replace(':', "_")))
+}
+
 // --------------------------------------------------------------- child
 
 /// Runs one `design:config` job in-process and reports through the exit
@@ -122,6 +129,14 @@ fn child_run(job: &str) -> Result<(), u8> {
         panic!("injected child panic ({job}); suite isolation test hook");
     }
 
+    // Live progress: deterministic work-budget events stream into the
+    // job's sealed journal. A journal that cannot be created is not
+    // fatal — progress is observability, never a reason to fail a job.
+    let progress = progress_path(&out_dir, job);
+    if let Ok(sink) = JournalProgress::create(&progress) {
+        cts.progress = Progress::new(Arc::new(sink));
+    }
+
     let ckpt = ckpt_path(&out_dir, job);
     let t0 = Instant::now();
     let result = if ckpt.exists() {
@@ -146,7 +161,9 @@ fn child_run(job: &str) -> Result<(), u8> {
                 .with("sinks", design.num_ffs())
                 .with("skew_ps", report.skew_ps)
                 .with("wl_um", report.clock_wl_um)
-                .with("runtime_s", t0.elapsed().as_secs_f64());
+                .with("runtime_s", t0.elapsed().as_secs_f64())
+                // VmHWM, bytes; JSON null off Linux (no procfs).
+                .with("peak_rss_bytes", peak_rss_bytes());
             println!("RESULT {}", v.encode());
             // The manifest row is the durable record of a finished job;
             // its level checkpoint has nothing left to resume.
@@ -254,6 +271,7 @@ fn parent_main() -> Result<(), String> {
             if inject.as_deref() == Some(job.as_str()) {
                 cmd.arg("--child-panic");
             }
+            let t_job = Instant::now();
             let out = cmd
                 .output()
                 .map_err(|e| format!("spawn {}: {e}", exe.display()))?;
@@ -263,7 +281,11 @@ fn parent_main() -> Result<(), String> {
             let mut done = Value::obj()
                 .with("type", "job_done")
                 .with("job", job.as_str())
-                .with("attempt", attempt);
+                .with("attempt", attempt)
+                // Parent-measured wall time: present for every outcome,
+                // including panics and errors (the child's runtime_s is
+                // only reported on success).
+                .with("wall_s", t_job.elapsed().as_secs_f64());
             match out.status.code() {
                 Some(0) => match parse_result_line(&stdout) {
                     Some(r) => {
@@ -273,6 +295,11 @@ fn parent_main() -> Result<(), String> {
                         done.set("status", "ok");
                         done.set("skew_ps", outcome.skew_ps);
                         done.set("runtime_s", outcome.runtime_s);
+                        // Child VmHWM (bytes); null off Linux.
+                        done.set(
+                            "peak_rss_bytes",
+                            r.get("peak_rss_bytes").cloned().unwrap_or(Value::Null),
+                        );
                     }
                     None => {
                         outcome.status = "error".into();

@@ -36,7 +36,7 @@ use crate::sizing::size_drivers;
 use sllt_buffer::DelayEstimator;
 use sllt_design::Design;
 use sllt_geom::Point;
-use sllt_obs::{NullSink, TelemetrySink};
+use sllt_obs::{NullSink, Progress, ProgressEvent, TelemetrySink, WorkBudget};
 use sllt_route::TopologyScheme;
 use sllt_timing::{BufferLibrary, Technology};
 use sllt_tree::ClockTree;
@@ -178,6 +178,16 @@ pub struct HierarchicalCts {
     /// flow with [`CtsError::Cancelled`] within a bounded number of
     /// work units.
     pub cancel: CancelToken,
+    /// Live progress reporting: level start/done and within-level
+    /// decile events with deterministic work-budget completion
+    /// fractions (see [`sllt_obs::progress`]). Inert by default.
+    /// Observation-only — attaching a sink never changes the tree.
+    /// On a *failing* level attempt the serial route path stops at the
+    /// first error while workers drain in-flight clusters, so decile
+    /// events from failed attempts may differ across worker counts;
+    /// every emitted fraction is still deterministic, and successful
+    /// runs emit a worker-count-independent event set.
+    pub progress: Progress,
 }
 
 impl Default for HierarchicalCts {
@@ -208,6 +218,7 @@ impl Default for HierarchicalCts {
             route_budget: None,
             faults: FaultPlan::default(),
             cancel: CancelToken::default(),
+            progress: Progress::none(),
         }
     }
 }
@@ -416,6 +427,15 @@ impl HierarchicalCts {
         let _scope = sink.registry().map(|r| r.install("main"));
         let _flow_span = sllt_obs::span("cts.flow");
         observer.on_flow_start(design.sinks.len(), self.effective_workers(usize::MAX));
+        self.progress.emit(&ProgressEvent::FlowStart {
+            sinks: design.sinks.len(),
+        });
+        // Deterministic completion model: a level's work is its node
+        // count × the configured topology's cost weight (the same unit
+        // as `route_budget`), and the geometric-tail estimate in
+        // `WorkBudget` turns done-work into fractions. Resumed levels
+        // are folded in below so a resumed run's fractions line up.
+        let mut budget = WorkBudget::new();
 
         let mut cx = FlowContext::seed(design);
         let mut writer = match mode {
@@ -427,6 +447,8 @@ impl HierarchicalCts {
                 // restored state. An empty journal (meta only) resumes
                 // from the design sinks — identical to a fresh run.
                 for report in ckpt.reports() {
+                    budget.start_level(report.num_nodes as u64 * self.topology.cost_weight());
+                    budget.finish_level();
                     observer.on_resumed_level(report);
                 }
                 if ckpt.levels() > 0 {
@@ -454,7 +476,13 @@ impl HierarchicalCts {
                     nodes: cx.nodes.len(),
                 });
             }
-            let report = self.build_level(&mut cx)?;
+            budget.start_level(cx.nodes.len() as u64 * self.topology.cost_weight());
+            self.progress.emit(&ProgressEvent::LevelStart {
+                level: cx.level,
+                nodes: cx.nodes.len(),
+                fraction: budget.fraction_at(0),
+            });
+            let report = self.build_level(&mut cx, &budget)?;
             if let Some(w) = &mut writer {
                 // The level just committed: the clusters it appended are
                 // the arena's last `num_clusters` entries and `cx.nodes`
@@ -463,6 +491,28 @@ impl HierarchicalCts {
                 w.append_level(&report, &cx.nodes, new)?;
             }
             observer.on_level(&report);
+            // Exit fraction *before* folding the level in: with the
+            // level's work done, (completed + W)/(completed + 2W) —
+            // which equals the next level's entry fraction exactly when
+            // levels halve, keeping the stream monotone.
+            let exit_fraction = budget.fraction_at(budget.level_work());
+            budget.finish_level();
+            self.progress.emit(&ProgressEvent::LevelDone {
+                level: cx.level,
+                parents: report.num_clusters,
+                fraction: exit_fraction,
+            });
+            if sllt_obs::enabled() {
+                // Memory-footprint gauges, sampled once per committed
+                // level on the coordinating thread (deterministic, so
+                // the telemetry-equivalence contract holds): the
+                // built-cluster arena's tree columns, in nodes / bytes.
+                let nodes: usize = cx.clusters.iter().map(|c| c.tree.len()).sum();
+                let bytes: usize = cx.clusters.iter().map(|c| c.tree.arena_bytes()).sum();
+                sllt_obs::gauge("cts.arena.trees", cx.clusters.len() as f64);
+                sllt_obs::gauge("cts.arena.nodes", nodes as f64);
+                sllt_obs::gauge("cts.arena.bytes", bytes as f64);
+            }
             cx.level += 1;
         }
 
@@ -470,6 +520,7 @@ impl HierarchicalCts {
         let (tree, assemble_report) = assemble(self, design, &cx.clusters, &cx.nodes[0]);
         drop(assemble_span);
         observer.on_assemble(&assemble_report);
+        self.progress.emit(&ProgressEvent::Done { fraction: 1.0 });
         Ok(tree)
     }
 
@@ -483,7 +534,11 @@ impl HierarchicalCts {
     /// [`LevelReport::downgrades`]. Non-recoverable errors propagate
     /// immediately; exhausting the ladder yields
     /// [`CtsError::LadderExhausted`] wrapping the final attempt's error.
-    fn build_level(&self, cx: &mut FlowContext) -> Result<LevelReport, CtsError> {
+    fn build_level(
+        &self,
+        cx: &mut FlowContext,
+        budget: &WorkBudget,
+    ) -> Result<LevelReport, CtsError> {
         let _level_span = sllt_obs::span("cts.level");
         let steps = self.recovery.ladder(self.topology);
         let mut downgrades: Vec<Downgrade> = Vec::new();
@@ -505,7 +560,7 @@ impl HierarchicalCts {
                 owned = relaxed;
                 &owned
             };
-            match Self::try_level(eff, cx, attempt) {
+            match Self::try_level(eff, cx, attempt, budget) {
                 Ok((mut report, next, built)) => {
                     report.attempts = attempt + 1;
                     report.downgrades = downgrades;
@@ -553,6 +608,7 @@ impl HierarchicalCts {
         eff: &HierarchicalCts,
         cx: &FlowContext,
         attempt: usize,
+        budget: &WorkBudget,
     ) -> Result<(LevelReport, Vec<LevelNode>, Vec<BuiltCluster>), CtsError> {
         let num_nodes = cx.nodes.len();
         let positions: Vec<Point> = cx.nodes.iter().map(|n| n.pos).collect();
@@ -566,7 +622,15 @@ impl HierarchicalCts {
         let t1 = Instant::now();
         let routed = {
             let _s = sllt_obs::span("cts.route");
-            route_clusters(eff, &cx.nodes, &part.assignment, part.k, cx.level, attempt)?
+            route_clusters(
+                eff,
+                &cx.nodes,
+                &part.assignment,
+                part.k,
+                cx.level,
+                attempt,
+                budget,
+            )?
         };
         let t2 = Instant::now();
 

@@ -66,5 +66,8 @@ pub use recovery::{Downgrade, LadderStep, RecoveryPolicy};
 pub use report::{
     AssembleReport, CollectingObserver, FlowObserver, LevelReport, NullObserver, StageTimings,
 };
-pub use sllt_obs::{NullSink, RecordingSink, TelemetrySink};
+pub use sllt_obs::{
+    CollectingProgress, JournalProgress, NullSink, Progress, ProgressEvent, ProgressSink,
+    RecordingSink, TelemetrySink,
+};
 pub use telemetry::{assemble_value, downgrade_value, level_value, run_record};

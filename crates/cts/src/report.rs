@@ -153,6 +153,23 @@ impl CollectingObserver {
         self.levels.iter().map(|l| l.timings.route).sum()
     }
 
+    /// [`render`](Self::render) plus a per-cluster latency footer when
+    /// the run recorded telemetry: the `cts.route.cluster_us` histogram's
+    /// p50/p95/p99 (log₂-bucket estimates, within 2× — see
+    /// [`sllt_obs::Histogram::percentile`]).
+    pub fn render_with_metrics(&self, metrics: Option<&sllt_obs::MetricsMap>) -> String {
+        let mut out = self.render();
+        if let Some(h) = metrics.and_then(|m| m.histograms.get("cts.route.cluster_us")) {
+            if let (Some(p50), Some(p95), Some(p99)) = (h.p50(), h.p95(), h.p99()) {
+                out.push_str(&format!(
+                    "route cluster us: p50 {p50} p95 {p95} p99 {p99} (n={}, log2-bucket estimate)\n",
+                    h.count(),
+                ));
+            }
+        }
+        out
+    }
+
     /// A fixed-width per-level table (levels bottom-up, then a totals
     /// footer and the assembly line). Milliseconds are always rendered
     /// `{:>10.2}` so columns stay aligned at any magnitude up to ~10 s.

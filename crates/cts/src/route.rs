@@ -13,11 +13,12 @@ use crate::fault::{FaultKind, FaultStage};
 use crate::flow::{HierarchicalCts, TopologyKind};
 use sllt_core::cbs::{try_cbs_intervals, CbsConfig};
 use sllt_geom::{centroid, Point};
+use sllt_obs::{ProgressEvent, WorkBudget};
 use sllt_rng::SplitMix64;
 use sllt_route::{ghtree, htree, rsmt, salt, try_dme_intervals, DelayModel, DmeOptions};
 use sllt_tree::{ClockNet, ClockTree, NodeKind, Sink};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// One clock node at the current level: a design FF or a built cluster's
@@ -77,6 +78,7 @@ pub(crate) fn route_clusters(
     k: usize,
     level: usize,
     attempt: usize,
+    budget: &WorkBudget,
 ) -> Result<Vec<RoutedCluster>, CtsError> {
     let mut seeds = SplitMix64::new(cts.seed ^ (level as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     // Single-pass bucketing: a per-cluster scan of `nodes` is O(k·n),
@@ -136,6 +138,30 @@ pub(crate) fn route_clusters(
         ))
     };
 
+    // Within-level progress: whichever completion pushes the done-work
+    // counter (cluster members; the topology weight cancels out of the
+    // ratio) past a tenth of the level total emits that decile's
+    // event. `fetch_add` linearizes the crossings, so each decile is
+    // emitted exactly once and every field is a pure function of
+    // (budget, k) — the emitted set is worker-count independent.
+    let total_members: u64 = jobs.iter().map(|j| j.members.len() as u64).sum();
+    let done_members = AtomicU64::new(0);
+    let report_progress = |members: u64| {
+        if !cts.progress.enabled() || total_members == 0 {
+            return;
+        }
+        let prev = done_members.fetch_add(members, Ordering::Relaxed);
+        let prev_k = prev * 10 / total_members;
+        let now_k = ((prev + members) * 10 / total_members).min(10);
+        for k in prev_k + 1..=now_k {
+            cts.progress.emit(&ProgressEvent::ClusterProgress {
+                level,
+                tenths: k as u32,
+                fraction: budget.fraction_at(budget.level_work() * k / 10),
+            });
+        }
+    };
+
     let workers = cts.effective_workers(jobs.len());
     if workers <= 1 {
         // Serial path: poll once per cluster so cancellation latency is
@@ -146,6 +172,7 @@ pub(crate) fn route_clusters(
                 return Err(CtsError::Cancelled);
             }
             out.push(route_contained(job)?);
+            report_progress(job.members.len() as u64);
         }
         return Ok(out);
     }
@@ -162,6 +189,7 @@ pub(crate) fn route_clusters(
     std::thread::scope(|scope| {
         let (next, slots, jobs, registry) = (&next, &slots, &jobs, &registry);
         let route_contained = &route_contained;
+        let report_progress = &report_progress;
         for w in 0..workers {
             scope.spawn(move || {
                 let _telemetry = registry
@@ -178,7 +206,11 @@ pub(crate) fn route_clusters(
                         break;
                     }
                     let result = route_contained(&jobs[i]);
+                    let ok = result.is_ok();
                     slots.lock().expect("no panics hold the slot lock")[i] = Some(result);
+                    if ok {
+                        report_progress(jobs[i].members.len() as u64);
+                    }
                 }
             });
         }
@@ -219,6 +251,10 @@ fn route_cluster(
             }
         }
     }
+    // One span per cluster, nested under the route stage (workers
+    // inherit the stage span as base parent) — this is what gives the
+    // Chrome trace its per-worker lanes. Inert without telemetry.
+    let _cluster_span = sllt_obs::span("cts.route.cluster");
     let started = sllt_obs::enabled().then(std::time::Instant::now);
     let members = &job.members;
     let _rng_stream = job.seed; // reserved for stochastic topology generators
@@ -357,7 +393,7 @@ mod tests {
     #[test]
     fn empty_assignment_routes_nothing() {
         let cts = HierarchicalCts::default();
-        let routed = route_clusters(&cts, &[], &[], 4, 0, 0).unwrap();
+        let routed = route_clusters(&cts, &[], &[], 4, 0, 0, &WorkBudget::new()).unwrap();
         assert!(routed.is_empty());
     }
 
@@ -378,7 +414,8 @@ mod tests {
             })
             .collect();
         let assignment = vec![0, 0, 1, 1];
-        let err = route_clusters(&cts, &nodes, &assignment, 2, 0, 0).unwrap_err();
+        let err =
+            route_clusters(&cts, &nodes, &assignment, 2, 0, 0, &WorkBudget::new()).unwrap_err();
         match err {
             CtsError::StageDeadline {
                 level,

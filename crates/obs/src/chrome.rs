@@ -1,0 +1,321 @@
+//! Chrome trace-event export: turns a drained trace into a JSON
+//! timeline loadable by Perfetto (`ui.perfetto.dev`) or
+//! `chrome://tracing`.
+//!
+//! Mapping from [`TraceEvent`] to the trace-event format:
+//!
+//! * every trace thread becomes one lane (`tid` = the hub's thread
+//!   index), labeled through a `thread_name` metadata event and ordered
+//!   by a `thread_sort_index` event, all under a single process;
+//! * span begin/end become `ph:"B"` / `ph:"E"` duration events with the
+//!   span name on both (names repeat on `E` so lanes stay readable even
+//!   when a matching begin was dropped);
+//! * counter deltas become one cumulative `ph:"C"` counter track per
+//!   name (the running total process-wide, ordered by timestamp), so
+//!   MCF augmentations and Lloyd iterations plot as monotone staircases;
+//! * gauge samples become instantaneous `ph:"C"` tracks per name (RSS,
+//!   arena bytes);
+//! * a chunk that dropped events adds a `trace.dropped` instant event
+//!   (`ph:"I"`) on its lane, so loss is visible on the timeline.
+//!
+//! Chrome requires `B`/`E` to nest per lane. Drops can orphan either
+//! side, so the exporter repairs each lane with a span stack: an `E`
+//! whose begin never arrived is skipped; an `E` that closes an outer
+//! span first force-closes everything above it at the same timestamp;
+//! spans still open when the trace ends are closed at the lane's last
+//! timestamp. The result is always well-nested.
+//!
+//! Timestamps pass through unscaled: trace events carry µs since the
+//! registry epoch and the trace-event format's `ts` is µs.
+
+use crate::json::Value;
+use crate::trace::{TraceChunk, TraceEvent, TraceFile};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// The single process id every lane lives under.
+const PID: u64 = 1;
+
+fn base_event(name: &str, ph: &str, tid: u64, ts: u64) -> Value {
+    Value::obj()
+        .with("name", name)
+        .with("ph", ph)
+        .with("pid", PID)
+        .with("tid", tid)
+        .with("ts", ts)
+}
+
+/// Converts a read-back trace into a complete Chrome trace-event
+/// document (`{"traceEvents":[…]}`).
+pub fn chrome_trace(tf: &TraceFile) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    events.push(
+        Value::obj()
+            .with("name", "process_name")
+            .with("ph", "M")
+            .with("pid", PID)
+            .with(
+                "args",
+                Value::obj().with(
+                    "name",
+                    if tf.design.is_empty() {
+                        "sllt".to_string()
+                    } else {
+                        format!("sllt {}", tf.design)
+                    },
+                ),
+            ),
+    );
+
+    // Group chunks per lane, preserving file order (which preserves
+    // each thread's event order).
+    let mut lanes: BTreeMap<u64, Vec<&TraceChunk>> = BTreeMap::new();
+    for c in &tf.chunks {
+        lanes.entry(c.tid).or_default().push(c);
+    }
+
+    for (&tid, chunks) in &lanes {
+        events.push(
+            base_event("thread_name", "M", tid, 0)
+                .with("args", Value::obj().with("name", chunks[0].thread.as_str())),
+        );
+        events.push(
+            base_event("thread_sort_index", "M", tid, 0)
+                .with("args", Value::obj().with("sort_index", tid)),
+        );
+        // Lane repair state: the open-span stack and last timestamp.
+        let mut stack: Vec<(u64, String)> = Vec::new();
+        let mut last_ts = 0u64;
+        for chunk in chunks {
+            for ev in &chunk.events {
+                last_ts = last_ts.max(ev.t_us());
+                match ev {
+                    TraceEvent::Begin { id, name, t_us, .. } => {
+                        stack.push((*id, name.to_string()));
+                        events.push(base_event(name, "B", tid, *t_us));
+                    }
+                    TraceEvent::End { id, t_us, .. } => {
+                        if stack.iter().any(|(open, _)| open == id) {
+                            while let Some((top, name)) = stack.pop() {
+                                events.push(base_event(&name, "E", tid, *t_us));
+                                if top == *id {
+                                    break;
+                                }
+                            }
+                        }
+                        // Else: the begin was dropped — skip the end,
+                        // an unmatched E would corrupt the lane.
+                    }
+                    TraceEvent::Counter { .. } | TraceEvent::Gauge { .. } => {}
+                }
+            }
+            if chunk.dropped > 0 {
+                events.push(
+                    base_event("trace.dropped", "I", tid, last_ts)
+                        .with("s", "t")
+                        .with("args", Value::obj().with("count", chunk.dropped)),
+                );
+            }
+        }
+        // Close anything the trace never saw end.
+        while let Some((_, name)) = stack.pop() {
+            events.push(base_event(&name, "E", tid, last_ts));
+        }
+    }
+
+    // Counter tracks: merge counter/gauge events across lanes, ordered
+    // by (timestamp, file position) so cumulative sums are stable.
+    let mut samples: Vec<(u64, usize, &str, CounterKind)> = Vec::new();
+    let mut seq = 0usize;
+    for c in &tf.chunks {
+        for ev in &c.events {
+            match ev {
+                TraceEvent::Counter { name, delta, t_us } => {
+                    samples.push((*t_us, seq, name, CounterKind::Delta(*delta)));
+                }
+                TraceEvent::Gauge { name, value, t_us } => {
+                    samples.push((*t_us, seq, name, CounterKind::Level(*value)));
+                }
+                _ => {}
+            }
+            seq += 1;
+        }
+    }
+    samples.sort_by_key(|a| (a.0, a.1));
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for (ts, _, name, kind) in samples {
+        let value = match kind {
+            CounterKind::Delta(d) => {
+                let total = totals.entry(name).or_insert(0);
+                *total += d;
+                Value::from(*total)
+            }
+            CounterKind::Level(v) => Value::from(v),
+        };
+        events.push(base_event(name, "C", 0, ts).with("args", Value::obj().with("value", value)));
+    }
+
+    Value::obj()
+        .with("traceEvents", Value::Arr(events))
+        .with("displayTimeUnit", "ms")
+}
+
+enum CounterKind {
+    Delta(u64),
+    Level(f64),
+}
+
+/// Writes [`chrome_trace`] output to `path` (plain JSON, one document).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_chrome(path: &Path, tf: &TraceFile) -> std::io::Result<()> {
+    let doc = chrome_trace(tf).encode();
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(doc.as_bytes())?;
+    f.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn tf(chunks: Vec<TraceChunk>) -> TraceFile {
+        TraceFile {
+            design: "s35932".to_string(),
+            schema: crate::trace::TRACE_SCHEMA,
+            chunks,
+            torn: false,
+        }
+    }
+
+    fn begin(id: u64, parent: Option<u64>, name: &'static str, t: u64) -> TraceEvent {
+        TraceEvent::Begin {
+            id,
+            parent,
+            name: Cow::Borrowed(name),
+            t_us: t,
+        }
+    }
+
+    fn end(id: u64, name: &'static str, t: u64) -> TraceEvent {
+        TraceEvent::End {
+            id,
+            name: Cow::Borrowed(name),
+            t_us: t,
+        }
+    }
+
+    fn names_of(doc: &Value, ph: &str) -> Vec<String> {
+        doc.get("traceEvents")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some(ph))
+            .map(|e| e.get("name").unwrap().as_str().unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn export_is_valid_json_with_lanes_and_tracks() {
+        let chunks = vec![TraceChunk {
+            thread: "main".to_string(),
+            tid: 0,
+            dropped: 0,
+            events: vec![
+                begin(0, None, "cts.flow", 10),
+                begin(1, Some(0), "cts.partition", 11),
+                TraceEvent::Counter {
+                    name: Cow::Borrowed("partition.mcf.augmentations"),
+                    delta: 3,
+                    t_us: 12,
+                },
+                TraceEvent::Counter {
+                    name: Cow::Borrowed("partition.mcf.augmentations"),
+                    delta: 2,
+                    t_us: 13,
+                },
+                TraceEvent::Gauge {
+                    name: Cow::Borrowed("rss_bytes"),
+                    value: 2.0e8,
+                    t_us: 14,
+                },
+                end(1, "cts.partition", 15),
+                end(0, "cts.flow", 16),
+            ],
+        }];
+        let doc = chrome_trace(&tf(chunks));
+        // Whole-document round trip through our own strict parser.
+        let back = crate::json::parse(&doc.encode()).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(names_of(&doc, "B"), vec!["cts.flow", "cts.partition"]);
+        assert_eq!(names_of(&doc, "E"), vec!["cts.partition", "cts.flow"]);
+        // Counter track is cumulative: 3 then 5; gauge passes through.
+        let counters: Vec<f64> = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("C")
+                    && e.get("name").and_then(Value::as_str) == Some("partition.mcf.augmentations")
+            })
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_f64)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(counters, vec![3.0, 5.0]);
+        assert!(names_of(&doc, "C").contains(&"rss_bytes".to_string()));
+        assert!(names_of(&doc, "M").contains(&"thread_name".to_string()));
+    }
+
+    #[test]
+    fn lanes_are_repaired_under_drops() {
+        // Begin(1) dropped; End(1) must be skipped. Begin(2) never
+        // ends; it must be force-closed at the lane's last timestamp.
+        let chunks = vec![TraceChunk {
+            thread: "w".to_string(),
+            tid: 1,
+            dropped: 2,
+            events: vec![
+                begin(0, None, "outer", 10),
+                end(1, "lost", 20),
+                begin(2, Some(0), "unclosed", 30),
+                end(0, "outer", 40),
+            ],
+        }];
+        let doc = chrome_trace(&tf(chunks));
+        let b = names_of(&doc, "B");
+        let e = names_of(&doc, "E");
+        assert_eq!(b, vec!["outer", "unclosed"]);
+        // End(0) force-closes "unclosed" first (stack order), and no
+        // "lost" E appears.
+        assert_eq!(e, vec!["unclosed", "outer"]);
+        assert_eq!(names_of(&doc, "I"), vec!["trace.dropped"]);
+    }
+
+    #[test]
+    fn arbitrary_names_survive_encoding() {
+        let wild = "sp\"an\\π\n\t\u{1}";
+        let chunks = vec![TraceChunk {
+            thread: "t\"x".to_string(),
+            tid: 0,
+            dropped: 0,
+            events: vec![TraceEvent::Counter {
+                name: Cow::Owned(wild.to_string()),
+                delta: 1,
+                t_us: 5,
+            }],
+        }];
+        let doc = chrome_trace(&tf(chunks));
+        let back = crate::json::parse(&doc.encode()).unwrap();
+        assert_eq!(back, doc);
+        assert!(names_of(&back, "C").contains(&wild.to_string()));
+    }
+}

@@ -36,19 +36,31 @@
 //! assert_eq!(registry.snapshot().metrics.counter("demo.widgets"), 3);
 //! ```
 
+pub mod chrome;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod progress;
 pub mod record;
 mod registry;
 mod sink;
+pub mod trace;
 
+pub use chrome::{chrome_trace, write_chrome};
 pub use journal::{fnv1a64, DurableAppender, Journal, JournalError, JournalFrame, TornTail};
 pub use json::Value;
 pub use metrics::{fmt_rate, rate_per_sec, Histogram, MetricsMap};
+pub use progress::{
+    read_progress, CollectingProgress, JournalProgress, Progress, ProgressEvent, ProgressSink,
+    WorkBudget,
+};
 pub use record::{RunRecord, SCHEMA_VERSION};
 pub use registry::{
     count, current, current_span, enabled, gauge, record, record_hist, span, Collected, Registry,
     ScopeGuard, SpanGuard, SpanRecord,
 };
 pub use sink::{NullSink, RecordingSink, TelemetrySink};
+pub use trace::{
+    read_trace, TraceChunk, TraceEvent, TraceFile, TraceHub, TraceSlot, TraceWriter,
+    DEFAULT_TRACE_CAPACITY, TRACE_SCHEMA,
+};

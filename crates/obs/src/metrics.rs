@@ -95,6 +95,54 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`) from the log₂ buckets;
+    /// `None` when empty.
+    ///
+    /// The rank-`⌈q·count⌉` sample's bucket is found by a cumulative
+    /// walk, then the value is linearly interpolated across the
+    /// bucket's value range (clamped to the recorded min/max). Since
+    /// bucket `i ≥ 1` spans `[2^(i−1), 2^i − 1]`, the estimate is off
+    /// by at most the bucket width: it lies within a factor of 2 of
+    /// the true quantile (and is exact when the bucket is pinched by
+    /// min/max or is bucket 0).
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let (lo, hi) = bucket_range(i);
+                let lo = lo.max(self.min);
+                let hi = hi.min(self.max);
+                let frac = (rank - cum) as f64 / c as f64;
+                let est = lo as f64 + (hi.saturating_sub(lo)) as f64 * frac;
+                return Some(est.round().clamp(lo as f64, hi as f64) as u64);
+            }
+            cum += c;
+        }
+        Some(self.max)
+    }
+
+    /// Estimated median — see [`Histogram::percentile`].
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.50)
+    }
+
+    /// Estimated 95th percentile — see [`Histogram::percentile`].
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(0.95)
+    }
+
+    /// Estimated 99th percentile — see [`Histogram::percentile`].
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+
     /// The occupied buckets as `(bucket_index, count)` pairs.
     pub fn occupied(&self) -> Vec<(usize, u64)> {
         self.buckets
@@ -112,6 +160,9 @@ impl Histogram {
             .with("sum", self.sum)
             .with("min", self.min())
             .with("max", self.max())
+            .with("p50", self.p50())
+            .with("p95", self.p95())
+            .with("p99", self.p99())
             .with(
                 "buckets",
                 Value::Arr(
@@ -157,6 +208,15 @@ impl Histogram {
 
 fn bucket_of(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The value range `[lo, hi]` bucket `i` covers.
+fn bucket_range(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
 }
 
 /// Merged metrics: what a registry snapshot exposes after all worker
@@ -248,6 +308,46 @@ mod tests {
         }
         let back = Histogram::from_value(&h.to_value()).unwrap();
         assert_eq!(back, h);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_a_factor_of_two() {
+        assert_eq!(Histogram::new().p50(), None);
+        let mut h = Histogram::new();
+        h.record(42);
+        // Single sample: every percentile is pinched to it by min/max.
+        assert_eq!(h.p50(), Some(42));
+        assert_eq!(h.p99(), Some(42));
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (q, truth) in [(0.50, 500u64), (0.95, 950), (0.99, 990)] {
+            let est = h.percentile(q).unwrap() as f64;
+            let truth = truth as f64;
+            assert!(
+                est >= truth / 2.0 && est <= truth * 2.0,
+                "q={q}: est {est} vs true {truth}"
+            );
+        }
+        // p100 is exact: the max is tracked directly.
+        assert_eq!(h.percentile(1.0), Some(1000));
+        assert_eq!(h.percentile(0.0), Some(1));
+    }
+
+    #[test]
+    fn percentiles_flow_through_json() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let v = h.to_value();
+        assert_eq!(v.get("p50").and_then(Value::as_u64), h.p50());
+        assert_eq!(v.get("p99").and_then(Value::as_u64), h.p99());
+        // Derived members are recomputed from buckets on re-encode, so
+        // the round trip stays bit-exact.
+        let back = Histogram::from_value(&v).unwrap();
+        assert_eq!(back.to_value().encode(), v.encode());
     }
 
     #[test]

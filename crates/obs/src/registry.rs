@@ -15,6 +15,8 @@
 //! tests in `sllt-cts` pin this down against the real engine).
 
 use crate::metrics::{Histogram, MetricsMap};
+use crate::trace::{TraceEvent, TraceHub, TraceSlot};
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -55,6 +57,7 @@ struct Inner {
     epoch: Instant,
     state: Mutex<Collected>,
     next_span: AtomicU64,
+    trace: Mutex<Option<TraceHub>>,
 }
 
 /// A shareable per-run telemetry collection point.
@@ -77,6 +80,7 @@ impl Registry {
                 epoch: Instant::now(),
                 state: Mutex::new(Collected::default()),
                 next_span: AtomicU64::new(0),
+                trace: Mutex::new(None),
             }),
         }
     }
@@ -101,6 +105,7 @@ impl Registry {
     ///
     /// Panics when the current thread already has a shard installed.
     pub fn install_worker(&self, thread_label: &str, parent_span: Option<u64>) -> ScopeGuard {
+        let tracer = self.trace_hub().map(|hub| hub.register(thread_label));
         SHARD.with(|slot| {
             let mut slot = slot.borrow_mut();
             assert!(
@@ -116,10 +121,36 @@ impl Registry {
                 histograms: BTreeMap::new(),
                 open: Vec::new(),
                 closed: Vec::new(),
+                tracer,
             });
         });
         ACTIVE.fetch_add(1, Ordering::Relaxed);
         ScopeGuard { _private: () }
+    }
+
+    /// Turns on streaming tracing for this registry: every shard
+    /// installed *after* this call additionally buffers span/counter/
+    /// gauge events into a bounded per-thread [`TraceSlot`] of
+    /// `capacity` events, drained through the returned [`TraceHub`].
+    /// Idempotent — a second call returns the existing hub (the
+    /// capacity argument is ignored then). Tracing never feeds values
+    /// back to instrumented code, so the observation-only contract (and
+    /// the bit-identical-tree guarantee) is unchanged.
+    pub fn enable_tracing(&self, capacity: usize) -> TraceHub {
+        let mut trace = self.inner.trace.lock().expect("registry trace lock");
+        trace
+            .get_or_insert_with(|| TraceHub::new(self.inner.epoch, capacity))
+            .clone()
+    }
+
+    /// The trace hub, when [`enable_tracing`](Registry::enable_tracing)
+    /// has been called.
+    pub fn trace_hub(&self) -> Option<TraceHub> {
+        self.inner
+            .trace
+            .lock()
+            .expect("registry trace lock")
+            .clone()
     }
 
     /// A snapshot of everything merged so far. Call after every scope
@@ -162,6 +193,8 @@ struct Shard {
     /// Stack of open spans on this thread.
     open: Vec<(u64, &'static str, Instant)>,
     closed: Vec<SpanRecord>,
+    /// This thread's trace buffer, when the registry has tracing on.
+    tracer: Option<TraceSlot>,
 }
 
 impl Shard {
@@ -172,14 +205,23 @@ impl Shard {
             self.open.pop();
             let parent = self.open.last().map(|&(p, _, _)| p).or(self.base_parent);
             let epoch = self.registry.inner.epoch;
+            let start_us = start.saturating_duration_since(epoch).as_micros() as u64;
+            let dur_us = start.elapsed().as_micros() as u64;
             self.closed.push(SpanRecord {
                 id: top,
                 parent,
                 name: name.to_string(),
                 thread: self.thread.clone(),
-                start_us: start.saturating_duration_since(epoch).as_micros() as u64,
-                dur_us: start.elapsed().as_micros() as u64,
+                start_us,
+                dur_us,
             });
+            if let Some(t) = &self.tracer {
+                t.push(TraceEvent::End {
+                    id: top,
+                    name: Cow::Borrowed(name),
+                    t_us: start_us + dur_us,
+                });
+            }
             if top == id {
                 break;
             }
@@ -253,7 +295,12 @@ fn with_shard(f: impl FnOnce(&mut Shard)) {
 /// Adds `n` to the named counter.
 #[inline]
 pub fn count(name: &'static str, n: u64) {
-    with_shard(|s| *s.counters.entry(name).or_insert(0) += n);
+    with_shard(|s| {
+        *s.counters.entry(name).or_insert(0) += n;
+        if let Some(t) = &s.tracer {
+            t.counter(name, n);
+        }
+    });
 }
 
 /// Sets the named gauge to `v` (last write wins).
@@ -261,6 +308,9 @@ pub fn count(name: &'static str, n: u64) {
 pub fn gauge(name: &'static str, v: f64) {
     with_shard(|s| {
         s.gauges.insert(name, v);
+        if let Some(t) = &s.tracer {
+            t.gauge(name, v);
+        }
     });
 }
 
@@ -292,7 +342,18 @@ pub fn span(name: &'static str) -> SpanGuard {
         match slot.as_mut() {
             Some(shard) => {
                 let id = shard.registry.alloc_span();
-                shard.open.push((id, name, Instant::now()));
+                let parent = shard.open.last().map(|&(p, _, _)| p).or(shard.base_parent);
+                let start = Instant::now();
+                shard.open.push((id, name, start));
+                if let Some(t) = &shard.tracer {
+                    let epoch = shard.registry.inner.epoch;
+                    t.push(TraceEvent::Begin {
+                        id,
+                        parent,
+                        name: Cow::Borrowed(name),
+                        t_us: start.saturating_duration_since(epoch).as_micros() as u64,
+                    });
+                }
                 SpanGuard { id: Some(id) }
             }
             None => SpanGuard { id: None },

@@ -1,0 +1,677 @@
+//! Streaming trace pipeline: bounded per-thread event buffers, an
+//! incremental drain, and a sealed-JSONL trace file format.
+//!
+//! The registry of [`crate::Registry`] merges shards only on scope
+//! exit, which keeps the record path lock-free but makes the telemetry
+//! invisible *while the run executes*. Tracing fills that gap: when a
+//! registry has tracing enabled ([`crate::Registry::enable_tracing`]),
+//! every shard additionally appends low-level events — span begin/end,
+//! counter deltas, gauge samples — into a bounded per-thread buffer
+//! ([`TraceSlot`]). A drainer (any thread) periodically calls
+//! [`TraceHub::drain`] and streams the sealed chunks to disk through
+//! the [`DurableAppender`] journal substrate via [`TraceWriter`].
+//!
+//! # Overhead and drop contract
+//!
+//! The `NullSink` fast path is untouched: with no shard installed an
+//! instrumentation site is still one relaxed load and a branch. With a
+//! shard installed but tracing disabled, the extra cost is one `Option`
+//! check. With tracing enabled, each event takes one push into the
+//! thread's buffer under a per-thread mutex that only the drainer ever
+//! contends on.
+//!
+//! Buffers are **bounded**: when a thread's buffer holds `capacity`
+//! events, further events are counted in the slot's drop counter and
+//! discarded (newest-dropped). Drop accounting is exact — for every
+//! event offered, either the event appears in a drained chunk or the
+//! drop counter advanced by one — which the multi-thread stress test in
+//! `crates/obs/tests/trace_stress.rs` pins down at tiny capacities.
+//!
+//! # File format
+//!
+//! A trace file is a sealed JSONL journal (crash-tolerant torn tail,
+//! per-line FNV-1a-64 crc — see [`crate::journal`]). The first record
+//! is the trace meta (`{"t":"trace","schema":1,"design":…}`); every
+//! later record is a chunk: one thread's drained events,
+//! `{"t":"chunk","thread":…,"tid":…,"dropped":…,"events":[…]}` with
+//! events encoded as compact tagged arrays:
+//!
+//! ```text
+//! ["b", id, parent|null, name, t_us]   span begin
+//! ["e", id, name, t_us]                span end
+//! ["c", name, delta, t_us]             counter increment
+//! ["g", name, value, t_us]             gauge sample
+//! ```
+//!
+//! Timestamps are µs since the owning registry's epoch — the same
+//! clock as [`crate::SpanRecord`], so traced spans and merged spans
+//! line up. The Chrome exporter ([`crate::chrome`]) turns a read-back
+//! trace into a Perfetto-loadable timeline.
+
+use crate::journal::{read_journal, DurableAppender};
+use crate::json::Value;
+use std::borrow::Cow;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Trace file schema version (the meta record's `schema` member).
+pub const TRACE_SCHEMA: u64 = 1;
+
+/// Default per-thread buffer capacity (events). At ~40 bytes/event this
+/// bounds a thread's buffer near 2.5 MB; a 50 ms drain cadence empties
+/// it far below that on every design in the suite.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// One low-level trace event. Names are `Cow` so the instrumentation
+/// hot path pushes `&'static str` without allocating while read-back
+/// (and external samplers) can carry owned strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A span opened: `id` nests under `parent` (`None` = lane root).
+    Begin {
+        /// Registry-wide span id (allocation order).
+        id: u64,
+        /// Enclosing span id, if any.
+        parent: Option<u64>,
+        /// Span name (dotted, e.g. `cts.route`).
+        name: Cow<'static, str>,
+        /// µs since the registry epoch.
+        t_us: u64,
+    },
+    /// A span closed.
+    End {
+        /// The id from the matching [`TraceEvent::Begin`].
+        id: u64,
+        /// Span name, repeated so a lane stays interpretable when the
+        /// matching begin was dropped.
+        name: Cow<'static, str>,
+        /// µs since the registry epoch.
+        t_us: u64,
+    },
+    /// A counter was incremented by `delta`.
+    Counter {
+        /// Counter name.
+        name: Cow<'static, str>,
+        /// The increment (not the running total).
+        delta: u64,
+        /// µs since the registry epoch.
+        t_us: u64,
+    },
+    /// A gauge was set to `value`.
+    Gauge {
+        /// Gauge name.
+        name: Cow<'static, str>,
+        /// The sampled value.
+        value: f64,
+        /// µs since the registry epoch.
+        t_us: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp, µs since the registry epoch.
+    pub fn t_us(&self) -> u64 {
+        match self {
+            TraceEvent::Begin { t_us, .. }
+            | TraceEvent::End { t_us, .. }
+            | TraceEvent::Counter { t_us, .. }
+            | TraceEvent::Gauge { t_us, .. } => *t_us,
+        }
+    }
+
+    /// The event's name.
+    pub fn name(&self) -> &str {
+        match self {
+            TraceEvent::Begin { name, .. }
+            | TraceEvent::End { name, .. }
+            | TraceEvent::Counter { name, .. }
+            | TraceEvent::Gauge { name, .. } => name,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            TraceEvent::Begin {
+                id,
+                parent,
+                name,
+                t_us,
+            } => Value::Arr(vec![
+                Value::from("b"),
+                Value::from(*id),
+                parent.map(Value::from).unwrap_or(Value::Null),
+                Value::from(name.as_ref()),
+                Value::from(*t_us),
+            ]),
+            TraceEvent::End { id, name, t_us } => Value::Arr(vec![
+                Value::from("e"),
+                Value::from(*id),
+                Value::from(name.as_ref()),
+                Value::from(*t_us),
+            ]),
+            TraceEvent::Counter { name, delta, t_us } => Value::Arr(vec![
+                Value::from("c"),
+                Value::from(name.as_ref()),
+                Value::from(*delta),
+                Value::from(*t_us),
+            ]),
+            TraceEvent::Gauge { name, value, t_us } => Value::Arr(vec![
+                Value::from("g"),
+                Value::from(name.as_ref()),
+                Value::from(*value),
+                Value::from(*t_us),
+            ]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<TraceEvent, String> {
+        let items = v.as_arr().ok_or("trace event is not an array")?;
+        let tag = items
+            .first()
+            .and_then(Value::as_str)
+            .ok_or("trace event missing tag")?;
+        let name = |i: usize| -> Result<Cow<'static, str>, String> {
+            items
+                .get(i)
+                .and_then(Value::as_str)
+                .map(|s| Cow::Owned(s.to_string()))
+                .ok_or_else(|| format!("trace event missing name at {i}"))
+        };
+        let num = |i: usize| -> Result<u64, String> {
+            items
+                .get(i)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("trace event missing integer at {i}"))
+        };
+        match (tag, items.len()) {
+            ("b", 5) => Ok(TraceEvent::Begin {
+                id: num(1)?,
+                parent: match &items[2] {
+                    Value::Null => None,
+                    p => Some(p.as_u64().ok_or("bad trace parent")?),
+                },
+                name: name(3)?,
+                t_us: num(4)?,
+            }),
+            ("e", 4) => Ok(TraceEvent::End {
+                id: num(1)?,
+                name: name(2)?,
+                t_us: num(3)?,
+            }),
+            ("c", 4) => Ok(TraceEvent::Counter {
+                name: name(1)?,
+                delta: num(2)?,
+                t_us: num(3)?,
+            }),
+            ("g", 4) => Ok(TraceEvent::Gauge {
+                name: name(1)?,
+                value: items
+                    .get(2)
+                    .and_then(Value::as_f64)
+                    .ok_or("bad gauge value")?,
+                t_us: num(3)?,
+            }),
+            (tag, n) => Err(format!("unknown trace event {tag:?} with {n} fields")),
+        }
+    }
+}
+
+/// One thread's drained events: everything buffered since the previous
+/// drain, plus how many events that thread dropped in the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceChunk {
+    /// Label of the thread that produced the events.
+    pub thread: String,
+    /// Stable per-hub thread index (lane id for the Chrome export).
+    pub tid: u64,
+    /// Events dropped (buffer full) since the previous drain.
+    pub dropped: u64,
+    /// The drained events, in record order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceChunk {
+    /// The chunk's sealed-journal JSON shape.
+    pub fn to_value(&self) -> Value {
+        Value::obj()
+            .with("t", "chunk")
+            .with("thread", self.thread.as_str())
+            .with("tid", self.tid)
+            .with("dropped", self.dropped)
+            .with(
+                "events",
+                Value::Arr(self.events.iter().map(TraceEvent::to_value).collect()),
+            )
+    }
+
+    /// Rebuilds a chunk from [`TraceChunk::to_value`] output.
+    pub fn from_value(v: &Value) -> Result<TraceChunk, String> {
+        if v.get("t").and_then(Value::as_str) != Some("chunk") {
+            return Err("not a trace chunk record".to_string());
+        }
+        let events = v
+            .get("events")
+            .and_then(Value::as_arr)
+            .ok_or("chunk missing events")?
+            .iter()
+            .map(TraceEvent::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TraceChunk {
+            thread: v
+                .get("thread")
+                .and_then(Value::as_str)
+                .ok_or("chunk missing thread")?
+                .to_string(),
+            tid: v.get("tid").and_then(Value::as_u64).ok_or("chunk tid")?,
+            dropped: v
+                .get("dropped")
+                .and_then(Value::as_u64)
+                .ok_or("chunk dropped")?,
+            events,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct SlotState {
+    events: Vec<TraceEvent>,
+    /// Cumulative events dropped on this slot (never reset).
+    dropped: u64,
+    /// `dropped` at the last drain; the delta is reported per chunk.
+    reported_dropped: u64,
+}
+
+#[derive(Debug)]
+struct SlotInner {
+    thread: String,
+    tid: u64,
+    epoch: Instant,
+    capacity: usize,
+    state: Mutex<SlotState>,
+}
+
+/// One thread's bounded trace buffer. Cloning shares the buffer; the
+/// owning thread pushes, the drainer empties.
+#[derive(Debug, Clone)]
+pub struct TraceSlot {
+    inner: Arc<SlotInner>,
+}
+
+impl TraceSlot {
+    /// µs since the owning registry's epoch, for building events.
+    pub fn now_us(&self) -> u64 {
+        Instant::now()
+            .saturating_duration_since(self.inner.epoch)
+            .as_micros() as u64
+    }
+
+    /// Offers one event: buffered when there is room, otherwise counted
+    /// as dropped and discarded (exactly one of the two happens).
+    pub fn push(&self, ev: TraceEvent) {
+        let mut state = self.inner.state.lock().expect("trace slot lock");
+        if state.events.len() < self.inner.capacity {
+            state.events.push(ev);
+        } else {
+            state.dropped += 1;
+        }
+    }
+
+    /// Convenience: a counter event stamped now.
+    pub fn counter(&self, name: impl Into<Cow<'static, str>>, delta: u64) {
+        let t_us = self.now_us();
+        self.push(TraceEvent::Counter {
+            name: name.into(),
+            delta,
+            t_us,
+        });
+    }
+
+    /// Convenience: a gauge event stamped now.
+    pub fn gauge(&self, name: impl Into<Cow<'static, str>>, value: f64) {
+        let t_us = self.now_us();
+        self.push(TraceEvent::Gauge {
+            name: name.into(),
+            value,
+            t_us,
+        });
+    }
+
+    fn drain(&self) -> Option<TraceChunk> {
+        let mut state = self.inner.state.lock().expect("trace slot lock");
+        let dropped = state.dropped - state.reported_dropped;
+        if state.events.is_empty() && dropped == 0 {
+            return None;
+        }
+        state.reported_dropped = state.dropped;
+        Some(TraceChunk {
+            thread: self.inner.thread.clone(),
+            tid: self.inner.tid,
+            dropped,
+            events: std::mem::take(&mut state.events),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct HubInner {
+    epoch: Instant,
+    capacity: usize,
+    next_tid: AtomicU64,
+    slots: Mutex<Vec<TraceSlot>>,
+}
+
+/// The per-registry trace collection point: hands out per-thread slots
+/// and drains them all. Created by [`crate::Registry::enable_tracing`].
+#[derive(Debug, Clone)]
+pub struct TraceHub {
+    inner: Arc<HubInner>,
+}
+
+impl TraceHub {
+    /// A hub whose timestamps count from `epoch` (the owning registry's
+    /// span epoch, so trace and span clocks agree).
+    pub fn new(epoch: Instant, capacity: usize) -> TraceHub {
+        TraceHub {
+            inner: Arc::new(HubInner {
+                epoch,
+                capacity: capacity.max(1),
+                next_tid: AtomicU64::new(0),
+                slots: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Per-thread buffer capacity, in events.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Registers a new buffer for a thread (shards call this on
+    /// install; external samplers may register their own lane).
+    pub fn register(&self, thread_label: &str) -> TraceSlot {
+        let slot = TraceSlot {
+            inner: Arc::new(SlotInner {
+                thread: thread_label.to_string(),
+                tid: self.inner.next_tid.fetch_add(1, Ordering::Relaxed),
+                epoch: self.inner.epoch,
+                capacity: self.inner.capacity,
+                state: Mutex::new(SlotState {
+                    events: Vec::new(),
+                    dropped: 0,
+                    reported_dropped: 0,
+                }),
+            }),
+        };
+        self.inner
+            .slots
+            .lock()
+            .expect("trace hub lock")
+            .push(slot.clone());
+        slot
+    }
+
+    /// Empties every slot, returning one chunk per thread that buffered
+    /// anything (events or drops) since the previous drain. Slots stay
+    /// registered; drain repeatedly while the run executes.
+    pub fn drain(&self) -> Vec<TraceChunk> {
+        let slots = self.inner.slots.lock().expect("trace hub lock").clone();
+        slots.iter().filter_map(TraceSlot::drain).collect()
+    }
+
+    /// Cumulative events dropped across all slots since the hub was
+    /// created (monotonic; unaffected by draining).
+    pub fn total_dropped(&self) -> u64 {
+        let slots = self.inner.slots.lock().expect("trace hub lock");
+        slots
+            .iter()
+            .map(|s| s.inner.state.lock().expect("trace slot lock").dropped)
+            .sum()
+    }
+}
+
+/// Streams drained chunks into a sealed JSONL trace file through the
+/// crash-safe [`DurableAppender`]. One sealed record per chunk (not per
+/// event), so the fsync cost amortizes over the drain cadence.
+#[derive(Debug)]
+pub struct TraceWriter {
+    app: DurableAppender,
+    chunks: usize,
+}
+
+impl TraceWriter {
+    /// Creates (or truncates) the trace file at `path` and writes the
+    /// meta record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path, design: &str) -> std::io::Result<TraceWriter> {
+        let mut app = DurableAppender::create(path)?;
+        app.append(
+            &Value::obj()
+                .with("t", "trace")
+                .with("schema", TRACE_SCHEMA)
+                .with("design", design),
+        )?;
+        Ok(TraceWriter { app, chunks: 0 })
+    }
+
+    /// Appends each chunk as one sealed record. Returns how many were
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_chunks(&mut self, chunks: &[TraceChunk]) -> std::io::Result<usize> {
+        for c in chunks {
+            self.app.append(&c.to_value())?;
+        }
+        self.chunks += chunks.len();
+        Ok(chunks.len())
+    }
+
+    /// Drains `hub` and writes the result — the drainer loop body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn drain_from(&mut self, hub: &TraceHub) -> std::io::Result<usize> {
+        self.write_chunks(&hub.drain())
+    }
+
+    /// Chunks written so far.
+    pub fn chunks_written(&self) -> usize {
+        self.chunks
+    }
+}
+
+/// A trace file read back from disk.
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    /// The meta record's `design` member.
+    pub design: String,
+    /// The meta record's `schema` member.
+    pub schema: u64,
+    /// Every intact chunk, in file order.
+    pub chunks: Vec<TraceChunk>,
+    /// Whether the file ended in a torn record (crash mid-drain); the
+    /// intact prefix is still returned.
+    pub torn: bool,
+}
+
+impl TraceFile {
+    /// Total events across all chunks.
+    pub fn num_events(&self) -> usize {
+        self.chunks.iter().map(|c| c.events.len()).sum()
+    }
+
+    /// Total dropped events across all chunks.
+    pub fn total_dropped(&self) -> u64 {
+        self.chunks.iter().map(|c| c.dropped).sum()
+    }
+}
+
+/// Reads and verifies a trace file written by [`TraceWriter`].
+///
+/// # Errors
+///
+/// Journal-level corruption, a missing/foreign meta record, a schema
+/// newer than [`TRACE_SCHEMA`], or a malformed chunk.
+pub fn read_trace(path: &Path) -> Result<TraceFile, String> {
+    let journal = read_journal(path).map_err(|e| e.to_string())?;
+    let meta = journal.records.first().ok_or("trace file has no records")?;
+    if meta.get("t").and_then(Value::as_str) != Some("trace") {
+        return Err("first record is not a trace meta record".to_string());
+    }
+    let schema = meta
+        .get("schema")
+        .and_then(Value::as_u64)
+        .ok_or("trace meta missing schema")?;
+    if schema > TRACE_SCHEMA {
+        return Err(format!(
+            "trace schema {schema} is newer than supported {TRACE_SCHEMA}"
+        ));
+    }
+    let design = meta
+        .get("design")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_string();
+    let chunks = journal.records[1..]
+        .iter()
+        .map(TraceChunk::from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(TraceFile {
+        design,
+        schema,
+        chunks,
+        torn: journal.torn_tail.is_some(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Begin {
+                id: 0,
+                parent: None,
+                name: Cow::Borrowed("cts.flow"),
+                t_us: 10,
+            },
+            TraceEvent::Begin {
+                id: 1,
+                parent: Some(0),
+                name: Cow::Borrowed("cts.partition"),
+                t_us: 11,
+            },
+            TraceEvent::Counter {
+                name: Cow::Borrowed("partition.mcf.augmentations"),
+                delta: 7,
+                t_us: 12,
+            },
+            TraceEvent::Gauge {
+                name: Cow::Borrowed("rss_bytes"),
+                value: 1.5e8,
+                t_us: 13,
+            },
+            TraceEvent::End {
+                id: 1,
+                name: Cow::Borrowed("cts.partition"),
+                t_us: 14,
+            },
+            TraceEvent::End {
+                id: 0,
+                name: Cow::Borrowed("cts.flow"),
+                t_us: 15,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_through_values() {
+        for ev in sample_events() {
+            let back = TraceEvent::from_value(&ev.to_value()).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn chunk_round_trips_through_values() {
+        let chunk = TraceChunk {
+            thread: "route-worker-0".to_string(),
+            tid: 3,
+            dropped: 2,
+            events: sample_events(),
+        };
+        let back = TraceChunk::from_value(&chunk.to_value()).unwrap();
+        assert_eq!(back, chunk);
+    }
+
+    #[test]
+    fn slot_buffers_then_drains_then_counts_drops() {
+        let hub = TraceHub::new(Instant::now(), 3);
+        let slot = hub.register("t0");
+        for i in 0..5 {
+            slot.counter("c", i);
+        }
+        let chunks = hub.drain();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].events.len(), 3);
+        assert_eq!(chunks[0].dropped, 2);
+        assert_eq!(hub.total_dropped(), 2);
+        // Nothing new: drain reports nothing.
+        assert!(hub.drain().is_empty());
+        // New events fit again after the drain; drop delta was consumed.
+        slot.counter("c", 9);
+        let chunks = hub.drain();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].events.len(), 1);
+        assert_eq!(chunks[0].dropped, 0);
+    }
+
+    #[test]
+    fn writer_and_reader_round_trip() {
+        let path = std::env::temp_dir().join(format!("sllt_trace_rt_{}.jsonl", std::process::id()));
+        let hub = TraceHub::new(Instant::now(), 64);
+        let a = hub.register("main");
+        let b = hub.register("w1");
+        let mut w = TraceWriter::create(&path, "s35932").unwrap();
+        a.counter("x", 1);
+        b.gauge("g", 0.5);
+        w.drain_from(&hub).unwrap();
+        a.counter("x", 2);
+        w.drain_from(&hub).unwrap();
+        assert_eq!(w.chunks_written(), 3);
+        drop(w);
+        let tf = read_trace(&path).unwrap();
+        assert_eq!(tf.design, "s35932");
+        assert_eq!(tf.schema, TRACE_SCHEMA);
+        assert!(!tf.torn);
+        assert_eq!(tf.chunks.len(), 3);
+        assert_eq!(tf.num_events(), 3);
+        assert_eq!(tf.total_dropped(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reader_rejects_newer_schema() {
+        let path = std::env::temp_dir().join(format!("sllt_trace_ns_{}.jsonl", std::process::id()));
+        let mut app = DurableAppender::create(&path).unwrap();
+        app.append(
+            &Value::obj()
+                .with("t", "trace")
+                .with("schema", TRACE_SCHEMA + 1)
+                .with("design", "x"),
+        )
+        .unwrap();
+        drop(app);
+        let err = read_trace(&path).unwrap_err();
+        assert!(err.contains("newer than supported"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

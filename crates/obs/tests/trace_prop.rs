@@ -1,0 +1,152 @@
+//! Property tests for the Chrome trace exporter (`--features proptest`).
+//!
+//! The exporter emits user-controlled strings (span/counter names,
+//! thread labels, the design name) into JSON. The property: for *any*
+//! such strings — quotes, backslashes, control characters, non-ASCII —
+//! the exported document parses back through `sllt_obs::json::parse`
+//! and reproduces every name byte-for-byte.
+
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use sllt_obs::{chrome_trace, TraceChunk, TraceEvent, TraceFile, Value};
+
+/// Arbitrary strings biased toward JSON-hostile characters, with the
+/// full Unicode scalar range represented.
+fn arb_name() -> impl Strategy<Value = String> {
+    const HOSTILE: &[char] = &[
+        '"', '\\', '\n', '\r', '\t', '\u{0}', '\u{1}', '\u{1f}', '/', 'π', '∑', '😀', '\u{7f}',
+        'a', '0', ' ',
+    ];
+    proptest::collection::vec(0u32..(HOSTILE.len() as u32 + 64), 0..24).prop_map(|picks| {
+        picks
+            .into_iter()
+            .map(|p| {
+                HOSTILE
+                    .get(p as usize)
+                    .copied()
+                    // Beyond the hostile set: a deterministic spread of
+                    // scalar values across the BMP.
+                    .unwrap_or_else(|| char::from_u32(p * 977 % 0xD7FF).unwrap_or('x'))
+            })
+            .collect()
+    })
+}
+
+/// A trace file exercising every event kind with the given names.
+fn trace_file(design: String, names: Vec<String>, threads: Vec<String>) -> TraceFile {
+    let chunks = threads
+        .into_iter()
+        .enumerate()
+        .map(|(tid, thread)| {
+            let mut events = Vec::new();
+            for (i, name) in names.iter().enumerate() {
+                let t = (tid * names.len() + i) as u64;
+                events.push(TraceEvent::Begin {
+                    id: t,
+                    parent: (i > 0).then(|| t - 1),
+                    name: name.clone().into(),
+                    t_us: t,
+                });
+                events.push(TraceEvent::Counter {
+                    name: name.clone().into(),
+                    delta: i as u64 + 1,
+                    t_us: t,
+                });
+                events.push(TraceEvent::Gauge {
+                    name: name.clone().into(),
+                    value: i as f64 * 0.5 - 1.0,
+                    t_us: t,
+                });
+                events.push(TraceEvent::End {
+                    id: t,
+                    name: name.clone().into(),
+                    t_us: t + 1,
+                });
+            }
+            TraceChunk {
+                thread,
+                tid: tid as u64,
+                dropped: tid as u64,
+                events,
+            }
+        })
+        .collect();
+    TraceFile {
+        design,
+        schema: sllt_obs::TRACE_SCHEMA,
+        chunks,
+        torn: false,
+    }
+}
+
+#[test]
+fn chrome_export_round_trips_for_arbitrary_names() {
+    proptest!(|(
+        design in arb_name(),
+        names in proptest::collection::vec(arb_name(), 1..6),
+        threads in proptest::collection::vec(arb_name(), 1..4),
+    )| {
+        let tf = trace_file(design, names.clone(), threads.clone());
+        let doc = chrome_trace(&tf);
+        let text = doc.encode();
+        let back = sllt_obs::json::parse(&text)
+            .unwrap_or_else(|e| panic!("exported Chrome JSON must parse: {e}\n{text}"));
+        // Parse → re-encode is bit-exact (the Value tree is order-
+        // preserving), so nothing was lost in escaping.
+        prop_assert_eq!(back.encode(), text);
+        // Every span/counter name and thread label survives intact.
+        let events = back
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .expect("traceEvents array");
+        let mut seen_names = std::collections::BTreeSet::new();
+        let mut seen_threads = std::collections::BTreeSet::new();
+        for ev in events {
+            if let Some(n) = ev.get("name").and_then(Value::as_str) {
+                seen_names.insert(n.to_string());
+            }
+            if ev.get("name").and_then(Value::as_str) == Some("thread_name") {
+                if let Some(label) = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                {
+                    seen_threads.insert(label.to_string());
+                }
+            }
+        }
+        for name in &names {
+            prop_assert!(
+                seen_names.contains(name),
+                "span/counter name {name:?} missing from export"
+            );
+        }
+        for thread in &threads {
+            prop_assert!(
+                seen_threads.contains(thread),
+                "thread label {thread:?} missing from export"
+            );
+        }
+    });
+}
+
+/// The sealed-journal chunk encoding round-trips for the same inputs —
+/// the JSONL side of the pipeline is as escape-proof as the export side.
+#[test]
+fn chunk_values_round_trip_for_arbitrary_names() {
+    proptest!(|(
+        names in proptest::collection::vec(arb_name(), 1..5),
+        thread in arb_name(),
+    )| {
+        let tf = trace_file("d".into(), names, vec![thread]);
+        for chunk in &tf.chunks {
+            let v = chunk.to_value();
+            let text = v.encode();
+            let parsed = sllt_obs::json::parse(&text).expect("chunk JSON parses");
+            let back = TraceChunk::from_value(&parsed).expect("chunk rebuilds");
+            prop_assert_eq!(&back, chunk);
+            prop_assert_eq!(back.to_value().encode(), text);
+        }
+    });
+}

@@ -31,9 +31,50 @@ cargo test -q -p sllt-design --features proptest --test io_prop
 
 echo "== run-record smoke: JSONL must parse back bit-identically"
 # The bin self-validates every record (parse + re-encode) and exits
-# nonzero on any schema drift; double-check the artifact landed.
-cargo run --release -q -p sllt-bench --bin run_record -- --design s35932
+# nonzero on any schema drift; double-check the artifact landed. The
+# summary goes to a scratch path so the committed BENCH_cts.json stays
+# the pristine baseline bench_diff gates against below.
+cargo run --release -q -p sllt-bench --bin run_record -- --design s35932 \
+    --out results/bench_smoke.json
 test -s results/run_record_s35932.jsonl
+test -s results/bench_smoke.json
+
+echo "== run-record overwrite guard: a newer-schema baseline must be refused"
+printf '{"bench":"cts","schema":9999,"designs":[]}\n' > results/bench_future.json
+if cargo run --release -q -p sllt-bench --bin run_record -- --design grid48 \
+    --out results/bench_future.json; then
+  echo "run_record must refuse to overwrite a newer-schema baseline" >&2; exit 1
+fi
+rm -f results/bench_future.json
+
+echo "== bench regression gate: fresh s35932 vs committed BENCH_cts.json"
+# Deterministic counters must match the committed baseline exactly; the
+# second invocation self-tests that the gate actually trips on drift.
+cargo run --release -q -p sllt-bench --bin bench_diff -- --design s35932
+if cargo run --release -q -p sllt-bench --bin bench_diff -- \
+    --design s35932 --inject-drift cts.route.clusters; then
+  echo "bench_diff must exit nonzero on injected counter drift" >&2; exit 1
+fi
+
+echo "== trace smoke: traced s35932 exports valid Chrome JSON, tree untouched"
+# `sllt run --trace` self-validates the export (parses it back before
+# exiting 0); here we additionally pin the observation-only contract —
+# the traced tree is bit-identical to the untraced one at 1/2/4 route
+# workers — and that the export carries stage spans and counter tracks.
+cargo build --release -q --bin sllt
+./target/release/sllt run --design s35932 --tree results/tree_untraced.sllt > /dev/null
+for w in 1 2 4; do
+  ./target/release/sllt run --design s35932 --trace --progress --workers "$w" \
+      --tree "results/tree_traced_$w.sllt" > /dev/null 2> /dev/null
+  cmp "results/tree_traced_$w.sllt" results/tree_untraced.sllt
+done
+grep -q '"name":"cts.route.cluster"' results/trace_s35932.json
+grep -q '"ph":"C"' results/trace_s35932.json
+grep -q '"name":"partition.mcf.augmentations"' results/trace_s35932.json
+rm -f results/tree_untraced.sllt results/tree_traced_*.sllt
+
+echo "== trace property tests: Chrome export survives hostile names"
+cargo test -q -p sllt-obs --features proptest --test trace_prop
 
 echo "== fault smoke: ladder recovers on s35932, log non-empty, runs bit-identical"
 # The bin exits nonzero if any scenario fails to recover, records no

@@ -12,10 +12,13 @@
 
 use sllt::cts::{baseline, constraints::CtsConstraints, eval, flow::HierarchicalCts, ocv};
 use sllt::design::{DesignSpec, NetGenerator, SUITE};
+use sllt::obs::{Progress, ProgressEvent, ProgressSink, RecordingSink, TraceWriter};
 use sllt::route::{DelayModel, DmeOptions, TopologyScheme};
 use sllt::timing::{BufferLibrary, Technology};
 use sllt::tree::{io as tree_io, svg, ClockTree};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,10 +50,20 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   sllt suite
   sllt run  (--design <name> | --design-file <file>) [--flow ours|commercial|openroad]
-            [--checkpoint <journal> [--resume]] [--tree <file>] [--svg <file>]
+            [--checkpoint <journal> [--resume]] [--workers N] [--progress]
+            [--trace] [--tree <file>] [--svg <file>]
   sllt net  [--pins N] [--seed N] [--algo cbs|salt|rsmt|zst|bst|htree|ghtree] [--skew PS] [--svg <file>]
   sllt eval --tree <file>
-  sllt ocv  --tree <file> [--derate F] [--trials N]";
+  sllt ocv  --tree <file> [--derate F] [--trials N]
+
+`sllt run --trace` streams span/counter/gauge events into
+results/trace_<design>.jsonl and exports a Chrome/Perfetto trace to
+results/trace_<design>.json (open at ui.perfetto.dev). `--progress`
+prints deterministic work-budget completion fractions to stderr.";
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -116,6 +129,103 @@ fn save_outputs(args: &[String], tree: &ClockTree, title: &str) -> Result<(), St
     Ok(())
 }
 
+/// Prints progress events to stderr as they arrive. Fractions are the
+/// engine's deterministic work-budget values, so the printed percentages
+/// are identical at any worker count.
+struct StderrProgress;
+
+impl ProgressSink for StderrProgress {
+    fn emit(&self, ev: &ProgressEvent) {
+        let pct = ev.fraction() * 100.0;
+        match ev {
+            ProgressEvent::FlowStart { sinks } => {
+                eprintln!("[  0.0%] flow start: {sinks} sinks");
+            }
+            ProgressEvent::LevelStart { level, nodes, .. } => {
+                eprintln!("[{pct:5.1}%] level {level}: {nodes} nodes");
+            }
+            ProgressEvent::ClusterProgress { level, tenths, .. } => {
+                eprintln!("[{pct:5.1}%] level {level}: {}% routed", tenths * 10);
+            }
+            ProgressEvent::LevelDone { level, parents, .. } => {
+                eprintln!("[{pct:5.1}%] level {level} done -> {parents} parents");
+            }
+            ProgressEvent::Done { .. } => eprintln!("[100.0%] tree assembled"),
+        }
+    }
+}
+
+/// Peak-agnostic current RSS from `/proc/self/status` (`VmRSS`), bytes.
+/// `None` off Linux or when procfs is unavailable.
+fn rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Runs the flow with live tracing: a background drainer empties the
+/// per-thread trace rings into `results/trace_<design>.jsonl` every
+/// ~50 ms (also sampling process RSS as a gauge), and after the run the
+/// sealed journal is exported as a Chrome trace-event file
+/// (`results/trace_<design>.json`) and validated by parsing it back.
+fn run_traced(cts: &HierarchicalCts, design: &sllt::design::Design) -> Result<ClockTree, String> {
+    std::fs::create_dir_all("results").map_err(|e| format!("create results directory: {e}"))?;
+    let jsonl = std::path::PathBuf::from(format!("results/trace_{}.jsonl", design.name));
+    let sink = RecordingSink::new();
+    let hub = sink
+        .registry()
+        .enable_tracing(sllt::obs::DEFAULT_TRACE_CAPACITY);
+    let mut writer =
+        TraceWriter::create(&jsonl, &design.name).map_err(|e| format!("create trace: {e}"))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let drainer = std::thread::spawn({
+        let hub = hub.clone();
+        let stop = Arc::clone(&stop);
+        move || -> std::io::Result<usize> {
+            let sampler = hub.register("sampler");
+            loop {
+                if let Some(rss) = rss_bytes() {
+                    sampler.gauge("process.rss_bytes", rss as f64);
+                }
+                writer.drain_from(&hub)?;
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            // The run is over and every shard has merged: one final
+            // drain picks up whatever landed since the last tick.
+            writer.drain_from(&hub)?;
+            Ok(writer.chunks_written())
+        }
+    });
+    let mut obs = sllt::cts::CollectingObserver::new();
+    let result = cts.run_with_telemetry(design, &mut obs, &sink);
+    stop.store(true, Ordering::Release);
+    let drained = drainer.join().expect("trace drainer panicked");
+    let tree = result.map_err(|e| format!("CTS flow failed: {e}"))?;
+    let chunks = drained.map_err(|e| format!("write {}: {e}", jsonl.display()))?;
+
+    // Export + self-validate: the Chrome JSON must parse back.
+    let tf = sllt::obs::read_trace(&jsonl)?;
+    let chrome = std::path::PathBuf::from(format!("results/trace_{}.json", design.name));
+    sllt::obs::write_chrome(&chrome, &tf)
+        .map_err(|e| format!("write {}: {e}", chrome.display()))?;
+    let text =
+        std::fs::read_to_string(&chrome).map_err(|e| format!("read {}: {e}", chrome.display()))?;
+    sllt::obs::json::parse(&text)
+        .map_err(|e| format!("{}: invalid Chrome trace: {e}", chrome.display()))?;
+    println!(
+        "traced {} events in {chunks} chunks ({} dropped) -> {} + {}",
+        tf.num_events(),
+        tf.total_dropped(),
+        jsonl.display(),
+        chrome.display()
+    );
+    Ok(tree)
+}
+
 /// Runs an engine-based flow with Ctrl-C wired to cooperative
 /// cancellation, and optionally journaled to `--checkpoint <file>`.
 /// With `--resume` and an existing journal, the run continues from the
@@ -129,10 +239,27 @@ fn run_engine(
     let token = sllt::cts::CancelToken::new();
     #[cfg(unix)]
     sllt::cts::cancel::install_sigint(&token);
+    let progress = if has_flag(args, "--progress") {
+        Progress::new(Arc::new(StderrProgress))
+    } else {
+        Progress::none()
+    };
     let cts = HierarchicalCts {
         cancel: token,
+        workers: flag_parse(args, "--workers", cts.workers)?,
+        progress,
         ..cts
     };
+    if has_flag(args, "--trace") {
+        if flag(args, "--checkpoint").is_some() {
+            return Err(
+                "--trace cannot be combined with --checkpoint (each owns its own journal); \
+                 run them separately"
+                    .into(),
+            );
+        }
+        return run_traced(&cts, design);
+    }
     let result = match flag(args, "--checkpoint") {
         Some(path) => {
             let path = std::path::PathBuf::from(path);
@@ -166,6 +293,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "ours" => run_engine(HierarchicalCts::default(), &design, args)?,
         "commercial" => run_engine(baseline::commercial_like(), &design, args)?,
         "openroad" => {
+            if has_flag(args, "--trace") || has_flag(args, "--progress") {
+                return Err("--trace/--progress need an engine flow (ours|commercial)".into());
+            }
             baseline::open_road_like(&design, &CtsConstraints::paper(), &ours.tech, &ours.lib)
         }
         other => return Err(format!("unknown flow {other:?}")),
