@@ -22,20 +22,30 @@
 //!
 //! `--designs` accepts suite names (`s35932`, …) and synthetic
 //! `grid<N>` designs (an N-sink register grid) for fast smoke runs.
-//! `--inject-panic design:config` makes that child panic mid-job — the
-//! isolation contract's test hook.
+//! `--inject-panic design:config` makes that child panic mid-job and
+//! `--inject-hang design:config` wedges it forever — the isolation and
+//! deadline contracts' test hooks.
+//!
+//! Robustness knobs shared with the `slltd` daemon (same primitives,
+//! `sllt-server` crate): `--job-timeout <s>` SIGKILLs a child that
+//! outlives its wall-clock deadline (status `timeout`, retryable), and
+//! retries back off with deterministic jittered exponential delays —
+//! a pure function of the job name and attempt, journaled as
+//! `backoff_ms` in each `job_start` record.
 
 use sllt_bench::{arg_flag, arg_parse, arg_value, peak_rss_bytes, run_main, Table};
-use sllt_cts::flow::HierarchicalCts;
-use sllt_cts::{evaluate, CancelToken, CtsError, Progress, RecoveryPolicy};
+use sllt_cts::{evaluate, CancelToken, CtsError, Progress};
 use sllt_design::Design;
-use sllt_obs::journal::read_journal;
+use sllt_obs::journal::{fnv1a64, read_journal};
 use sllt_obs::{DurableAppender, JournalProgress, Value};
+use sllt_server::backoff::{backoff_ms, BASE_MS, CAP_MS};
+use sllt_server::jobs::config_by_name;
+use sllt_server::supervise::{run_supervised, SuperviseOpts};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const SUITE_SCHEMA: u64 = 1;
 /// Child exit codes the parent interprets; anything else (libstd's 101,
@@ -58,30 +68,6 @@ fn main() -> ExitCode {
 fn design_by_name(name: &str) -> Result<Design, String> {
     sllt_design::design_by_name(name)
         .ok_or_else(|| format!("unknown design {name:?}; see `table4` for the suite"))
-}
-
-/// Named constraint configurations the matrix sweeps. All run with the
-/// recovery ladder on — a batch job should degrade, not die.
-fn config_by_name(name: &str) -> Result<HierarchicalCts, String> {
-    let base = HierarchicalCts {
-        recovery: RecoveryPolicy::standard(),
-        ..HierarchicalCts::default()
-    };
-    match name {
-        "base" => Ok(base),
-        "tight" => Ok(HierarchicalCts {
-            level_skew_fraction: 0.35,
-            sizing_slack: 1.15,
-            ..base
-        }),
-        "nosa" => Ok(HierarchicalCts {
-            use_sa: false,
-            ..base
-        }),
-        _ => Err(format!(
-            "unknown config {name:?}; available: base, tight, nosa"
-        )),
-    }
 }
 
 fn ckpt_path(out_dir: &Path, job: &str) -> PathBuf {
@@ -123,10 +109,17 @@ fn child_run(job: &str) -> Result<(), u8> {
     let token = CancelToken::new();
     cts.cancel = token.clone();
     #[cfg(unix)]
-    sllt_cts::cancel::install_sigint(&token);
+    sllt_cts::cancel::install_signals(&token);
 
     if arg_flag("--child-panic") {
         panic!("injected child panic ({job}); suite isolation test hook");
+    }
+    if arg_flag("--child-hang") {
+        // The deadline contract's test hook: wedge forever, ignoring the
+        // cooperative machinery. Only the parent's SIGKILL ends this.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
     }
 
     // Live progress: deterministic work-budget events stream into the
@@ -206,8 +199,17 @@ fn parent_main() -> Result<(), String> {
     let retries = arg_parse("--retries", 1usize);
     let workers = arg_parse("--workers", 1usize);
     let inject = arg_value("--inject-panic");
+    let inject_hang = arg_value("--inject-hang");
     let out_dir = PathBuf::from(arg_value("--out").unwrap_or_else(|| "results/suite".into()));
     let resume = arg_flag("--resume");
+    let seed: u64 = arg_parse("--seed", 0u64);
+    let job_timeout = match arg_value("--job-timeout") {
+        None => None,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(s) if s > 0.0 && s.is_finite() => Some(Duration::from_secs_f64(s)),
+            _ => return Err(format!("bad --job-timeout {raw:?}: want seconds > 0")),
+        },
+    };
 
     // Validate the whole matrix before journaling anything: a typo must
     // not burn a manifest.
@@ -228,7 +230,7 @@ fn parent_main() -> Result<(), String> {
 
     let token = CancelToken::new();
     #[cfg(unix)]
-    sllt_cts::cancel::install_sigint(&token);
+    sllt_cts::cancel::install_signals(&token);
 
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let mut outcomes: BTreeMap<String, Outcome> = finished
@@ -254,12 +256,26 @@ fn parent_main() -> Result<(), String> {
         };
         for attempt in 1..=retries + 1 {
             outcome.attempts = attempt;
+            // Deterministic jittered exponential backoff before each
+            // retry: a pure function of (seed, job, attempt), so a
+            // replayed batch waits identically and the manifest's
+            // backoff_ms values are reproducible.
+            let backoff = backoff_ms(
+                seed ^ fnv1a64(job.as_bytes()),
+                attempt as u32,
+                BASE_MS,
+                CAP_MS,
+            );
+            if backoff > 0 {
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
             append(
                 &mut app,
                 Value::obj()
                     .with("type", "job_start")
                     .with("job", job.as_str())
-                    .with("attempt", attempt),
+                    .with("attempt", attempt)
+                    .with("backoff_ms", backoff),
             )?;
             let mut cmd = Command::new(&exe);
             cmd.arg("--job")
@@ -271,12 +287,18 @@ fn parent_main() -> Result<(), String> {
             if inject.as_deref() == Some(job.as_str()) {
                 cmd.arg("--child-panic");
             }
-            let t_job = Instant::now();
-            let out = cmd
-                .output()
+            if inject_hang.as_deref() == Some(job.as_str()) {
+                cmd.arg("--child-hang");
+            }
+            let opts = SuperviseOpts {
+                timeout: job_timeout,
+                interrupt: Some(token.clone()),
+                ..SuperviseOpts::default()
+            };
+            let sup = run_supervised(&mut cmd, &opts)
                 .map_err(|e| format!("spawn {}: {e}", exe.display()))?;
-            let stdout = String::from_utf8_lossy(&out.stdout);
-            let stderr = String::from_utf8_lossy(&out.stderr);
+            let stdout = sup.stdout.as_str();
+            let stderr = sup.stderr.as_str();
 
             let mut done = Value::obj()
                 .with("type", "job_done")
@@ -285,9 +307,22 @@ fn parent_main() -> Result<(), String> {
                 // Parent-measured wall time: present for every outcome,
                 // including panics and errors (the child's runtime_s is
                 // only reported on success).
-                .with("wall_s", t_job.elapsed().as_secs_f64());
-            match out.status.code() {
-                Some(0) => match parse_result_line(&stdout) {
+                .with("wall_s", sup.wall.as_secs_f64());
+            if sup.timed_out && !sup.interrupted {
+                // The deadline fired and the child was SIGKILLed; a hung
+                // job may be a flaky one, so the remaining attempts run.
+                outcome.status = "timeout".into();
+                outcome.detail = format!(
+                    "SIGKILLed after {:.2}s (--job-timeout)",
+                    sup.wall.as_secs_f64()
+                );
+                done.set("status", "timeout");
+                done.set("detail", outcome.detail.as_str());
+                append(&mut app, done)?;
+                continue;
+            }
+            match sup.status.code() {
+                Some(0) => match parse_result_line(stdout) {
                     Some(r) => {
                         outcome.status = "ok".into();
                         outcome.skew_ps = r.get("skew_ps").and_then(Value::as_f64);
@@ -315,7 +350,7 @@ fn parent_main() -> Result<(), String> {
                 }
                 Some(EXIT_JOB_ERROR) => {
                     outcome.status = "error".into();
-                    outcome.detail = last_line(&stderr);
+                    outcome.detail = last_line(stderr);
                     done.set("status", "error");
                     done.set("detail", outcome.detail.as_str());
                 }
@@ -324,7 +359,7 @@ fn parent_main() -> Result<(), String> {
                     // signal: the child blew up. The batch carries on.
                     outcome.status = "panic".into();
                     outcome.detail = match code {
-                        Some(c) => format!("child exited {c}: {}", last_line(&stderr)),
+                        Some(c) => format!("child exited {c}: {}", last_line(stderr)),
                         None => "child killed by signal".into(),
                     };
                     done.set("status", "panic");

@@ -128,6 +128,92 @@ fn panicking_job_is_contained_retried_and_finished_by_resume() {
 }
 
 #[test]
+fn hung_job_is_sigkilled_at_the_deadline_and_batch_survives() {
+    let dir = out_dir("timeout");
+    let manifest = dir.join("manifest.jsonl");
+    let dir_s = dir.to_str().unwrap();
+
+    // grid48:base is rigged to wedge forever; --job-timeout must
+    // SIGKILL it (twice, with --retries 1) while grid36:base completes.
+    let out = run(&[
+        "--designs",
+        "grid36,grid48",
+        "--configs",
+        "base",
+        "--out",
+        dir_s,
+        "--retries",
+        "1",
+        "--job-timeout",
+        "1",
+        "--inject-hang",
+        "grid48:base",
+    ]);
+    assert!(!out.status.success(), "a timed-out job must fail the batch");
+
+    let done = records(&manifest, "job_done");
+    let status = |job: &str| -> Vec<&str> {
+        done.iter()
+            .filter(|r| job_of(r) == job)
+            .map(|r| r.get("status").and_then(Value::as_str).unwrap())
+            .collect()
+    };
+    assert_eq!(status("grid36:base"), ["ok"]);
+    assert_eq!(
+        status("grid48:base"),
+        ["timeout", "timeout"],
+        "deadline kills must be recorded and retried"
+    );
+    for rec in done.iter().filter(|r| job_of(r) == "grid48:base") {
+        let wall = rec.get("wall_s").and_then(Value::as_f64).unwrap();
+        assert!(
+            wall < 30.0,
+            "the deadline must actually bound the wait, took {wall}s"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retry_backoff_is_deterministic_and_journaled() {
+    // Two identical runs of a panicking job must journal identical
+    // backoff_ms values: 0 for attempt 1, a seeded jittered draw after.
+    let backoffs = |tag: &str| -> Vec<u64> {
+        let dir = out_dir(tag);
+        let manifest = dir.join("manifest.jsonl");
+        run(&[
+            "--designs",
+            "grid36",
+            "--configs",
+            "base",
+            "--out",
+            dir.to_str().unwrap(),
+            "--retries",
+            "2",
+            "--inject-panic",
+            "grid36:base",
+        ]);
+        let starts = records(&manifest, "job_start");
+        let out = starts
+            .iter()
+            .map(|r| r.get("backoff_ms").and_then(Value::as_u64).unwrap())
+            .collect();
+        std::fs::remove_dir_all(&dir).ok();
+        out
+    };
+    let first = backoffs("backoff_a");
+    let second = backoffs("backoff_b");
+    assert_eq!(first.len(), 3, "3 attempts journaled: {first:?}");
+    assert_eq!(first[0], 0, "the initial attempt never waits");
+    assert!(first[1] > 0, "retries must back off: {first:?}");
+    assert!(
+        first[2] >= first[1],
+        "backoff ceiling doubles per attempt: {first:?}"
+    );
+    assert_eq!(first, second, "backoff must be wall-clock independent");
+}
+
+#[test]
 fn resume_refuses_a_manifest_from_a_different_matrix() {
     let dir = out_dir("mismatch");
     let dir_s = dir.to_str().unwrap();

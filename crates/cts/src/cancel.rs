@@ -14,9 +14,11 @@
 //! and [`HierarchicalCts::resume`](crate::flow::HierarchicalCts::resume)
 //! continues from it.
 //!
-//! The token is also the process-interrupt hook: [`install_sigint`]
-//! arranges for Ctrl-C to fire a token from an async-signal-safe
-//! handler (a single relaxed atomic store).
+//! The token is also the process-interrupt hook: [`install_signals`]
+//! arranges for SIGINT (Ctrl-C) *and* SIGTERM (the service-manager
+//! stop signal) to fire a token from an async-signal-safe handler (a
+//! single atomic store) — so an interactive ^C and a `kill <pid>` both
+//! produce the same orderly, checkpointing shutdown.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -101,20 +103,21 @@ impl CancelToken {
     }
 }
 
-/// Routes SIGINT (Ctrl-C) to `token.cancel()`.
+/// Routes both termination signals — SIGINT (Ctrl-C) and SIGTERM (the
+/// service-manager stop) — to `token.cancel()`.
 ///
-/// The handler performs a single relaxed atomic store through a leaked
-/// `Arc` — async-signal-safe by construction (no allocation, no locks,
-/// no formatting). Installing a second token replaces the first; the
+/// The handler performs a single atomic store through a leaked `Arc` —
+/// async-signal-safe by construction (no allocation, no locks, no
+/// formatting). Installing a second token replaces the first; the
 /// previously leaked `Arc` is intentionally never reclaimed (one token
 /// per process lifetime is the expected use from a bin's `main`).
 #[cfg(unix)]
-pub fn install_sigint(token: &CancelToken) {
+pub fn install_signals(token: &CancelToken) {
     use std::sync::atomic::AtomicPtr;
 
     static TARGET: AtomicPtr<Inner> = AtomicPtr::new(std::ptr::null_mut());
 
-    extern "C" fn on_sigint(_sig: i32) {
+    extern "C" fn on_signal(_sig: i32) {
         let p = TARGET.load(Ordering::Acquire);
         if !p.is_null() {
             // SAFETY: `p` came from Arc::into_raw of an Arc we leaked, so
@@ -127,6 +130,7 @@ pub fn install_sigint(token: &CancelToken) {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
 
     let raw = Arc::into_raw(Arc::clone(&token.inner)) as *mut Inner;
     // A replaced target is leaked rather than reclaimed: the handler may
@@ -136,8 +140,17 @@ pub fn install_sigint(token: &CancelToken) {
     // SAFETY: plain libc signal(2) registration with a fn pointer of the
     // correct C ABI; no Rust state is touched beyond the atomics above.
     unsafe {
-        signal(SIGINT, on_sigint);
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
     }
+}
+
+/// Routes SIGINT (Ctrl-C) to `token.cancel()`. Kept for callers that
+/// predate [`install_signals`]; both signals now share one handler, so
+/// this is the same installation.
+#[cfg(unix)]
+pub fn install_sigint(token: &CancelToken) {
+    install_signals(token);
 }
 
 #[cfg(test)]

@@ -163,6 +163,34 @@ fn randomized_fire_points_stop_within_bounded_work_and_resume_exactly() {
     }
 }
 
+#[cfg(unix)]
+#[test]
+fn sigterm_cancels_a_running_flow() {
+    // The daemon's drain trigger: a SIGTERM routed through
+    // `install_signals` must behave exactly like a user cancel — the
+    // flow stops with `Cancelled`, it is not torn down mid-write.
+    extern "C" {
+        fn raise(sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+
+    let token = CancelToken::new();
+    sllt_cts::cancel::install_signals(&token);
+    // SAFETY: raising a signal we just installed a handler for; the
+    // handler only stores an atomic.
+    unsafe {
+        raise(SIGTERM);
+    }
+    assert!(
+        token.is_cancelled(),
+        "SIGTERM handler must fire the installed token"
+    );
+
+    let design = grid_design();
+    let err = flow(1, token).run(&design).unwrap_err();
+    assert_eq!(err, CtsError::Cancelled);
+}
+
 #[test]
 fn cancellation_mid_parallel_route_reports_cancelled_not_a_cluster_error() {
     // Fire inside the widest level so several route workers see the stop

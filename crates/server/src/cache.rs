@@ -1,0 +1,237 @@
+//! The sanitized-design cache: parse, lint, and repair each design file
+//! once, not once per job.
+//!
+//! Sweep workloads submit the same design dozens of times with
+//! different constraint configs. Parsing and repairing the file in
+//! every re-exec'd child would repeat the most I/O-heavy part of
+//! admission, so the daemon does it once at submit time and hands
+//! children a path to the *sanitized* artifact instead.
+//!
+//! Invalidation is two-tier, cheapest check first:
+//!
+//! 1. **mtime** — if the source file's modification time matches the
+//!    cached entry, the entry is served without reading the file;
+//! 2. **content hash** — on an mtime miss the bytes are re-read and
+//!    FNV-1a-64 hashed; an unchanged hash refreshes the stored mtime
+//!    (editors rewrite files without changing them) and still skips
+//!    parse + repair.
+//!
+//! Only a genuine content change pays the full parse → repair → write
+//! path. Sanitized artifacts are content-addressed
+//! (`design_<hash>.sllt` under the cache directory) and written via
+//! temp-file + rename, so a crashed daemon can never leave a torn
+//! artifact behind, and a restarted daemon re-uses artifacts from a
+//! previous life after one hashing pass.
+
+use sllt_design::{read_design, write_design, Design};
+use sllt_obs::journal::fnv1a64;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+/// One cached design, as handed to a job child.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedDesign {
+    /// Path of the sanitized artifact (what the child loads).
+    pub path: PathBuf,
+    /// Design name from the file.
+    pub name: String,
+    /// Sink count after repair.
+    pub sinks: usize,
+    /// Whether this lookup was served from cache (observability; the
+    /// smoke test asserts repeated submits hit).
+    pub hit: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    mtime: Option<SystemTime>,
+    hash: u64,
+    artifact: PathBuf,
+    name: String,
+    sinks: usize,
+}
+
+/// Content-addressed cache of sanitized designs (see module docs).
+#[derive(Debug)]
+pub struct DesignCache {
+    dir: PathBuf,
+    entries: Mutex<HashMap<PathBuf, Entry>>,
+}
+
+impl DesignCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: &Path) -> std::io::Result<DesignCache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(DesignCache {
+            dir: dir.to_path_buf(),
+            entries: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Resolves `src` to a sanitized artifact, reusing cached work when
+    /// the file is unchanged (module docs describe the tiers).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the file cannot be read, parsed,
+    /// or repaired into a usable design (every sink dropped).
+    pub fn sanitized(&self, src: &Path) -> Result<CachedDesign, String> {
+        let meta = std::fs::metadata(src).map_err(|e| format!("{}: {e}", src.display()))?;
+        let mtime = meta.modified().ok();
+        let mut entries = self.entries.lock().expect("design cache lock");
+
+        if let Some(e) = entries.get(src) {
+            if e.mtime.is_some() && e.mtime == mtime && e.artifact.exists() {
+                return Ok(hit(e));
+            }
+        }
+
+        let bytes = std::fs::read(src).map_err(|e| format!("{}: {e}", src.display()))?;
+        let hash = fnv1a64(&bytes);
+        if let Some(e) = entries.get_mut(src) {
+            if e.hash == hash && e.artifact.exists() {
+                // Touched but unchanged: refresh the cheap key.
+                e.mtime = mtime;
+                return Ok(hit(e));
+            }
+        }
+
+        let design = read_design(&mut BufReader::new(bytes.as_slice()))
+            .map_err(|e| format!("{}: {e}", src.display()))?;
+        let (repaired, report) = sllt_design::sanitize::repair(&design);
+        if report.has_fatal() {
+            return Err(format!(
+                "{}: unusable after repair: {}",
+                src.display(),
+                report.summary()
+            ));
+        }
+        let artifact = self.dir.join(format!("design_{hash:016x}.sllt"));
+        if !artifact.exists() {
+            write_artifact(&artifact, &repaired)?;
+        }
+        let e = Entry {
+            mtime,
+            hash,
+            artifact,
+            name: repaired.name.clone(),
+            sinks: repaired.num_ffs(),
+        };
+        let out = CachedDesign {
+            hit: false,
+            ..hit(&e)
+        };
+        entries.insert(src.to_path_buf(), e);
+        Ok(out)
+    }
+}
+
+fn hit(e: &Entry) -> CachedDesign {
+    CachedDesign {
+        path: e.artifact.clone(),
+        name: e.name.clone(),
+        sinks: e.sinks,
+        hit: true,
+    }
+}
+
+/// Atomic artifact write: temp file in the same directory, then rename.
+fn write_artifact(path: &Path, design: &Design) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    let mut f =
+        std::fs::File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+    write_design(design, &mut f).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sllt_cache_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_src(dir: &Path, body: &str) -> PathBuf {
+        let p = dir.join("d.sllt");
+        let mut f = std::fs::File::create(&p).unwrap();
+        f.write_all(body.as_bytes()).unwrap();
+        p
+    }
+
+    fn demo(extra_sink: &str) -> String {
+        format!(
+            "sllt-design v1\nname demo\ndie 100 100\nclock_root 50 0\n\
+             sink 10 10 1\nsink 20 20 1\n{extra_sink}\n"
+        )
+    }
+
+    #[test]
+    fn cache_hits_on_unchanged_mtime_and_content() {
+        let dir = scratch("hits");
+        let src = write_src(&dir, &demo("sink 30 30 1"));
+        let cache = DesignCache::open(&dir.join("cache")).unwrap();
+
+        let first = cache.sanitized(&src).unwrap();
+        assert!(!first.hit, "first lookup must do the work");
+        assert_eq!(first.sinks, 3);
+        assert!(first.path.exists());
+
+        let again = cache.sanitized(&src).unwrap();
+        assert!(again.hit, "unchanged file must be served from cache");
+        assert_eq!(again.path, first.path);
+
+        // Same content, new mtime (rewrite): content hash catches it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        write_src(&dir, &demo("sink 30 30 1"));
+        let rewritten = cache.sanitized(&src).unwrap();
+        assert!(rewritten.hit, "identical content must still hit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn content_change_invalidates_and_repair_is_applied() {
+        let dir = scratch("invalidate");
+        // A duplicated sink: repair must merge it away (caps summed).
+        let src = write_src(&dir, &demo("sink 10 10 1"));
+        let cache = DesignCache::open(&dir.join("cache")).unwrap();
+        let first = cache.sanitized(&src).unwrap();
+        assert_eq!(first.sinks, 2, "coincident sink repaired away");
+
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        write_src(&dir, &demo("sink 40 40 1"));
+        let second = cache.sanitized(&src).unwrap();
+        assert!(!second.hit, "changed content must miss");
+        assert_eq!(second.sinks, 3);
+        assert_ne!(second.path, first.path, "artifacts are content-addressed");
+
+        // The artifact itself parses back as a clean design.
+        let f = std::fs::File::open(&second.path).unwrap();
+        let d = read_design(&mut BufReader::new(f)).unwrap();
+        assert_eq!(d.num_ffs(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unreadable_and_unusable_inputs_fail_with_messages() {
+        let dir = scratch("errors");
+        let cache = DesignCache::open(&dir.join("cache")).unwrap();
+        assert!(cache.sanitized(&dir.join("missing.sllt")).is_err());
+        let src = write_src(&dir, "not a design at all");
+        let err = cache.sanitized(&src).unwrap_err();
+        assert!(err.contains("d.sllt"), "error names the file: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

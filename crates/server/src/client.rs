@@ -1,0 +1,136 @@
+//! A tiny blocking client for the `slltd` protocol, shared by the
+//! `sllt jobs` subcommand, the e2e tests, and the CI smoke script.
+
+use crate::net::{Endpoint, Stream};
+use crate::proto::{read_frame, Frame};
+use sllt_obs::json::parse;
+use sllt_obs::Value;
+use std::io::{BufReader, Write};
+
+/// One connection to a daemon. Requests are answered in order, so a
+/// single send/recv pair per call is all the state needed.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects to a daemon at `ep`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying connect failure.
+    pub fn connect(ep: &Endpoint) -> std::io::Result<Client> {
+        let writer = Stream::connect(ep)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one request object (a single JSONL line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send(&mut self, req: &Value) -> std::io::Result<()> {
+        writeln!(self.writer, "{}", req.encode())?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line; `None` on a clean server hangup.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and unparseable response lines.
+    pub fn recv(&mut self) -> Result<Option<Value>, String> {
+        match read_frame(&mut self.reader).map_err(|e| format!("recv: {e}"))? {
+            Frame::Eof => Ok(None),
+            Frame::Oversized { dropped } => Err(format!("oversized response ({dropped} bytes)")),
+            Frame::Line(l) => {
+                let text = String::from_utf8(l).map_err(|_| "non-UTF-8 response".to_string())?;
+                parse(&text)
+                    .map(Some)
+                    .map_err(|e| format!("bad response: {e}"))
+            }
+        }
+    }
+
+    /// Send + one response, with a missing response treated as an error
+    /// (every non-watch verb answers exactly once).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, parse failures, or a hangup before the reply.
+    pub fn request(&mut self, req: &Value) -> Result<Value, String> {
+        self.send(req).map_err(|e| format!("send: {e}"))?;
+        self.recv()?
+            .ok_or_else(|| "server hung up before replying".to_string())
+    }
+}
+
+/// Builders for the request objects (the one place the field names of
+/// the wire format are spelled on the client side).
+pub mod req {
+    use sllt_obs::Value;
+
+    pub fn ping() -> Value {
+        Value::obj().with("op", "ping")
+    }
+
+    /// Minimal submit; callers chain `.with(...)` for the optionals
+    /// (`design_file`, `timeout_s`, `retries`, `fault`).
+    pub fn submit(design: &str, config: &str) -> Value {
+        Value::obj()
+            .with("op", "submit")
+            .with("design", design)
+            .with("config", config)
+    }
+
+    pub fn status(job: Option<&str>) -> Value {
+        let v = Value::obj().with("op", "status");
+        match job {
+            Some(j) => v.with("job", j),
+            None => v,
+        }
+    }
+
+    pub fn cancel(job: &str) -> Value {
+        Value::obj().with("op", "cancel").with("job", job)
+    }
+
+    pub fn result(job: &str, wait: bool) -> Value {
+        Value::obj()
+            .with("op", "result")
+            .with("job", job)
+            .with("wait", wait)
+    }
+
+    pub fn watch(job: &str) -> Value {
+        Value::obj().with("op", "watch").with("job", job)
+    }
+
+    pub fn drain() -> Value {
+        Value::obj().with("op", "drain")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builders_emit_the_wire_fields() {
+        assert_eq!(req::ping().encode(), "{\"op\":\"ping\"}");
+        let s = req::submit("grid48", "tight").with("retries", 2u64);
+        assert_eq!(s.get("op").and_then(Value::as_str), Some("submit"));
+        assert_eq!(s.get("retries").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            req::result("j1", true).get("wait"),
+            Some(&Value::Bool(true))
+        );
+        assert!(req::status(None).get("job").is_none());
+        assert_eq!(
+            req::status(Some("j2")).get("job").and_then(Value::as_str),
+            Some("j2")
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Job definitions and the child-side runner.
+//!
+//! A job is `design × config (× fault hook)`. The daemon never runs a
+//! flow in-process: every attempt re-execs `slltd --job …` so a panic,
+//! OOM kill, or stack overflow is contained by the process boundary —
+//! the same isolation contract as the `suite` batch runner, which
+//! shares this module's [`config_by_name`] and the supervision and
+//! backoff primitives.
+//!
+//! The child runs with the recovery ladder on, checkpoints levels next
+//! to the daemon's journal, streams progress through a
+//! [`JournalProgress`] sink the daemon tails for `status`/`watch`, and
+//! reports through its exit code plus a final `RESULT {json}` stdout
+//! line. A cancelled child exits [`EXIT_JOB_CANCELLED`] and leaves its
+//! checkpoint for the next attempt to resume.
+
+use sllt_cts::flow::HierarchicalCts;
+use sllt_cts::{
+    evaluate, CancelToken, CtsError, FaultKind, FaultPlan, FaultStage, Progress, RecoveryPolicy,
+    StageFault,
+};
+use sllt_design::Design;
+use sllt_obs::{JournalProgress, Value};
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Child exit code for a job that failed with a reported error.
+pub const EXIT_JOB_ERROR: i32 = 2;
+/// Child exit code for a cooperatively cancelled job (checkpoint kept).
+pub const EXIT_JOB_CANCELLED: i32 = 3;
+
+/// Named constraint configurations jobs may request. All run with the
+/// recovery ladder on — a served job should degrade, not die.
+pub fn config_by_name(name: &str) -> Result<HierarchicalCts, String> {
+    let base = HierarchicalCts {
+        recovery: RecoveryPolicy::standard(),
+        ..HierarchicalCts::default()
+    };
+    match name {
+        "base" => Ok(base),
+        "tight" => Ok(HierarchicalCts {
+            level_skew_fraction: 0.35,
+            sizing_slack: 1.15,
+            ..base
+        }),
+        "nosa" => Ok(HierarchicalCts {
+            use_sa: false,
+            ..base
+        }),
+        _ => Err(format!(
+            "unknown config {name:?}; available: base, tight, nosa"
+        )),
+    }
+}
+
+/// Resolves a design name: the benchmark suite by name, or a synthetic
+/// `grid<N>` register grid for smoke-scale jobs.
+pub fn design_by_name(name: &str) -> Result<Design, String> {
+    sllt_design::design_by_name(name)
+        .ok_or_else(|| format!("unknown design {name:?}; see `sllt suite`"))
+}
+
+/// Fault-injection hooks a submit may attach — the test levers behind
+/// the isolation, deadline, and drain contracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// The child panics mid-flow through the PR-4 [`FaultPlan`] hook
+    /// (an uncontained sizing-stage panic: a genuine process panic).
+    Panic,
+    /// The child wedges forever; only SIGKILL (the deadline) ends it.
+    Hang,
+    /// The child sleeps this long before running — a deterministic
+    /// "slow job" for backpressure and kill-window tests.
+    Sleep(u64),
+}
+
+impl std::str::FromStr for FaultSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FaultSpec, String> {
+        match s {
+            "panic" => Ok(FaultSpec::Panic),
+            "hang" => Ok(FaultSpec::Hang),
+            _ => match s.strip_prefix("sleep:").and_then(|ms| ms.parse().ok()) {
+                Some(ms) => Ok(FaultSpec::Sleep(ms)),
+                None => Err(format!("unknown fault {s:?}")),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpec::Panic => write!(f, "panic"),
+            FaultSpec::Hang => write!(f, "hang"),
+            FaultSpec::Sleep(ms) => write!(f, "sleep:{ms}"),
+        }
+    }
+}
+
+/// A job child's checkpoint journal path.
+pub fn ckpt_path(out_dir: &Path, job_id: &str) -> PathBuf {
+    out_dir.join(format!("ckpt_{job_id}.jsonl"))
+}
+
+/// A job child's live progress journal path.
+pub fn progress_path(out_dir: &Path, job_id: &str) -> PathBuf {
+    out_dir.join(format!("progress_{job_id}.jsonl"))
+}
+
+/// Where a finished job's tree lands (written atomically; the e2e
+/// bit-identity test compares these across killed and clean runs).
+pub fn tree_path(out_dir: &Path, job_id: &str) -> PathBuf {
+    out_dir.join(format!("tree_{job_id}.sllt"))
+}
+
+/// Everything a re-exec'd child needs to run one attempt.
+#[derive(Debug, Clone)]
+pub struct ChildArgs {
+    /// Job id (names the checkpoint/progress/tree artifacts).
+    pub job_id: String,
+    /// Design name (used when `design_file` is `None`).
+    pub design: String,
+    /// Sanitized design artifact from the cache, if the job came in by
+    /// file.
+    pub design_file: Option<PathBuf>,
+    /// Constraint config name.
+    pub config: String,
+    /// Route workers inside the child.
+    pub workers: usize,
+    /// State directory (checkpoints, progress, trees).
+    pub out_dir: PathBuf,
+    /// Optional fault hook.
+    pub fault: Option<FaultSpec>,
+}
+
+/// Runs one job attempt in this process. Returns the exit code to
+/// report: `Ok` on success, `Err(code)` otherwise. This is the
+/// isolation boundary — anything in here may fail, panic, or be killed
+/// without consequence for the daemon.
+pub fn run_child(args: &ChildArgs) -> Result<(), u8> {
+    let fail = |msg: String| -> u8 {
+        eprintln!("error: {msg}");
+        EXIT_JOB_ERROR as u8
+    };
+
+    match args.fault {
+        Some(FaultSpec::Hang) => loop {
+            // A wedged job: burns nothing, never exits, ignores the
+            // cooperative machinery. The deadline's SIGKILL is the only
+            // way out — exactly what the timeout tests need.
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+        Some(FaultSpec::Sleep(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        _ => {}
+    }
+
+    let design = match &args.design_file {
+        Some(path) => {
+            let f = std::fs::File::open(path)
+                .map_err(|e| fail(format!("open {}: {e}", path.display())))?;
+            sllt_design::read_design(&mut BufReader::new(f))
+                .map_err(|e| fail(format!("{}: {e}", path.display())))?
+        }
+        None => design_by_name(&args.design).map_err(fail)?,
+    };
+    let mut cts = config_by_name(&args.config).map_err(fail)?;
+    cts.workers = args.workers;
+    if args.fault == Some(FaultSpec::Panic) {
+        // The PR-4 fault hook, aimed where no containment wraps it: a
+        // sizing-stage panic unwinds straight out of the child process.
+        cts.faults = FaultPlan::single(StageFault::permanent(
+            FaultStage::Sizing,
+            0,
+            None,
+            FaultKind::Panic,
+        ));
+    }
+
+    let token = CancelToken::new();
+    cts.cancel = token.clone();
+    #[cfg(unix)]
+    sllt_cts::cancel::install_signals(&token);
+
+    // Live progress into the job's sealed journal; the daemon tails it
+    // for status/watch. Not being able to create it is not fatal —
+    // progress is observability, never a reason to fail a job.
+    if let Ok(sink) = JournalProgress::create(&progress_path(&args.out_dir, &args.job_id)) {
+        cts.progress = Progress::new(Arc::new(sink));
+    }
+
+    let ckpt = ckpt_path(&args.out_dir, &args.job_id);
+    let t0 = Instant::now();
+    let result = if ckpt.exists() {
+        match cts.resume(&design, &ckpt) {
+            // Stale/mismatched journal (config drift, corruption beyond
+            // the torn-tail tolerance): discard and start fresh.
+            Err(CtsError::Checkpoint { .. }) => {
+                std::fs::remove_file(&ckpt).ok();
+                cts.run_checkpointed(&design, &ckpt)
+            }
+            other => other,
+        }
+    } else {
+        cts.run_checkpointed(&design, &ckpt)
+    };
+
+    match result {
+        Ok(tree) => {
+            let report = evaluate(&tree, &cts.tech, &cts.lib);
+            let tree_file = tree_path(&args.out_dir, &args.job_id);
+            write_tree_atomic(&tree_file, &tree).map_err(fail)?;
+            let v = Value::obj()
+                .with("job", args.job_id.as_str())
+                .with("design", design.name.as_str())
+                .with("config", args.config.as_str())
+                .with("sinks", design.num_ffs())
+                .with("skew_ps", report.skew_ps)
+                .with("wl_um", report.clock_wl_um)
+                .with("buffers", report.num_buffers)
+                .with("runtime_s", t0.elapsed().as_secs_f64())
+                .with("tree", tree_file.display().to_string());
+            println!("RESULT {}", v.encode());
+            // The daemon's journal row is the durable record now; the
+            // level checkpoint has nothing left to resume.
+            std::fs::remove_file(&ckpt).ok();
+            Ok(())
+        }
+        Err(CtsError::Cancelled) => {
+            eprintln!(
+                "{}: cancelled; committed levels remain at {}",
+                args.job_id,
+                ckpt.display()
+            );
+            Err(EXIT_JOB_CANCELLED as u8)
+        }
+        Err(e) => Err(fail(format!("{}: {e}", args.job_id))),
+    }
+}
+
+/// Writes the result tree via temp + rename so a child killed mid-write
+/// can never leave a torn tree that a later comparison would trust.
+fn write_tree_atomic(path: &Path, tree: &sllt_tree::ClockTree) -> Result<(), String> {
+    let tmp = path.with_extension("sllt.tmp");
+    let mut f =
+        std::fs::File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+    sllt_tree::io::write_tree(tree, &mut f).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_specs_round_trip_and_reject_garbage() {
+        for s in ["panic", "hang", "sleep:250"] {
+            let f: FaultSpec = s.parse().unwrap();
+            assert_eq!(f.to_string(), s);
+        }
+        assert!("explode".parse::<FaultSpec>().is_err());
+        assert!("sleep:soon".parse::<FaultSpec>().is_err());
+    }
+
+    #[test]
+    fn configs_resolve_and_unknowns_are_named() {
+        for c in ["base", "tight", "nosa"] {
+            assert!(config_by_name(c).is_ok(), "{c}");
+        }
+        let err = config_by_name("hyperdrive").unwrap_err();
+        assert!(err.contains("hyperdrive"));
+        assert!(design_by_name("not_a_design").is_err());
+    }
+
+    #[test]
+    fn child_runs_a_grid_job_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("sllt_jobs_child_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let args = ChildArgs {
+            job_id: "t1".into(),
+            design: "grid36".into(),
+            design_file: None,
+            config: "base".into(),
+            workers: 1,
+            out_dir: dir.clone(),
+            fault: None,
+        };
+        run_child(&args).expect("job runs");
+        assert!(tree_path(&dir, "t1").exists());
+        assert!(progress_path(&dir, "t1").exists());
+        assert!(
+            !ckpt_path(&dir, "t1").exists(),
+            "finished job cleans its checkpoint"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,165 @@
+//! Protocol fuzz suite for the `slltd` JSONL framer and request parser
+//! (`--features proptest`).
+//!
+//! The daemon's front door must hold four properties for *any* byte
+//! stream a client (or an attacker, or a torn write) can produce:
+//!
+//! 1. **No panics** — `read_frame` + `parse_request` return frames and
+//!    structured [`ProtoError`]s for arbitrary byte soup;
+//! 2. **Bounded memory** — no frame ever buffers more than [`MAX_LINE`]
+//!    bytes; longer lines surface as `Oversized` with their size;
+//! 3. **Resynchronization** — a malformed line never poisons the ones
+//!    behind it: pipelined valid requests after garbage still parse;
+//! 4. **Torn writes** — a stream cut mid-line loses only the torn
+//!    fragment, silently, and every complete line before it.
+
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use sllt_server::proto::{parse_request, read_frame, Frame, Request, E_PARSE, MAX_LINE};
+use std::io::Cursor;
+
+/// Raw bytes, full 0..=255 range enriched with newlines, braces and
+/// quotes so frame boundaries and JSON-shaped prefixes actually occur.
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        (0u32..448).prop_map(|b| match b {
+            0..=255 => b as u8,
+            256..=319 => b'\n',
+            320..=383 => b'{',
+            _ => b'"',
+        }),
+        0..1024,
+    )
+}
+
+/// Adversarial middle ground: lines assembled from protocol fragments —
+/// valid requests, near-misses, torn JSON, oversized payloads.
+fn arb_fragment_soup() -> impl Strategy<Value = Vec<u8>> {
+    const FRAGMENTS: &[&str] = &[
+        r#"{"op":"ping"}"#,
+        r#"{"op":"status"}"#,
+        r#"{"op":"drain"}"#,
+        r#"{"op":"submit","design":"grid36"}"#,
+        r#"{"op":"submit","design":"grid36","config":"tight","retries":2}"#,
+        r#"{"op":"submit","design":"grid36","timeout_s":-5}"#,
+        r#"{"op":"submit","design":7}"#,
+        r#"{"op":"submit"}"#,
+        r#"{"op":"cancel","job":"j1"}"#,
+        r#"{"op":"cancel"}"#,
+        r#"{"op":"result","job":"j1","wait":true}"#,
+        r#"{"op":"result","job":"j1","wait":"yes"}"#,
+        r#"{"op":"nonsense"}"#,
+        r#"{"no":"op"}"#,
+        r#"{"op":"ping""#,
+        r#"["op","ping"]"#,
+        "not json at all",
+        "",
+        "   ",
+        "\u{0}\u{1}\u{2}",
+        "\u{fffd}",
+    ];
+    proptest::collection::vec((0usize..FRAGMENTS.len(), 0u32..4), 0..24).prop_map(|picks| {
+        let mut out = Vec::new();
+        for (i, sep) in picks {
+            out.extend_from_slice(FRAGMENTS[i].as_bytes());
+            // 3-in-4 odds of a newline: frames usually end, but adjacent
+            // fragments sometimes concatenate into torn-write shapes.
+            if sep > 0 {
+                out.push(b'\n');
+            }
+        }
+        out
+    })
+}
+
+/// Drives the framer to EOF, feeding each complete line to the parser —
+/// exactly what the daemon's connection loop does.
+fn drain(bytes: &[u8]) -> Vec<Frame> {
+    let mut r = Cursor::new(bytes.to_vec());
+    let mut frames = Vec::new();
+    loop {
+        let f = read_frame(&mut r).expect("Cursor reads cannot fail");
+        let eof = f == Frame::Eof;
+        if let Frame::Line(l) = &f {
+            // Any outcome but a panic is acceptable.
+            let _ = parse_request(l);
+        }
+        frames.push(f);
+        if eof {
+            return frames;
+        }
+    }
+}
+
+#[test]
+fn framer_and_parser_never_panic_on_byte_soup() {
+    proptest!(|(bytes in arb_bytes())| {
+        drain(&bytes);
+    });
+}
+
+#[test]
+fn framer_and_parser_never_panic_on_fragment_soup() {
+    proptest!(|(bytes in arb_fragment_soup())| {
+        drain(&bytes);
+    });
+}
+
+#[test]
+fn frames_never_exceed_the_line_limit_and_oversized_is_reported() {
+    proptest!(|(bytes in arb_bytes(), pad in 0usize..3 * MAX_LINE)| {
+        // Splice one deliberately huge line into the soup.
+        let mut stream = vec![b'y'; pad];
+        stream.push(b'\n');
+        stream.extend_from_slice(&bytes);
+        for f in drain(&stream) {
+            match f {
+                Frame::Line(l) => prop_assert!(l.len() <= MAX_LINE),
+                Frame::Oversized { dropped } => prop_assert!(dropped > MAX_LINE),
+                Frame::Eof => {}
+            }
+        }
+    });
+}
+
+#[test]
+fn malformed_lines_yield_structured_errors_never_wedge_the_stream() {
+    proptest!(|(soup in arb_fragment_soup())| {
+        // Garbage, then two pipelined valid requests, then a torn tail:
+        // the valid requests must parse regardless of what precedes them.
+        let mut stream = soup.clone();
+        if stream.last() != Some(&b'\n') {
+            stream.push(b'\n');
+        }
+        stream.extend_from_slice(b"{\"op\":\"ping\"}\n{\"op\":\"cancel\",\"job\":\"j9\"}\n");
+        stream.extend_from_slice(b"{\"op\":\"torn");
+
+        let mut r = Cursor::new(stream);
+        let mut parsed = Vec::new();
+        let mut torn_seen = false;
+        loop {
+            match read_frame(&mut r).unwrap() {
+                Frame::Eof => break,
+                Frame::Oversized { .. } => {}
+                Frame::Line(l) => match parse_request(&l) {
+                    Ok(req) => parsed.push(req),
+                    Err(e) => {
+                        // Every rejection is structured and wire-ready.
+                        prop_assert_eq!(e.code, E_PARSE);
+                        let wire = e.to_value();
+                        prop_assert!(wire.get("error").is_some());
+                        torn_seen |= l.starts_with(b"{\"op\":\"torn");
+                    }
+                },
+            }
+        }
+        // The pipelined pair survived whatever came before it...
+        let n = parsed.len();
+        prop_assert!(n >= 2, "valid requests lost: {parsed:?}");
+        prop_assert_eq!(&parsed[n - 1], &Request::Cancel { job: "j9".into() });
+        prop_assert_eq!(&parsed[n - 2], &Request::Ping);
+        // ...and the torn tail was silently discarded, not parsed.
+        prop_assert!(!torn_seen, "torn trailing fragment must not reach the parser");
+    });
+}

@@ -127,4 +127,56 @@ cargo run --release -q -p sllt-bench --bin suite -- \
 test "$(grep -c '"job":"grid48:base","attempt"' results/suite_ci/manifest.jsonl)" = 2
 rm -rf results/suite_ci
 
+echo "== slltd smoke: isolation, mid-run cancel, SIGTERM drain, --resume"
+# A live daemon on a unix socket must: finish a healthy job while a
+# panicking sibling burns its retries, cancel a third job mid-run, exit
+# 0 on SIGTERM with a sealed (drained) journal, and complete the jobs
+# it checkpointed when restarted with --resume.
+cargo build --release -q -p sllt-server --bin slltd
+cargo build --release -q --bin sllt
+rm -rf results/slltd_ci
+SLLTD_DIR=results/slltd_ci
+SOCK=$SLLTD_DIR/slltd.sock
+JOBS="./target/release/sllt jobs"
+./target/release/slltd --state-dir "$SLLTD_DIR" --workers 2 \
+    --drain-grace 0.5 --cancel-grace 1 &
+SLLTD_PID=$!
+for _ in $(seq 1 100); do
+  $JOBS ping --connect "$SOCK" > /dev/null 2>&1 && break
+  sleep 0.1
+done
+job_id() { sed -n 's/.*"job":"\([^"]*\)".*/\1/p'; }
+J1=$($JOBS submit --connect "$SOCK" --design grid48 | job_id)
+J2=$($JOBS submit --connect "$SOCK" --design grid36 --fault panic --retries 1 | job_id)
+J3=$($JOBS submit --connect "$SOCK" --design grid36 --fault sleep:30000 | job_id)
+# The healthy job must land ok despite its panicking sibling...
+$JOBS result --connect "$SOCK" --job "$J1" --wait | grep -q '"status":"ok"'
+$JOBS result --connect "$SOCK" --job "$J2" --wait | grep -q '"status":"panic"'
+# ...and the slow third job is cancelled mid-run (running by now: the
+# panic job released its worker).
+for _ in $(seq 1 200); do
+  $JOBS status --connect "$SOCK" --job "$J3" | grep -q '"state":"running"' && break
+  sleep 0.1
+done
+$JOBS cancel --connect "$SOCK" --job "$J3"
+$JOBS result --connect "$SOCK" --job "$J3" --wait | grep -q '"status":"cancelled"'
+# Two in-flight jobs at SIGTERM: drain must exit 0, seal the journal,
+# and leave both resumable.
+J4=$($JOBS submit --connect "$SOCK" --design grid48 --fault sleep:3000 | job_id)
+J5=$($JOBS submit --connect "$SOCK" --design grid48 --fault sleep:3000 | job_id)
+kill -TERM "$SLLTD_PID"
+wait "$SLLTD_PID"
+grep -q '"kind":"drained"' "$SLLTD_DIR/jobs.jsonl"
+./target/release/slltd --state-dir "$SLLTD_DIR" --workers 2 --resume &
+SLLTD_PID=$!
+for _ in $(seq 1 100); do
+  $JOBS ping --connect "$SOCK" > /dev/null 2>&1 && break
+  sleep 0.1
+done
+$JOBS result --connect "$SOCK" --job "$J4" --wait | grep -q '"status":"ok"'
+$JOBS result --connect "$SOCK" --job "$J5" --wait | grep -q '"status":"ok"'
+$JOBS drain --connect "$SOCK"
+wait "$SLLTD_PID"
+rm -rf results/slltd_ci
+
 echo "CI green"

@@ -8,6 +8,7 @@
 //!          [--svg net.svg]                        route one random net
 //! sllt eval --tree tree.sllt                      re-evaluate a saved tree
 //! sllt ocv  --tree tree.sllt [--derate 0.08]      variation analysis
+//! sllt jobs submit --design s38584 [...]          talk to a running slltd
 //! ```
 
 use sllt::cts::{baseline, constraints::CtsConstraints, eval, flow::HierarchicalCts, ocv};
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "net" => cmd_net(&args),
         "eval" => cmd_eval(&args),
         "ocv" => cmd_ocv(&args),
+        "jobs" => cmd_jobs(&args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -55,11 +57,18 @@ const USAGE: &str = "usage:
   sllt net  [--pins N] [--seed N] [--algo cbs|salt|rsmt|zst|bst|htree|ghtree] [--skew PS] [--svg <file>]
   sllt eval --tree <file>
   sllt ocv  --tree <file> [--derate F] [--trials N]
+  sllt jobs <submit|status|cancel|result|watch|drain|ping>
+            [--connect <socket|host:port>] [--job <id>]
+            [--design <name> | --design-file <file>] [--config base|tight|nosa]
+            [--timeout <s>] [--retries N] [--wait]
 
 `sllt run --trace` streams span/counter/gauge events into
 results/trace_<design>.jsonl and exports a Chrome/Perfetto trace to
 results/trace_<design>.json (open at ui.perfetto.dev). `--progress`
-prints deterministic work-budget completion fractions to stderr.";
+prints deterministic work-budget completion fractions to stderr.
+
+`sllt jobs` is the client for a running `slltd` daemon (default socket
+results/slltd/slltd.sock); responses are printed as JSON lines.";
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -238,7 +247,7 @@ fn run_engine(
 ) -> Result<ClockTree, String> {
     let token = sllt::cts::CancelToken::new();
     #[cfg(unix)]
-    sllt::cts::cancel::install_sigint(&token);
+    sllt::cts::cancel::install_signals(&token);
     let progress = if has_flag(args, "--progress") {
         Progress::new(Arc::new(StderrProgress))
     } else {
@@ -369,6 +378,96 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     let lib = BufferLibrary::n28();
     print_report(&eval::evaluate(&tree, &tech, &lib));
     Ok(())
+}
+
+/// `sllt jobs <verb>` — thin client over the `slltd` JSONL protocol.
+/// Every response (including protocol errors) is printed as one JSON
+/// line; a `{"ok":false,...}` reply exits nonzero so scripts can branch
+/// on backpressure and drain refusals.
+fn cmd_jobs(args: &[String]) -> Result<(), String> {
+    use sllt::server::client::{req, Client};
+    use sllt::server::Endpoint;
+
+    let verb = args
+        .get(1)
+        .ok_or("jobs needs a verb: submit|status|cancel|result|watch|drain|ping")?;
+    let connect = flag(args, "--connect").unwrap_or_else(|| "results/slltd/slltd.sock".into());
+    let ep = Endpoint::parse(&connect);
+    let mut client =
+        Client::connect(&ep).map_err(|e| format!("connect {connect}: {e} (is slltd running?)"))?;
+
+    let need_job = || flag(args, "--job").ok_or(format!("jobs {verb} needs --job <id>"));
+    let request = match verb.as_str() {
+        "ping" => req::ping(),
+        "submit" => {
+            let mut r = match (flag(args, "--design"), flag(args, "--design-file")) {
+                (Some(d), _) => req::submit(&d, &flag(args, "--config").unwrap_or("base".into())),
+                (None, Some(f)) => {
+                    req::submit("", &flag(args, "--config").unwrap_or("base".into()))
+                        .with("design_file", f)
+                }
+                (None, None) => {
+                    return Err("jobs submit needs --design <name> or --design-file <file>".into())
+                }
+            };
+            if let Some(t) = flag(args, "--timeout") {
+                let t: f64 = t.parse().map_err(|_| "--timeout expects seconds")?;
+                r = r.with("timeout_s", t);
+            }
+            if let Some(n) = flag(args, "--retries") {
+                let n: u64 = n.parse().map_err(|_| "--retries expects an integer")?;
+                r = r.with("retries", n);
+            }
+            if let Some(f) = flag(args, "--fault") {
+                r = r.with("fault", f);
+            }
+            r
+        }
+        "status" => req::status(flag(args, "--job").as_deref()),
+        "cancel" => req::cancel(&need_job()?),
+        "result" => req::result(&need_job()?, has_flag(args, "--wait")),
+        "watch" => req::watch(&need_job()?),
+        "drain" => req::drain(),
+        other => return Err(format!("unknown jobs verb {other:?}")),
+    };
+
+    if verb == "watch" {
+        // Streaming verb: print every line until the server closes or
+        // sends the final (non-event) object.
+        client.send(&request).map_err(|e| format!("send: {e}"))?;
+        loop {
+            match client.recv()? {
+                None => return Ok(()),
+                Some(v) => {
+                    println!("{}", v.encode());
+                    if v.get("event").is_none() {
+                        let ok = v.get("ok") == Some(&sllt::obs::Value::Bool(true));
+                        return if ok {
+                            Ok(())
+                        } else {
+                            Err("server reported failure".into())
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    let reply = client.request(&request)?;
+    println!("{}", reply.encode());
+    if reply.get("ok") == Some(&sllt::obs::Value::Bool(true)) {
+        Ok(())
+    } else {
+        let code = reply
+            .get("code")
+            .and_then(sllt::obs::Value::as_u64)
+            .unwrap_or(0);
+        let msg = reply
+            .get("error")
+            .and_then(sllt::obs::Value::as_str)
+            .unwrap_or("request refused");
+        Err(format!("server error {code}: {msg}"))
+    }
 }
 
 fn cmd_ocv(args: &[String]) -> Result<(), String> {

@@ -24,7 +24,10 @@
 //! * [`buffer`] — critical wirelength, repeaters, insertion-delay
 //!   estimation,
 //! * [`cts`] — the hierarchical flow, baseline flows, and evaluation,
-//! * [`design`] — synthetic benchmark designs and net generators.
+//! * [`design`] — synthetic benchmark designs and net generators,
+//! * [`server`] — the `slltd` job daemon, its JSONL protocol and client,
+//!   and the shared robustness primitives (child supervision,
+//!   deterministic retry backoff, the sanitized-design cache).
 //!
 //! # Quickstart
 //!
@@ -68,5 +71,6 @@ pub use sllt_geom as geom;
 pub use sllt_obs as obs;
 pub use sllt_partition as partition;
 pub use sllt_route as route;
+pub use sllt_server as server;
 pub use sllt_timing as timing;
 pub use sllt_tree as tree;
