@@ -31,12 +31,15 @@
 //! outlives its wall-clock deadline (status `timeout`, retryable), and
 //! retries back off with deterministic jittered exponential delays —
 //! a pure function of the job name and attempt, journaled as
-//! `backoff_ms` in each `job_start` record.
+//! `backoff_ms` in each `job_start` record. `--fault-fs <spec>` routes
+//! the manifest and per-job progress journals through the deterministic
+//! fault-injecting filesystem (see `sllt_obs::vfs`).
 
 use sllt_bench::{arg_flag, arg_parse, arg_value, peak_rss_bytes, run_main, Table};
 use sllt_cts::{evaluate, CancelToken, CtsError, Progress};
 use sllt_design::Design;
 use sllt_obs::journal::{fnv1a64, read_journal};
+use sllt_obs::vfs::{real_fs, FaultConfig, FaultFs, Vfs};
 use sllt_obs::{DurableAppender, JournalProgress, Value};
 use sllt_server::backoff::{backoff_ms, BASE_MS, CAP_MS};
 use sllt_server::jobs::config_by_name;
@@ -68,6 +71,21 @@ fn main() -> ExitCode {
 fn design_by_name(name: &str) -> Result<Design, String> {
     sllt_design::design_by_name(name)
         .ok_or_else(|| format!("unknown design {name:?}; see `table4` for the suite"))
+}
+
+/// The storage seam shared by the manifest and per-job progress
+/// journals: `--fault-fs seed=N[,after=N][,rate=F][,kinds=...]` swaps
+/// the real filesystem for a deterministic fault injector, so ENOSPC
+/// and torn-sync behaviour of the batch paths is testable on a healthy
+/// disk.
+fn fault_vfs() -> Result<Arc<dyn Vfs>, String> {
+    match arg_value("--fault-fs") {
+        None => Ok(real_fs()),
+        Some(spec) => {
+            let cfg = FaultConfig::parse(&spec).map_err(|e| format!("--fault-fs: {e}"))?;
+            Ok(Arc::new(FaultFs::over_real(cfg)))
+        }
+    }
 }
 
 fn ckpt_path(out_dir: &Path, job: &str) -> PathBuf {
@@ -126,7 +144,8 @@ fn child_run(job: &str) -> Result<(), u8> {
     // job's sealed journal. A journal that cannot be created is not
     // fatal — progress is observability, never a reason to fail a job.
     let progress = progress_path(&out_dir, job);
-    if let Ok(sink) = JournalProgress::create(&progress) {
+    let vfs = fault_vfs().map_err(fail)?;
+    if let Ok(sink) = JournalProgress::create_with(vfs.as_ref(), &progress) {
         cts.progress = Progress::new(Arc::new(sink));
     }
 
@@ -225,8 +244,10 @@ fn parent_main() -> Result<(), String> {
         .collect();
 
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    let vfs = fault_vfs()?;
     let manifest = out_dir.join("manifest.jsonl");
-    let (mut app, finished) = open_manifest(&manifest, resume, &designs, &configs, retries)?;
+    let (mut app, finished) =
+        open_manifest(vfs.as_ref(), &manifest, resume, &designs, &configs, retries)?;
 
     let token = CancelToken::new();
     #[cfg(unix)]
@@ -289,6 +310,11 @@ fn parent_main() -> Result<(), String> {
             }
             if inject_hang.as_deref() == Some(job.as_str()) {
                 cmd.arg("--child-hang");
+            }
+            if let Some(spec) = arg_value("--fault-fs") {
+                // Children get the same schedule: their progress
+                // journals go through the injector too.
+                cmd.arg("--fault-fs").arg(spec);
             }
             let opts = SuperviseOpts {
                 timeout: job_timeout,
@@ -448,6 +474,7 @@ fn parent_main() -> Result<(), String> {
 /// a batch killed mid-append — is truncated away and appending
 /// continues from the last intact record.
 fn open_manifest(
+    vfs: &dyn Vfs,
     manifest: &Path,
     resume: bool,
     designs: &[String],
@@ -509,12 +536,12 @@ fn open_manifest(
                 );
             }
         }
-        let app = DurableAppender::reopen(manifest, journal.valid_len)
+        let app = DurableAppender::reopen_with(vfs, manifest, journal.valid_len)
             .map_err(|e| format!("reopen {}: {e}", manifest.display()))?;
         return Ok((app, finished));
     }
 
-    let mut app = DurableAppender::create(manifest)
+    let mut app = DurableAppender::create_with(vfs, manifest)
         .map_err(|e| format!("create {}: {e}", manifest.display()))?;
     append(&mut app, meta)?;
     Ok((app, BTreeMap::new()))

@@ -39,7 +39,8 @@ use crate::route::{LevelNode, NodeSource};
 use crate::telemetry::{level_report_from_value, level_value};
 use sllt_design::Design;
 use sllt_geom::Point;
-use sllt_obs::journal::read_journal;
+use sllt_obs::journal::read_journal_bytes;
+use sllt_obs::vfs::Vfs;
 use sllt_obs::{DurableAppender, Value};
 use sllt_tree::codec::{decode_tree_prefix, encode_tree};
 use std::path::Path;
@@ -666,8 +667,8 @@ impl CheckpointWriter {
             schema == CHECKPOINT_SCHEMA || schema == LEGACY_CHECKPOINT_SCHEMA,
             "unknown checkpoint schema {schema}"
         );
-        let mut app =
-            DurableAppender::create(path).map_err(|e| io_err("creating checkpoint journal", e))?;
+        let mut app = DurableAppender::create_with(cts.vfs.as_ref(), path)
+            .map_err(|e| io_err("creating checkpoint journal", e))?;
         let meta = Value::obj()
             .with("type", "sllt-ckpt")
             .with("schema", schema)
@@ -690,12 +691,13 @@ impl CheckpointWriter {
     /// `entering_nodes` is the restored node list the next committed
     /// level will consume (member references resolve against it).
     pub(crate) fn reopen(
+        vfs: &dyn Vfs,
         path: &Path,
         valid_len: u64,
         schema: u64,
         entering_nodes: &[LevelNode],
     ) -> Result<CheckpointWriter, CtsError> {
-        let app = DurableAppender::reopen(path, valid_len)
+        let app = DurableAppender::reopen_with(vfs, path, valid_len)
             .map_err(|e| io_err("reopening checkpoint journal", e))?;
         Ok(CheckpointWriter {
             app,
@@ -771,7 +773,12 @@ impl Checkpoint {
         cts: &HierarchicalCts,
         design: &Design,
     ) -> Result<Checkpoint, CtsError> {
-        let journal = read_journal(path).map_err(|e| io_err("reading checkpoint journal", e))?;
+        let bytes = cts
+            .vfs
+            .read(path)
+            .map_err(|e| io_err("reading checkpoint journal", e))?;
+        let journal =
+            read_journal_bytes(&bytes).map_err(|e| io_err("reading checkpoint journal", e))?;
         let mut records = journal.records.iter();
         let meta = records.next().ok_or_else(|| {
             ckpt_err("checkpoint journal has no meta record (empty or fully torn file)")

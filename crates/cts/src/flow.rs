@@ -36,10 +36,12 @@ use crate::sizing::size_drivers;
 use sllt_buffer::DelayEstimator;
 use sllt_design::Design;
 use sllt_geom::Point;
+use sllt_obs::vfs::{real_fs, Vfs};
 use sllt_obs::{NullSink, Progress, ProgressEvent, TelemetrySink, WorkBudget};
 use sllt_route::TopologyScheme;
 use sllt_timing::{BufferLibrary, Technology};
 use sllt_tree::ClockTree;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which routing topology generator a flow uses per cluster net.
@@ -178,6 +180,12 @@ pub struct HierarchicalCts {
     /// flow with [`CtsError::Cancelled`] within a bounded number of
     /// work units.
     pub cancel: CancelToken,
+    /// Filesystem seam for every durable write the flow performs
+    /// (checkpoint journal). The default is the real filesystem;
+    /// install a [`FaultFs`](sllt_obs::FaultFs) to exercise the
+    /// storage-failure paths deterministically. Excluded from the
+    /// checkpoint fingerprint — the seam never changes the tree.
+    pub vfs: Arc<dyn Vfs>,
     /// Live progress reporting: level start/done and within-level
     /// decile events with deterministic work-budget completion
     /// fractions (see [`sllt_obs::progress`]). Inert by default.
@@ -218,6 +226,7 @@ impl Default for HierarchicalCts {
             route_budget: None,
             faults: FaultPlan::default(),
             cancel: CancelToken::default(),
+            vfs: real_fs(),
             progress: Progress::none(),
         }
     }
@@ -459,6 +468,7 @@ impl HierarchicalCts {
                     };
                 }
                 Some(CheckpointWriter::reopen(
+                    self.vfs.as_ref(),
                     path,
                     ckpt.valid_len,
                     ckpt.schema,
@@ -483,12 +493,31 @@ impl HierarchicalCts {
                 fraction: budget.fraction_at(0),
             });
             let report = self.build_level(&mut cx, &budget)?;
-            if let Some(w) = &mut writer {
-                // The level just committed: the clusters it appended are
-                // the arena's last `num_clusters` entries and `cx.nodes`
-                // is the next level's node list.
-                let new = &cx.clusters[cx.clusters.len() - report.num_clusters..];
-                w.append_level(&report, &cx.nodes, new)?;
+            let write_err = match writer.as_mut() {
+                Some(w) => {
+                    // The level just committed: the clusters it appended
+                    // are the arena's last `num_clusters` entries and
+                    // `cx.nodes` is the next level's node list.
+                    let new = &cx.clusters[cx.clusters.len() - report.num_clusters..];
+                    w.append_level(&report, &cx.nodes, new).err()
+                }
+                None => None,
+            };
+            if let Some(e) = write_err {
+                // Storage failure is never fatal to a running flow: drop
+                // the journal and continue in-memory-only. The run still
+                // produces its tree; only crash-resumability is lost —
+                // which the degradation event and counter make visible.
+                let detail = e.to_string();
+                writer = None;
+                if sllt_obs::enabled() {
+                    sllt_obs::count("cts.storage.degraded", 1);
+                }
+                observer.on_storage_degraded(cx.level, &detail);
+                self.progress.emit(&ProgressEvent::StorageDegraded {
+                    level: cx.level,
+                    detail,
+                });
             }
             observer.on_level(&report);
             // Exit fraction *before* folding the level in: with the

@@ -104,6 +104,15 @@ pub trait FlowObserver {
     fn on_assemble(&mut self, report: &AssembleReport) {
         let _ = report;
     }
+
+    /// A checkpoint/journal write failed at `level` and the flow
+    /// degraded to in-memory-only operation (see
+    /// [`HierarchicalCts::vfs`](crate::HierarchicalCts::vfs)). Nonfatal:
+    /// the run continues, but a crash after this point loses
+    /// resumability. Defaults to a no-op.
+    fn on_storage_degraded(&mut self, level: usize, detail: &str) {
+        let _ = (level, detail);
+    }
 }
 
 /// Discards everything — what [`run`](crate::flow::HierarchicalCts::run)

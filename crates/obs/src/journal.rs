@@ -41,9 +41,10 @@
 //! how many JSON records preceded it.
 
 use crate::json::{parse, Value};
+use crate::vfs::{RealFs, Vfs, VfsFile};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::fs::File;
+use std::io::Read;
 use std::path::Path;
 
 /// FNV-1a 64-bit over `bytes` — the journal's record checksum. Stable,
@@ -319,9 +320,14 @@ pub fn read_journal_bytes(bytes: &[u8]) -> Result<Journal, JournalError> {
 
 /// Appends sealed records to a journal file, fsyncing after every
 /// record so a committed record survives any later crash.
+///
+/// All file operations go through a [`Vfs`]: the plain constructors use
+/// the real filesystem, and the `_with` variants accept any seam — in
+/// particular a [`FaultFs`](crate::vfs::FaultFs), which is how every
+/// durable path in the workspace gets storage-fault coverage.
 #[derive(Debug)]
 pub struct DurableAppender {
-    file: File,
+    file: Box<dyn VfsFile>,
 }
 
 impl DurableAppender {
@@ -331,8 +337,17 @@ impl DurableAppender {
     ///
     /// Propagates filesystem errors.
     pub fn create(path: &Path) -> std::io::Result<DurableAppender> {
+        Self::create_with(&RealFs, path)
+    }
+
+    /// [`create`](Self::create) through an explicit filesystem seam.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem (or injected) errors.
+    pub fn create_with(vfs: &dyn Vfs, path: &Path) -> std::io::Result<DurableAppender> {
         Ok(DurableAppender {
-            file: File::create(path)?,
+            file: vfs.create(path)?,
         })
     }
 
@@ -343,11 +358,23 @@ impl DurableAppender {
     ///
     /// Propagates filesystem errors.
     pub fn reopen(path: &Path, valid_len: u64) -> std::io::Result<DurableAppender> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Self::reopen_with(&RealFs, path, valid_len)
+    }
+
+    /// [`reopen`](Self::reopen) through an explicit filesystem seam.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem (or injected) errors.
+    pub fn reopen_with(
+        vfs: &dyn Vfs,
+        path: &Path,
+        valid_len: u64,
+    ) -> std::io::Result<DurableAppender> {
+        let mut file = vfs.open_rw(path)?;
         file.set_len(valid_len)?;
-        let mut app = DurableAppender { file };
-        app.file.seek(SeekFrom::End(0))?;
-        Ok(app)
+        file.seek_end()?;
+        Ok(DurableAppender { file })
     }
 
     /// Seals `record`, writes it as one line, and fsyncs. After this

@@ -45,6 +45,7 @@ pub mod record;
 mod registry;
 mod sink;
 pub mod trace;
+pub mod vfs;
 
 pub use chrome::{chrome_trace, write_chrome};
 pub use journal::{fnv1a64, DurableAppender, Journal, JournalError, JournalFrame, TornTail};
@@ -64,3 +65,4 @@ pub use trace::{
     read_trace, TraceChunk, TraceEvent, TraceFile, TraceHub, TraceSlot, TraceWriter,
     DEFAULT_TRACE_CAPACITY, TRACE_SCHEMA,
 };
+pub use vfs::{real_fs, FaultConfig, FaultFs, FaultKind, RealFs, Vfs, VfsFile};

@@ -64,6 +64,16 @@ pub enum ProgressEvent {
         /// Completion fraction leaving the level.
         fraction: f64,
     },
+    /// A durable write (checkpoint/journal) failed mid-run and the
+    /// flow degraded to in-memory-only operation instead of aborting.
+    /// Nonfatal: the run continues and still produces its tree, but a
+    /// crash after this point loses resumability.
+    StorageDegraded {
+        /// Level index at which the write failed.
+        level: usize,
+        /// The storage error, for the record.
+        detail: String,
+    },
     /// The tree is assembled; the run is complete.
     Done {
         /// Always `1.0`.
@@ -75,7 +85,7 @@ impl ProgressEvent {
     /// The event's completion fraction (0 for [`ProgressEvent::FlowStart`]).
     pub fn fraction(&self) -> f64 {
         match self {
-            ProgressEvent::FlowStart { .. } => 0.0,
+            ProgressEvent::FlowStart { .. } | ProgressEvent::StorageDegraded { .. } => 0.0,
             ProgressEvent::LevelStart { fraction, .. }
             | ProgressEvent::ClusterProgress { fraction, .. }
             | ProgressEvent::LevelDone { fraction, .. }
@@ -117,6 +127,10 @@ impl ProgressEvent {
                 .with("level", *level)
                 .with("parents", *parents)
                 .with("fraction", *fraction),
+            ProgressEvent::StorageDegraded { level, detail } => base
+                .with("ev", "storage_degraded")
+                .with("level", *level)
+                .with("detail", detail.as_str()),
             ProgressEvent::Done { fraction } => base.with("ev", "done").with("fraction", *fraction),
         }
     }
@@ -158,6 +172,14 @@ impl ProgressEvent {
                 level: num("level")? as usize,
                 parents: num("parents")? as usize,
                 fraction: fraction()?,
+            }),
+            "storage_degraded" => Ok(ProgressEvent::StorageDegraded {
+                level: num("level")? as usize,
+                detail: v
+                    .get("detail")
+                    .and_then(Value::as_str)
+                    .ok_or("progress record missing detail")?
+                    .to_string(),
             }),
             "done" => Ok(ProgressEvent::Done {
                 fraction: fraction()?,
@@ -259,6 +281,19 @@ impl JournalProgress {
             app: Mutex::new(Some(DurableAppender::create(path)?)),
         })
     }
+
+    /// [`create`](Self::create) through an explicit filesystem seam
+    /// (fault-injection coverage for the progress stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem (or injected) errors from creating the
+    /// file.
+    pub fn create_with(vfs: &dyn crate::vfs::Vfs, path: &Path) -> std::io::Result<JournalProgress> {
+        Ok(JournalProgress {
+            app: Mutex::new(Some(DurableAppender::create_with(vfs, path)?)),
+        })
+    }
 }
 
 impl ProgressSink for JournalProgress {
@@ -353,6 +388,10 @@ mod tests {
                 level: 0,
                 parents: 96,
                 fraction: 0.5,
+            },
+            ProgressEvent::StorageDegraded {
+                level: 1,
+                detail: "journal i/o error: No space left on device (os error 28)".into(),
             },
             ProgressEvent::Done { fraction: 1.0 },
         ]

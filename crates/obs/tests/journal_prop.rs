@@ -1,0 +1,180 @@
+//! Property tests for sealed-journal corruption tolerance
+//! (`--features proptest`).
+//!
+//! A crash tears at most the final record, and [`read_journal_bytes`]
+//! tolerates exactly that shape. But disks and fault injectors produce
+//! worse: short writes that truncate mid-record, garbage interleaved
+//! into the middle of the file, multiple fragments clobbered at once.
+//! The property for *every* such mutilation: the reader never panics
+//! and never invents data — it either refuses cleanly
+//! ([`JournalError::Corrupt`]) or returns records that are a verbatim
+//! subsequence of what was appended.
+
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use sllt_obs::journal::{fnv1a64, read_journal_bytes, seal, JournalError, FRAME_MARKER};
+use sllt_obs::Value;
+
+/// Record `i` of a synthetic journal; `i` doubles as the identity the
+/// invented-data check keys on.
+fn record(i: u64) -> Value {
+    Value::obj()
+        .with("i", i)
+        .with("p", format!("payload-{i}-{}", "x".repeat((i % 7) as usize)))
+}
+
+/// A well-formed journal: `n` sealed JSON lines, with a binary frame
+/// after every record whose index is in `frames`.
+fn journal_bytes(n: u64, frames: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        let mut line = seal(&record(i));
+        line.push('\n');
+        out.extend_from_slice(line.as_bytes());
+        if frames.contains(&i) {
+            let payload = format!("frame-{i}").into_bytes();
+            out.push(FRAME_MARKER);
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&payload);
+            out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+            out.push(b'\n');
+        }
+    }
+    out
+}
+
+/// The no-invented-data check: every surviving record must be verbatim
+/// one of the originals, in strictly increasing file order, and
+/// `valid_len` must stay inside the file.
+fn assert_subsequence(bytes_len: usize, result: Result<sllt_obs::journal::Journal, JournalError>) {
+    let j = match result {
+        Ok(j) => j,
+        // Clean refusal is an allowed outcome for mid-file damage.
+        Err(JournalError::Corrupt { .. }) => return,
+        Err(JournalError::Io(e)) => panic!("in-memory read cannot do I/O: {e}"),
+    };
+    assert!(
+        j.valid_len as usize <= bytes_len,
+        "valid_len {} beyond file length {bytes_len}",
+        j.valid_len
+    );
+    let mut last: Option<u64> = None;
+    for r in &j.records {
+        let i = r
+            .get("i")
+            .and_then(Value::as_u64)
+            .expect("surviving record has the original shape");
+        assert_eq!(
+            r.encode(),
+            record(i).encode(),
+            "surviving record {i} must be byte-identical to the original"
+        );
+        assert!(
+            last.is_none_or(|l| i > l),
+            "records out of order: {i} after {last:?}"
+        );
+        last = Some(i);
+    }
+    for f in &j.frames {
+        let text = String::from_utf8(f.payload.clone()).expect("original frames are UTF-8");
+        assert!(
+            text.starts_with("frame-"),
+            "surviving frame must be an original payload, got {text:?}"
+        );
+    }
+}
+
+proptest! {
+    /// Truncation at any byte offset is the crash shape: the reader
+    /// must accept it and return exactly the records whose lines
+    /// survived whole.
+    #[test]
+    fn truncation_keeps_an_exact_prefix(
+        n in 1u64..12,
+        frames in proptest::collection::vec(0u64..12, 0..3),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let bytes = journal_bytes(n, &frames);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let j = read_journal_bytes(&bytes[..cut])
+            .expect("truncation is the tolerated single-torn-tail shape");
+        // Exact prefix: record k survives iff its whole line fits.
+        let mut expect = 0u64;
+        let mut at = 0usize;
+        for i in 0..n {
+            let line_len = seal(&record(i)).len() + 1;
+            if at + line_len <= cut {
+                expect = i + 1;
+            }
+            at += line_len;
+            if frames.contains(&i) {
+                at += format!("frame-{i}").len() + 14;
+            }
+        }
+        prop_assert_eq!(j.records.len() as u64, expect);
+        for (k, r) in j.records.iter().enumerate() {
+            prop_assert_eq!(r.get("i").and_then(Value::as_u64), Some(k as u64));
+        }
+    }
+
+    /// Garbage spliced into the middle of the file — a lost write whose
+    /// space was later reused, or an interleaved writer bug. The reader
+    /// must either refuse or skip nothing but the damage.
+    #[test]
+    fn interleaved_garbage_never_panics_or_invents(
+        n in 1u64..12,
+        frames in proptest::collection::vec(0u64..12, 0..3),
+        at_frac in 0.0f64..=1.0,
+        garbage in proptest::collection::vec(0u32..256, 1..64),
+    ) {
+        let mut bytes = journal_bytes(n, &frames);
+        let at = ((bytes.len() as f64) * at_frac) as usize;
+        bytes.splice(at..at, garbage.into_iter().map(|b| b as u8));
+        let len = bytes.len();
+        assert_subsequence(len, read_journal_bytes(&bytes));
+    }
+
+    /// A short write: a fragment of the file overwritten in place
+    /// (zeros, as a sparse hole would read back, or arbitrary bytes).
+    #[test]
+    fn overwritten_fragment_never_panics_or_invents(
+        n in 1u64..12,
+        frames in proptest::collection::vec(0u64..12, 0..3),
+        at_frac in 0.0f64..=1.0,
+        span in 1usize..48,
+        fill in 0u32..256,
+    ) {
+        let mut bytes = journal_bytes(n, &frames);
+        let at = ((bytes.len() as f64) * at_frac) as usize;
+        let end = (at + span).min(bytes.len());
+        for b in &mut bytes[at..end] {
+            *b = fill as u8;
+        }
+        let len = bytes.len();
+        assert_subsequence(len, read_journal_bytes(&bytes));
+    }
+
+    /// Multiple independent fragments damaged at once — the multi-fault
+    /// schedule a FaultFs torn-sync run leaves behind.
+    #[test]
+    fn multi_fragment_damage_never_panics_or_invents(
+        n in 2u64..12,
+        frames in proptest::collection::vec(0u64..12, 0..3),
+        cuts in proptest::collection::vec((0.0f64..=1.0, 1usize..16, 0u32..256), 1..4),
+        truncate_frac in 0.5f64..=1.0,
+    ) {
+        let mut bytes = journal_bytes(n, &frames);
+        for (at_frac, span, fill) in cuts {
+            let at = ((bytes.len() as f64) * at_frac) as usize;
+            let end = (at + span).min(bytes.len());
+            for b in &mut bytes[at..end] {
+                *b = fill as u8;
+            }
+        }
+        let cut = ((bytes.len() as f64) * truncate_frac) as usize;
+        bytes.truncate(cut);
+        let len = bytes.len();
+        assert_subsequence(len, read_journal_bytes(&bytes));
+    }
+}

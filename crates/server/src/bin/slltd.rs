@@ -10,11 +10,13 @@
 //!   each attempt lives and dies alone.
 
 use sllt_cts::CancelToken;
+use sllt_obs::vfs::{FaultConfig, FaultFs};
 use sllt_server::jobs::{run_child, ChildArgs, FaultSpec};
 use sllt_server::net::Endpoint;
 use sllt_server::server::{serve, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -24,13 +26,23 @@ USAGE:
   slltd [--listen <path|host:port>] [--state-dir <dir>] [--workers N]
         [--queue-cap N] [--timeout <s>] [--retries N] [--child-workers N]
         [--drain-grace <s>] [--cancel-grace <s>] [--seed N] [--resume]
+        [--mem-limit <MB>] [--disk-budget <MB>] [--tenant-quota N]
+        [--tenant-refill <per_s>] [--fault-fs <spec>]
   slltd --job <id> --design <name> [--design-file <path>] --config <name>
-        --out <dir> [--workers N] [--fault panic|hang|sleep:<ms>]
+        --out <dir> [--workers N] [--fault panic|hang|oom|sleep:<ms>]
 
 Defaults: --state-dir results/slltd, --listen <state-dir>/slltd.sock,
 --workers 2, --queue-cap 8, --retries 1, no default timeout.
+Resource governance: --mem-limit caps each job child's address space
+(jobs killed by it finish as status \"oom\", never retried);
+--disk-budget bounds completed-job artifacts in the state dir (oldest
+deleted first); --tenant-quota/--tenant-refill token-bucket submits
+per client-supplied tenant id (over-quota submits get a 429).
+Fault injection: --fault-fs seed=N[,after=N][,rate=F][,kinds=...]
+routes the daemon's own journal/cache writes through a deterministic
+fault-injecting filesystem (testing only).
 Drain: send SIGTERM (or the drain verb); unfinished jobs checkpoint and
-a later `slltd --resume` completes them.";
+a later `slltd --resume` completes them (and compacts the journal).";
 
 fn arg_value(name: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
@@ -94,6 +106,47 @@ fn main() -> ExitCode {
     }
     cfg.drain_grace = Duration::from_secs_f64(arg_parse("--drain-grace", 2.0_f64).max(0.0));
     cfg.cancel_grace = Duration::from_secs_f64(arg_parse("--cancel-grace", 5.0_f64).max(0.0));
+    if let Some(mb) = arg_value("--mem-limit") {
+        match mb.parse::<f64>() {
+            Ok(m) if m > 0.0 && m.is_finite() => {
+                cfg.mem_limit = Some((m * 1024.0 * 1024.0) as u64);
+            }
+            _ => {
+                eprintln!("error: --mem-limit must be a positive number of MB");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(mb) = arg_value("--disk-budget") {
+        match mb.parse::<f64>() {
+            Ok(m) if m > 0.0 && m.is_finite() => {
+                cfg.disk_budget = Some((m * 1024.0 * 1024.0) as u64);
+            }
+            _ => {
+                eprintln!("error: --disk-budget must be a positive number of MB");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(q) = arg_value("--tenant-quota") {
+        match q.parse::<f64>() {
+            Ok(c) if c >= 1.0 && c.is_finite() => cfg.tenant_quota = Some(c),
+            _ => {
+                eprintln!("error: --tenant-quota must be a number >= 1");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    cfg.tenant_refill = arg_parse("--tenant-refill", cfg.tenant_refill);
+    if let Some(spec) = arg_value("--fault-fs") {
+        match FaultConfig::parse(&spec) {
+            Ok(fc) => cfg.vfs = Arc::new(FaultFs::over_real(fc)),
+            Err(e) => {
+                eprintln!("error: --fault-fs: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     // SIGTERM and SIGINT both mean "drain": stop admitting, let
     // in-flight jobs finish or checkpoint, seal the journal, exit 0.

@@ -25,10 +25,11 @@
 
 use sllt_design::{read_design, write_design, Design};
 use sllt_obs::journal::fnv1a64;
+use sllt_obs::vfs::{real_fs, Vfs};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::SystemTime;
 
 /// One cached design, as handed to a job child.
@@ -58,6 +59,7 @@ struct Entry {
 #[derive(Debug)]
 pub struct DesignCache {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     entries: Mutex<HashMap<PathBuf, Entry>>,
 }
 
@@ -68,9 +70,20 @@ impl DesignCache {
     ///
     /// Propagates directory-creation failures.
     pub fn open(dir: &Path) -> std::io::Result<DesignCache> {
+        Self::open_with(real_fs(), dir)
+    }
+
+    /// [`open`](Self::open) with artifact writes routed through `vfs`,
+    /// so fault-injection harnesses can starve the cache of disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open_with(vfs: Arc<dyn Vfs>, dir: &Path) -> std::io::Result<DesignCache> {
         std::fs::create_dir_all(dir)?;
         Ok(DesignCache {
             dir: dir.to_path_buf(),
+            vfs,
             entries: Mutex::new(HashMap::new()),
         })
     }
@@ -115,7 +128,7 @@ impl DesignCache {
         }
         let artifact = self.dir.join(format!("design_{hash:016x}.sllt"));
         if !artifact.exists() {
-            write_artifact(&artifact, &repaired)?;
+            write_artifact(self.vfs.as_ref(), &artifact, &repaired)?;
         }
         let e = Entry {
             mtime,
@@ -143,13 +156,16 @@ fn hit(e: &Entry) -> CachedDesign {
 }
 
 /// Atomic artifact write: temp file in the same directory, then rename.
-fn write_artifact(path: &Path, design: &Design) -> Result<(), String> {
+/// Serialized in memory first so the vfs seam sees one write it can
+/// fault deterministically.
+fn write_artifact(vfs: &dyn Vfs, path: &Path, design: &Design) -> Result<(), String> {
     let tmp = path.with_extension("tmp");
-    let mut f =
-        std::fs::File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
-    write_design(design, &mut f).map_err(|e| format!("write {}: {e}", tmp.display()))?;
-    drop(f);
-    std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
+    let mut buf = Vec::new();
+    write_design(design, &mut buf).map_err(|e| format!("serialize {}: {e}", path.display()))?;
+    vfs.write(&tmp, &buf)
+        .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    vfs.rename(&tmp, path)
+        .map_err(|e| format!("rename {}: {e}", path.display()))
 }
 
 #[cfg(test)]

@@ -6,12 +6,23 @@ use crate::proto::{read_frame, Frame};
 use sllt_obs::json::parse;
 use sllt_obs::Value;
 use std::io::{BufReader, Write};
+use std::time::Duration;
 
 /// One connection to a daemon. Requests are answered in order, so a
 /// single send/recv pair per call is all the state needed.
 pub struct Client {
     reader: BufReader<Stream>,
     writer: Stream,
+    timeout: Option<Duration>,
+}
+
+/// A blocking socket op cut short by SO_RCVTIMEO/SO_SNDTIMEO surfaces
+/// as either kind, depending on the platform.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
 }
 
 impl Client {
@@ -23,7 +34,35 @@ impl Client {
     pub fn connect(ep: &Endpoint) -> std::io::Result<Client> {
         let writer = Stream::connect(ep)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer })
+        Ok(Client {
+            reader,
+            writer,
+            timeout: None,
+        })
+    }
+
+    /// Bounds every socket read and write so a wedged or silent daemon
+    /// cannot hang the client forever; a cut-short op surfaces as a
+    /// structured timeout error from [`recv`](Self::recv)/
+    /// [`request`](Self::request). `None` removes the bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_io_timeout(&mut self, dur: Option<Duration>) -> std::io::Result<()> {
+        // Reader and writer are dup'd handles on one socket, but the
+        // timeouts are set on both for clarity; the kernel option is
+        // per-socket either way.
+        self.reader.get_ref().set_read_timeout(dur)?;
+        self.writer.set_read_timeout(dur)?;
+        self.writer.set_write_timeout(dur)?;
+        self.timeout = dur;
+        Ok(())
+    }
+
+    fn timeout_msg(&self, what: &str) -> String {
+        let t = self.timeout.map_or(0.0, |d| d.as_secs_f64());
+        format!("timed out after {t:.1}s waiting to {what} (slltd unresponsive; --io-timeout adjusts the bound)")
     }
 
     /// Sends one request object (a single JSONL line).
@@ -40,9 +79,17 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport errors and unparseable response lines.
+    /// Transport errors (a timed-out read is reported as such, not as a
+    /// hangup) and unparseable response lines.
     pub fn recv(&mut self) -> Result<Option<Value>, String> {
-        match read_frame(&mut self.reader).map_err(|e| format!("recv: {e}"))? {
+        let frame = read_frame(&mut self.reader).map_err(|e| {
+            if is_timeout(&e) {
+                self.timeout_msg("read a reply")
+            } else {
+                format!("recv: {e}")
+            }
+        })?;
+        match frame {
             Frame::Eof => Ok(None),
             Frame::Oversized { dropped } => Err(format!("oversized response ({dropped} bytes)")),
             Frame::Line(l) => {
@@ -59,9 +106,16 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport errors, parse failures, or a hangup before the reply.
+    /// Transport errors, parse failures, timeouts, or a hangup before
+    /// the reply.
     pub fn request(&mut self, req: &Value) -> Result<Value, String> {
-        self.send(req).map_err(|e| format!("send: {e}"))?;
+        self.send(req).map_err(|e| {
+            if is_timeout(&e) {
+                self.timeout_msg("send a request")
+            } else {
+                format!("send: {e}")
+            }
+        })?;
         self.recv()?
             .ok_or_else(|| "server hung up before replying".to_string())
     }

@@ -20,7 +20,9 @@ use sllt_cts::{
     StageFault,
 };
 use sllt_design::Design;
+use sllt_obs::progress::{read_progress, ProgressEvent};
 use sllt_obs::{JournalProgress, Value};
+use std::collections::HashSet;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -74,6 +76,10 @@ pub enum FaultSpec {
     /// The child sleeps this long before running — a deterministic
     /// "slow job" for backpressure and kill-window tests.
     Sleep(u64),
+    /// The child balloons its address space until the allocator gives
+    /// up — the test lever for the `--mem-limit` RLIMIT_AS ceiling and
+    /// its distinct `oom` classification.
+    Oom,
 }
 
 impl std::str::FromStr for FaultSpec {
@@ -83,6 +89,7 @@ impl std::str::FromStr for FaultSpec {
         match s {
             "panic" => Ok(FaultSpec::Panic),
             "hang" => Ok(FaultSpec::Hang),
+            "oom" => Ok(FaultSpec::Oom),
             _ => match s.strip_prefix("sleep:").and_then(|ms| ms.parse().ok()) {
                 Some(ms) => Ok(FaultSpec::Sleep(ms)),
                 None => Err(format!("unknown fault {s:?}")),
@@ -97,6 +104,7 @@ impl std::fmt::Display for FaultSpec {
             FaultSpec::Panic => write!(f, "panic"),
             FaultSpec::Hang => write!(f, "hang"),
             FaultSpec::Sleep(ms) => write!(f, "sleep:{ms}"),
+            FaultSpec::Oom => write!(f, "oom"),
         }
     }
 }
@@ -157,6 +165,22 @@ pub fn run_child(args: &ChildArgs) -> Result<(), u8> {
         Some(FaultSpec::Sleep(ms)) => {
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
+        Some(FaultSpec::Oom) => {
+            // Balloon the address space in untouched reservations: under
+            // an RLIMIT_AS ceiling the allocator hits the wall within a
+            // few chunks and libstd aborts with "memory allocation of N
+            // bytes failed" on stderr — the signature the daemon
+            // classifies as `oom`. Without a ceiling the reservations
+            // stay unmapped (no RSS), the 64 GiB cap runs out, and the
+            // job fails as a plain error instead of hurting the host.
+            let mut hoard: Vec<Vec<u8>> = Vec::new();
+            for _ in 0..1024 {
+                hoard.push(Vec::with_capacity(64 << 20));
+            }
+            drop(hoard);
+            eprintln!("error: oom fault exhausted its cap without hitting a memory ceiling");
+            return Err(EXIT_JOB_ERROR as u8);
+        }
         _ => {}
     }
 
@@ -215,7 +239,7 @@ pub fn run_child(args: &ChildArgs) -> Result<(), u8> {
             let report = evaluate(&tree, &cts.tech, &cts.lib);
             let tree_file = tree_path(&args.out_dir, &args.job_id);
             write_tree_atomic(&tree_file, &tree).map_err(fail)?;
-            let v = Value::obj()
+            let mut v = Value::obj()
                 .with("job", args.job_id.as_str())
                 .with("design", design.name.as_str())
                 .with("config", args.config.as_str())
@@ -225,6 +249,21 @@ pub fn run_child(args: &ChildArgs) -> Result<(), u8> {
                 .with("buffers", report.num_buffers)
                 .with("runtime_s", t0.elapsed().as_secs_f64())
                 .with("tree", tree_file.display().to_string());
+            // Nonfatal storage degradation: the flow dropped its
+            // checkpoint writer mid-run (full or failing disk) and
+            // finished in memory. The progress stream carries the
+            // structured event; surface it as a flag in the run record
+            // so the daemon's job row (and anything tailing RESULT
+            // lines) sees the job succeeded on degraded storage.
+            let degraded = read_progress(&progress_path(&args.out_dir, &args.job_id))
+                .map(|evs| {
+                    evs.iter()
+                        .any(|e| matches!(e, ProgressEvent::StorageDegraded { .. }))
+                })
+                .unwrap_or(false);
+            if degraded {
+                v = v.with("storage_degraded", true);
+            }
             println!("RESULT {}", v.encode());
             // The daemon's journal row is the durable record now; the
             // level checkpoint has nothing left to resume.
@@ -241,6 +280,93 @@ pub fn run_child(args: &ChildArgs) -> Result<(), u8> {
         }
         Err(e) => Err(fail(format!("{}: {e}", args.job_id))),
     }
+}
+
+/// What a [`gc_artifacts`] pass did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// Bytes reclaimed by deleting artifacts.
+    pub freed: u64,
+    /// Bytes of job artifacts still on disk after the pass.
+    pub remaining: u64,
+    /// Files deleted.
+    pub deleted: usize,
+}
+
+/// Enforces the daemon's disk budget over per-job artifacts — result
+/// trees (`tree_*.sllt`), progress journals (`progress_*.jsonl`), and
+/// level checkpoints (`ckpt_*.jsonl`) under the state directory. When
+/// their combined size exceeds `budget` bytes, artifacts are deleted
+/// oldest-modified-first until the total fits, skipping any whose job
+/// id is in `protect` (jobs not yet finally done still need their
+/// checkpoints and progress). `jobs.jsonl` and the design cache are
+/// never touched: the journal is the daemon's source of truth and the
+/// cache has its own content-addressed lifecycle.
+///
+/// # Errors
+///
+/// Propagates a directory-scan failure; per-file stat/delete errors are
+/// skipped (a file raced away is a file already reclaimed).
+pub fn gc_artifacts(
+    state_dir: &Path,
+    budget: u64,
+    protect: &HashSet<String>,
+) -> std::io::Result<GcReport> {
+    let job_id_of = |name: &str| -> Option<String> {
+        for (prefix, suffix) in [
+            ("tree_", ".sllt"),
+            ("progress_", ".jsonl"),
+            ("ckpt_", ".jsonl"),
+        ] {
+            if let Some(id) = name
+                .strip_prefix(prefix)
+                .and_then(|rest| rest.strip_suffix(suffix))
+            {
+                return Some(id.to_string());
+            }
+        }
+        None
+    };
+
+    let mut files: Vec<(PathBuf, u64, std::time::SystemTime, String)> = Vec::new();
+    for entry in std::fs::read_dir(state_dir)? {
+        let Ok(entry) = entry else { continue };
+        let name = entry.file_name();
+        let Some(id) = name.to_str().and_then(job_id_of) else {
+            continue;
+        };
+        let Ok(meta) = entry.metadata() else { continue };
+        if !meta.is_file() {
+            continue;
+        }
+        let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+        files.push((entry.path(), meta.len(), mtime, id));
+    }
+
+    let mut total: u64 = files.iter().map(|(_, len, _, _)| *len).sum();
+    let mut report = GcReport {
+        remaining: total,
+        ..GcReport::default()
+    };
+    if total <= budget {
+        return Ok(report);
+    }
+    files.sort_by_key(|(_, _, mtime, _)| *mtime);
+    for (path, len, _, id) in files {
+        if total <= budget {
+            break;
+        }
+        if protect.contains(&id) {
+            continue;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total -= len;
+            report.freed += len;
+            report.deleted += 1;
+        }
+    }
+    report.remaining = total;
+    Ok(report)
 }
 
 /// Writes the result tree via temp + rename so a child killed mid-write
@@ -260,7 +386,7 @@ mod tests {
 
     #[test]
     fn fault_specs_round_trip_and_reject_garbage() {
-        for s in ["panic", "hang", "sleep:250"] {
+        for s in ["panic", "hang", "sleep:250", "oom"] {
             let f: FaultSpec = s.parse().unwrap();
             assert_eq!(f.to_string(), s);
         }
@@ -276,6 +402,43 @@ mod tests {
         let err = config_by_name("hyperdrive").unwrap_err();
         assert!(err.contains("hyperdrive"));
         assert!(design_by_name("not_a_design").is_err());
+    }
+
+    #[test]
+    fn gc_deletes_oldest_unprotected_artifacts_until_under_budget() {
+        let dir = std::env::temp_dir().join(format!("sllt_jobs_gc_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // Four artifacts of 1000 bytes each, mtime-ordered j1 < j2 < j3;
+        // an unrelated file must never be touched.
+        for name in ["tree_j1.sllt", "progress_j2.jsonl", "ckpt_j3.jsonl"] {
+            std::fs::write(dir.join(name), vec![b'x'; 1000]).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        std::fs::write(dir.join("jobs.jsonl"), vec![b'x'; 1000]).unwrap();
+
+        // j1 is oldest but protected; j2 goes first, then j3 would go
+        // but the budget is already met.
+        let protect: HashSet<String> = ["j1".to_string()].into();
+        let rep = gc_artifacts(&dir, 2000, &protect).unwrap();
+        assert_eq!(rep.deleted, 1, "{rep:?}");
+        assert_eq!(rep.freed, 1000);
+        assert_eq!(rep.remaining, 2000);
+        assert!(dir.join("tree_j1.sllt").exists(), "protected survives");
+        assert!(!dir.join("progress_j2.jsonl").exists(), "oldest victim");
+        assert!(dir.join("ckpt_j3.jsonl").exists());
+        assert!(dir.join("jobs.jsonl").exists(), "journal never GC'd");
+
+        // Under budget: a pass is a no-op.
+        let rep = gc_artifacts(&dir, 1 << 20, &HashSet::new()).unwrap();
+        assert_eq!(
+            rep,
+            GcReport {
+                remaining: 2000,
+                ..GcReport::default()
+            }
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -182,6 +182,21 @@ impl Stream {
             Stream::Tcp(s) => s.set_read_timeout(dur),
         }
     }
+
+    /// Bounds every blocking write so a peer that stops reading (full
+    /// socket buffer, wedged process) cannot pin the sender forever.
+    /// `None` removes the bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_write_timeout(dur),
+            Stream::Tcp(s) => s.set_write_timeout(dur),
+        }
+    }
 }
 
 impl Read for Stream {

@@ -91,8 +91,12 @@ pub struct SubmitSpec {
     pub timeout_s: Option<f64>,
     /// Extra attempts after a failed one; `None` = server default.
     pub retries: Option<u32>,
-    /// Fault-injection hook (`panic` | `hang` | `sleep:<ms>`), test use.
+    /// Fault-injection hook (`panic` | `hang` | `sleep:<ms>` | `oom`),
+    /// test use.
     pub fault: Option<String>,
+    /// Client-supplied tenant id for admission quotas; `None` lands in
+    /// the shared anonymous bucket when quotas are on.
+    pub tenant: Option<String>,
 }
 
 /// One parsed request.
@@ -148,6 +152,7 @@ fn field_bool(v: &Value, key: &str) -> Result<bool, ProtoError> {
 fn validate_fault(s: &str) -> Result<(), ProtoError> {
     let ok = s == "panic"
         || s == "hang"
+        || s == "oom"
         || s.strip_prefix("sleep:")
             .is_some_and(|ms| ms.parse::<u64>().is_ok());
     if ok {
@@ -155,7 +160,7 @@ fn validate_fault(s: &str) -> Result<(), ProtoError> {
     } else {
         Err(ProtoError::new(
             E_PARSE,
-            format!("unknown fault {s:?}; expected panic, hang, or sleep:<ms>"),
+            format!("unknown fault {s:?}; expected panic, hang, oom, or sleep:<ms>"),
         ))
     }
 }
@@ -216,6 +221,7 @@ pub fn parse_request(line: &[u8]) -> Result<Request, ProtoError> {
                 timeout_s,
                 retries,
                 fault,
+                tenant: field_str(&v, "tenant")?,
             }))
         }
         "status" => Ok(Request::Status {
@@ -387,6 +393,17 @@ mod tests {
             b"{\"op\":\"submit\",\"design\":\"grid48\",\"timeout_s\":2.5,\"retries\":1}",
         )
         .unwrap();
+        let tenanted = parse_request(
+            b"{\"op\":\"submit\",\"design\":\"grid48\",\"tenant\":\"alice\",\"fault\":\"oom\"}",
+        )
+        .unwrap();
+        match tenanted {
+            Request::Submit(s) => {
+                assert_eq!(s.tenant.as_deref(), Some("alice"));
+                assert_eq!(s.fault.as_deref(), Some("oom"));
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
         assert_eq!(
             sub,
             Request::Submit(SubmitSpec {
@@ -396,6 +413,7 @@ mod tests {
                 timeout_s: Some(2.5),
                 retries: Some(1),
                 fault: None,
+                tenant: None,
             })
         );
     }
@@ -414,6 +432,7 @@ mod tests {
             b"{\"op\":\"submit\",\"design\":\"g\",\"timeout_s\":\"soon\"}",
             b"{\"op\":\"submit\",\"design\":\"g\",\"retries\":99}",
             b"{\"op\":\"submit\",\"design\":\"g\",\"fault\":\"explode\"}",
+            b"{\"op\":\"submit\",\"design\":\"g\",\"tenant\":7}",
             b"{\"op\":\"cancel\"}",
             b"{\"op\":\"result\",\"job\":\"j\",\"wait\":\"yes\"}",
             b"\xff\xfe{\"op\":\"ping\"}",

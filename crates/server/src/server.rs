@@ -28,16 +28,17 @@ use crate::proto::{
 };
 use crate::state::{
     CancelOutcome, JobState, JobTable, STATUS_CANCELLED, STATUS_DRAINED, STATUS_ERROR, STATUS_OK,
-    STATUS_PANIC, STATUS_TIMEOUT,
+    STATUS_OOM, STATUS_PANIC, STATUS_TIMEOUT,
 };
 use crate::supervise::{run_supervised, SuperviseOpts};
 use sllt_cts::CancelToken;
 use sllt_obs::journal::{fnv1a64, read_journal, DurableAppender};
 use sllt_obs::progress::read_progress;
+use sllt_obs::vfs::{real_fs, Vfs};
 use sllt_obs::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{BufReader, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -70,6 +71,23 @@ pub struct ServerConfig {
     pub child_workers: usize,
     /// Seed for the deterministic retry-backoff jitter.
     pub seed: u64,
+    /// Filesystem seam for the journal, the design cache, and resume
+    /// compaction; swap in a [`FaultFs`](sllt_obs::vfs::FaultFs) (via
+    /// `--fault-fs`) to torture the storage paths deterministically.
+    pub vfs: Arc<dyn Vfs>,
+    /// Per-job address-space ceiling (bytes) installed in each child
+    /// before exec; a child killed by it is classified
+    /// [`STATUS_OOM`], final, never retried. `None` = unlimited.
+    pub mem_limit: Option<u64>,
+    /// Byte budget for completed-job artifacts in the state dir
+    /// (result trees, progress journals, checkpoints); when exceeded,
+    /// oldest unprotected artifacts are deleted. `None` = unbounded.
+    pub disk_budget: Option<u64>,
+    /// Per-tenant admission token-bucket capacity; `None` disables
+    /// tenant quotas entirely.
+    pub tenant_quota: Option<f64>,
+    /// Token-bucket refill rate, tokens (admitted submits) per second.
+    pub tenant_refill: f64,
 }
 
 impl ServerConfig {
@@ -88,8 +106,22 @@ impl ServerConfig {
             drain_grace: Duration::from_secs(2),
             child_workers: 1,
             seed: 0x511d,
+            vfs: real_fs(),
+            mem_limit: None,
+            disk_budget: None,
+            tenant_quota: None,
+            tenant_refill: 1.0,
         }
     }
+}
+
+/// One tenant's admission token bucket: `tokens` refills continuously
+/// at the configured rate, capped at the configured capacity; each
+/// admitted submit spends one token.
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last: Instant,
 }
 
 struct Shared {
@@ -101,17 +133,81 @@ struct Shared {
     cache: DesignCache,
     draining: AtomicBool,
     drain: CancelToken,
+    /// Set on the first journal-append failure: admission flips to 503
+    /// and a drain is triggered, because an unwritable journal means
+    /// acknowledged transitions would be lost on restart.
+    journal_failed: AtomicBool,
+    /// Admission token buckets, keyed by tenant id.
+    tenants: Mutex<HashMap<String, Bucket>>,
     /// Interrupt token of each currently running attempt, by job id.
     interrupts: Mutex<HashMap<String, CancelToken>>,
 }
 
 impl Shared {
     fn append(&self, rec: &Value) -> Result<(), String> {
-        self.journal
+        let r = self
+            .journal
             .lock()
             .expect("journal lock")
             .append(rec)
-            .map_err(|e| format!("journal append: {e}"))
+            .map_err(|e| format!("journal append: {e}"));
+        // The journal is the daemon's own durability story; once it is
+        // unwritable, every further acknowledgement would be a lie on
+        // restart. Degrade the whole daemon: stop admitting, finish
+        // what's running, exit so the operator can fix the disk.
+        if r.is_err() && !self.journal_failed.swap(true, Ordering::SeqCst) {
+            eprintln!("slltd: journal unwritable; refusing new work and draining");
+            self.drain.cancel();
+        }
+        r
+    }
+
+    /// Charges one admission token to `tenant`; `Err` is the 429 the
+    /// client sees. No-op when quotas are disabled.
+    fn admit_tenant(&self, tenant: &str) -> Result<(), ProtoError> {
+        let Some(cap) = self.cfg.tenant_quota else {
+            return Ok(());
+        };
+        let mut tenants = self.tenants.lock().expect("tenants lock");
+        let now = Instant::now();
+        let b = tenants.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: cap,
+            last: now,
+        });
+        let dt = now.duration_since(b.last).as_secs_f64();
+        b.tokens = (b.tokens + dt * self.cfg.tenant_refill).min(cap);
+        b.last = now;
+        if b.tokens < 1.0 {
+            return Err(ProtoError::new(
+                E_BUSY,
+                format!("tenant {tenant:?} over admission quota; retry later"),
+            ));
+        }
+        b.tokens -= 1.0;
+        Ok(())
+    }
+
+    /// Enforces the artifact disk budget, protecting unfinished jobs
+    /// (their checkpoints are what `--resume` resumes from).
+    fn gc_disk(&self) {
+        let Some(budget) = self.cfg.disk_budget else {
+            return;
+        };
+        let protect: HashSet<String> = {
+            let t = self.table.lock().expect("table lock");
+            t.iter()
+                .filter(|r| !matches!(r.state, JobState::Done(_)))
+                .map(|r| r.id.clone())
+                .collect()
+        };
+        match jobs::gc_artifacts(&self.cfg.state_dir, budget, &protect) {
+            Ok(rep) if rep.freed > 0 => eprintln!(
+                "slltd: disk budget: freed {} bytes ({} artifact(s)), {} bytes remain",
+                rep.freed, rep.deleted, rep.remaining
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!("slltd: disk budget sweep failed: {e}"),
+        }
     }
 
     fn running(&self) -> usize {
@@ -138,11 +234,22 @@ pub fn serve(cfg: ServerConfig, drain: CancelToken) -> Result<(), String> {
         let j =
             read_journal(&journal_path).map_err(|e| format!("{}: {e}", journal_path.display()))?;
         let (t, requeued) = JobTable::replay(&j)?;
-        let app = DurableAppender::reopen(&journal_path, j.valid_len)
-            .map_err(|e| format!("{}: {e}", journal_path.display()))?;
+        // Resume is the natural compaction point: the replayed table is
+        // the journal's whole meaning, so rewrite it as one snapshot
+        // instead of re-appending to an unbounded history.
+        let app = match compact_journal(cfg.vfs.as_ref(), &journal_path, &t) {
+            Ok(app) => app,
+            Err(e) => {
+                // A full disk must not block resume; keep appending to
+                // the (possibly torn-tailed) original.
+                eprintln!("slltd: journal compaction skipped ({e})");
+                DurableAppender::reopen_with(cfg.vfs.as_ref(), &journal_path, j.valid_len)
+                    .map_err(|e| format!("{}: {e}", journal_path.display()))?
+            }
+        };
         (t, app, requeued)
     } else {
-        let mut app = DurableAppender::create(&journal_path)
+        let mut app = DurableAppender::create_with(cfg.vfs.as_ref(), &journal_path)
             .map_err(|e| format!("{}: {e}", journal_path.display()))?;
         app.append(&JobTable::meta())
             .map_err(|e| format!("{}: {e}", journal_path.display()))?;
@@ -155,7 +262,7 @@ pub fn serve(cfg: ServerConfig, drain: CancelToken) -> Result<(), String> {
             requeued.join(", ")
         );
     }
-    let cache = DesignCache::open(&cfg.state_dir.join("designs"))
+    let cache = DesignCache::open_with(Arc::clone(&cfg.vfs), &cfg.state_dir.join("designs"))
         .map_err(|e| format!("design cache: {e}"))?;
     let listener = Listener::bind(&cfg.listen).map_err(|e| format!("bind {}: {e}", cfg.listen))?;
 
@@ -167,9 +274,12 @@ pub fn serve(cfg: ServerConfig, drain: CancelToken) -> Result<(), String> {
         cache,
         draining: AtomicBool::new(false),
         drain,
+        journal_failed: AtomicBool::new(false),
+        tenants: Mutex::new(HashMap::new()),
         interrupts: Mutex::new(HashMap::new()),
         cfg,
     });
+    shared.gc_disk();
 
     let workers: Vec<_> = (0..shared.cfg.workers.max(1))
         .map(|i| {
@@ -216,11 +326,39 @@ pub fn serve(cfg: ServerConfig, drain: CancelToken) -> Result<(), String> {
     for w in workers {
         w.join().map_err(|_| "worker panicked".to_string())?;
     }
-    shared.append(&JobTable::drained_record())?;
+    // The seal is best-effort: a drain forced by a dead disk must still
+    // exit cleanly, and an unsealed journal only costs a replay.
+    if let Err(e) = shared.append(&JobTable::drained_record()) {
+        eprintln!("slltd: journal seal failed ({e}); resume will replay the unsealed tail");
+    }
     shared.cv_done.notify_all();
     let left = shared.table.lock().expect("table lock").unfinished();
     eprintln!("slltd: drained; {left} job(s) left for --resume");
     Ok(())
+}
+
+/// Rewrites `jobs.jsonl` as a compacted snapshot of `table` — temp file
+/// alongside, then atomic rename — and returns an appender positioned
+/// at its end.
+fn compact_journal(
+    vfs: &dyn Vfs,
+    path: &Path,
+    table: &JobTable,
+) -> Result<DurableAppender, String> {
+    let tmp = path.with_extension("jsonl.tmp");
+    let mut app = DurableAppender::create_with(vfs, &tmp)
+        .map_err(|e| format!("create {}: {e}", tmp.display()))?;
+    for rec in table.compact_records() {
+        app.append(&rec)
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    }
+    drop(app);
+    let len = std::fs::metadata(&tmp)
+        .map_err(|e| format!("stat {}: {e}", tmp.display()))?
+        .len();
+    vfs.rename(&tmp, path)
+        .map_err(|e| format!("rename {}: {e}", path.display()))?;
+    DurableAppender::reopen_with(vfs, path, len).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 // ---------------------------------------------------------------- workers
@@ -303,7 +441,13 @@ fn run_job(s: &Shared, id: &str) {
             out_dir: s.cfg.state_dir.clone(),
             fault,
         };
-        let outcome = run_attempt(&child_args, timeout, &token, s.cfg.cancel_grace);
+        let outcome = run_attempt(
+            &child_args,
+            timeout,
+            &token,
+            s.cfg.cancel_grace,
+            s.cfg.mem_limit,
+        );
         s.interrupts.lock().expect("interrupts lock").remove(id);
 
         let cancel_requested = s
@@ -329,6 +473,9 @@ fn run_job(s: &Shared, id: &str) {
         let final_now = status != STATUS_DRAINED;
         finish(s, id, status, final_now, 0.0, detail.as_deref(), result);
         eprintln!("slltd: {id}: {status} (attempt {attempt})");
+        if final_now {
+            s.gc_disk();
+        }
         return;
     }
 }
@@ -338,6 +485,9 @@ struct Attempt {
     success: bool,
     timed_out: bool,
     interrupted: bool,
+    /// The child aborted on allocation failure under a configured
+    /// memory ceiling.
+    oom: bool,
     wall: Duration,
     result: Option<Value>,
     stderr_tail: String,
@@ -348,6 +498,7 @@ fn run_attempt(
     timeout: Option<Duration>,
     interrupt: &CancelToken,
     grace: Duration,
+    mem_limit: Option<u64>,
 ) -> std::io::Result<Attempt> {
     let exe = std::env::current_exe()?;
     let mut cmd = Command::new(exe);
@@ -371,6 +522,7 @@ fn run_attempt(
         timeout,
         interrupt: Some(interrupt.clone()),
         grace,
+        mem_limit,
         ..SuperviseOpts::default()
     };
     let sup = run_supervised(&mut cmd, &opts)?;
@@ -380,6 +532,10 @@ fn run_attempt(
         .rev()
         .find_map(|l| l.strip_prefix("RESULT "))
         .and_then(|json| sllt_obs::json::parse(json).ok());
+    // libstd's fixed abort message on allocation failure — the only
+    // child-side signature of an RLIMIT_AS kill (the exit is a plain
+    // SIGABRT, indistinguishable from other aborts by status alone).
+    let oom = mem_limit.is_some() && sup.stderr.contains("memory allocation of");
     let stderr_tail = sup
         .stderr
         .lines()
@@ -391,6 +547,7 @@ fn run_attempt(
         success: sup.status.success(),
         timed_out: sup.timed_out,
         interrupted: sup.interrupted,
+        oom,
         wall: sup.wall,
         result,
         stderr_tail,
@@ -440,6 +597,19 @@ fn classify(
             STATUS_TIMEOUT,
             false,
             Some(format!("deadline after {wall:.2}s")),
+            None,
+        );
+    }
+    if a.oom {
+        // Deterministic against a fixed ceiling: the same job would hit
+        // the same wall on every retry, so the status is final.
+        return (
+            STATUS_OOM,
+            true,
+            Some(format!(
+                "killed by memory ceiling after {wall:.2}s: {}",
+                a.stderr_tail
+            )),
             None,
         );
     }
@@ -554,6 +724,12 @@ fn handle(s: &Shared, req: Request) -> Result<Value, ProtoError> {
 }
 
 fn handle_submit(s: &Shared, spec: &SubmitSpec) -> Result<Value, ProtoError> {
+    if s.journal_failed.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            E_DRAINING,
+            "journal unwritable; daemon is draining (storage degraded)",
+        ));
+    }
     if s.draining.load(Ordering::SeqCst) || s.drain.is_cancelled() {
         return Err(ProtoError::new(
             E_DRAINING,
@@ -563,6 +739,10 @@ fn handle_submit(s: &Shared, spec: &SubmitSpec) -> Result<Value, ProtoError> {
     // Validate before admitting: a submit that can never run should be
     // a 400 now, not an `error` job later.
     jobs::config_by_name(&spec.config).map_err(|e| ProtoError::new(E_PARSE, e))?;
+    // Quota after validation (a rejected submit should not spend the
+    // tenant's token) but before the design-cache work it gates.
+    let tenant = spec.tenant.as_deref().unwrap_or("anonymous");
+    s.admit_tenant(tenant)?;
     let (design_name, design_file, cache_hit) = match &spec.design_file {
         Some(path) => {
             let cached = s
@@ -595,9 +775,19 @@ fn handle_submit(s: &Shared, spec: &SubmitSpec) -> Result<Value, ProtoError> {
         spec.timeout_s,
         spec.retries.unwrap_or(s.cfg.default_retries),
         fault,
+        spec.tenant.clone(),
     );
     drop(t);
-    s.append(&rec).map_err(|e| ProtoError::new(E_INTERNAL, e))?;
+    if let Err(e) = s.append(&rec) {
+        // Not durable → not admitted: pull the job back out before a
+        // worker can grab it, and tell the client the truth (append
+        // already flipped the daemon into drain).
+        s.table.lock().expect("table lock").cancel(&id);
+        return Err(ProtoError::new(
+            E_DRAINING,
+            format!("storage degraded; submit not durable ({e})"),
+        ));
+    }
     s.cv_queue.notify_one();
     let mut reply = ok().with("job", id.as_str());
     if let Some(hit) = cache_hit {
@@ -712,8 +902,11 @@ fn handle_result(s: &Shared, job: &str, wait: bool) -> Result<Value, ProtoError>
 }
 
 /// Streams a job's progress events as they land, then the final result.
+/// Quiet stretches are bridged with `alive` keep-alive frames so a
+/// client read timeout can distinguish "slow job" from "dead daemon".
 fn handle_watch(s: &Shared, w: &mut impl Write, job: &str) -> std::io::Result<()> {
     let mut sent = 0usize;
+    let mut last_write = Instant::now();
     loop {
         {
             let t = s.table.lock().expect("table lock");
@@ -730,9 +923,17 @@ fn handle_watch(s: &Shared, w: &mut impl Write, job: &str) -> std::io::Result<()
                 return write_line(w, &v);
             }
         }
-        sent = emit_events(s, w, job, sent)?;
+        let n = emit_events(s, w, job, sent)?;
+        if n > sent {
+            last_write = Instant::now();
+        }
+        sent = n;
         if s.draining.load(Ordering::SeqCst) {
             return write_line(w, &ok().with("done", false).with("draining", true));
+        }
+        if last_write.elapsed() >= Duration::from_secs(1) {
+            write_line(w, &ok().with("alive", true))?;
+            last_write = Instant::now();
         }
         std::thread::sleep(Duration::from_millis(50));
     }

@@ -27,6 +27,11 @@ pub const STATUS_ERROR: &str = "error";
 pub const STATUS_PANIC: &str = "panic";
 pub const STATUS_TIMEOUT: &str = "timeout";
 pub const STATUS_CANCELLED: &str = "cancelled";
+/// The child blew through its `--mem-limit` address-space ceiling and
+/// was killed by the allocator. Distinct from [`STATUS_PANIC`] — an OOM
+/// against a fixed ceiling is deterministic, so it is final and never
+/// retried.
+pub const STATUS_OOM: &str = "oom";
 /// Non-final: the daemon drained while this attempt was in flight; the
 /// job checkpointed and will resume under `--resume`.
 pub const STATUS_DRAINED: &str = "drained";
@@ -59,6 +64,8 @@ pub struct JobRecord {
     pub retries: u32,
     /// Optional fault hook (test lever).
     pub fault: Option<FaultSpec>,
+    /// Tenant id the submit was billed against (admission quotas).
+    pub tenant: Option<String>,
     /// Admission order; also the resume re-enqueue order.
     pub seq: u64,
     /// Lifecycle state.
@@ -90,6 +97,9 @@ impl JobRecord {
             .with("attempt", u64::from(self.attempt));
         if let JobState::Done(status) = &self.state {
             v = v.with("status", status.as_str());
+        }
+        if let Some(t) = &self.tenant {
+            v = v.with("tenant", t.as_str());
         }
         if let Some(d) = &self.detail {
             v = v.with("detail", d.as_str());
@@ -167,6 +177,7 @@ impl JobTable {
 
     /// Admits a job. Returns `(id, journal_record)`. Capacity is the
     /// caller's concern — the table itself never rejects.
+    #[allow(clippy::too_many_arguments)]
     pub fn submit(
         &mut self,
         design: &str,
@@ -175,6 +186,7 @@ impl JobTable {
         timeout_s: Option<f64>,
         retries: u32,
         fault: Option<FaultSpec>,
+        tenant: Option<String>,
     ) -> (String, Value) {
         self.next_seq += 1;
         let seq = self.next_seq;
@@ -187,6 +199,7 @@ impl JobTable {
             timeout_s,
             retries,
             fault,
+            tenant,
             seq,
             state: JobState::Queued,
             attempt: 0,
@@ -324,6 +337,47 @@ impl JobTable {
         Ok((t, requeued))
     }
 
+    /// The minimal record sequence that replays to this exact table:
+    /// one `job_submitted` per job, one `job_start` carrying the final
+    /// attempt count when any attempt ran, and one final `job_done` for
+    /// terminally finished jobs. Intermediate retries, non-final drain
+    /// rows, and `drained` seals are dropped — they carry no state a
+    /// replay keeps. `--resume` rewrites `jobs.jsonl` from this, so a
+    /// long-lived daemon's journal stays proportional to its job table
+    /// instead of its history.
+    pub fn compact_records(&self) -> Vec<Value> {
+        let mut out = vec![JobTable::meta()];
+        for r in self.iter() {
+            out.push(submitted_record(r));
+            if r.attempt > 0 {
+                out.push(
+                    Value::obj()
+                        .with("kind", "job_start")
+                        .with("job", r.id.as_str())
+                        .with("attempt", u64::from(r.attempt))
+                        .with("backoff_ms", 0u64),
+                );
+            }
+            if let JobState::Done(status) = &r.state {
+                let mut v = Value::obj()
+                    .with("kind", "job_done")
+                    .with("job", r.id.as_str())
+                    .with("attempt", u64::from(r.attempt))
+                    .with("status", status.as_str())
+                    .with("final", true)
+                    .with("wall_s", 0.0);
+                if let Some(d) = &r.detail {
+                    v = v.with("detail", d.as_str());
+                }
+                if let Some(res) = &r.result {
+                    v = v.with("result", res.clone());
+                }
+                out.push(v);
+            }
+        }
+        out
+    }
+
     fn apply(&mut self, rec: &Value) -> Result<(), String> {
         let kind = rec
             .get("kind")
@@ -355,6 +409,7 @@ impl JobTable {
                     timeout_s: rec.get("timeout_s").and_then(Value::as_f64),
                     retries: rec.get("retries").and_then(Value::as_u64).unwrap_or(0) as u32,
                     fault,
+                    tenant: get("tenant").map(str::to_string),
                     seq,
                     state: JobState::Queued,
                     attempt: 0,
@@ -416,6 +471,9 @@ fn submitted_record(r: &JobRecord) -> Value {
     if let Some(f) = r.fault {
         v = v.with("fault", f.to_string());
     }
+    if let Some(t) = &r.tenant {
+        v = v.with("tenant", t.as_str());
+    }
     v
 }
 
@@ -446,7 +504,7 @@ mod tests {
     #[test]
     fn submit_pop_done_lifecycle() {
         let mut t = JobTable::new();
-        let (id, rec) = t.submit("grid36", None, "base", Some(5.0), 2, None);
+        let (id, rec) = t.submit("grid36", None, "base", Some(5.0), 2, None, None);
         assert_eq!(id, "j1");
         assert_eq!(
             rec.get("kind").and_then(Value::as_str),
@@ -468,8 +526,8 @@ mod tests {
     #[test]
     fn cancel_covers_all_three_states() {
         let mut t = JobTable::new();
-        let (q, _) = t.submit("grid36", None, "base", None, 0, None);
-        let (r, _) = t.submit("grid48", None, "base", None, 0, None);
+        let (q, _) = t.submit("grid36", None, "base", None, 0, None, None);
+        let (r, _) = t.submit("grid48", None, "base", None, 0, None, None);
         assert_eq!(t.cancel("nope"), CancelOutcome::NotFound);
 
         // Queued: removed and finally cancelled.
@@ -503,11 +561,19 @@ mod tests {
     fn replay_reconstructs_and_requeues_unfinished() {
         let mut live = JobTable::new();
         let mut records = vec![JobTable::meta()];
-        let (a, rec) = live.submit("grid36", None, "base", None, 1, None);
+        let (a, rec) = live.submit("grid36", None, "base", None, 1, None, None);
         records.push(rec);
-        let (b, rec) = live.submit("grid48", None, "tight", None, 0, Some(FaultSpec::Sleep(10)));
+        let (b, rec) = live.submit(
+            "grid48",
+            None,
+            "tight",
+            None,
+            0,
+            Some(FaultSpec::Sleep(10)),
+            Some("alice".into()),
+        );
         records.push(rec);
-        let (c, rec) = live.submit("grid64", None, "nosa", None, 0, None);
+        let (c, rec) = live.submit("grid64", None, "nosa", None, 0, None, None);
         records.push(rec);
 
         // a finishes, b is mid-flight (start, then a non-final drain
@@ -528,7 +594,7 @@ mod tests {
         assert_eq!(t.get(&c).unwrap().state, JobState::Queued);
         // New submissions continue the id sequence.
         let mut t = t;
-        let (next, _) = t.submit("grid36", None, "base", None, 0, None);
+        let (next, _) = t.submit("grid36", None, "base", None, 0, None, None);
         assert_eq!(next, "j4");
     }
 

@@ -35,6 +35,11 @@ pub struct SuperviseOpts {
     pub grace: Duration,
     /// try_wait polling period.
     pub poll: Duration,
+    /// Address-space ceiling (RLIMIT_AS, bytes) installed in the child
+    /// before exec, so one runaway job cannot take the host (or its
+    /// sibling workers) down with it. `None` = unlimited; ignored off
+    /// unix.
+    pub mem_limit: Option<u64>,
 }
 
 impl Default for SuperviseOpts {
@@ -44,6 +49,7 @@ impl Default for SuperviseOpts {
             interrupt: None,
             grace: Duration::from_secs(5),
             poll: Duration::from_millis(15),
+            mem_limit: None,
         }
     }
 }
@@ -118,6 +124,47 @@ fn reset_child_signals(cmd: &mut Command) {
 #[cfg(not(unix))]
 fn reset_child_signals(_cmd: &mut Command) {}
 
+/// Installs an address-space ceiling in the child before exec.
+///
+/// RLIMIT_AS (not RLIMIT_DATA) so every allocation path counts — heap,
+/// mmap, thread stacks. A child that hits the ceiling sees allocation
+/// failure, which libstd turns into an abort with "memory allocation of
+/// N bytes failed" on stderr; the supervisor's caller classifies that
+/// distinctly from a panic. Both soft and hard limits are set so the
+/// child cannot raise them back.
+#[cfg(unix)]
+fn limit_child_memory(cmd: &mut Command, bytes: u64) {
+    use std::os::unix::process::CommandExt;
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+    #[cfg(target_os = "linux")]
+    const RLIMIT_AS: i32 = 9;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_AS: i32 = 5;
+    // SAFETY: the pre-exec hook only calls setrlimit(2), which is
+    // async-signal-safe and touches no Rust runtime state; the rlimit
+    // struct lives in the moved closure.
+    unsafe {
+        cmd.pre_exec(move || {
+            let lim = RLimit {
+                cur: bytes,
+                max: bytes,
+            };
+            setrlimit(RLIMIT_AS, &lim);
+            Ok(())
+        });
+    }
+}
+
+#[cfg(not(unix))]
+fn limit_child_memory(_cmd: &mut Command, _bytes: u64) {}
+
 fn drain(pipe: Option<impl Read + Send + 'static>) -> std::thread::JoinHandle<Vec<u8>> {
     std::thread::spawn(move || {
         let mut buf = Vec::new();
@@ -139,6 +186,9 @@ pub fn run_supervised(cmd: &mut Command, opts: &SuperviseOpts) -> std::io::Resul
         .stdout(Stdio::piped())
         .stderr(Stdio::piped());
     reset_child_signals(cmd);
+    if let Some(bytes) = opts.mem_limit {
+        limit_child_memory(cmd, bytes);
+    }
     let start = Instant::now();
     let mut child = cmd.spawn()?;
     let out = drain(child.stdout.take());

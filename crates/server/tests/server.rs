@@ -338,6 +338,238 @@ fn sigkilled_daemon_resumes_and_reproduces_bit_identical_trees() {
 }
 
 #[test]
+fn unwritable_journal_degrades_to_503_and_the_daemon_drains_cleanly() {
+    // The fault schedule lets the journal be created and sealed with
+    // its meta record (vfs ops 1..=3), then every further operation —
+    // starting with the first submit's append — fails with EIO. An
+    // acknowledgement the daemon cannot make durable must be refused,
+    // and an unwritable journal must turn into a clean self-drain, not
+    // a crash or a silent lie.
+    let mut d = Daemon::start(
+        "journalfault",
+        &[
+            "--workers",
+            "1",
+            "--drain-grace",
+            "0.2",
+            "--fault-fs",
+            "seed=1,after=3,kinds=eio",
+        ],
+    );
+    let reply = d.rpc(&req::submit("grid36", "base"));
+    assert_eq!(reply.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(
+        reply.get("code").and_then(Value::as_u64),
+        Some(503),
+        "non-durable submit must be refused as draining: {}",
+        reply.encode()
+    );
+    let err = reply.get("error").and_then(Value::as_str).unwrap_or("");
+    assert!(
+        err.contains("storage degraded"),
+        "error names the degradation: {err}"
+    );
+
+    // The refused submit flipped the daemon into a self-drain; it must
+    // exit 0 on its own, and the on-disk journal (written before the
+    // faults began) must still parse.
+    let status = d.child.wait().expect("daemon reaped");
+    assert!(
+        status.success(),
+        "storage drain must exit 0, got {status:?}"
+    );
+    let j = read_journal(&d.dir.join("jobs.jsonl")).expect("journal readable");
+    assert!(!j.records.is_empty(), "meta record survived");
+    std::fs::remove_dir_all(&d.dir).ok();
+}
+
+#[test]
+fn oom_children_are_classified_distinctly_and_never_retried() {
+    let mut d = Daemon::start("oom", &["--workers", "1", "--mem-limit", "512"]);
+
+    // The rigged child balloons its address space into the ceiling; a
+    // generous retry budget must go unused because the same job would
+    // hit the same wall every time.
+    let j1 = d.submit_ok(
+        &req::submit("grid36", "base")
+            .with("fault", "oom")
+            .with("retries", 2u64),
+    );
+    let done = d.result(&j1);
+    assert_eq!(status_of(&done), "oom", "{}", done.encode());
+    assert_eq!(
+        done.get("attempts").and_then(Value::as_u64),
+        Some(1),
+        "oom is deterministic against a fixed ceiling; no retries: {}",
+        done.encode()
+    );
+    let detail = done.get("detail").and_then(Value::as_str).unwrap_or("");
+    assert!(
+        detail.contains("memory ceiling"),
+        "detail names the ceiling: {detail}"
+    );
+
+    // The ceiling is per-job, not a daemon wound: a healthy job on the
+    // same worker completes under the same limit.
+    let j2 = d.submit_ok(&req::submit("grid36", "base"));
+    assert_eq!(status_of(&d.result(&j2)), "ok");
+
+    d.kill_group();
+    std::fs::remove_dir_all(&d.dir).ok();
+}
+
+#[test]
+fn tenant_quotas_throttle_admission_per_tenant() {
+    let mut d = Daemon::start(
+        "tenants",
+        &[
+            "--workers",
+            "1",
+            "--tenant-quota",
+            "2",
+            "--tenant-refill",
+            "0.05",
+        ],
+    );
+    let submit = |tenant: &str| {
+        req::submit("grid36", "base")
+            .with("fault", "sleep:15000")
+            .with("tenant", tenant)
+    };
+
+    // alice's bucket holds two tokens; the refill is slow enough that
+    // the third submit inside the same test run must bounce.
+    d.submit_ok(&submit("alice"));
+    d.submit_ok(&submit("alice"));
+    let reply = d.rpc(&submit("alice"));
+    assert_eq!(reply.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(
+        reply.get("code").and_then(Value::as_u64),
+        Some(429),
+        "over-quota tenant must get busy: {}",
+        reply.encode()
+    );
+    let err = reply.get("error").and_then(Value::as_str).unwrap_or("");
+    assert!(err.contains("quota"), "error names the quota: {err}");
+
+    // Quotas are per tenant: bob is unaffected by alice's burn rate.
+    let jb = d.submit_ok(&submit("bob"));
+    let reply = d.rpc(&req::status(Some(&jb)));
+    let row = reply
+        .get("jobs")
+        .and_then(|j| match j {
+            Value::Arr(a) => a.first(),
+            _ => None,
+        })
+        .expect("status row");
+    assert_eq!(
+        row.get("tenant").and_then(Value::as_str),
+        Some("bob"),
+        "tenant id is recorded on the job: {}",
+        row.encode()
+    );
+
+    d.kill_group();
+    std::fs::remove_dir_all(&d.dir).ok();
+}
+
+#[test]
+fn resume_compacts_the_journal_and_preserves_final_statuses() {
+    let mut d = Daemon::start("compact", &["--workers", "1", "--drain-grace", "0.2"]);
+    // A panicky job with retries writes a long attempt history; the
+    // healthy job finishes ok. Both histories end final.
+    let jp = d.submit_ok(
+        &req::submit("grid36", "base")
+            .with("fault", "panic")
+            .with("retries", 2u64),
+    );
+    let jh = d.submit_ok(&req::submit("grid36", "base"));
+    assert_eq!(status_of(&d.result(&jp)), "panic");
+    assert_eq!(status_of(&d.result(&jh)), "ok");
+    d.rpc(&req::drain());
+    assert!(d.child.wait().expect("reaped").success());
+    let starts_before = journal_records(&d.dir, "job_start").len();
+    assert!(
+        starts_before >= 4,
+        "retry history is on disk before compaction: {starts_before}"
+    );
+
+    // Resume rewrites the journal as a snapshot: one start per job, one
+    // final done, statuses preserved; the temp file is gone (the swap
+    // is atomic rename).
+    let mut d2 = Daemon::start("compact", &["--workers", "1", "--resume"]);
+    assert_eq!(status_of(&d2.result(&jp)), "panic", "status survives");
+    assert_eq!(status_of(&d2.result(&jh)), "ok", "status survives");
+    assert!(
+        !d2.dir.join("jobs.jsonl.tmp").exists(),
+        "compaction temp file must not survive the rename"
+    );
+    let starts_after = journal_records(&d2.dir, "job_start").len();
+    assert!(
+        starts_after < starts_before,
+        "compaction must shrink the attempt history: {starts_after} !< {starts_before}"
+    );
+    let finals: Vec<String> = journal_records(&d2.dir, "job_done")
+        .iter()
+        .filter(|r| r.get("final") == Some(&Value::Bool(true)))
+        .map(|r| {
+            r.get("status")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(finals.len(), 2, "{finals:?}");
+    assert!(finals.contains(&"panic".to_string()) && finals.contains(&"ok".to_string()));
+    d2.kill_group();
+    std::fs::remove_dir_all(&d2.dir).ok();
+}
+
+#[test]
+fn disk_budget_garbage_collects_finished_job_artifacts() {
+    // ~1 KiB budget: far below what even one grid job's artifacts take,
+    // so the sweep after each finished job must delete aggressively.
+    let mut d = Daemon::start("diskgc", &["--workers", "1", "--disk-budget", "0.001"]);
+    let j1 = d.submit_ok(&req::submit("grid36", "base"));
+    assert_eq!(status_of(&d.result(&j1)), "ok");
+    let j2 = d.submit_ok(&req::submit("grid36", "base"));
+    assert_eq!(status_of(&d.result(&j2)), "ok");
+
+    // The GC pass runs right after the final status lands; poll briefly
+    // for the artifact total to fall under budget.
+    let budget = 1048u64; // 0.001 MB in bytes, floor
+    let artifact_bytes = || -> u64 {
+        std::fs::read_dir(&d.dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| {
+                let n = e.file_name().to_string_lossy().into_owned();
+                n.starts_with("tree_") || n.starts_with("progress_") || n.starts_with("ckpt_")
+            })
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if artifact_bytes() <= budget {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "artifacts never fell under budget: {} bytes",
+            artifact_bytes()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // The journal and design cache are never GC fodder.
+    assert!(d.dir.join("jobs.jsonl").exists());
+
+    d.kill_group();
+    std::fs::remove_dir_all(&d.dir).ok();
+}
+
+#[test]
 fn malformed_frames_get_structured_errors_and_the_connection_survives() {
     use sllt_server::proto::{read_frame, Frame, MAX_LINE};
     use std::io::{BufReader, Write};

@@ -179,4 +179,22 @@ $JOBS drain --connect "$SOCK"
 wait "$SLLTD_PID"
 rm -rf results/slltd_ci
 
+echo "== storage degradation: ENOSPC/EIO/short/torn mid-run must not change trees"
+# Every fault kind against the checkpoint/progress writers: the flow
+# degrades to in-memory, reports StorageDegraded, and still builds the
+# bit-identical tree (pre-flight journal-create failures stay fatal).
+cargo test -q --release -p sllt-cts --test storage
+
+echo "== journal reader fuzz: multi-fragment corruption never panics or invents"
+cargo test -q -p sllt-obs --features proptest --test journal_prop
+
+echo "== torture smoke: randomized fault-schedule x kill-point matrices"
+# Phase A: checkpointed runs under random FaultFs schedules, then
+# resume from a random-truncation kill point — every outcome must be
+# bit-identical to the clean reference or a clean Checkpoint refusal.
+# Phase B: SIGKILL a live daemon mid-batch (slltd binary built above),
+# assert no orphans, --resume to completion, artifacts GC'd under the
+# disk budget. Exits nonzero on any violation.
+cargo run --release -q -p sllt-bench --bin torture -- --schedules 8 --json
+
 echo "CI green"

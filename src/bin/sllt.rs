@@ -60,7 +60,8 @@ const USAGE: &str = "usage:
   sllt jobs <submit|status|cancel|result|watch|drain|ping>
             [--connect <socket|host:port>] [--job <id>]
             [--design <name> | --design-file <file>] [--config base|tight|nosa]
-            [--timeout <s>] [--retries N] [--wait]
+            [--timeout <s>] [--retries N] [--tenant <id>] [--wait]
+            [--io-timeout <s>]
 
 `sllt run --trace` streams span/counter/gauge events into
 results/trace_<design>.jsonl and exports a Chrome/Perfetto trace to
@@ -68,7 +69,10 @@ results/trace_<design>.json (open at ui.perfetto.dev). `--progress`
 prints deterministic work-budget completion fractions to stderr.
 
 `sllt jobs` is the client for a running `slltd` daemon (default socket
-results/slltd/slltd.sock); responses are printed as JSON lines.";
+results/slltd/slltd.sock); responses are printed as JSON lines.
+Socket reads/writes are bounded (default 10s, `--io-timeout` adjusts;
+`result --wait` is unbounded unless --io-timeout is given). `--tenant`
+tags a submit for per-tenant admission quotas.";
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -158,6 +162,9 @@ impl ProgressSink for StderrProgress {
             }
             ProgressEvent::LevelDone { level, parents, .. } => {
                 eprintln!("[{pct:5.1}%] level {level} done -> {parents} parents");
+            }
+            ProgressEvent::StorageDegraded { level, detail } => {
+                eprintln!("warning: checkpoint write failed at level {level} ({detail}); continuing without checkpoints");
             }
             ProgressEvent::Done { .. } => eprintln!("[100.0%] tree assembled"),
         }
@@ -396,6 +403,25 @@ fn cmd_jobs(args: &[String]) -> Result<(), String> {
     let mut client =
         Client::connect(&ep).map_err(|e| format!("connect {connect}: {e} (is slltd running?)"))?;
 
+    // Socket-level read/write bound so a wedged daemon cannot hang the
+    // CLI. `result --wait` blocks server-side for the whole job, so it
+    // gets no default bound; `watch` is safe because the server emits
+    // keep-alive frames through quiet stretches.
+    let io_timeout = match flag(args, "--io-timeout") {
+        Some(t) => {
+            let s: f64 = t.parse().map_err(|_| "--io-timeout expects seconds")?;
+            if s <= 0.0 || !s.is_finite() {
+                return Err("--io-timeout must be a positive number of seconds".into());
+            }
+            Some(std::time::Duration::from_secs_f64(s))
+        }
+        None if verb == "result" && has_flag(args, "--wait") => None,
+        None => Some(std::time::Duration::from_secs(10)),
+    };
+    client
+        .set_io_timeout(io_timeout)
+        .map_err(|e| format!("set io timeout: {e}"))?;
+
     let need_job = || flag(args, "--job").ok_or(format!("jobs {verb} needs --job <id>"));
     let request = match verb.as_str() {
         "ping" => req::ping(),
@@ -421,6 +447,9 @@ fn cmd_jobs(args: &[String]) -> Result<(), String> {
             if let Some(f) = flag(args, "--fault") {
                 r = r.with("fault", f);
             }
+            if let Some(t) = flag(args, "--tenant") {
+                r = r.with("tenant", t);
+            }
             r
         }
         "status" => req::status(flag(args, "--job").as_deref()),
@@ -439,6 +468,9 @@ fn cmd_jobs(args: &[String]) -> Result<(), String> {
             match client.recv()? {
                 None => return Ok(()),
                 Some(v) => {
+                    if v.get("alive").is_some() {
+                        continue; // keep-alive frame, not part of the stream
+                    }
                     println!("{}", v.encode());
                     if v.get("event").is_none() {
                         let ok = v.get("ok") == Some(&sllt::obs::Value::Bool(true));
